@@ -1,0 +1,41 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Every bench module runs its experiment once (module scope), prints the
+paper-style table, saves the JSON payload under ``bench_results/``, and then
+benchmarks a representative kernel with assertions on the *shape* of the
+result (who wins, by roughly what factor) — absolute numbers are not the
+reproduction claim.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import run_experiment
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The quick profile keeps the full bench suite in the minutes range."""
+    return BenchConfig.quick()
+
+
+@pytest.fixture(scope="session")
+def run_and_record():
+    """Run an experiment by name, print its tables, persist the JSON."""
+    cache = {}
+
+    def _run(name, config):
+        if name not in cache:
+            result = run_experiment(name, config)
+            print()
+            print(result.render())
+            os.makedirs(RESULTS_DIR, exist_ok=True)
+            result.save(os.path.join(RESULTS_DIR, f"{name}.json"))
+            cache[name] = result
+        return cache[name]
+
+    return _run

@@ -1,0 +1,32 @@
+"""Ablation bench: the AFF = L(a) ∪ L(b) root set is highly selective."""
+
+
+def test_ablation_aff_report(run_and_record, config, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_record("ablation_aff", config), rounds=1, iterations=1
+    )
+    table = result.table("Ablation: AFF")
+    ratios = table.column("AFF / n")
+    # On the sparse scale-free graphs (the paper's primary setting) the
+    # pruned-BFS root set is a small fraction of all vertices — this is
+    # exactly why IncSPC beats reconstruction.  The dense WCO analogue has
+    # large label sets, so its AFF share is naturally higher.
+    assert sum(1 for r in ratios if r < 0.2) >= len(ratios) / 2, ratios
+    assert all(r < 0.8 for r in ratios), ratios
+
+
+def test_benchmark_aff_snapshot(benchmark):
+    """Cost of snapshotting AFF from two label sets."""
+    from repro.bench.experiments.common import prepare
+    from repro.workloads import random_insertions
+
+    prep = prepare("STA")
+    upd = random_insertions(prep.graph, 1, seed=9)[0]
+    la = prep.index.label_set(upd.u)
+    lb = prep.index.label_set(upd.v)
+
+    def snapshot():
+        return sorted(set(la.hubs) | set(lb.hubs))
+
+    aff = benchmark(snapshot)
+    assert len(aff) >= 1

@@ -1,0 +1,39 @@
+"""Ablation bench: the §3.2.3 isolated-vertex fast path."""
+
+
+def test_ablation_isolated_vertex_report(run_and_record, config, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_record("ablation_isolated_vertex", config), rounds=1, iterations=1
+    )
+    table = result.table("Ablation: isolated-vertex")
+    measured = [row for row in table.rows if row[1] > 0]
+    assert measured, "no pendant edges found in any quick-profile dataset"
+    for row in measured:
+        name, pendants, fast_ms, slow_ms, speedup = row
+        # The fast path must never lose to the general path.
+        assert fast_ms <= slow_ms, row
+
+
+def test_benchmark_pendant_deletion_fast_path(benchmark):
+    from repro.bench.experiments.ablations import _attach_pendants, _pendant_edges
+    from repro.bench.experiments.common import prepare
+    from repro.core import dec_spc
+
+    prep = prepare("EUA")
+    base_graph, base_index = prep.fresh()
+    pendants = _pendant_edges(base_graph, base_index, limit=5)
+    if not pendants:
+        _attach_pendants(base_graph, base_index, count=5, seed=1)
+        pendants = _pendant_edges(base_graph, base_index, limit=5)
+    state = {"i": 0}
+
+    def setup():
+        graph, index = base_graph.copy(), base_index.copy()
+        u, v = pendants[state["i"] % len(pendants)]
+        state["i"] += 1
+        return (graph, index, u, v), {}
+
+    benchmark.pedantic(
+        lambda g, i, u, v: dec_spc(g, i, u, v),
+        setup=setup, rounds=5, iterations=1,
+    )

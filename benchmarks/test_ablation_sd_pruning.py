@@ -1,0 +1,36 @@
+"""Ablation bench: SD-style pruning must corrupt counts; strict must not."""
+
+
+def test_ablation_sd_pruning_report(run_and_record, config, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_record("ablation_sd_pruning", config), rounds=1, iterations=1
+    )
+    table = result.table("Ablation: SD-style")
+    for row in table.rows:
+        name, runs, strict, sd = row
+        assert strict == 0, f"strict pruning corrupted the index on {name}"
+    # The broken rule corrupts at least one run somewhere.
+    total_sd = sum(row[3] for row in table.rows)
+    assert total_sd >= 1, "SD-style pruning unexpectedly survived all runs"
+
+
+def test_benchmark_strict_vs_sd_visits(benchmark):
+    """Strict pruning visits more vertices; measure the overhead it buys."""
+    from repro.bench.experiments.common import prepare
+    from repro.core import inc_spc
+    from repro.workloads import random_insertions
+
+    prep = prepare("NTD")
+    ins = random_insertions(prep.graph, 20, seed=11)
+    state = {"i": 0}
+
+    def setup():
+        graph, index = prep.fresh()
+        upd = ins[state["i"] % len(ins)]
+        state["i"] += 1
+        return (graph, index, upd.u, upd.v), {}
+
+    benchmark.pedantic(
+        lambda g, i, u, v: inc_spc(g, i, u, v),
+        setup=setup, rounds=8, iterations=1,
+    )

@@ -1,0 +1,43 @@
+"""Figure 10 bench: hybrid streaming updates.
+
+Shape claims from §4.4: accumulated running time grows gradually (with
+occasional deletion spikes), the whole stream costs far less than one
+reconstruction per update, and the total index-size change is negligible.
+"""
+
+from repro.bench.experiments.common import prepare
+
+
+def test_fig10_report(run_and_record, config, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig10", config), rounds=1, iterations=1
+    )
+    table = result.table("Figure 10")
+    for row in table.rows:
+        name, updates, total, avg, max_step, size_kb, size_ratio = row
+        prep = prepare(name)
+        # The whole stream is cheaper than rebuilding once per update.
+        assert total < prep.build_seconds * updates, row
+        # Index size drift is negligible relative to the index.
+        assert abs(size_ratio) < 0.05, row
+        # Accumulated series is monotone.
+        series = result.extra[name]["accumulated_seconds"]
+        assert all(b >= a for a, b in zip(series, series[1:]))
+
+
+def test_benchmark_stream_step(benchmark, config):
+    """Average step cost of a short hybrid stream on the BKS analogue."""
+    from repro.bench.experiments.common import apply_updates
+    from repro.workloads import hybrid_stream
+
+    prep = prepare("BKS")
+
+    def setup():
+        graph, index = prep.fresh()
+        stream = hybrid_stream(graph, insertions=5, deletions=1, seed=3)
+        return (graph, index, stream), {}
+
+    benchmark.pedantic(
+        lambda g, i, s: apply_updates(g, i, s),
+        setup=setup, rounds=3, iterations=1,
+    )

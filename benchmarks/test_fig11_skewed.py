@@ -1,0 +1,38 @@
+"""Figure 11 bench: degree-skewed updates.
+
+Shape claim from §4.5: update time shows *no significant correlation* with
+the degree of the touched edge — no bucket may dominate by orders of
+magnitude, for IncSPC or DecSPC.
+"""
+
+
+def test_fig11_report(run_and_record, config, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig11", config), rounds=1, iterations=1
+    )
+    inc_table = result.table("Figure 11 (IncSPC)")
+    dec_table = result.table("Figure 11 (DecSPC)")
+    for table in (inc_table, dec_table):
+        for row in table.rows:
+            name, low, uniform, high = row[0], row[1], row[2], row[3]
+            values = [v for v in (low, uniform, high) if v > 0]
+            # No order-of-magnitude blowup across buckets (paper: "no
+            # significant correlation"); allow wide variance, catch 100x.
+            assert max(values) < 100 * min(values), row
+
+
+def test_benchmark_skewed_insertion_high_degree(benchmark, config):
+    from repro.bench.experiments.common import apply_updates, prepare
+    from repro.workloads import skewed_insertions
+
+    prep = prepare("BKS")
+
+    def setup():
+        graph, index = prep.fresh()
+        ins = skewed_insertions(graph, 3, seed=4, bucket="high")
+        return (graph, index, ins), {}
+
+    benchmark.pedantic(
+        lambda g, i, u: apply_updates(g, i, u),
+        setup=setup, rounds=3, iterations=1,
+    )

@@ -1,0 +1,65 @@
+"""Figure 7 bench: running-time distributions and query latency.
+
+Shape claims:
+  * per-update times sit far below the index construction time (panels a, b);
+  * the labeling query beats BiBFS by a wide factor, and update batches do
+    not degrade query latency (panel c).
+Kernels benchmarked: one SpcQUERY merge and one BiBFS query.
+"""
+
+from repro.bench.experiments.common import prepare
+from repro.traversal import bibfs_counting
+from repro.workloads import random_pairs
+
+
+def test_fig7_report(run_and_record, config, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig7", config), rounds=1, iterations=1
+    )
+    inc_table = result.table("Figure 7(a)")
+    dec_table = result.table("Figure 7(b)")
+    query_table = result.table("Figure 7(c)")
+
+    # (a): the median insertion is orders of magnitude below construction.
+    for row in inc_table.rows:
+        median, index_time = row[2], row[5]
+        assert median < index_time / 10, row
+
+    # (b): deletions stay below construction too (weaker factor).
+    for row in dec_table.rows:
+        median, index_time = row[2], row[5]
+        assert median < index_time, row
+
+    # (c): labeling wins against BiBFS on every dataset, and the post-update
+    # indexes answer within ~3x of the original's latency.
+    for row in query_table.rows:
+        name, bibfs, ori, inc, dec, ratio = row
+        assert bibfs > ori, row
+        assert inc < 3 * ori + 5, row
+        assert dec < 3 * ori + 5, row
+
+
+def test_benchmark_label_query(benchmark):
+    prep = prepare("STA")
+    pairs = random_pairs(prep.graph, 512, seed=1)
+    state = {"i": 0}
+
+    def query_one():
+        s, t = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return prep.index.query(s, t)
+
+    benchmark(query_one)
+
+
+def test_benchmark_bibfs_query(benchmark):
+    prep = prepare("STA")
+    pairs = random_pairs(prep.graph, 128, seed=2)
+    state = {"i": 0}
+
+    def query_one():
+        s, t = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return bibfs_counting(prep.graph, s, t)
+
+    benchmark(query_one)

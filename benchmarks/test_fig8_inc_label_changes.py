@@ -1,0 +1,39 @@
+"""Figure 8 bench: label-operation breakdown for incremental updates.
+
+Shape claims from §4.2.2: RenewD (distance renewals) is always the minority
+update type, and the per-update index growth is tiny relative to the index.
+"""
+
+from repro.bench.experiments.common import prepare
+
+
+def test_fig8_report(run_and_record, config, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig8", config), rounds=1, iterations=1
+    )
+    table = result.table("Figure 8")
+    for row in table.rows:
+        name, renew_c, renew_d, insert, growth = row
+        # RenewD makes up the minority of updates on every graph.
+        assert renew_d <= max(renew_c, insert), row
+        # Average per-update growth is negligible vs the index size.
+        index_bytes = prepare(name).index_bytes
+        assert growth < 0.01 * index_bytes, row
+
+
+def test_benchmark_label_set_mutation(benchmark):
+    """The LabelSet upsert kernel that every update op goes through."""
+    from repro.core.labels import LabelSet
+
+    def churn():
+        ls = LabelSet()
+        for h in range(0, 400, 2):
+            ls.set(h, h % 7, 1)
+        for h in range(399, 0, -2):
+            ls.set(h, h % 5, 2)
+        for h in range(0, 400, 3):
+            ls.remove(h)
+        return len(ls)
+
+    size = benchmark(churn)
+    assert size > 0

@@ -1,0 +1,44 @@
+"""Figure 9 bench: label-operation breakdown for decremental updates.
+
+Shape claims from §4.3.2: renewals dominate the operation mix, and the net
+index-size change (Insert − Remove) stays within kilobytes.
+"""
+
+from repro.bench.experiments.common import prepare
+
+
+def test_fig9_report(run_and_record, config, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_record("fig9", config), rounds=1, iterations=1
+    )
+    table = result.table("Figure 9")
+    renew_dominant = 0
+    for row in table.rows:
+        name, renew_c, renew_d, insert, remove, net = row
+        if renew_c + renew_d >= max(insert, remove):
+            renew_dominant += 1
+        # Net size drift per update is small vs the index.
+        index_bytes = prepare(name).index_bytes
+        assert abs(net) < 0.05 * index_bytes, row
+    assert renew_dominant >= len(table.rows) / 2
+
+
+def test_benchmark_dec_update_bfs(benchmark):
+    """One full DecSPC on the NTD analogue (general path)."""
+    from repro.core import dec_spc
+    from repro.workloads import random_deletions
+
+    prep = prepare("NTD")
+    dels = random_deletions(prep.graph, 10, seed=5)
+    state = {"i": 0}
+
+    def setup():
+        graph, index = prep.fresh()
+        upd = dels[state["i"] % len(dels)]
+        state["i"] += 1
+        return (graph, index, upd.u, upd.v), {}
+
+    benchmark.pedantic(
+        lambda g, i, u, v: dec_spc(g, i, u, v),
+        setup=setup, rounds=8, iterations=1,
+    )

@@ -1,0 +1,21 @@
+"""Table 3 bench: dataset statistics + generation kernel."""
+
+from repro.datasets import clear_cache, load_dataset
+
+
+def test_table3_report(run_and_record, config, benchmark):
+    result = run_and_record("table3", config)
+    table = result.table("Table 3")
+    assert len(table.rows) == len(config.datasets)
+    # The analogues preserve the paper's relative ordering by edge count
+    # within the selected subset's first and last entries.
+    ms = table.column("m")
+    paper_ms = table.column("paper m")
+    assert (ms[0] < ms[-1]) == (paper_ms[0] < paper_ms[-1])
+
+    def generate():
+        clear_cache()
+        return load_dataset("EUA", copy=False)
+
+    g = benchmark(generate)
+    assert g.num_vertices > 100

@@ -1,0 +1,76 @@
+"""Table 4 bench: the headline result.
+
+Shape claims reproduced from the paper:
+  * IncSPC's average update time is orders of magnitude below rebuild;
+  * DecSPC is slower than IncSPC but still far below rebuild.
+Kernels benchmarked: HP-SPC construction, one IncSPC update, one DecSPC
+update (on the smallest dataset so rounds stay cheap).
+"""
+
+from repro.bench.experiments.common import prepare
+from repro.core import build_spc_index, dec_spc, inc_spc
+from repro.workloads import random_deletions, random_insertions
+
+
+def test_table4_report(run_and_record, config, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_record("table4", config), rounds=1, iterations=1
+    )
+    table = result.table("Table 4")
+    inc_speedups = table.column("Inc speedup")
+    dec_speedups = table.column("Dec speedup")
+    inc_times = table.column("IncSPC (s)")
+    dec_times = table.column("DecSPC (s)")
+    # IncSPC beats rebuild by a wide margin on every dataset.
+    assert all(s > 10 for s in inc_speedups), inc_speedups
+    # DecSPC also beats rebuild on every dataset...
+    assert all(s > 1 for s in dec_speedups), dec_speedups
+    # ... and is the slower of the two on most datasets (paper observation).
+    slower = sum(1 for i, d in zip(inc_times, dec_times) if d >= i)
+    assert slower >= len(inc_times) / 2
+
+
+def test_benchmark_hpspc_construction(benchmark):
+    prep = prepare("EUA")
+
+    def build():
+        return build_spc_index(prep.graph)
+
+    index = benchmark(build)
+    assert index.num_entries == prep.index_entries
+
+
+def test_benchmark_single_incremental_update(benchmark):
+    prep = prepare("EUA")
+    updates = random_insertions(prep.graph, 50, seed=7)
+
+    state = {"i": 0}
+
+    def setup():
+        graph, index = prep.fresh()
+        upd = updates[state["i"] % len(updates)]
+        state["i"] += 1
+        return (graph, index, upd.u, upd.v), {}
+
+    benchmark.pedantic(
+        lambda g, i, u, v: inc_spc(g, i, u, v),
+        setup=setup, rounds=10, iterations=1,
+    )
+
+
+def test_benchmark_single_decremental_update(benchmark):
+    prep = prepare("EUA")
+    dels = random_deletions(prep.graph, 20, seed=8)
+
+    state = {"i": 0}
+
+    def setup():
+        graph, index = prep.fresh()
+        upd = dels[state["i"] % len(dels)]
+        state["i"] += 1
+        return (graph, index, upd.u, upd.v), {}
+
+    benchmark.pedantic(
+        lambda g, i, u, v: dec_spc(g, i, u, v),
+        setup=setup, rounds=10, iterations=1,
+    )

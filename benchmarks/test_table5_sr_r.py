@@ -1,0 +1,39 @@
+"""Table 5 bench: affected-set cardinalities |SRa|, |SRb|, |Ra|, |Rb|.
+
+The paper's claim: the affected-hub set SR the algorithm runs BFSs from is
+(on most graphs) much smaller than the receiver-only set R, which is what
+makes DecSPC tractable.  (The paper's own EUA row is an outlier where SR
+exceeds R — so the assertion is about the majority of datasets.)
+"""
+
+from repro.bench.experiments.common import prepare
+from repro.core.decremental import _srr_search
+from repro.workloads import random_deletions
+
+
+def test_table5_report(run_and_record, config, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_record("table5", config), rounds=1, iterations=1
+    )
+    table = result.table("Table 5")
+    ratios = table.column("|SR| / (|SR|+|R|)")
+    # SRb (the smaller hub side) stays tiny, as in the paper.
+    srb = table.column("SRb")
+    assert all(x < 100 for x in srb), srb
+    # On at least half the datasets the hub set is the minority share.
+    assert sum(1 for r in ratios if r < 0.5) >= len(ratios) / 2, ratios
+
+
+def test_benchmark_srr_search(benchmark):
+    prep = prepare("EUA")
+    graph, index = prep.fresh()
+    u, v = random_deletions(graph, 1, seed=3)[0].u, random_deletions(graph, 1, seed=3)[0].v
+    la = index.label_set(u)
+    lb = index.label_set(v)
+    lab = set(la.hubs) & set(lb.hubs)
+
+    def search():
+        return _srr_search(graph, index, u, v, lab)
+
+    sr, r = benchmark(search)
+    assert u in sr or u in r or sr or r is not None

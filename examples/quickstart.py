@@ -1,0 +1,56 @@
+"""Quickstart: build an SPC-Index, query it, and keep it fresh under updates.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import DynamicSPC, Graph, bibfs_counting, build_spc_index, verify_espc
+
+
+def main():
+    # --- 1. A small social graph (the paper's Figure 2 example) -----------
+    edges = [
+        (0, 1), (0, 2), (0, 3), (0, 8), (0, 11),
+        (1, 2), (1, 5), (1, 6),
+        (2, 3), (2, 5),
+        (3, 7), (3, 8),
+        (4, 5), (4, 7), (4, 9),
+        (6, 10),
+        (9, 10),
+    ]
+    graph = Graph.from_edges(edges)
+    print(f"graph: {graph}")
+
+    # --- 2. Static index + queries ----------------------------------------
+    index = build_spc_index(graph)
+    d, c = index.query(4, 6)
+    print(f"SPC(4, 6) = distance {d}, {c} shortest paths")
+    assert (d, c) == bibfs_counting(graph, 4, 6)  # agrees with online BFS
+
+    # --- 3. Dynamic maintenance -------------------------------------------
+    dyn = DynamicSPC(graph, index=index)
+
+    stats = dyn.insert_edge(3, 9)  # IncSPC: only affected hubs are repaired
+    print(
+        f"insert (3,9): {stats.affected_hubs} affected hubs, "
+        f"{stats.total_label_ops} label ops, {stats.elapsed * 1e3:.2f} ms"
+    )
+    print(f"SPC(4, 6) after insert = {dyn.query(4, 6)}")
+
+    stats = dyn.delete_edge(1, 2)  # DecSPC: SR/R-guided repair
+    print(
+        f"delete (1,2): |SR|={stats.sr_a + stats.sr_b}, "
+        f"|R|={stats.r_a + stats.r_b}, {stats.elapsed * 1e3:.2f} ms"
+    )
+
+    # Vertex churn works too; new vertices always take the lowest rank.
+    dyn.insert_vertex(12, edges=[10, 11])
+    dyn.delete_vertex(8)
+    print(f"after churn: {dyn.graph}, index entries = {dyn.index.num_entries}")
+
+    # --- 4. The index stays exact — verify against BFS ground truth -------
+    verify_espc(dyn.graph, dyn.index)
+    print("ESPC verified: every query equals BFS ground truth")
+
+
+if __name__ == "__main__":
+    main()

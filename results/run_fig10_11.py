@@ -1,0 +1,27 @@
+"""Bounded fig10/fig11 run: streaming on BKS+WAR, skew on BKS.
+
+The full-profile IND streaming/skew deletions are authentic but take tens
+of minutes in pure Python (the paper's own IND DecSPC averages 1,058 s in
+C++); this trimmed run keeps the experiment shape on the two next-largest
+analogues.  Invoked by the maintainer when a bounded wall-clock matters;
+`python -m repro.bench fig10 fig11 --profile full` remains the unbounded
+canonical command.
+"""
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import run_experiment
+
+cfg = BenchConfig.full()
+cfg.streaming_datasets = ["BKS", "WAR"]
+cfg.stream_insertions = 60
+cfg.stream_deletions = 6
+cfg.skew_insertions = 12
+cfg.skew_deletions = 4
+
+for name in ["fig10", "fig11"]:
+    if name == "fig11":
+        cfg.streaming_datasets = ["BKS"]
+    result = run_experiment(name, cfg)
+    print(result.render())
+    print()
+    result.save(f"results/full/{name}.json")

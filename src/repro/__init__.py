@@ -1,0 +1,67 @@
+"""repro — a reproduction of *DSPC: Efficiently Answering Shortest Path
+Counting on Dynamic Graphs* (EDBT 2024).
+
+Public API quickstart::
+
+    from repro import Graph, DynamicSPC
+
+    g = Graph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
+    dyn = DynamicSPC(g)
+    dyn.query(0, 2)          # -> (2, 2): distance 2, two shortest paths
+    dyn.insert_edge(0, 2)    # IncSPC
+    dyn.delete_edge(0, 1)    # DecSPC
+    dyn.query(0, 2)          # answers stay exact under updates
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.graph` — graph substrates and generators;
+* :mod:`repro.core` — SPC-Index, HP-SPC builder, IncSPC / DecSPC;
+* :mod:`repro.directed` / :mod:`repro.weighted` — the appendix extensions;
+* :mod:`repro.sd` — distance-only PLL (SD-Index) for comparison;
+* :mod:`repro.baselines` — BFS / BiBFS / reconstruction baselines;
+* :mod:`repro.workloads`, :mod:`repro.datasets` — experiment inputs;
+* :mod:`repro.bench` — the table/figure reproduction harness.
+"""
+
+from repro.core import (
+    DynamicSPC,
+    LabelSet,
+    SPCIndex,
+    StreamStats,
+    UpdateStats,
+    build_dynamic,
+    build_spc_index,
+    dec_spc,
+    inc_spc,
+)
+from repro.graph import DiGraph, Graph, WeightedGraph
+from repro.order import VertexOrder, degree_order, make_order
+from repro.traversal import bfs_counting_pair, bfs_counting_sssp, bibfs_counting
+from repro.verify import check_invariants, indexes_equivalent, verify_espc
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "WeightedGraph",
+    "SPCIndex",
+    "LabelSet",
+    "build_spc_index",
+    "inc_spc",
+    "dec_spc",
+    "DynamicSPC",
+    "build_dynamic",
+    "UpdateStats",
+    "StreamStats",
+    "VertexOrder",
+    "degree_order",
+    "make_order",
+    "bfs_counting_sssp",
+    "bfs_counting_pair",
+    "bibfs_counting",
+    "verify_espc",
+    "check_invariants",
+    "indexes_equivalent",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Applications built on the SPC oracle: betweenness and recommendation."""
+
+from repro.applications.betweenness import (
+    group_betweenness,
+    pair_dependency,
+    top_k_betweenness,
+    vertex_betweenness,
+)
+from repro.applications.recommendation import (
+    mutual_friend_candidates,
+    rank_pairs_by_affinity,
+    recommend_friends,
+)
+
+__all__ = [
+    "pair_dependency",
+    "vertex_betweenness",
+    "group_betweenness",
+    "top_k_betweenness",
+    "mutual_friend_candidates",
+    "recommend_friends",
+    "rank_pairs_by_affinity",
+]

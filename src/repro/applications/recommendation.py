@@ -1,0 +1,48 @@
+"""Link recommendation by shortest-path counting (the paper's §1 example).
+
+Distance ties are everywhere in small-world graphs; the *count* of shortest
+paths breaks them: more distance-2 paths means more mutual friends.  This
+module productizes the intro's example as a reusable recommender over a
+(dynamic) SPC oracle.
+"""
+
+INF = float("inf")
+
+
+def mutual_friend_candidates(graph, oracle, user, radius=2):
+    """All non-neighbors of ``user`` at exactly ``radius``, with path counts.
+
+    Returns a list of (candidate, count) pairs, unsorted.
+    """
+    out = []
+    for other in graph.vertices():
+        if other == user or graph.has_edge(user, other):
+            continue
+        d, c = oracle.query(user, other)
+        if d == radius:
+            out.append((other, c))
+    return out
+
+
+def recommend_friends(graph, oracle, user, k=5, radius=2):
+    """Top-k recommendations, ranked by shortest-path count descending.
+
+    Ties break by candidate id for determinism, like a production ranking
+    with a stable sort key.
+    """
+    candidates = mutual_friend_candidates(graph, oracle, user, radius=radius)
+    candidates.sort(key=lambda pair: (-pair[1], pair[0]))
+    return candidates[:k]
+
+
+def rank_pairs_by_affinity(oracle, pairs):
+    """Order (s, t) pairs by affinity: closer first, more paths first.
+
+    The ranking key is (distance, -count) — the paper's search-ranking use
+    case ("the most relevant results are displayed first").
+    """
+    def key(pair):
+        d, c = oracle.query(*pair)
+        return (d, -c, pair)
+
+    return sorted(pairs, key=key)

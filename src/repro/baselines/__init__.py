@@ -1,0 +1,12 @@
+"""Baselines the paper compares against: online BFS/BiBFS query oracles and
+the rebuild-from-scratch dynamic oracle."""
+
+from repro.baselines.bfs_counting import BFSCountingOracle
+from repro.baselines.bibfs_counting import BiBFSCountingOracle
+from repro.baselines.reconstruction import ReconstructionOracle
+
+__all__ = [
+    "BFSCountingOracle",
+    "BiBFSCountingOracle",
+    "ReconstructionOracle",
+]

@@ -1,0 +1,21 @@
+"""Online BFS counting baseline — the textbook algorithm from §1.
+
+A thin, stable-API wrapper over :mod:`repro.traversal.bfs` so the benchmark
+harness can treat all query baselines uniformly: every baseline exposes
+``query(s, t) -> (sd, spc)``.
+"""
+
+from repro.traversal.bfs import bfs_counting_pair
+
+
+class BFSCountingOracle:
+    """Answers SPC queries by running a fresh BFS per query."""
+
+    name = "BFS"
+
+    def __init__(self, graph):
+        self._graph = graph
+
+    def query(self, s, t):
+        """Return (sd(s, t), spc(s, t)) by level-synchronized BFS."""
+        return bfs_counting_pair(self._graph, s, t)

@@ -1,0 +1,16 @@
+"""Bidirectional BFS baseline — the query competitor of Figure 7(c)."""
+
+from repro.traversal.bibfs import bibfs_counting
+
+
+class BiBFSCountingOracle:
+    """Answers SPC queries with a bidirectional BFS per query."""
+
+    name = "BiBFS"
+
+    def __init__(self, graph):
+        self._graph = graph
+
+    def query(self, s, t):
+        """Return (sd(s, t), spc(s, t)) by bidirectional BFS."""
+        return bibfs_counting(self._graph, s, t)

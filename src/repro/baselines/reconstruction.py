@@ -1,0 +1,66 @@
+"""Reconstruction baseline: rebuild the SPC-Index from scratch per update.
+
+This is the "naive method" of §3 that IncSPC/DecSPC are measured against in
+Table 4 and Figure 7: correct, simple, and slower by the full HP-SPC
+indexing time on every single graph change.
+"""
+
+import time
+
+from repro.core.builder import build_spc_index
+from repro.core.stats import StreamStats, UpdateStats
+
+
+class ReconstructionOracle:
+    """A dynamic SPC oracle that reconstructs on every update."""
+
+    name = "HP-SPC (rebuild)"
+
+    def __init__(self, graph, strategy="degree"):
+        self._graph = graph
+        self._strategy = strategy
+        self._index = build_spc_index(graph, strategy=strategy)
+        self.history = StreamStats()
+
+    @property
+    def graph(self):
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def index(self):
+        """The current (freshly rebuilt) index."""
+        return self._index
+
+    def query(self, s, t):
+        """Return (sd(s, t), spc(s, t))."""
+        return self._index.query(s, t)
+
+    def insert_edge(self, a, b):
+        """Insert the edge, then rebuild everything."""
+        self._graph.add_edge(a, b)
+        return self._rebuild(UpdateStats(kind="insert", edge=(a, b)))
+
+    def delete_edge(self, a, b):
+        """Delete the edge, then rebuild everything."""
+        self._graph.remove_edge(a, b)
+        return self._rebuild(UpdateStats(kind="delete", edge=(a, b)))
+
+    def insert_vertex(self, v, edges=()):
+        """Add a vertex (and optional edges), then rebuild once."""
+        self._graph.add_vertex(v)
+        for u in edges:
+            self._graph.add_edge(v, u)
+        return self._rebuild(UpdateStats(kind="insert_vertex", edge=(v,)))
+
+    def delete_vertex(self, v):
+        """Remove a vertex with its edges, then rebuild once."""
+        self._graph.remove_vertex(v)
+        return self._rebuild(UpdateStats(kind="delete_vertex", edge=(v,)))
+
+    def _rebuild(self, stats):
+        start = time.perf_counter()
+        self._index = build_spc_index(self._graph, strategy=self._strategy)
+        stats.elapsed = time.perf_counter() - start
+        self.history.record(stats)
+        return stats

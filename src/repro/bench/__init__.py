@@ -1,0 +1,19 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from repro.bench.config import BenchConfig, get_profile
+from repro.bench.runner import EXPERIMENTS, PAPER_SET, run_experiment
+from repro.bench.tables import ExperimentResult, Table
+from repro.bench.timing import Timer, distribution_summary, percentile
+
+__all__ = [
+    "BenchConfig",
+    "get_profile",
+    "run_experiment",
+    "EXPERIMENTS",
+    "PAPER_SET",
+    "ExperimentResult",
+    "Table",
+    "Timer",
+    "percentile",
+    "distribution_summary",
+]

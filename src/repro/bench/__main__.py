@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.bench table4 --profile quick``."""
+
+import sys
+
+from repro.bench.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Experiment configuration profiles.
+
+The paper's workload sizes (1,000 insertions, k ∈ {50, 100} deletions,
+10,000 query pairs) are scaled down with the datasets.  Two profiles ship:
+
+* ``quick`` — the four smallest datasets, small workloads; used by the
+  pytest-benchmark suite so a full `pytest benchmarks/ --benchmark-only`
+  stays in the minutes range;
+* ``full``  — all ten datasets with larger workloads; the default for
+  ``python -m repro.bench`` and the numbers recorded in EXPERIMENTS.md.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.datasets import DATASET_NAMES, SMALL_DATASET_NAMES, STREAMING_DATASET_NAMES
+
+
+@dataclass
+class BenchConfig:
+    """Workload sizes and dataset selection for the experiment runners."""
+
+    datasets: list = field(default_factory=lambda: list(DATASET_NAMES))
+    streaming_datasets: list = field(default_factory=lambda: list(STREAMING_DATASET_NAMES))
+    insertions: int = 60       # paper: 1,000
+    deletions: int = 12        # paper: 50/100
+    queries: int = 1000        # paper: 10,000
+    stream_insertions: int = 100  # paper: 100 (Figure 10)
+    stream_deletions: int = 10    # paper: 10  (Figure 10)
+    skew_insertions: int = 20  # paper: 100 (Figure 11)
+    skew_deletions: int = 6    # paper: 50  (Figure 11)
+    seed: int = 0
+    # DecSPC on the largest graphs is disproportionately expensive (the
+    # paper itself reports 1,058 s per deletion on IND and resorts to
+    # timeouts); cap the deletion batch there so full runs stay bounded.
+    deletions_large: int = 4
+    large_datasets: tuple = ("SKI", "DBP", "WAR", "IND")
+
+    def deletions_for(self, name):
+        """Deletion batch size for a dataset (capped on the largest)."""
+        if name in self.large_datasets:
+            return min(self.deletions, self.deletions_large)
+        return self.deletions
+
+    @classmethod
+    def quick(cls):
+        """Small profile for the pytest-benchmark suite."""
+        return cls(
+            datasets=list(SMALL_DATASET_NAMES),
+            streaming_datasets=["BKS"],
+            insertions=30,
+            deletions=10,
+            queries=200,
+            stream_insertions=30,
+            stream_deletions=5,
+            skew_insertions=10,
+            skew_deletions=5,
+        )
+
+    @classmethod
+    def full(cls):
+        """The default profile covering all ten datasets."""
+        return cls()
+
+
+def get_profile(name):
+    """Resolve a profile by name ("quick" or "full")."""
+    if name == "quick":
+        return BenchConfig.quick()
+    if name == "full":
+        return BenchConfig.full()
+    raise ValueError(f"unknown profile {name!r}; use 'quick' or 'full'")

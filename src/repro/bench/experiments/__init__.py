@@ -1,0 +1,1 @@
+"""Experiment runners, one module per paper table/figure plus ablations."""

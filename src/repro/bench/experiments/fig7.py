@@ -1,0 +1,85 @@
+"""Figure 7: distributions of running times.
+
+(a) per-insertion IncSPC times (median, p25, p75) against the index
+    construction time (the blue line in the paper's scatter plot);
+(b) the same for DecSPC deletions;
+(c) query time — BiBFS vs the labeling SpcQUERY, evaluated on the original
+    index ("ori") and on the indexes after the incremental ("inc") and
+    decremental ("dec") update batches.
+"""
+
+import time
+
+from repro.bench.experiments.common import prepare, run_deletions, run_insertions
+from repro.bench.tables import ExperimentResult, Table
+from repro.bench.timing import distribution_summary
+from repro.traversal import bibfs_counting
+from repro.workloads import random_pairs
+
+
+def run(config):
+    """Regenerate Figure 7's three panels as tables + raw series."""
+    inc_table = Table(
+        "Figure 7(a): Incremental Update Time distribution (s)",
+        ["Graph", "p25", "median", "p75", "max", "index time"],
+    )
+    dec_table = Table(
+        "Figure 7(b): Decremental Update Time distribution (s)",
+        ["Graph", "p25", "median", "p75", "max", "index time"],
+    )
+    query_table = Table(
+        "Figure 7(c): Query Time (us/query)",
+        ["Graph", "BiBFS", "Label (ori)", "Label (inc)", "Label (dec)",
+         "BiBFS / Label(ori)"],
+    )
+    extra = {}
+    for name in config.datasets:
+        prep = prepare(name)
+
+        inc = run_insertions(name, config.insertions, config.seed)
+        inc_summary = distribution_summary(inc.elapsed)
+        inc_table.add_row(
+            name, inc_summary["p25"], inc_summary["median"], inc_summary["p75"],
+            inc_summary["max"], prep.build_seconds,
+        )
+
+        dec = run_deletions(name, config.deletions_for(name), config.seed + 1)
+        dec_summary = distribution_summary(dec.elapsed)
+        dec_table.add_row(
+            name, dec_summary["p25"], dec_summary["median"], dec_summary["p75"],
+            dec_summary["max"], prep.build_seconds,
+        )
+
+        pairs = random_pairs(prep.graph, config.queries, seed=config.seed + 2)
+        bibfs_us = _time_queries(lambda s, t: bibfs_counting(prep.graph, s, t), pairs)
+        ori_us = _time_queries(prep.index.query, pairs)
+        # Post-update indexes answer over their own (mutated) graphs; the
+        # paper's point is that update batches leave query latency intact.
+        inc_us = _time_queries(inc.index.query, pairs)
+        dec_us = _time_queries(dec.index.query, pairs)
+        query_table.add_row(
+            name, bibfs_us, ori_us, inc_us, dec_us,
+            bibfs_us / ori_us if ori_us else float("inf"),
+        )
+        extra[name] = {
+            "inc_distribution": inc_summary,
+            "dec_distribution": dec_summary,
+            "query_us": {
+                "bibfs": bibfs_us, "ori": ori_us, "inc": inc_us, "dec": dec_us,
+            },
+        }
+    return ExperimentResult(
+        name="fig7",
+        description="running time distributions and query latency",
+        tables=[inc_table, dec_table, query_table],
+        extra=extra,
+    )
+
+
+def _time_queries(query, pairs):
+    """Average microseconds per query over the workload."""
+    start = time.perf_counter()
+    for s, t in pairs:
+        query(s, t)
+    elapsed = time.perf_counter() - start
+    return elapsed / len(pairs) * 1e6

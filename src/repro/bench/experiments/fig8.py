@@ -1,0 +1,38 @@
+"""Figure 8: average number of renewed / inserted labels per IncSPC update.
+
+RenewD (distance renewed) should be the minority everywhere — a new edge
+mostly creates extra equal-length shortest paths — and the Insert column
+doubles as the average index growth (x 8 bytes per entry).
+"""
+
+from repro.bench.experiments.common import run_insertions
+from repro.bench.tables import ExperimentResult, Table
+
+
+def run(config):
+    """Regenerate Figure 8 for the configured datasets."""
+    table = Table(
+        "Figure 8: Avg Renewed / Inserted Labels per Incremental Update",
+        ["Graph", "RenewC", "RenewD", "Insert", "Index growth (bytes)"],
+    )
+    extra = {}
+    for name in config.datasets:
+        stats = run_insertions(name, config.insertions, config.seed).stats
+        k = len(stats)
+        renew_c = sum(s.renew_count for s in stats) / k
+        renew_d = sum(s.renew_dist for s in stats) / k
+        inserted = sum(s.inserted for s in stats) / k
+        table.add_row(name, renew_c, renew_d, inserted, inserted * 8)
+        extra[name] = {
+            "per_update": [
+                {"renew_c": s.renew_count, "renew_d": s.renew_dist,
+                 "insert": s.inserted}
+                for s in stats
+            ]
+        }
+    return ExperimentResult(
+        name="fig8",
+        description="label-operation breakdown for incremental updates",
+        tables=[table],
+        extra=extra,
+    )

@@ -1,0 +1,41 @@
+"""Figure 9: average label operations per DecSPC update, including removals.
+
+Renewed labels (especially RenewC) should dominate; the net index-size
+change is Insert − Remove and stays within kilobytes.
+"""
+
+from repro.bench.experiments.common import run_deletions
+from repro.bench.tables import ExperimentResult, Table
+
+
+def run(config):
+    """Regenerate Figure 9 for the configured datasets."""
+    table = Table(
+        "Figure 9: Avg Renewed / Inserted / Removed Labels per Decremental Update",
+        ["Graph", "RenewC", "RenewD", "Insert", "Remove", "Net bytes"],
+    )
+    extra = {}
+    for name in config.datasets:
+        stats = run_deletions(name, config.deletions_for(name), config.seed + 1).stats
+        k = len(stats)
+        renew_c = sum(s.renew_count for s in stats) / k
+        renew_d = sum(s.renew_dist for s in stats) / k
+        inserted = sum(s.inserted for s in stats) / k
+        removed = sum(s.removed for s in stats) / k
+        table.add_row(
+            name, renew_c, renew_d, inserted, removed, (inserted - removed) * 8,
+        )
+        extra[name] = {
+            "per_update": [
+                {"renew_c": s.renew_count, "renew_d": s.renew_dist,
+                 "insert": s.inserted, "remove": s.removed,
+                 "fast_path": s.isolated_fast_path}
+                for s in stats
+            ]
+        }
+    return ExperimentResult(
+        name="fig9",
+        description="label-operation breakdown for decremental updates",
+        tables=[table],
+        extra=extra,
+    )

@@ -1,0 +1,48 @@
+"""Table 4: index size, index time, and average Inc/Dec update time.
+
+The paper's headline table: per graph, the HP-SPC construction time and
+index size, against the average per-update cost of IncSPC (over random
+insertions) and DecSPC (over random deletions).  The reproduction claim is
+about *shape*: IncSPC and DecSPC must be orders of magnitude below the
+rebuild time, with DecSPC the slower of the two.
+"""
+
+from repro.bench.experiments.common import prepare, run_deletions, run_insertions
+from repro.bench.tables import ExperimentResult, Table
+
+
+def run(config):
+    """Regenerate Table 4 for the configured datasets."""
+    table = Table(
+        "Table 4: Index Size (MB), Index Time and Average Inc/Dec Update Time (sec)",
+        ["Graph", "L Size (MB)", "L Time (s)", "IncSPC (s)", "DecSPC (s)",
+         "Inc speedup", "Dec speedup"],
+    )
+    extra = {}
+    for name in config.datasets:
+        prep = prepare(name)
+        inc = run_insertions(name, config.insertions, config.seed)
+        dec = run_deletions(name, config.deletions_for(name), config.seed + 1)
+        avg_inc = sum(inc.elapsed) / len(inc.elapsed)
+        avg_dec = sum(dec.elapsed) / len(dec.elapsed)
+
+        table.add_row(
+            name,
+            prep.index_bytes / 1_000_000,
+            prep.build_seconds,
+            avg_inc,
+            avg_dec,
+            prep.build_seconds / avg_inc if avg_inc else float("inf"),
+            prep.build_seconds / avg_dec if avg_dec else float("inf"),
+        )
+        extra[name] = {
+            "inc_times": inc.elapsed,
+            "dec_times": dec.elapsed,
+            "index_entries": prep.index_entries,
+        }
+    return ExperimentResult(
+        name="table4",
+        description="index construction vs dynamic update cost",
+        tables=[table],
+        extra=extra,
+    )

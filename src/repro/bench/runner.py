@@ -1,0 +1,98 @@
+"""Experiment dispatch and the ``python -m repro.bench`` CLI."""
+
+import argparse
+import os
+import sys
+
+from repro.bench.config import get_profile
+from repro.bench.experiments import (
+    ablations,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table3,
+    table4,
+    table5,
+)
+
+EXPERIMENTS = {
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "ablation_sd_pruning": ablations.run_sd_pruning,
+    "ablation_ordering": ablations.run_ordering,
+    "ablation_isolated_vertex": ablations.run_isolated_vertex,
+    "ablation_aff": ablations.run_aff,
+}
+
+PAPER_SET = ["table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]
+
+
+def run_experiment(name, config):
+    """Run one experiment by name; returns its ExperimentResult."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner(config)
+
+
+def main(argv=None):
+    """CLI: python -m repro.bench [experiments...] [--profile quick|full]."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the DSPC paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"experiments to run (default: all paper experiments); "
+             f"choices: {', '.join(EXPERIMENTS)} or 'all' / 'paper' / 'ablations'",
+    )
+    parser.add_argument(
+        "--profile", default="full", choices=["quick", "full"],
+        help="workload profile (default: full)",
+    )
+    parser.add_argument(
+        "--save-dir", default=None,
+        help="directory to write one JSON result file per experiment",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or ["paper"]
+    expanded = []
+    for name in names:
+        if name == "all":
+            expanded.extend(EXPERIMENTS)
+        elif name == "paper":
+            expanded.extend(PAPER_SET)
+        elif name == "ablations":
+            expanded.extend(k for k in EXPERIMENTS if k.startswith("ablation"))
+        else:
+            expanded.append(name)
+
+    config = get_profile(args.profile)
+    failures = 0
+    for name in expanded:
+        try:
+            result = run_experiment(name, config)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            failures += 1
+            continue
+        print(result.render())
+        print()
+        if args.save_dir:
+            os.makedirs(args.save_dir, exist_ok=True)
+            result.save(os.path.join(args.save_dir, f"{name}.json"))
+    return 1 if failures else 0

@@ -1,0 +1,99 @@
+"""Result tables: the harness's equivalent of the paper's tables and figures.
+
+Every experiment produces an :class:`ExperimentResult` holding one or more
+:class:`Table` objects (the printable rows the paper reports) plus a free-
+form ``extra`` payload (full per-update series for the figure experiments).
+Results render as aligned ASCII and serialize to JSON.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled grid of rows with named columns."""
+
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+
+    def add_row(self, *values):
+        """Append a row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def render(self):
+        """Render the table as aligned ASCII text."""
+        cells = [self.columns] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.columns))]
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        return "\n".join(lines)
+
+    def to_dict(self):
+        """JSON-friendly representation."""
+        return {"title": self.title, "columns": self.columns, "rows": self.rows}
+
+    def column(self, name):
+        """Return one column's values across all rows."""
+        i = self.columns.index(name)
+        return [row[i] for row in self.rows]
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment runner."""
+
+    name: str
+    description: str
+    tables: list = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    def render(self):
+        """Render all tables, separated by blank lines."""
+        parts = [f"== {self.name}: {self.description} =="]
+        parts.extend(t.render() for t in self.tables)
+        return "\n\n".join(parts)
+
+    def to_dict(self):
+        """JSON-friendly representation (extra must be JSON-safe)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "tables": [t.to_dict() for t in self.tables],
+            "extra": self.extra,
+        }
+
+    def save(self, path):
+        """Write the result as JSON to ``path``."""
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2, default=str)
+
+    def table(self, title_prefix=""):
+        """Return the first table (optionally matching a title prefix)."""
+        for t in self.tables:
+            if t.title.startswith(title_prefix):
+                return t
+        raise KeyError(f"no table starting with {title_prefix!r}")

@@ -1,0 +1,73 @@
+"""Timing utilities for the experiment harness."""
+
+import time
+from contextlib import contextmanager
+
+
+class Timer:
+    """A tiny perf_counter stopwatch usable as a context manager."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self._start
+        return False
+
+
+@contextmanager
+def timed(record, key):
+    """Context manager that stores the elapsed seconds into record[key]."""
+    start = time.perf_counter()
+    yield
+    record[key] = time.perf_counter() - start
+
+
+def percentile(sorted_values, q):
+    """Linear-interpolation percentile of a pre-sorted list (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = (len(sorted_values) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def distribution_summary(values):
+    """Return the paper's Figure 7 summary: median with p25/p75 plus extremes."""
+    vals = sorted(values)
+    return {
+        "count": len(vals),
+        "min": vals[0] if vals else 0.0,
+        "p25": percentile(vals, 25),
+        "median": percentile(vals, 50),
+        "p75": percentile(vals, 75),
+        "max": vals[-1] if vals else 0.0,
+        "mean": sum(vals) / len(vals) if vals else 0.0,
+    }
+
+
+def format_seconds(seconds):
+    """Human-readable seconds: 1.234 s / 12.3 ms / 45.6 us."""
+    if seconds >= 1:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def format_bytes(n):
+    """Human-readable byte count (KB/MB with paper-style decimal units)."""
+    if n >= 1_000_000:
+        return f"{n / 1_000_000:.2f} MB"
+    if n >= 1_000:
+        return f"{n / 1_000:.1f} KB"
+    return f"{n} B"

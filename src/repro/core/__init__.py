@@ -1,0 +1,34 @@
+"""Core: the SPC-Index, HP-SPC construction, and the DSPC update algorithms."""
+
+from repro.core.builder import build_spc_index
+from repro.core.decremental import dec_spc
+from repro.core.dynamic import DynamicSPC, build_dynamic
+from repro.core.incremental import inc_spc
+from repro.core.index import SPCIndex
+from repro.core.labels import ENTRY_BYTES, LabelSet, pack_entry, unpack_entry
+from repro.core.paths import (
+    count_paths_through,
+    enumerate_shortest_paths,
+    is_on_some_shortest_path,
+    shortest_path,
+)
+from repro.core.stats import StreamStats, UpdateStats
+
+__all__ = [
+    "SPCIndex",
+    "LabelSet",
+    "build_spc_index",
+    "inc_spc",
+    "dec_spc",
+    "DynamicSPC",
+    "build_dynamic",
+    "UpdateStats",
+    "StreamStats",
+    "pack_entry",
+    "unpack_entry",
+    "ENTRY_BYTES",
+    "shortest_path",
+    "enumerate_shortest_paths",
+    "is_on_some_shortest_path",
+    "count_paths_through",
+]

@@ -1,0 +1,82 @@
+"""Batch updates: coalesce an edge-update batch before touching the index.
+
+The paper's related work ([9], BatchHL) observes that batches of updates
+often contain churn — an edge inserted and deleted within the same batch
+leaves no trace, so paying two index repairs for it is pure waste.  This
+module gives DSPC set-semantics batches: only the *net* difference between
+the graph's current edge set and the batch's final edge set is applied.
+
+``coalesce_edge_updates`` is pure (no graph mutation) and returns the
+effective update list plus how many operations were cancelled;
+:meth:`DynamicSPC.apply_batch` wires it into the facade.
+"""
+
+from repro.exceptions import WorkloadError
+from repro.graph.base import normalize_edge
+from repro.workloads.updates import DeleteEdge, InsertEdge
+
+
+def coalesce_edge_updates(graph, updates):
+    """Reduce an edge-update batch to its net effect on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The graph the batch will be applied to (read-only here).
+    updates:
+        An ordered iterable of InsertEdge / DeleteEdge.  Other update types
+        raise :class:`WorkloadError` — vertex operations don't commute with
+        edge coalescing and must be applied individually.
+
+    Returns
+    -------
+    (effective, cancelled):
+        ``effective`` is the minimal update list producing the same final
+        edge set, in first-touch order; ``cancelled`` counts the operations
+        dropped.
+
+    Example
+    -------
+    >>> from repro.graph import Graph
+    >>> g = Graph.from_edges([(0, 1)])
+    >>> ops = [DeleteEdge(0, 1), InsertEdge(0, 1), InsertEdge(0, 2)]
+    >>> effective, cancelled = coalesce_edge_updates(g, ops)
+    >>> effective, cancelled
+    ([InsertEdge(u=0, v=2)], 2)
+    """
+    final = {}
+    order = []
+    for upd in updates:
+        if isinstance(upd, InsertEdge):
+            present = True
+        elif isinstance(upd, DeleteEdge):
+            present = False
+        else:
+            raise WorkloadError(
+                f"coalesce_edge_updates only handles edge updates, got {upd!r}"
+            )
+        key = normalize_edge(upd.u, upd.v)
+        if key not in final:
+            order.append(key)
+        final[key] = present
+
+    # Count per-edge touches to derive cancellations after netting.
+    touches = {}
+    for upd in updates:
+        key = normalize_edge(upd.u, upd.v)
+        touches[key] = touches.get(key, 0) + 1
+
+    effective = []
+    cancelled = 0
+    for key in order:
+        initially_present = graph.has_edge(*key)
+        finally_present = final[key]
+        if initially_present == finally_present:
+            cancelled += touches[key]
+            continue
+        if finally_present:
+            effective.append(InsertEdge(*key))
+        else:
+            effective.append(DeleteEdge(*key))
+        cancelled += touches[key] - 1
+    return effective, cancelled

@@ -1,0 +1,104 @@
+"""HP-SPC: static construction of the SPC-Index (§2.2, from Zhang & Yu [30]).
+
+Every vertex v, in descending order of rank, performs a *hub pushing* step: a
+pruned BFS over G_v — the subgraph of vertices ranked no higher than v.  The
+BFS tracks the restricted distance D[w] and restricted counting C[w] (paths
+whose intermediate vertices all rank below v, i.e. paths on which v is the
+highest-ranked vertex).  When a vertex w is dequeued, the existing index is
+probed: if it already certifies a distance shorter than D[w], every path the
+BFS is following through w is non-shortest, so the search prunes; otherwise
+the label (v, D[w], C[w]) — which equals (v, sd(v,w), spc(v̂,w)) whenever it
+matters — is pushed into L(w) and the BFS continues.
+
+The pruning probe uses the standard PLL engineering trick: the root's label
+set is loaded into a dict once per BFS, making each probe O(|L(w)|).
+"""
+
+from collections import deque
+
+from repro.core.index import SPCIndex
+from repro.order import VertexOrder, make_order
+
+INF = float("inf")
+
+
+def build_spc_index(graph, order=None, strategy="degree"):
+    """Construct the SPC-Index of ``graph`` under ``order``.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`repro.graph.Graph` (undirected, unweighted, simple).
+    order:
+        A :class:`repro.order.VertexOrder`, or None to derive one.
+    strategy:
+        Ordering strategy passed to :func:`repro.order.make_order` when
+        ``order`` is None — ``"degree"`` is the paper's choice.
+
+    Returns
+    -------
+    SPCIndex
+        An index satisfying the Exact Shortest Paths Covering constraint:
+        for every pair (s, t), SpcQUERY(s, t) = (sd(s,t), spc(s,t)).
+    """
+    if order is None:
+        order = make_order(graph, strategy)
+    elif not isinstance(order, VertexOrder):
+        order = VertexOrder(order)
+    index = SPCIndex(order, with_self_labels=False)
+    rank = order.rank_map()
+
+    for root in order:  # live vertices, highest rank first
+        r = rank[root]
+        if root not in graph:
+            # Vertices may exist in the order but not the graph only if the
+            # caller passed a stale order; treat as isolated.
+            index.label_set(root).set(r, 0, 1)
+            continue
+        _hub_push(graph, index, rank, root, r)
+    return index
+
+
+def _hub_push(graph, index, rank, root, r):
+    """One pruned BFS rooted at ``root`` (rank ``r``), pushing hub-``r`` labels."""
+    label_of = index.label_set
+    root_labels = label_of(root)
+    root_labels.set(r, 0, 1)  # self label (v, 0, 1)
+    root_dist = dict(zip(root_labels.hubs, root_labels.dists))
+
+    dist = {root: 0}
+    count = {root: 1}
+    queue = deque()
+    for w in graph.neighbors(root):
+        if rank[w] > r:
+            dist[w] = 1
+            count[w] = 1
+            queue.append(w)
+
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        # Pruning probe: distance via hubs ranked higher than root.
+        ls = label_of(v)
+        hubs, dists = ls.hubs, ls.dists
+        pruned = False
+        for i in range(len(hubs)):
+            rd = root_dist.get(hubs[i])
+            if rd is not None and rd + dists[i] < dv:
+                pruned = True
+                break
+        if pruned:
+            continue
+        ls.set(r, dv, count[v])
+        cv = count[v]
+        dnext = dv + 1
+        for w in graph.neighbors(v):
+            dw = dist.get(w)
+            if dw is None:
+                if rank[w] > r:
+                    dist[w] = dnext
+                    count[w] = cv
+                    queue.append(w)
+            elif dw == dnext:
+                count[w] += cv
+    return index

@@ -1,0 +1,237 @@
+"""DecSPC: decremental maintenance of the SPC-Index (§3.2, Algorithms 4-6).
+
+Deleting an edge (a, b) may *increase* distances and *decrease* counts, so
+outdated labels cannot be left behind the way IncSPC leaves stale distance
+overestimates.  DecSPC works in two phases:
+
+1.  **SrrSEARCH** (Algorithm 5) partitions the vertices whose shortest paths
+    cross (a, b) into *affected hubs* SR (Sender-and-Receiver — labels with
+    these vertices as hubs may need renewal, insertion or deletion) and
+    *affected ordinary vertices* R (Receiver-Only — only their own label
+    sets may change).  A vertex v on a's side is affected iff
+    sd(v,a) + 1 = sd(v,b); it is a hub (SR) iff it is a common hub of a and
+    b (Condition A: some v̂-shortest path crosses the edge) or
+    spc(v,a) = spc(v,b) (Condition B: *all* shortest v-b paths cross it).
+    Everything is computed on G_i, before the edge is removed, with a
+    pruned BFS per side that stops at unaffected vertices.
+
+2.  **DecUPDATE** (Algorithm 6) runs one rank-pruned BFS on G_{i+1} from
+    each affected hub h (in descending order of rank, so PreQUERY's upper
+    bound d̄ — computed from strictly higher-ranked, already-repaired hubs —
+    is sound).  Visited vertices in the opposite side's SR ∪ R get their
+    (h, ·, ·) label renewed or inserted and are marked U[v] = True.  If h
+    was a common hub of a and b, labels of *unvisited* opposite-side
+    vertices are removed afterwards: either h got disconnected from them or
+    their label became dominated.
+
+The §3.2.3 isolated-vertex optimization short-circuits the whole procedure
+when the deletion strands a degree-1, lower-ranked endpoint: its label set
+collapses to the self-label and no other vertex can hold it as a hub.
+"""
+
+from collections import deque
+
+from repro.core.stats import UpdateStats
+from repro.exceptions import EdgeNotFound
+
+INF = float("inf")
+
+
+def dec_spc(graph, index, a, b, stats=None, use_isolated_fast_path=True):
+    """Delete edge (a, b) from ``graph`` and repair ``index`` (Algorithm 4).
+
+    The graph mutation happens here, *after* SrrSEARCH probes G_i.  Returns
+    an :class:`UpdateStats` whose sr_a/sr_b/r_a/r_b fields feed Table 5.
+    """
+    if stats is None:
+        stats = UpdateStats(kind="delete", edge=(a, b))
+
+    if not graph.has_edge(a, b):
+        raise EdgeNotFound(a, b)
+
+    if use_isolated_fast_path and _try_isolated_fast_path(graph, index, a, b, stats):
+        return stats
+
+    order = index.order
+    la = index.label_set(a)
+    lb = index.label_set(b)
+    lab = set(la.hubs) & set(lb.hubs)  # common hubs of a and b (rank numbers)
+
+    sr_a, r_a = _srr_search(graph, index, a, b, lab)
+    sr_b, r_b = _srr_search(graph, index, b, a, lab)
+    stats.sr_a, stats.sr_b = len(sr_a), len(sr_b)
+    stats.r_a, stats.r_b = len(r_a), len(r_b)
+
+    graph.remove_edge(a, b)
+
+    rank = order.rank_map()
+    targets_b = sr_b | r_b  # opposite side for hubs from SRa
+    targets_a = sr_a | r_a
+
+    affected_hubs = sorted(sr_a | sr_b, key=lambda v: rank[v])
+    stats.affected_hubs = len(affected_hubs)
+    for h_vertex in affected_hubs:  # descending order of rank
+        h_in_lab = rank[h_vertex] in lab
+        if h_vertex in sr_a:
+            _dec_update(graph, index, h_vertex, targets_b, h_in_lab, stats)
+        else:
+            _dec_update(graph, index, h_vertex, targets_a, h_in_lab, stats)
+    return stats
+
+
+def _try_isolated_fast_path(graph, index, a, b, stats):
+    """§3.2.3: deleting the last edge of a lower-ranked, degree-1 vertex.
+
+    Returns True when the optimization applied (edge removed, index fixed).
+    The vertex being stranded must rank *below* the surviving endpoint:
+    every path leaving it starts with the higher-ranked neighbor, so no
+    label anywhere uses it as hub, and its own labels all die with the
+    disconnection.
+    """
+    rank = index.order.rank_map()
+    deg_a = graph.degree(a)
+    deg_b = graph.degree(b)
+    if deg_b == 1 and deg_a == 1:
+        # Both stranded: keep the paper's convention that b is the
+        # lower-ranked one.
+        if rank[a] > rank[b]:
+            a, b = b, a
+    elif deg_a == 1:
+        a, b = b, a
+    elif deg_b != 1:
+        return False
+    # Here deg(b) == 1; the optimization needs a ranked higher than b.
+    if rank[a] > rank[b]:
+        return False
+    graph.remove_edge(a, b)
+    lb = index.label_set(b)
+    stats.removed += len(lb) - 1
+    lb.clear()
+    lb.set(rank[b], 0, 1)
+    stats.isolated_fast_path = True
+    return True
+
+
+def _srr_search(graph, index, a, b, lab):
+    """Algorithm 5: compute (SR, R) for side ``a`` against opposite ``b``.
+
+    Runs on G_i (edge still present).  ``lab`` holds the common hubs of the
+    edge endpoints as rank numbers.
+    """
+    rank = index.order.rank_map()
+    label_of = index.label_set
+    lb = label_of(b)
+    # Opposite-endpoint label array: sd/spc(v, b) probes cost O(|L(v)|).
+    b_entry = {h: (d, c) for h, d, c in lb}
+
+    sr, r = set(), set()
+    dist = {a: 0}
+    count = {a: 1}
+    queue = deque([a])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        # (d, c) = SpcQUERY(v, b) via the array.
+        d_q, c_q = INF, 0
+        ls = label_of(v)
+        hubs, dists, counts = ls.hubs, ls.dists, ls.counts
+        for i in range(len(hubs)):
+            e = b_entry.get(hubs[i])
+            if e is not None:
+                cand = dists[i] + e[0]
+                if cand < d_q:
+                    d_q = cand
+                    c_q = counts[i] * e[1]
+                elif cand == d_q:
+                    c_q += counts[i] * e[1]
+        if dv + 1 != d_q:
+            continue  # unaffected: no shortest v-b path crosses (a, b)
+        if rank[v] in lab or count[v] == c_q:
+            sr.add(v)
+        else:
+            r.add(v)
+        cv = count[v]
+        dnext = dv + 1
+        for w in graph.neighbors(v):
+            dw = dist.get(w)
+            if dw is None:
+                dist[w] = dnext
+                count[w] = cv
+                queue.append(w)
+            elif dw == dnext:
+                count[w] += cv
+    return sr, r
+
+
+def _dec_update(graph, index, h_vertex, targets, h_in_lab, stats):
+    """Algorithm 6: repair all (h, ·, ·) labels with one rank-pruned BFS."""
+    order = index.order
+    rank = order.rank_map()
+    label_of = index.label_set
+    h = rank[h_vertex]
+
+    # PreQUERY array: the root's labels from *strictly* higher-ranked hubs.
+    hub_labels = label_of(h_vertex)
+    root_dist = {hr: d for hr, d, _ in hub_labels if hr != h}
+
+    updated = set()  # U[v] = True
+    dist = {h_vertex: 0}
+    count = {h_vertex: 1}
+    queue = deque([h_vertex])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        stats.bfs_visits += 1
+
+        # d̄ = PreQUERY(h, v) distance via hubs ranked above h.
+        ls = label_of(v)
+        hubs, dists = ls.hubs, ls.dists
+        d_bar = INF
+        for i in range(len(hubs)):
+            rd = root_dist.get(hubs[i])
+            if rd is not None:
+                cand = rd + dists[i]
+                if cand < d_bar:
+                    d_bar = cand
+        if d_bar < dv:
+            continue
+
+        if v in targets:
+            existing = ls.get(h)
+            if existing is None:
+                ls.set(h, dv, count[v])
+                stats.inserted += 1
+            else:
+                d_i, c_i = existing
+                if d_i != dv:
+                    ls.set(h, dv, count[v])
+                    stats.renew_dist += 1
+                elif c_i != count[v]:
+                    ls.set(h, dv, count[v])
+                    stats.renew_count += 1
+            updated.add(v)
+
+        cv = count[v]
+        dnext = dv + 1
+        for w in graph.neighbors(v):
+            dw = dist.get(w)
+            if dw is None:
+                if h <= rank[w]:
+                    dist[w] = dnext
+                    count[w] = cv
+                    queue.append(w)
+            elif dw == dnext:
+                count[w] += cv
+
+    # Label removal: unvisited or pruned targets have spc(ĥ, u) = 0 — they
+    # either lost their connection to h or are fully dominated by higher
+    # hubs — so any (h, ·, ·) entry they still hold must go.  The paper runs
+    # this phase only when h is a common hub of the deleted edge (the H_ab
+    # flag); we run it unconditionally because stale labels retained by
+    # earlier *incremental* updates (Lemma 3.1's optimization) can resurface
+    # when a deletion raises a distance back to the stale value, and those
+    # labels are not covered by the common-hub argument.  See DESIGN.md §5.
+    del h_in_lab
+    for u in targets:
+        if u not in updated and label_of(u).remove(h):
+            stats.removed += 1

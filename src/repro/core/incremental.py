@@ -1,0 +1,130 @@
+"""IncSPC: incremental maintenance of the SPC-Index (§3.1, Algorithms 2-3).
+
+When an edge (a, b) is inserted, only labels whose hub lies in
+
+    AFF = { h | h ∈ L(a) ∪ L(b) }
+
+can be outdated or missing (any other hub either pruned before reaching a/b
+or cannot reach them, so no new ĥ-shortest path crosses the new edge).  For
+every affected hub h, a pruned BFS is started *on the far side of the new
+edge*: if h ∈ L(a) with entry (h, d, c), new ĥ-shortest paths through (a, b)
+all look like h ⇝ a → b ⇝ w, so the BFS starts at b with D[b] = d + 1 and
+C[b] = c, exactly as if it had stepped across the edge.
+
+The BFS prunes at v when the current index certifies a strictly shorter
+distance (Lemma 3.4 requires the relaxed, *strict* test so equal-length new
+paths — count-only changes — are still discovered).  Non-pruned vertices get
+their (h, ·, ·) label renewed (count accumulated when the distance is
+unchanged, replaced when it shrank) or freshly inserted.
+
+Per Lemma 3.1, stale labels whose distances became overestimates are left in
+place: SpcQUERY takes a minimum over hubs, so they can never surface, and
+skipping their removal is part of what makes IncSPC fast.
+"""
+
+from collections import deque
+
+from repro.core.stats import UpdateStats
+
+INF = float("inf")
+
+
+def inc_spc(graph, index, a, b, stats=None):
+    """Insert edge (a, b) into ``graph`` and repair ``index`` (Algorithm 2).
+
+    The graph mutation is performed here (line 1 of the algorithm); both
+    endpoints must already exist — the dynamic facade handles new-vertex
+    bookkeeping.  Returns an :class:`UpdateStats`.
+    """
+    if stats is None:
+        stats = UpdateStats(kind="insert", edge=(a, b))
+    order = index.order
+    la = index.label_set(a)
+    lb = index.label_set(b)
+    rank_a = order.rank(a)
+    rank_b = order.rank(b)
+
+    # Snapshot AFF before any label changes; updates only ever touch hubs
+    # already in AFF, so the snapshot is complete.
+    aff_a = list(la.hubs)
+    aff_b = list(lb.hubs)
+    aff = sorted(set(aff_a) | set(aff_b))
+    stats.affected_hubs = len(aff)
+
+    graph.add_edge(a, b)
+
+    in_a = set(aff_a)
+    in_b = set(aff_b)
+    for h in aff:  # ascending rank number == descending order of rank
+        if h in in_a and h <= rank_b:
+            _inc_update(graph, index, h, a, b, stats)
+        if h in in_b and h <= rank_a:
+            _inc_update(graph, index, h, b, a, stats)
+    return stats
+
+
+def _inc_update(graph, index, h, va, vb, stats):
+    """Pruned BFS rooted at hub ``h`` entering through va -> vb (Algorithm 3)."""
+    order = index.order
+    rank = order.rank_map()  # read-only hot-loop access
+    label_of = index.label_set
+
+    entry = label_of(va).get(h)
+    if entry is None:
+        # The (h, ·, ·) entry vanished since the AFF snapshot — cannot happen
+        # for insertions (labels are never removed), but guard for safety.
+        return
+    d0, c0 = entry
+
+    hub_vertex = order.vertex(h)
+    hub_labels = label_of(hub_vertex)
+    root_dist = dict(zip(hub_labels.hubs, hub_labels.dists))
+
+    dist = {vb: d0 + 1}
+    count = {vb: c0}
+    queue = deque([vb])
+
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        stats.bfs_visits += 1
+
+        # d_L = SpcQUERY(h, v) distance, via the root-label array.  The
+        # probe must see the up-to-date index, including labels renewed
+        # earlier in this same update.
+        ls = label_of(v)
+        hubs, dists = ls.hubs, ls.dists
+        dl = INF
+        for i in range(len(hubs)):
+            rd = root_dist.get(hubs[i])
+            if rd is not None:
+                cand = rd + dists[i]
+                if cand < dl:
+                    dl = cand
+        if dl < dv:
+            continue
+
+        existing = ls.get(h)
+        if existing is not None:
+            d_i, c_i = existing
+            if dv == d_i:
+                ls.set(h, dv, count[v] + c_i)
+                stats.renew_count += 1
+            else:
+                ls.set(h, dv, count[v])
+                stats.renew_dist += 1
+        else:
+            ls.set(h, dv, count[v])
+            stats.inserted += 1
+
+        cv = count[v]
+        dnext = dv + 1
+        for w in graph.neighbors(v):
+            dw = dist.get(w)
+            if dw is None:
+                if h <= rank[w]:
+                    dist[w] = dnext
+                    count[w] = cv
+                    queue.append(w)
+            elif dw == dnext:
+                count[w] += cv

@@ -1,0 +1,249 @@
+"""The SPC-Index: hub labeling for shortest path counting (§2.2).
+
+``SPCIndex`` owns a :class:`~repro.order.VertexOrder` (the total order ≤)
+and one :class:`~repro.core.labels.LabelSet` per vertex.  It answers
+
+* :meth:`query` — SpcQUERY (Algorithm 1): scan the common hubs of L(s) and
+  L(t); the answer is (sd, spc) where spc sums σ_{h,s}·σ_{h,t} over the
+  common hubs minimizing sd(h,s)+sd(h,t);
+* :meth:`pre_query` — PreQUERY (§3.2.2): same, but only hubs ranked
+  *strictly higher* than s participate, yielding an upper bound used as the
+  pruning test in DecUPDATE;
+* :meth:`distance` / :meth:`count` — conveniences over :meth:`query`.
+
+The index never touches the graph at query time; that is the point of 2-hop
+labeling and what the benchmarks in Figure 7(c) measure.
+"""
+
+from repro.core.labels import ENTRY_BYTES, LabelSet
+from repro.exceptions import VertexNotFound
+from repro.order import VertexOrder
+
+INF = float("inf")
+
+
+class SPCIndex:
+    """Hub-labeling index answering shortest-path counting queries.
+
+    Instances are normally produced by :func:`repro.core.builder.build_spc_index`
+    and maintained by IncSPC / DecSPC; direct construction creates an index
+    with only self-labels, correct for an edgeless graph.
+    """
+
+    __slots__ = ("_order", "_labels")
+
+    def __init__(self, order, with_self_labels=True):
+        if not isinstance(order, VertexOrder):
+            order = VertexOrder(order)
+        self._order = order
+        self._labels = {}
+        rank = order.rank_map()
+        for v in order:
+            ls = LabelSet()
+            if with_self_labels:
+                ls.set(rank[v], 0, 1)
+            self._labels[v] = ls
+
+    # ------------------------------------------------------------------
+    # Order / rank access
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self):
+        """The total order ≤ the index was built under."""
+        return self._order
+
+    def rank(self, v):
+        """Rank number of vertex ``v`` (0 = highest rank)."""
+        return self._order.rank(v)
+
+    def vertex_of_rank(self, r):
+        """Vertex id holding rank number ``r``."""
+        return self._order.vertex(r)
+
+    def __contains__(self, v):
+        return v in self._labels
+
+    def vertices(self):
+        """Iterate over all indexed vertex ids."""
+        return iter(self._labels)
+
+    # ------------------------------------------------------------------
+    # Label access
+    # ------------------------------------------------------------------
+
+    def label_set(self, v):
+        """Return the internal :class:`LabelSet` of ``v`` (library use)."""
+        try:
+            return self._labels[v]
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    def labels(self, v):
+        """Return L(v) as [(hub_vertex_id, dist, count)] in rank order.
+
+        This is the public, id-space view matching the paper's Table 2.
+        """
+        ls = self.label_set(v)
+        return [(self._order.vertex(h), d, c) for h, d, c in ls]
+
+    def hubs(self, v):
+        """Return the set of hub vertex ids appearing in L(v)."""
+        return {self._order.vertex(h) for h in self.label_set(v).hubs}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, s, t):
+        """SpcQUERY(s, t): return (sd(s, t), spc(s, t)).
+
+        Disconnected pairs return (inf, 0); query(v, v) returns (0, 1) via
+        the self-label.
+        """
+        ls = self.label_set(s)
+        lt = self.label_set(t)
+        return _merge_query(ls, lt, stop_rank=None)
+
+    def pre_query(self, s, t):
+        """PreQUERY(s, t): like :meth:`query` but hubs ranked at or below s
+        are excluded — the upper bound (d̄, c̄) used by DecUPDATE."""
+        ls = self.label_set(s)
+        lt = self.label_set(t)
+        return _merge_query(ls, lt, stop_rank=self._order.rank(s))
+
+    def distance(self, s, t):
+        """Return sd(s, t) (inf when disconnected)."""
+        return self.query(s, t)[0]
+
+    def count(self, s, t):
+        """Return spc(s, t) (0 when disconnected)."""
+        return self.query(s, t)[1]
+
+    # ------------------------------------------------------------------
+    # Dynamic-maintenance support
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v):
+        """Register a new (isolated) vertex with the lowest rank.
+
+        Matches §3: "for a newly-added isolated vertex v, we only need to
+        add an empty label set L(v)" — plus the conventional self-label so
+        query(v, v) answers (0, 1).
+        """
+        r = self._order.append(v)
+        ls = LabelSet()
+        ls.set(r, 0, 1)
+        self._labels[v] = ls
+        return r
+
+    def drop_vertex_labels(self, v):
+        """Forget a vertex's label set (used after all its edges are gone).
+
+        The vertex's rank slot is tombstoned, never recycled: ranks must
+        stay stable for the labels of other vertices to remain meaningful.
+        The same id may later be re-added (it gets a fresh lowest rank).
+        """
+        if v not in self._labels:
+            raise VertexNotFound(v)
+        del self._labels[v]
+        self._order.remove(v)
+
+    # ------------------------------------------------------------------
+    # Size accounting (Table 4)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_entries(self):
+        """Total number of label entries across all vertices."""
+        return sum(len(ls) for ls in self._labels.values())
+
+    @property
+    def size_bytes(self):
+        """Index size under the paper's 8-bytes-per-entry encoding."""
+        return self.num_entries * ENTRY_BYTES
+
+    def average_label_size(self):
+        """Average |L(v)| — the paper's parameter l."""
+        if not self._labels:
+            return 0.0
+        return self.num_entries / len(self._labels)
+
+    def max_label_size(self):
+        """Largest |L(v)| over all vertices."""
+        return max((len(ls) for ls in self._labels.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self):
+        """Return a JSON-serializable snapshot of the index.
+
+        Tombstoned rank slots serialize as null so ranks survive roundtrips.
+        """
+        return {
+            "order": self._order.as_raw_list(),
+            "labels": {
+                str(v): [[h, d, c] for h, d, c in ls]
+                for v, ls in self._labels.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload, vertex_type=int):
+        """Rebuild an index from :meth:`to_dict` output."""
+        order = VertexOrder(payload["order"])
+        index = cls(order, with_self_labels=False)
+        for key, entries in payload["labels"].items():
+            v = vertex_type(key)
+            ls = index.label_set(v)
+            for h, d, c in entries:
+                ls.set(h, d, c)
+        return index
+
+    def copy(self):
+        """Return an independent deep copy (order shared structurally)."""
+        clone = SPCIndex(VertexOrder(self._order.as_raw_list()), with_self_labels=False)
+        for v, ls in self._labels.items():
+            clone._labels[v] = ls.copy()
+        return clone
+
+    def __repr__(self):
+        return (
+            f"SPCIndex(n={len(self._labels)}, entries={self.num_entries}, "
+            f"avg_label={self.average_label_size():.1f})"
+        )
+
+
+def _merge_query(ls, lt, stop_rank):
+    """Two-pointer merge over two sorted label sets.
+
+    Implements Algorithm 1; with ``stop_rank`` set, hubs with rank >= that
+    value are ignored (PreQUERY's early break at the query vertex itself).
+    """
+    hubs_s, dists_s, counts_s = ls.hubs, ls.dists, ls.counts
+    hubs_t, dists_t, counts_t = lt.hubs, lt.dists, lt.counts
+    i, j = 0, 0
+    len_s, len_t = len(hubs_s), len(hubs_t)
+    best = INF
+    count = 0
+    while i < len_s and j < len_t:
+        hs = hubs_s[i]
+        ht = hubs_t[j]
+        if hs == ht:
+            if stop_rank is not None and hs >= stop_rank:
+                break
+            d = dists_s[i] + dists_t[j]
+            if d < best:
+                best = d
+                count = counts_s[i] * counts_t[j]
+            elif d == best:
+                count += counts_s[i] * counts_t[j]
+            i += 1
+            j += 1
+        elif hs < ht:
+            i += 1
+        else:
+            j += 1
+    return best, count

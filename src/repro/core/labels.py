@@ -1,0 +1,146 @@
+"""Label storage for the SPC-Index (§2.2, Table 2).
+
+Each vertex v owns a label set L(v): triples (h, sd(h, v), σ_{h,v}) where h
+is a hub ranked at least as high as v and σ_{h,v} = spc(ĥ, v), the number of
+shortest h-v paths on which h is the highest-ranked vertex.
+
+``LabelSet`` keeps the triples in three parallel lists sorted by hub rank
+ascending (rank 0 = highest) — the in-memory equivalent of the paper's
+"labels of each vertex are stored in an array in descending order of
+ranking".  Sorted storage makes SpcQUERY a two-pointer merge and point
+lookups a bisect.
+
+Hubs are stored as *rank numbers*, not vertex ids: ranks are dense ints,
+compare in one machine op, and stay stable across updates because new
+vertices always append to the order.
+
+``pack_entry``/``unpack_entry`` reproduce the paper's physical encoding
+("each label entry (v, d, c) is encoded in a 64-bit integer ... v, d, and c
+take up 25, 10, and 29 bits") so the Table 4 index-size accounting can use
+the same 8-bytes-per-entry rule as the paper.
+"""
+
+from bisect import bisect_left
+
+HUB_BITS = 25
+DIST_BITS = 10
+COUNT_BITS = 29
+
+_HUB_MAX = (1 << HUB_BITS) - 1
+_DIST_MAX = (1 << DIST_BITS) - 1
+_COUNT_MAX = (1 << COUNT_BITS) - 1
+
+ENTRY_BYTES = 8
+
+
+def pack_entry(hub, dist, count):
+    """Pack (hub, dist, count) into the paper's 64-bit layout.
+
+    Counts larger than 29 bits saturate at the field maximum, mirroring what
+    a fixed-width implementation would be forced to do.
+    """
+    if not 0 <= hub <= _HUB_MAX:
+        raise ValueError(f"hub {hub} out of {HUB_BITS}-bit range")
+    if not 0 <= dist <= _DIST_MAX:
+        raise ValueError(f"dist {dist} out of {DIST_BITS}-bit range")
+    c = min(count, _COUNT_MAX)
+    if c < 0:
+        raise ValueError(f"count {count} must be non-negative")
+    return (hub << (DIST_BITS + COUNT_BITS)) | (dist << COUNT_BITS) | c
+
+
+def unpack_entry(packed):
+    """Invert :func:`pack_entry`; returns (hub, dist, count)."""
+    hub = packed >> (DIST_BITS + COUNT_BITS)
+    dist = (packed >> COUNT_BITS) & _DIST_MAX
+    count = packed & _COUNT_MAX
+    return hub, dist, count
+
+
+class LabelSet:
+    """Sorted triple store for one vertex's labels.
+
+    The three parallel lists are public attributes (``hubs``, ``dists``,
+    ``counts``) because the update algorithms iterate them in hot loops;
+    mutate only through :meth:`set` / :meth:`remove` so sortedness holds.
+    """
+
+    __slots__ = ("hubs", "dists", "counts")
+
+    def __init__(self):
+        self.hubs = []
+        self.dists = []
+        self.counts = []
+
+    def __len__(self):
+        return len(self.hubs)
+
+    def __iter__(self):
+        """Iterate (hub_rank, dist, count) triples in ascending rank order."""
+        return zip(self.hubs, self.dists, self.counts)
+
+    def __contains__(self, hub):
+        i = bisect_left(self.hubs, hub)
+        return i < len(self.hubs) and self.hubs[i] == hub
+
+    def get(self, hub):
+        """Return (dist, count) for ``hub`` or None if absent."""
+        hubs = self.hubs
+        i = bisect_left(hubs, hub)
+        if i < len(hubs) and hubs[i] == hub:
+            return self.dists[i], self.counts[i]
+        return None
+
+    def set(self, hub, dist, count):
+        """Insert or replace the entry for ``hub``.
+
+        Returns ``"inserted"`` or ``"replaced"`` so callers can maintain the
+        paper's RenewC / RenewD / Insert statistics without a second lookup.
+        """
+        hubs = self.hubs
+        i = bisect_left(hubs, hub)
+        if i < len(hubs) and hubs[i] == hub:
+            self.dists[i] = dist
+            self.counts[i] = count
+            return "replaced"
+        hubs.insert(i, hub)
+        self.dists.insert(i, dist)
+        self.counts.insert(i, count)
+        return "inserted"
+
+    def remove(self, hub):
+        """Delete the entry for ``hub``; returns True if it existed."""
+        hubs = self.hubs
+        i = bisect_left(hubs, hub)
+        if i < len(hubs) and hubs[i] == hub:
+            del hubs[i]
+            del self.dists[i]
+            del self.counts[i]
+            return True
+        return False
+
+    def clear(self):
+        """Remove every entry."""
+        del self.hubs[:]
+        del self.dists[:]
+        del self.counts[:]
+
+    def as_dict(self):
+        """Return {hub_rank: (dist, count)} — handy for tests."""
+        return {h: (d, c) for h, d, c in self}
+
+    def copy(self):
+        """Return an independent copy of this label set."""
+        other = LabelSet()
+        other.hubs = list(self.hubs)
+        other.dists = list(self.dists)
+        other.counts = list(self.counts)
+        return other
+
+    def packed(self):
+        """Return the entries in the paper's 64-bit packed encoding."""
+        return [pack_entry(h, d, c) for h, d, c in self]
+
+    def __repr__(self):
+        entries = ", ".join(f"({h},{d},{c})" for h, d, c in self)
+        return f"LabelSet[{entries}]"

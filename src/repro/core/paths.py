@@ -1,0 +1,103 @@
+"""Shortest-path reconstruction on top of the SPC-Index.
+
+The index stores distances and counts, not paths — but paths can be
+reconstructed without any BFS by walking distance-consistent neighbors:
+``w`` follows ``v`` on some shortest s-t path iff
+
+    sd(s, w) = sd(s, v) + 1   and   sd(w, t) = sd(v, t) - 1
+
+and both facts are O(l) index queries.  ``shortest_path`` extracts one path
+in O(sd · deg · l); ``enumerate_shortest_paths`` yields them all (lazily,
+with an optional cap — there may be exponentially many, which is the whole
+point of counting them instead).
+"""
+
+INF = float("inf")
+
+
+def shortest_path(graph, index, s, t):
+    """Return one shortest s-t path as a vertex list, or None if unreachable.
+
+    Example
+    -------
+    >>> from repro.graph import path_graph
+    >>> from repro.core import build_spc_index
+    >>> g = path_graph(4)
+    >>> shortest_path(g, build_spc_index(g), 0, 3)
+    [0, 1, 2, 3]
+    """
+    d = index.distance(s, t)
+    if d is INF or d == INF:
+        return None
+    path = [s]
+    v = s
+    remaining = d
+    while v != t:
+        for w in graph.neighbors(v):
+            if index.distance(w, t) == remaining - 1:
+                path.append(w)
+                v = w
+                remaining -= 1
+                break
+        else:
+            raise RuntimeError(
+                f"index inconsistent with graph while tracing {s} -> {t}"
+            )
+    return path
+
+
+def enumerate_shortest_paths(graph, index, s, t, limit=None):
+    """Yield every shortest s-t path (each as a vertex list).
+
+    Paths are produced in DFS order over distance-consistent neighbors;
+    ``limit`` caps the enumeration (None = all).  The number of yielded
+    paths equals ``index.count(s, t)`` — asserted by the test suite.
+    """
+    total_d = index.distance(s, t)
+    if total_d == INF:
+        return
+    yielded = 0
+    stack = [(s, [s])]
+    while stack:
+        v, prefix = stack.pop()
+        if v == t:
+            yield prefix
+            yielded += 1
+            if limit is not None and yielded >= limit:
+                return
+            continue
+        remaining = total_d - len(prefix) + 1
+        # Push in reverse-sorted order so paths pop lexicographically.
+        nexts = [
+            w for w in graph.neighbors(v)
+            if index.distance(w, t) == remaining - 1
+        ]
+        for w in sorted(nexts, reverse=True):
+            stack.append((w, prefix + [w]))
+
+
+def is_on_some_shortest_path(index, s, t, v):
+    """True if vertex ``v`` lies on at least one shortest s-t path."""
+    d_st = index.distance(s, t)
+    if d_st == INF:
+        return False
+    return index.distance(s, v) + index.distance(v, t) == d_st
+
+
+def count_paths_through(index, s, t, v):
+    """Number of shortest s-t paths passing through vertex ``v``.
+
+    The classic Brandes decomposition: spc(s, v) * spc(v, t) when v is on a
+    shortest path, else 0.  With v in {s, t} every shortest path "passes
+    through" trivially.
+    """
+    d_st, c_st = index.query(s, t)
+    if c_st == 0:
+        return 0
+    if v == s or v == t:
+        return c_st
+    d_sv, c_sv = index.query(s, v)
+    d_vt, c_vt = index.query(v, t)
+    if d_sv + d_vt != d_st:
+        return 0
+    return c_sv * c_vt

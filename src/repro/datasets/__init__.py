@@ -1,0 +1,23 @@
+"""Synthetic analogues of the paper's ten evaluation graphs."""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    SMALL_DATASET_NAMES,
+    STREAMING_DATASET_NAMES,
+    clear_cache,
+    dataset_info,
+    dataset_names,
+    dataset_statistics,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "SMALL_DATASET_NAMES",
+    "STREAMING_DATASET_NAMES",
+    "dataset_names",
+    "dataset_info",
+    "load_dataset",
+    "dataset_statistics",
+    "clear_cache",
+]

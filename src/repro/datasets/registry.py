@@ -1,0 +1,122 @@
+"""Dataset registry: synthetic analogues of the paper's ten graphs (Table 3).
+
+The paper evaluates on real SNAP / Konect / LAW graphs from 265K to 7.4M
+vertices.  Offline and in pure Python, we substitute deterministic synthetic
+analogues — one per paper graph, drawn from the graph family that best
+matches the original's domain:
+
+=======  ======================  ===========================  ==============
+Key      Paper graph             Domain                       Generator
+=======  ======================  ===========================  ==============
+EUA      email-EuAll             e-mail (scale-free, sparse)  barabasi_albert
+NTD      NotreDame               web graph                    powerlaw_cluster
+STA      Stanford                web graph                    powerlaw_cluster
+WCO      WikiConflict            dense interaction graph      erdos_renyi (dense)
+GOO      Google                  web graph                    powerlaw_cluster
+BKS      BerkStan                web graph                    powerlaw_cluster
+SKI      Skitter                 internet topology            barabasi_albert
+DBP      DBpedia                 knowledge graph              barabasi_albert
+WAR      Wikilink War            encyclopedia links           powerlaw_cluster
+IND      Indochina-2004          web crawl (largest)          powerlaw_cluster
+=======  ======================  ===========================  ==============
+
+Sizes are scaled down ~100-1000x but keep the paper's *relative* ordering
+(EUA smallest ... IND largest) and density character (WCO dense, SKI/DBP
+large-sparse).  Each dataset is the giant component of its generator output,
+so update workloads behave like the paper's (mostly-connected graphs).
+
+DESIGN.md §2 records this substitution; EXPERIMENTS.md quantifies its
+effect on each experiment.
+"""
+
+from repro.exceptions import DatasetError
+from repro.graph.algorithms import largest_component
+from repro.graph.generators import barabasi_albert, erdos_renyi, powerlaw_cluster
+
+# name: (paper_name, family, kwargs, paper_n, paper_m)
+_SPECS = {
+    "EUA": ("email-EuAll", "ba", {"n": 900, "attach": 2, "seed": 11}, 265214, 418956),
+    "NTD": ("NotreDame", "plc", {"n": 1100, "attach": 3, "triangle_prob": 0.6, "seed": 12}, 325729, 1090108),
+    "STA": ("Stanford", "plc", {"n": 1000, "attach": 6, "triangle_prob": 0.5, "seed": 13}, 281903, 1992636),
+    "WCO": ("WikiConflict", "er", {"n": 500, "m": 8500, "seed": 14}, 118100, 2027871),
+    "GOO": ("Google", "plc", {"n": 2400, "attach": 5, "triangle_prob": 0.4, "seed": 15}, 875713, 4322051),
+    "BKS": ("BerkStan", "plc", {"n": 2000, "attach": 9, "triangle_prob": 0.5, "seed": 16}, 685231, 6649470),
+    "SKI": ("Skitter", "ba", {"n": 4200, "attach": 4, "seed": 17}, 1696415, 11095298),
+    "DBP": ("DBpedia", "ba", {"n": 5000, "attach": 3, "seed": 18}, 3966924, 12610982),
+    "WAR": ("Wikilink War", "plc", {"n": 4600, "attach": 6, "triangle_prob": 0.3, "seed": 19}, 2093450, 26049249),
+    "IND": ("Indochina-2004", "plc", {"n": 6500, "attach": 7, "triangle_prob": 0.5, "seed": 20}, 7414866, 150984819),
+}
+
+_FAMILIES = {
+    "ba": barabasi_albert,
+    "plc": powerlaw_cluster,
+    "er": erdos_renyi,
+}
+
+# Order matches Table 3 (ascending paper m).
+DATASET_NAMES = list(_SPECS)
+
+# Small subset used by quick benchmark runs and smoke tests.
+SMALL_DATASET_NAMES = ["EUA", "NTD", "STA", "WCO"]
+
+# The three graphs the paper uses for streaming (Fig 10) and skew (Fig 11).
+STREAMING_DATASET_NAMES = ["BKS", "WAR", "IND"]
+
+_CACHE = {}
+
+
+def dataset_names():
+    """All registry keys in Table 3 order."""
+    return list(DATASET_NAMES)
+
+
+def dataset_info(name):
+    """Return metadata for ``name``: paper name/size, generator family."""
+    try:
+        paper_name, family, kwargs, paper_n, paper_m = _SPECS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {', '.join(_SPECS)}"
+        ) from None
+    return {
+        "key": name,
+        "paper_name": paper_name,
+        "family": family,
+        "params": dict(kwargs),
+        "paper_n": paper_n,
+        "paper_m": paper_m,
+    }
+
+
+def load_dataset(name, copy=True):
+    """Build (or fetch from cache) the synthetic analogue graph for ``name``.
+
+    Returns a fresh copy by default because update experiments mutate their
+    graphs; pass ``copy=False`` only for read-only use.
+    """
+    info = dataset_info(name)
+    if name not in _CACHE:
+        generator = _FAMILIES[info["family"]]
+        graph = generator(**info["params"])
+        _CACHE[name] = largest_component(graph)
+    cached = _CACHE[name]
+    return cached.copy() if copy else cached
+
+
+def dataset_statistics(name):
+    """Return the Table 3 row for ``name``: analogue and paper n / m."""
+    info = dataset_info(name)
+    g = load_dataset(name, copy=False)
+    return {
+        "key": name,
+        "paper_name": info["paper_name"],
+        "n": g.num_vertices,
+        "m": g.num_edges,
+        "paper_n": info["paper_n"],
+        "paper_m": info["paper_m"],
+    }
+
+
+def clear_cache():
+    """Drop all cached dataset graphs (tests use this for isolation)."""
+    _CACHE.clear()

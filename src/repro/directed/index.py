@@ -1,0 +1,206 @@
+"""Directed SPC-Index (Appendix C.1): two label sets per vertex.
+
+``L_in(v)`` holds (h, d, c) triples describing the c shortest paths h → v of
+length d on which h is the highest-ranked vertex; ``L_out(v)`` describes the
+paths v → h.  A query SPC(s, t) merges L_out(s) against L_in(t): a common
+hub h contributes paths s → h → t.
+"""
+
+from repro.core.labels import ENTRY_BYTES, LabelSet
+from repro.exceptions import VertexNotFound
+from repro.order import VertexOrder
+
+INF = float("inf")
+
+
+class DirectedSPCIndex:
+    """Hub labeling for shortest-path counting on directed graphs."""
+
+    __slots__ = ("_order", "_lin", "_lout")
+
+    def __init__(self, order, with_self_labels=True):
+        if not isinstance(order, VertexOrder):
+            order = VertexOrder(order)
+        self._order = order
+        self._lin = {}
+        self._lout = {}
+        rank = order.rank_map()
+        for v in order:
+            lin, lout = LabelSet(), LabelSet()
+            if with_self_labels:
+                lin.set(rank[v], 0, 1)
+                lout.set(rank[v], 0, 1)
+            self._lin[v] = lin
+            self._lout[v] = lout
+
+    @property
+    def order(self):
+        """The total order ≤ the index was built under."""
+        return self._order
+
+    def rank(self, v):
+        """Rank number of vertex ``v`` (0 = highest)."""
+        return self._order.rank(v)
+
+    def __contains__(self, v):
+        return v in self._lin
+
+    def vertices(self):
+        """Iterate over all indexed vertex ids."""
+        return iter(self._lin)
+
+    # ------------------------------------------------------------------
+    # Label access
+    # ------------------------------------------------------------------
+
+    def in_label_set(self, v):
+        """The internal L_in(v) (library use)."""
+        try:
+            return self._lin[v]
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    def out_label_set(self, v):
+        """The internal L_out(v) (library use)."""
+        try:
+            return self._lout[v]
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    def in_labels(self, v):
+        """L_in(v) in id space: [(hub_vertex, dist, count)]."""
+        return [(self._order.vertex(h), d, c) for h, d, c in self.in_label_set(v)]
+
+    def out_labels(self, v):
+        """L_out(v) in id space: [(hub_vertex, dist, count)]."""
+        return [(self._order.vertex(h), d, c) for h, d, c in self.out_label_set(v)]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, s, t):
+        """Return (sd(s→t), spc(s→t)); (inf, 0) when t is unreachable."""
+        return _merge(self.out_label_set(s), self.in_label_set(t), None)
+
+    def pre_query_forward(self, h, v):
+        """Upper-bound (d̄, c̄) for h → v via hubs ranked strictly above h."""
+        return _merge(self.out_label_set(h), self.in_label_set(v),
+                      self._order.rank(h))
+
+    def pre_query_backward(self, h, v):
+        """Upper-bound (d̄, c̄) for v → h via hubs ranked strictly above h."""
+        return _merge(self.out_label_set(v), self.in_label_set(h),
+                      self._order.rank(h))
+
+    def distance(self, s, t):
+        """Return sd(s→t)."""
+        return self.query(s, t)[0]
+
+    def count(self, s, t):
+        """Return spc(s→t)."""
+        return self.query(s, t)[1]
+
+    # ------------------------------------------------------------------
+    # Dynamic-maintenance support / accounting
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v):
+        """Register a new isolated vertex with the lowest rank."""
+        r = self._order.append(v)
+        lin, lout = LabelSet(), LabelSet()
+        lin.set(r, 0, 1)
+        lout.set(r, 0, 1)
+        self._lin[v] = lin
+        self._lout[v] = lout
+        return r
+
+    def drop_vertex_labels(self, v):
+        """Forget both label sets of ``v`` and tombstone its rank."""
+        if v not in self._lin:
+            raise VertexNotFound(v)
+        del self._lin[v]
+        del self._lout[v]
+        self._order.remove(v)
+
+    @property
+    def num_entries(self):
+        """Total entries across all L_in and L_out sets."""
+        return sum(len(ls) for ls in self._lin.values()) + sum(
+            len(ls) for ls in self._lout.values()
+        )
+
+    @property
+    def size_bytes(self):
+        """Size under the paper's 8-bytes-per-entry rule."""
+        return self.num_entries * ENTRY_BYTES
+
+    def to_dict(self):
+        """Return a JSON-serializable snapshot (tombstones become null)."""
+        return {
+            "order": self._order.as_raw_list(),
+            "in_labels": {
+                str(v): [[h, d, c] for h, d, c in ls]
+                for v, ls in self._lin.items()
+            },
+            "out_labels": {
+                str(v): [[h, d, c] for h, d, c in ls]
+                for v, ls in self._lout.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload, vertex_type=int):
+        """Rebuild an index from :meth:`to_dict` output."""
+        index = cls(VertexOrder(payload["order"]), with_self_labels=False)
+        for key, entries in payload["in_labels"].items():
+            ls = index.in_label_set(vertex_type(key))
+            for h, d, c in entries:
+                ls.set(h, d, c)
+        for key, entries in payload["out_labels"].items():
+            ls = index.out_label_set(vertex_type(key))
+            for h, d, c in entries:
+                ls.set(h, d, c)
+        return index
+
+    def copy(self):
+        """Return an independent deep copy."""
+        clone = DirectedSPCIndex(
+            VertexOrder(self._order.as_raw_list()), with_self_labels=False
+        )
+        for v, ls in self._lin.items():
+            clone._lin[v] = ls.copy()
+        for v, ls in self._lout.items():
+            clone._lout[v] = ls.copy()
+        return clone
+
+    def __repr__(self):
+        return f"DirectedSPCIndex(n={len(self._lin)}, entries={self.num_entries})"
+
+
+def _merge(lout_s, lin_t, stop_rank):
+    hubs_s, dists_s, counts_s = lout_s.hubs, lout_s.dists, lout_s.counts
+    hubs_t, dists_t, counts_t = lin_t.hubs, lin_t.dists, lin_t.counts
+    i, j = 0, 0
+    len_s, len_t = len(hubs_s), len(hubs_t)
+    best = INF
+    count = 0
+    while i < len_s and j < len_t:
+        hs = hubs_s[i]
+        ht = hubs_t[j]
+        if hs == ht:
+            if stop_rank is not None and hs >= stop_rank:
+                break
+            d = dists_s[i] + dists_t[j]
+            if d < best:
+                best = d
+                count = counts_s[i] * counts_t[j]
+            elif d == best:
+                count += counts_s[i] * counts_t[j]
+            i += 1
+            j += 1
+        elif hs < ht:
+            i += 1
+        else:
+            j += 1
+    return best, count

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph operations (duplicate edges, missing vertices...)."""
+
+
+class VertexNotFound(GraphError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex):
+        self.vertex = vertex
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+
+
+class EdgeNotFound(GraphError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u, v):
+        self.edge = (u, v)
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+
+
+class DuplicateEdge(GraphError):
+    """Raised when inserting an edge that already exists (simple graphs only)."""
+
+    def __init__(self, u, v):
+        self.edge = (u, v)
+        super().__init__(f"edge ({u!r}, {v!r}) already exists")
+
+
+class DuplicateVertex(GraphError):
+    """Raised when inserting a vertex id that already exists."""
+
+    def __init__(self, vertex):
+        self.vertex = vertex
+        super().__init__(f"vertex {vertex!r} already exists")
+
+
+class SelfLoop(GraphError):
+    """Raised when inserting a self-loop; the paper's graphs are simple."""
+
+    def __init__(self, vertex):
+        self.vertex = vertex
+        super().__init__(f"self-loop at vertex {vertex!r} is not allowed")
+
+
+class IndexCorruption(ReproError):
+    """Raised when an index invariant check fails (see repro.verify)."""
+
+
+class OrderingError(ReproError):
+    """Raised for invalid vertex orderings (missing or duplicated vertices)."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator cannot satisfy its constraints."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset name is unknown or a dataset fails to build."""

@@ -1,0 +1,60 @@
+"""Graph substrates: undirected, directed and weighted simple graphs,
+synthetic generators, edge-list I/O, and a small algorithm toolkit."""
+
+from repro.graph.algorithms import (
+    approximate_diameter,
+    connected_components,
+    degree_stats,
+    induced_subgraph,
+    is_connected,
+    largest_component,
+)
+from repro.graph.directed import DiGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    directed_scale_free,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    powerlaw_cluster,
+    random_directed,
+    random_tree,
+    random_weighted,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.io import read_edge_list, read_weighted_edge_list, write_edge_list
+from repro.graph.undirected import Graph
+from repro.graph.weighted import WeightedGraph
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "WeightedGraph",
+    "connected_components",
+    "largest_component",
+    "induced_subgraph",
+    "is_connected",
+    "approximate_diameter",
+    "degree_stats",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "powerlaw_cluster",
+    "random_tree",
+    "grid_graph",
+    "star_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "random_directed",
+    "directed_scale_free",
+    "random_weighted",
+    "read_edge_list",
+    "read_weighted_edge_list",
+    "write_edge_list",
+]

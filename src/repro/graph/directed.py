@@ -1,0 +1,198 @@
+"""Directed, unweighted, simple graph — substrate for the Appendix C.1 extension.
+
+``DiGraph`` stores separate out- and in-adjacency so the directed SPC-Index
+can run forward BFS (over out-edges) and backward BFS (over in-edges) without
+rebuilding reverse adjacency on the fly.
+"""
+
+from repro.exceptions import (
+    DuplicateEdge,
+    DuplicateVertex,
+    EdgeNotFound,
+    VertexNotFound,
+)
+from repro.graph.base import check_endpoints_distinct
+
+
+class DiGraph:
+    """A mutable, directed, unweighted, simple graph.
+
+    Example
+    -------
+    >>> g = DiGraph.from_edges([(0, 1), (1, 2)])
+    >>> sorted(g.successors(1)), sorted(g.predecessors(1))
+    ([2], [0])
+    """
+
+    __slots__ = ("_succ", "_pred", "_num_edges")
+
+    def __init__(self):
+        self._succ = {}
+        self._pred = {}
+        self._num_edges = 0
+
+    @classmethod
+    def from_edges(cls, edges, vertices=()):
+        """Build a digraph from (u, v) pairs meaning the arc u -> v."""
+        g = cls()
+        for v in vertices:
+            g.add_vertex(v)
+        for u, v in edges:
+            g.add_vertex(u, exist_ok=True)
+            g.add_vertex(v, exist_ok=True)
+            g.add_edge(u, v)
+        return g
+
+    def copy(self):
+        """Return an independent deep copy of this digraph."""
+        g = DiGraph()
+        g._succ = {v: set(s) for v, s in self._succ.items()}
+        g._pred = {v: set(p) for v, p in self._pred.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def to_undirected(self):
+        """Return the undirected projection (each arc becomes an edge once)."""
+        from repro.graph.undirected import Graph
+
+        g = Graph()
+        for v in self._succ:
+            g.add_vertex(v)
+        seen = set()
+        for u, succs in self._succ.items():
+            for v in succs:
+                key = (u, v) if u <= v else (v, u)
+                if key not in seen and u != v:
+                    seen.add(key)
+                    g.add_edge(u, v)
+        return g
+
+    # ------------------------------------------------------------------
+    # Size and membership
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self):
+        """n — the number of vertices."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self):
+        """m — the number of directed arcs."""
+        return self._num_edges
+
+    def __contains__(self, v):
+        return v in self._succ
+
+    def __len__(self):
+        return len(self._succ)
+
+    def __iter__(self):
+        return iter(self._succ)
+
+    def vertices(self):
+        """Iterate over all vertex ids."""
+        return iter(self._succ)
+
+    def edges(self):
+        """Iterate over all arcs as (u, v) pairs (u -> v)."""
+        for u, succs in self._succ.items():
+            for v in succs:
+                yield (u, v)
+
+    def has_vertex(self, v):
+        """Return True if ``v`` is a vertex of the digraph."""
+        return v in self._succ
+
+    def has_edge(self, u, v):
+        """Return True if the arc u -> v exists."""
+        succs = self._succ.get(u)
+        return succs is not None and v in succs
+
+    # ------------------------------------------------------------------
+    # Neighborhood access
+    # ------------------------------------------------------------------
+
+    def successors(self, v):
+        """Return the live set of w with an arc v -> w."""
+        try:
+            return self._succ[v]
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    def predecessors(self, v):
+        """Return the live set of u with an arc u -> v."""
+        try:
+            return self._pred[v]
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    def out_degree(self, v):
+        """Number of outgoing arcs of ``v``."""
+        return len(self.successors(v))
+
+    def in_degree(self, v):
+        """Number of incoming arcs of ``v``."""
+        return len(self.predecessors(v))
+
+    def degree(self, v):
+        """Total degree (in + out) — used by degree-based vertex ordering."""
+        return self.out_degree(v) + self.in_degree(v)
+
+    def degrees(self):
+        """Return a dict mapping every vertex to in-degree + out-degree."""
+        return {v: len(self._succ[v]) + len(self._pred[v]) for v in self._succ}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v, exist_ok=False):
+        """Insert an isolated vertex ``v``."""
+        if v in self._succ:
+            if exist_ok:
+                return
+            raise DuplicateVertex(v)
+        self._succ[v] = set()
+        self._pred[v] = set()
+
+    def remove_vertex(self, v):
+        """Delete vertex ``v`` with all incident arcs; returns removed arcs."""
+        if v not in self._succ:
+            raise VertexNotFound(v)
+        removed = [(v, w) for w in self._succ[v]]
+        removed.extend((u, v) for u in self._pred[v])
+        for w in self._succ.pop(v):
+            self._pred[w].discard(v)
+        for u in self._pred.pop(v):
+            self._succ[u].discard(v)
+        self._num_edges -= len(removed)
+        return removed
+
+    def add_edge(self, u, v):
+        """Insert the arc u -> v (endpoints must exist; no loops/duplicates)."""
+        check_endpoints_distinct(u, v)
+        if u not in self._succ:
+            raise VertexNotFound(u)
+        if v not in self._succ:
+            raise VertexNotFound(v)
+        if v in self._succ[u]:
+            raise DuplicateEdge(u, v)
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u, v):
+        """Delete the arc u -> v; raises :class:`EdgeNotFound` if absent."""
+        if u not in self._succ:
+            raise VertexNotFound(u)
+        if v not in self._succ:
+            raise VertexNotFound(v)
+        if v not in self._succ[u]:
+            raise EdgeNotFound(u, v)
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+        self._num_edges -= 1
+
+    def __repr__(self):
+        return f"DiGraph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,349 @@
+"""Synthetic graph generators.
+
+The paper evaluates on ten real graphs (SNAP / Konect / LAW).  Those are not
+available offline, so the dataset registry (``repro.datasets``) builds
+synthetic analogues from the generator families below.  All generators are
+deterministic given a ``seed`` and return :class:`repro.graph.Graph` (or the
+directed/weighted variants where noted).
+
+Families provided:
+
+* ``erdos_renyi`` — G(n, m) uniform random graphs.
+* ``barabasi_albert`` — preferential attachment; heavy-tailed degrees like
+  the paper's e-mail / social graphs.
+* ``watts_strogatz`` — small-world rewired ring lattices.
+* ``powerlaw_cluster`` — preferential attachment with triad closure; high
+  clustering like web graphs (NotreDame, Stanford, Google, BerkStan).
+* ``random_tree`` — uniform random labeled trees (Prüfer sequences).
+* ``grid_graph`` — 2D lattices, an analogue for road-like graphs.
+* ``star_graph`` / ``path_graph`` / ``cycle_graph`` / ``complete_graph`` —
+  tiny deterministic shapes used heavily in tests.
+"""
+
+import random
+
+from repro.exceptions import GraphError
+from repro.graph.directed import DiGraph
+from repro.graph.undirected import Graph
+from repro.graph.weighted import WeightedGraph
+
+
+def _check_positive(n, name="n"):
+    if n <= 0:
+        raise GraphError(f"{name} must be positive, got {n}")
+
+
+def erdos_renyi(n, m, seed=0):
+    """Uniform random simple graph with ``n`` vertices and ``m`` edges.
+
+    Sampling is rejection-based over vertex pairs, so ``m`` must not exceed
+    n*(n-1)/2.
+    """
+    _check_positive(n)
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"m={m} exceeds the maximum {max_edges} for n={n}")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return g
+
+
+def barabasi_albert(n, attach=3, seed=0):
+    """Preferential-attachment scale-free graph.
+
+    Starts from a clique on ``attach + 1`` vertices; every later vertex
+    attaches to ``attach`` distinct existing vertices chosen proportionally
+    to degree (implemented with the standard repeated-endpoints urn).
+    """
+    _check_positive(n)
+    if attach < 1:
+        raise GraphError(f"attach must be >= 1, got {attach}")
+    core = attach + 1
+    if n < core:
+        raise GraphError(f"n={n} too small for attach={attach}")
+    rng = random.Random(seed)
+    g = Graph()
+    urn = []
+    for v in range(core):
+        g.add_vertex(v)
+    for u in range(core):
+        for v in range(u + 1, core):
+            g.add_edge(u, v)
+            urn.append(u)
+            urn.append(v)
+    for v in range(core, n):
+        g.add_vertex(v)
+        targets = set()
+        while len(targets) < attach:
+            targets.add(rng.choice(urn))
+        for t in targets:
+            g.add_edge(v, t)
+            urn.append(v)
+            urn.append(t)
+    return g
+
+
+def watts_strogatz(n, k=4, rewire_prob=0.1, seed=0):
+    """Small-world graph: ring lattice with ``k`` nearest neighbors, rewired.
+
+    ``k`` must be even and < n.  Rewiring keeps the graph simple; a rewire
+    that would duplicate an edge or create a loop is skipped (the common
+    implementation choice, also used by networkx).
+    """
+    _check_positive(n)
+    if k % 2 != 0 or k >= n:
+        raise GraphError(f"k must be even and < n, got k={k}, n={n}")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            u = (v + j) % n
+            if not g.has_edge(v, u):
+                g.add_edge(v, u)
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            u = (v + j) % n
+            if rng.random() < rewire_prob and g.has_edge(v, u):
+                w = rng.randrange(n)
+                if w != v and not g.has_edge(v, w):
+                    g.remove_edge(v, u)
+                    g.add_edge(v, w)
+    return g
+
+
+def powerlaw_cluster(n, attach=3, triangle_prob=0.5, seed=0):
+    """Holme–Kim model: preferential attachment plus triad formation.
+
+    Produces heavy-tailed degree distributions *and* high clustering, which
+    makes it the closest stand-in for the paper's web graphs.
+    """
+    _check_positive(n)
+    if attach < 1:
+        raise GraphError(f"attach must be >= 1, got {attach}")
+    core = attach + 1
+    if n < core:
+        raise GraphError(f"n={n} too small for attach={attach}")
+    rng = random.Random(seed)
+    g = Graph()
+    urn = []
+    for v in range(core):
+        g.add_vertex(v)
+    for u in range(core):
+        for v in range(u + 1, core):
+            g.add_edge(u, v)
+            urn.append(u)
+            urn.append(v)
+    for v in range(core, n):
+        g.add_vertex(v)
+        added = 0
+        last_target = None
+        guard = 0
+        while added < attach and guard < 100 * attach:
+            guard += 1
+            if last_target is not None and rng.random() < triangle_prob:
+                # Triad step: close a triangle through a neighbor of the
+                # previous target when possible.
+                candidates = [w for w in g.neighbors(last_target) if w != v and not g.has_edge(v, w)]
+                if candidates:
+                    t = rng.choice(candidates)
+                else:
+                    t = rng.choice(urn)
+            else:
+                t = rng.choice(urn)
+            if t == v or g.has_edge(v, t):
+                continue
+            g.add_edge(v, t)
+            urn.append(v)
+            urn.append(t)
+            last_target = t
+            added += 1
+    return g
+
+
+def random_tree(n, seed=0):
+    """Uniform random labeled tree on ``n`` vertices via a Prüfer sequence."""
+    _check_positive(n)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    if n == 1:
+        return g
+    if n == 2:
+        g.add_edge(0, 1)
+        return g
+    rng = random.Random(seed)
+    pruefer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in pruefer:
+        degree[v] += 1
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in pruefer:
+        leaf = heapq.heappop(leaves)
+        g.add_edge(leaf, v)
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    g.add_edge(u, v)
+    return g
+
+
+def grid_graph(rows, cols, diagonal_prob=0.0, seed=0):
+    """2D lattice with optional random diagonal shortcuts (road-like)."""
+    _check_positive(rows, "rows")
+    _check_positive(cols, "cols")
+    rng = random.Random(seed)
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex(r * cols + c)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+            if diagonal_prob > 0 and r + 1 < rows and c + 1 < cols:
+                if rng.random() < diagonal_prob:
+                    g.add_edge(v, v + cols + 1)
+    return g
+
+
+def star_graph(n):
+    """Star with center 0 and ``n - 1`` leaves."""
+    _check_positive(n)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for v in range(1, n):
+        g.add_edge(0, v)
+    return g
+
+
+def path_graph(n):
+    """Path 0 - 1 - ... - (n-1)."""
+    _check_positive(n)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for v in range(n - 1):
+        g.add_edge(v, v + 1)
+    return g
+
+
+def cycle_graph(n):
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise GraphError(f"a cycle needs n >= 3, got {n}")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def complete_graph(n):
+    """Clique on ``n`` vertices."""
+    _check_positive(n)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def complete_bipartite(a, b):
+    """Complete bipartite graph K_{a,b} (parts 0..a-1 and a..a+b-1)."""
+    _check_positive(a, "a")
+    _check_positive(b, "b")
+    g = Graph()
+    for v in range(a + b):
+        g.add_vertex(v)
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g
+
+
+def random_directed(n, m, seed=0):
+    """Uniform random simple digraph with ``n`` vertices and ``m`` arcs."""
+    _check_positive(n)
+    max_arcs = n * (n - 1)
+    if m > max_arcs:
+        raise GraphError(f"m={m} exceeds the maximum {max_arcs} for n={n}")
+    rng = random.Random(seed)
+    g = DiGraph()
+    for v in range(n):
+        g.add_vertex(v)
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return g
+
+
+def directed_scale_free(n, attach=2, seed=0):
+    """Directed preferential-attachment graph (arcs point to popular nodes)."""
+    _check_positive(n)
+    core = attach + 1
+    if n < core:
+        raise GraphError(f"n={n} too small for attach={attach}")
+    rng = random.Random(seed)
+    g = DiGraph()
+    urn = []
+    for v in range(core):
+        g.add_vertex(v)
+    for u in range(core):
+        for v in range(core):
+            if u != v and not g.has_edge(u, v):
+                g.add_edge(u, v)
+                urn.append(v)
+    for v in range(core, n):
+        g.add_vertex(v)
+        targets = set()
+        while len(targets) < attach:
+            targets.add(rng.choice(urn))
+        for t in targets:
+            g.add_edge(v, t)
+            urn.append(t)
+        # Occasionally add a back-arc so the graph is not a DAG.
+        if rng.random() < 0.3:
+            s = rng.choice(urn)
+            if s != v and not g.has_edge(s, v):
+                g.add_edge(s, v)
+    return g
+
+
+def random_weighted(n, m, max_weight=10, seed=0, integer_weights=True):
+    """Uniform random weighted graph; weights in [1, max_weight]."""
+    base = erdos_renyi(n, m, seed=seed)
+    rng = random.Random(seed + 1)
+    g = WeightedGraph()
+    for v in base.vertices():
+        g.add_vertex(v)
+    for u, v in base.edges():
+        if integer_weights:
+            w = rng.randint(1, max_weight)
+        else:
+            w = rng.uniform(0.5, float(max_weight))
+        g.add_edge(u, v, w)
+    return g

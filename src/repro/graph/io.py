@@ -1,0 +1,74 @@
+"""Edge-list I/O in the format used by SNAP / Konect dumps.
+
+Files are whitespace-separated ``u v`` (or ``u v w`` for weighted graphs)
+lines; lines starting with ``#`` or ``%`` are comments.  Directed inputs can
+be converted to undirected on read, as the paper does ("all graphs are
+undirected or converted to undirected").
+"""
+
+from repro.exceptions import GraphError
+from repro.graph.directed import DiGraph
+from repro.graph.undirected import Graph
+from repro.graph.weighted import WeightedGraph
+
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def _parse_lines(lines):
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_PREFIXES):
+            continue
+        yield lineno, line.split()
+
+
+def read_edge_list(path, directed=False):
+    """Read an edge list file into a :class:`Graph` (or :class:`DiGraph`).
+
+    Undirected reads deduplicate repeated edges and drop self-loops, since
+    SNAP dumps of directed graphs list both arc directions.
+    """
+    g = DiGraph() if directed else Graph()
+    with open(path) as f:
+        for lineno, parts in _parse_lines(f):
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'u v', got {parts!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u == v:
+                continue
+            g.add_vertex(u, exist_ok=True)
+            g.add_vertex(v, exist_ok=True)
+            if not g.has_edge(u, v):
+                g.add_edge(u, v)
+    return g
+
+
+def read_weighted_edge_list(path):
+    """Read a ``u v w`` edge list into a :class:`WeightedGraph`."""
+    g = WeightedGraph()
+    with open(path) as f:
+        for lineno, parts in _parse_lines(f):
+            if len(parts) < 3:
+                raise GraphError(f"{path}:{lineno}: expected 'u v w', got {parts!r}")
+            u, v, w = int(parts[0]), int(parts[1]), float(parts[2])
+            if u == v:
+                continue
+            g.add_vertex(u, exist_ok=True)
+            g.add_vertex(v, exist_ok=True)
+            if not g.has_edge(u, v):
+                g.add_edge(u, v, w)
+    return g
+
+
+def write_edge_list(graph, path, header=None):
+    """Write a graph to an edge-list file (one canonical line per edge)."""
+    with open(path, "w") as f:
+        if header:
+            for line in header.splitlines():
+                f.write(f"# {line}\n")
+        if isinstance(graph, WeightedGraph):
+            for u, v, w in sorted(graph.edges()):
+                f.write(f"{u} {v} {w}\n")
+        else:
+            for u, v in sorted(graph.edges()):
+                f.write(f"{u} {v}\n")

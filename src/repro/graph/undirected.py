@@ -1,0 +1,201 @@
+"""Undirected, unweighted, simple graph — the paper's primary substrate (§2.1).
+
+``Graph`` stores adjacency as ``dict[vertex, set[vertex]]``.  Vertices are
+arbitrary hashable ids (the library and all examples use ints).  The class
+supports the four topological modifications the paper maintains the index
+under: vertex insertion/deletion and edge insertion/deletion.
+"""
+
+from repro.exceptions import (
+    DuplicateEdge,
+    DuplicateVertex,
+    EdgeNotFound,
+    VertexNotFound,
+)
+from repro.graph.base import check_endpoints_distinct, normalize_edge
+
+
+class Graph:
+    """A mutable, undirected, unweighted, simple graph.
+
+    Example
+    -------
+    >>> g = Graph.from_edges([(0, 1), (1, 2)])
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self):
+        self._adj = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges, vertices=()):
+        """Build a graph from an iterable of (u, v) pairs.
+
+        Endpoints are added implicitly.  ``vertices`` may list extra isolated
+        vertices.  Duplicate edges raise :class:`DuplicateEdge` so silently
+        mis-specified inputs are caught early.
+        """
+        g = cls()
+        for v in vertices:
+            g.add_vertex(v)
+        for u, v in edges:
+            g.add_vertex(u, exist_ok=True)
+            g.add_vertex(v, exist_ok=True)
+            g.add_edge(u, v)
+        return g
+
+    def copy(self):
+        """Return an independent deep copy of this graph."""
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    # ------------------------------------------------------------------
+    # Size and membership
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self):
+        """n — the number of vertices."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self):
+        """m — the number of edges."""
+        return self._num_edges
+
+    def __contains__(self, v):
+        return v in self._adj
+
+    def __len__(self):
+        return len(self._adj)
+
+    def __iter__(self):
+        return iter(self._adj)
+
+    def vertices(self):
+        """Iterate over all vertex ids (no particular order)."""
+        return iter(self._adj)
+
+    def edges(self):
+        """Iterate over all edges once each, as canonical (min, max) pairs."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u <= v:
+                    yield (u, v)
+
+    def has_vertex(self, v):
+        """Return True if ``v`` is a vertex of the graph."""
+        return v in self._adj
+
+    def has_edge(self, u, v):
+        """Return True if the undirected edge (u, v) exists."""
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    # ------------------------------------------------------------------
+    # Neighborhood access
+    # ------------------------------------------------------------------
+
+    def neighbors(self, v):
+        """Return the neighbor set nbr(v).  The returned set is live: do not
+        mutate it; callers that need a snapshot should copy it."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    def degree(self, v):
+        """Return deg(v), the number of edges incident to ``v``."""
+        try:
+            return len(self._adj[v])
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    def degrees(self):
+        """Return a dict mapping every vertex to its degree."""
+        return {v: len(nbrs) for v, nbrs in self._adj.items()}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v, exist_ok=False):
+        """Insert an isolated vertex ``v``.
+
+        Raises :class:`DuplicateVertex` when the id already exists, unless
+        ``exist_ok`` is set.
+        """
+        if v in self._adj:
+            if exist_ok:
+                return
+            raise DuplicateVertex(v)
+        self._adj[v] = set()
+
+    def remove_vertex(self, v):
+        """Delete vertex ``v`` and all its incident edges.
+
+        Returns the list of removed edges so callers (e.g. the dynamic index
+        facade) can replay them as individual edge deletions.
+        """
+        try:
+            nbrs = self._adj.pop(v)
+        except KeyError:
+            raise VertexNotFound(v) from None
+        removed = [normalize_edge(v, u) for u in nbrs]
+        for u in nbrs:
+            self._adj[u].discard(v)
+        self._num_edges -= len(nbrs)
+        return removed
+
+    def add_edge(self, u, v):
+        """Insert the undirected edge (u, v).
+
+        Both endpoints must already exist.  Self-loops and duplicate edges
+        raise; the SPC-Index update algorithms assume simple graphs.
+        """
+        check_endpoints_distinct(u, v)
+        if u not in self._adj:
+            raise VertexNotFound(u)
+        if v not in self._adj:
+            raise VertexNotFound(v)
+        if v in self._adj[u]:
+            raise DuplicateEdge(u, v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u, v):
+        """Delete the undirected edge (u, v); raises :class:`EdgeNotFound`."""
+        if u not in self._adj:
+            raise VertexNotFound(u)
+        if v not in self._adj:
+            raise VertexNotFound(v)
+        if v not in self._adj[u]:
+            raise EdgeNotFound(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # Dunder / debugging
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other):
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self):
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"

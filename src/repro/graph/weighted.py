@@ -1,0 +1,191 @@
+"""Undirected weighted graph — substrate for the Appendix C.2 extension.
+
+``WeightedGraph`` stores adjacency as ``dict[vertex, dict[vertex, weight]]``.
+Weights must be positive (Dijkstra-based labeling requires non-negative edge
+weights; zero weights would make "shortest path counting" ill-defined because
+ties explode).
+"""
+
+from repro.exceptions import (
+    DuplicateEdge,
+    DuplicateVertex,
+    EdgeNotFound,
+    GraphError,
+    VertexNotFound,
+)
+from repro.graph.base import check_endpoints_distinct, normalize_edge
+
+
+class WeightedGraph:
+    """A mutable, undirected, positively-weighted, simple graph.
+
+    Example
+    -------
+    >>> g = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 0.5)])
+    >>> g.weight(0, 1)
+    2.0
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self):
+        self._adj = {}
+        self._num_edges = 0
+
+    @classmethod
+    def from_edges(cls, edges, vertices=()):
+        """Build a weighted graph from (u, v, w) triples."""
+        g = cls()
+        for v in vertices:
+            g.add_vertex(v)
+        for u, v, w in edges:
+            g.add_vertex(u, exist_ok=True)
+            g.add_vertex(v, exist_ok=True)
+            g.add_edge(u, v, w)
+        return g
+
+    def copy(self):
+        """Return an independent deep copy of this graph."""
+        g = WeightedGraph()
+        g._adj = {v: dict(nbrs) for v, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    # ------------------------------------------------------------------
+    # Size and membership
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self):
+        """n — the number of vertices."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self):
+        """m — the number of edges."""
+        return self._num_edges
+
+    def __contains__(self, v):
+        return v in self._adj
+
+    def __len__(self):
+        return len(self._adj)
+
+    def __iter__(self):
+        return iter(self._adj)
+
+    def vertices(self):
+        """Iterate over all vertex ids."""
+        return iter(self._adj)
+
+    def edges(self):
+        """Iterate over all edges once each as (u, v, weight) triples."""
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if u <= v:
+                    yield (u, v, w)
+
+    def has_vertex(self, v):
+        """Return True if ``v`` is a vertex of the graph."""
+        return v in self._adj
+
+    def has_edge(self, u, v):
+        """Return True if the edge (u, v) exists."""
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    # ------------------------------------------------------------------
+    # Neighborhood access
+    # ------------------------------------------------------------------
+
+    def neighbors(self, v):
+        """Return the live dict {neighbor: weight} of ``v``."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    def weight(self, u, v):
+        """Return the weight of edge (u, v); raises if the edge is absent."""
+        if u not in self._adj:
+            raise VertexNotFound(u)
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise EdgeNotFound(u, v) from None
+
+    def degree(self, v):
+        """Return deg(v), the number of incident edges."""
+        return len(self.neighbors(v))
+
+    def degrees(self):
+        """Return a dict mapping every vertex to its degree."""
+        return {v: len(nbrs) for v, nbrs in self._adj.items()}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v, exist_ok=False):
+        """Insert an isolated vertex ``v``."""
+        if v in self._adj:
+            if exist_ok:
+                return
+            raise DuplicateVertex(v)
+        self._adj[v] = {}
+
+    def remove_vertex(self, v):
+        """Delete vertex ``v`` with incident edges; returns removed triples."""
+        try:
+            nbrs = self._adj.pop(v)
+        except KeyError:
+            raise VertexNotFound(v) from None
+        removed = [normalize_edge(v, u) + (w,) for u, w in nbrs.items()]
+        for u in nbrs:
+            self._adj[u].pop(v, None)
+        self._num_edges -= len(nbrs)
+        return removed
+
+    def add_edge(self, u, v, weight):
+        """Insert edge (u, v) with a positive ``weight``."""
+        check_endpoints_distinct(u, v)
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight!r}")
+        if u not in self._adj:
+            raise VertexNotFound(u)
+        if v not in self._adj:
+            raise VertexNotFound(v)
+        if v in self._adj[u]:
+            raise DuplicateEdge(u, v)
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+        self._num_edges += 1
+
+    def set_weight(self, u, v, weight):
+        """Change the weight of an existing edge; returns the old weight.
+
+        Weight changes are first-class updates in Appendix C.2: a decrease is
+        handled like an insertion, an increase like a deletion.
+        """
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight!r}")
+        old = self.weight(u, v)
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+        return old
+
+    def remove_edge(self, u, v):
+        """Delete edge (u, v); returns its weight."""
+        if u not in self._adj:
+            raise VertexNotFound(u)
+        if v not in self._adj:
+            raise VertexNotFound(v)
+        if v not in self._adj[u]:
+            raise EdgeNotFound(u, v)
+        w = self._adj[u].pop(v)
+        self._adj[v].pop(u)
+        self._num_edges -= 1
+        return w
+
+    def __repr__(self):
+        return f"WeightedGraph(n={self.num_vertices}, m={self.num_edges})"

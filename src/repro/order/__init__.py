@@ -1,0 +1,27 @@
+"""Vertex-ordering strategies for hub labeling, and drift diagnostics."""
+
+from repro.order.drift import (
+    degree_rank_map,
+    drift_report,
+    rank_displacement,
+    sampled_inversions,
+)
+from repro.order.ordering import (
+    VertexOrder,
+    degree_order,
+    make_order,
+    natural_order,
+    random_order,
+)
+
+__all__ = [
+    "VertexOrder",
+    "degree_order",
+    "natural_order",
+    "random_order",
+    "make_order",
+    "degree_rank_map",
+    "rank_displacement",
+    "sampled_inversions",
+    "drift_report",
+]

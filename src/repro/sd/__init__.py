@@ -1,0 +1,6 @@
+"""SD-Index: distance-only pruned landmark labeling and its maintenance."""
+
+from repro.sd.incremental import inc_sd, inc_spc_sd_pruning
+from repro.sd.pll import SDIndex, build_sd_index
+
+__all__ = ["SDIndex", "build_sd_index", "inc_sd", "inc_spc_sd_pruning"]

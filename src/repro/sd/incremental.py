@@ -1,0 +1,173 @@
+"""Incremental maintenance of the SD-Index, and the SD-style failure mode.
+
+``inc_sd`` is the WWW'14 algorithm of Akiba, Iwata and Yoshida [4] that the
+paper's §2.3 discusses: resume a pruned BFS from the far endpoint of the new
+edge for every hub of the near endpoint, pruning (non-strictly) whenever the
+current index already covers the tentative distance.  Distances stay exact;
+the index merely loses minimality.
+
+``inc_spc_sd_pruning`` is the same idea transplanted verbatim onto the
+SPC-Index — i.e. what §2.3 warns about: "their algorithm lacks the
+capability to update the SPC-Index ... due to the inadequate pruning
+condition that fails to detect the presence of new shortest paths with the
+same length as the pre-existing ones."  It is intentionally *wrong* for
+counting and exists for the failure-injection tests and the pruning-rule
+ablation bench, which measure how often it corrupts counts.
+"""
+
+from collections import deque
+
+from repro.core.stats import UpdateStats
+
+INF = float("inf")
+
+
+def inc_sd(graph, index, a, b):
+    """Insert edge (a, b) and repair the SD-Index (Akiba et al. 2014)."""
+    order = index.order
+    rank = order.rank_map()
+    hubs_a = list(index.label_arrays(a)[0])
+    hubs_b = list(index.label_arrays(b)[0])
+
+    graph.add_edge(a, b)
+
+    for h in sorted(set(hubs_a) | set(hubs_b)):
+        if h in hubs_a and h <= rank[b]:
+            _resume_bfs(graph, index, h, a, b)
+        if h in hubs_b and h <= rank[a]:
+            _resume_bfs(graph, index, h, b, a)
+
+
+def _resume_bfs(graph, index, h, va, vb):
+    order = index.order
+    rank = order.rank_map()
+    hubs, dists = index.label_arrays(va)
+    d0 = None
+    for i, hub in enumerate(hubs):
+        if hub == h:
+            d0 = dists[i]
+            break
+    if d0 is None:
+        return
+    hub_vertex = order.vertex(h)
+    rhubs, rdists = index.label_arrays(hub_vertex)
+    root_dist = dict(zip(rhubs, rdists))
+
+    dist = {vb: d0 + 1}
+    queue = deque([vb])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        vhubs, vdists = index.label_arrays(v)
+        dl = INF
+        for i in range(len(vhubs)):
+            rd = root_dist.get(vhubs[i])
+            if rd is not None:
+                cand = rd + vdists[i]
+                if cand < dl:
+                    dl = cand
+        # Non-strict pruning: for distances, an equal-length cover suffices.
+        if dl <= dv:
+            continue
+        _upsert(vhubs, vdists, h, dv)
+        dnext = dv + 1
+        for w in graph.neighbors(v):
+            if w not in dist and h <= rank[w]:
+                dist[w] = dnext
+                queue.append(w)
+
+
+def _upsert(hubs, dists, h, d):
+    from bisect import bisect_left
+
+    i = bisect_left(hubs, h)
+    if i < len(hubs) and hubs[i] == h:
+        dists[i] = d
+    else:
+        hubs.insert(i, h)
+        dists.insert(i, d)
+
+
+def inc_spc_sd_pruning(graph, index, a, b, stats=None):
+    """DELIBERATELY BROKEN IncSPC variant using SD-style non-strict pruning.
+
+    Identical to :func:`repro.core.incremental.inc_spc` except the BFS
+    prunes on ``d_L <= D[v]``.  New shortest paths whose length ties the old
+    distance are never visited, so their counts are silently lost.  Used
+    only by failure-injection tests and the pruning ablation bench.
+    """
+    if stats is None:
+        stats = UpdateStats(kind="insert", edge=(a, b))
+    order = index.order
+    rank = order.rank_map()
+    la = index.label_set(a)
+    lb = index.label_set(b)
+    aff_a = list(la.hubs)
+    aff_b = list(lb.hubs)
+    in_a, in_b = set(aff_a), set(aff_b)
+    aff = sorted(in_a | in_b)
+    stats.affected_hubs = len(aff)
+
+    graph.add_edge(a, b)
+
+    for h in aff:
+        if h in in_a and h <= rank[b]:
+            _broken_inc_update(graph, index, h, a, b, stats)
+        if h in in_b and h <= rank[a]:
+            _broken_inc_update(graph, index, h, b, a, stats)
+    return stats
+
+
+def _broken_inc_update(graph, index, h, va, vb, stats):
+    order = index.order
+    rank = order.rank_map()
+    label_of = index.label_set
+    entry = label_of(va).get(h)
+    if entry is None:
+        return
+    d0, c0 = entry
+    hub_vertex = order.vertex(h)
+    hub_labels = label_of(hub_vertex)
+    root_dist = dict(zip(hub_labels.hubs, hub_labels.dists))
+
+    dist = {vb: d0 + 1}
+    count = {vb: c0}
+    queue = deque([vb])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        stats.bfs_visits += 1
+        ls = label_of(v)
+        hubs, dists = ls.hubs, ls.dists
+        dl = INF
+        for i in range(len(hubs)):
+            rd = root_dist.get(hubs[i])
+            if rd is not None:
+                cand = rd + dists[i]
+                if cand < dl:
+                    dl = cand
+        if dl <= dv:  # <-- the inadequate SD pruning rule
+            continue
+        existing = ls.get(h)
+        if existing is not None:
+            d_i, c_i = existing
+            if dv == d_i:
+                ls.set(h, dv, count[v] + c_i)
+                stats.renew_count += 1
+            else:
+                ls.set(h, dv, count[v])
+                stats.renew_dist += 1
+        else:
+            ls.set(h, dv, count[v])
+            stats.inserted += 1
+        cv = count[v]
+        dnext = dv + 1
+        for w in graph.neighbors(v):
+            dw = dist.get(w)
+            if dw is None:
+                if h <= rank[w]:
+                    dist[w] = dnext
+                    count[w] = cv
+                    queue.append(w)
+            elif dw == dnext:
+                count[w] += cv

@@ -1,0 +1,139 @@
+"""SD-Index: Pruned Landmark Labeling for shortest *distances* (§2.3, [3]).
+
+The SD-Index is the distance-only sibling of the SPC-Index: it keeps only
+the hubs of *canonical* labels with their distances — enough to answer
+sd(s, t) but not spc(s, t).  We implement it for two reasons the paper makes
+explicit:
+
+1.  §2.3 compares the two schemas (e.g. "(v0, 2) belongs to L(v5) in
+    SD-Index, but v2 is no longer a hub of v8") — tests pin that behaviour;
+2.  the ablation benchmark demonstrates *why* SD-style maintenance cannot
+    be transplanted to counting (see repro.sd.incremental).
+
+Construction differs from HP-SPC in exactly one place: the pruned BFS stops
+when the existing index matches the tentative distance (d_L <= D, not
+d_L < D), which is what drops the non-canonical labels.
+"""
+
+from collections import deque
+
+from repro.exceptions import VertexNotFound
+from repro.order import VertexOrder, make_order
+
+INF = float("inf")
+
+
+class SDIndex:
+    """Distance-only 2-hop labeling (hub, distance) per vertex."""
+
+    __slots__ = ("_order", "_labels")
+
+    def __init__(self, order):
+        if not isinstance(order, VertexOrder):
+            order = VertexOrder(order)
+        self._order = order
+        self._labels = {v: ([], []) for v in order}  # hubs, dists
+
+    @property
+    def order(self):
+        """The total order the index was built under."""
+        return self._order
+
+    def label_arrays(self, v):
+        """Return the internal (hubs, dists) parallel lists of ``v``."""
+        try:
+            return self._labels[v]
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    def labels(self, v):
+        """Return L(v) as [(hub_vertex_id, dist)] in rank order."""
+        hubs, dists = self.label_arrays(v)
+        return [(self._order.vertex(h), d) for h, d in zip(hubs, dists)]
+
+    def hubs(self, v):
+        """Return the set of hub vertex ids of L(v)."""
+        hubs, _ = self.label_arrays(v)
+        return {self._order.vertex(h) for h in hubs}
+
+    def distance(self, s, t):
+        """Return sd(s, t) by merging L(s) and L(t); inf if disconnected."""
+        hubs_s, dists_s = self.label_arrays(s)
+        hubs_t, dists_t = self.label_arrays(t)
+        i, j = 0, 0
+        best = INF
+        while i < len(hubs_s) and j < len(hubs_t):
+            hs, ht = hubs_s[i], hubs_t[j]
+            if hs == ht:
+                d = dists_s[i] + dists_t[j]
+                if d < best:
+                    best = d
+                i += 1
+                j += 1
+            elif hs < ht:
+                i += 1
+            else:
+                j += 1
+        return best
+
+    @property
+    def num_entries(self):
+        """Total number of (hub, dist) entries."""
+        return sum(len(h) for h, _ in self._labels.values())
+
+    def __repr__(self):
+        return f"SDIndex(n={len(self._labels)}, entries={self.num_entries})"
+
+
+def build_sd_index(graph, order=None, strategy="degree"):
+    """Construct the SD-Index by classic pruned landmark labeling."""
+    if order is None:
+        order = make_order(graph, strategy)
+    elif not isinstance(order, VertexOrder):
+        order = VertexOrder(order)
+    index = SDIndex(order)
+    rank = order.rank_map()
+
+    for root in order:
+        r = rank[root]
+        if root not in graph:
+            _append(index, root, r, 0)
+            continue
+        root_hubs, root_dists = index.label_arrays(root)
+        root_dist = dict(zip(root_hubs, root_dists))
+        _append(index, root, r, 0)
+
+        dist = {root: 0}
+        queue = deque()
+        for w in graph.neighbors(root):
+            if rank[w] > r:
+                dist[w] = 1
+                queue.append(w)
+        while queue:
+            v = queue.popleft()
+            dv = dist[v]
+            hubs, dists = index.label_arrays(v)
+            pruned = False
+            for i in range(len(hubs)):
+                rd = root_dist.get(hubs[i])
+                # SD pruning is non-strict: equality means the pair is
+                # already covered by a higher hub, and for pure distances
+                # that is enough.
+                if rd is not None and rd + dists[i] <= dv:
+                    pruned = True
+                    break
+            if pruned:
+                continue
+            _append(index, v, r, dv)
+            dnext = dv + 1
+            for w in graph.neighbors(v):
+                if w not in dist and rank[w] > r:
+                    dist[w] = dnext
+                    queue.append(w)
+    return index
+
+
+def _append(index, v, hub, d):
+    hubs, dists = index.label_arrays(v)
+    hubs.append(hub)
+    dists.append(d)

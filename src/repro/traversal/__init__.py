@@ -1,0 +1,26 @@
+"""Traversal engines: BFS / bidirectional-BFS / Dijkstra counting."""
+
+from repro.traversal.bfs import (
+    INF,
+    all_pairs_counting,
+    bfs_counting_pair,
+    bfs_counting_sssp,
+    bfs_distance_sssp,
+    directed_bfs_counting_sssp,
+    restricted_bfs_counting,
+)
+from repro.traversal.bibfs import bibfs_counting
+from repro.traversal.dijkstra import dijkstra_counting_pair, dijkstra_counting_sssp
+
+__all__ = [
+    "INF",
+    "bfs_distance_sssp",
+    "bfs_counting_sssp",
+    "bfs_counting_pair",
+    "all_pairs_counting",
+    "restricted_bfs_counting",
+    "directed_bfs_counting_sssp",
+    "bibfs_counting",
+    "dijkstra_counting_sssp",
+    "dijkstra_counting_pair",
+]

@@ -1,0 +1,146 @@
+"""BFS shortest-path counting — the ground truth and online baseline (§1).
+
+``bfs_counting_sssp`` is the textbook single-source algorithm the paper's
+introduction describes: track D[v] and C[v] during a BFS; a vertex first
+reached at distance d inherits the predecessor's count, and every further
+predecessor at distance d-1 adds its count.
+
+These routines are the reference implementation every index answer is tested
+against, so they are written for clarity first.
+"""
+
+from collections import deque
+
+INF = float("inf")
+
+
+def bfs_distance_sssp(graph, source):
+    """Return {v: sd(source, v)} for every vertex reachable from ``source``."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        for w in graph.neighbors(v):
+            if w not in dist:
+                dist[w] = dv + 1
+                queue.append(w)
+    return dist
+
+
+def bfs_counting_sssp(graph, source):
+    """Return ({v: sd(source, v)}, {v: spc(source, v)}) for reachable v."""
+    dist = {source: 0}
+    count = {source: 1}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        cv = count[v]
+        for w in graph.neighbors(v):
+            if w not in dist:
+                dist[w] = dv + 1
+                count[w] = cv
+                queue.append(w)
+            elif dist[w] == dv + 1:
+                count[w] += cv
+    return dist, count
+
+
+def bfs_counting_pair(graph, source, target):
+    """Return (sd, spc) between a pair, stopping once target's level closes.
+
+    The BFS must finish the level at which ``target`` is found — counts at a
+    level are only final when every vertex of the previous level has been
+    expanded — so we run level-synchronized and stop after that level.
+    """
+    if source == target:
+        return 0, 1
+    dist = {source: 0}
+    count = {source: 1}
+    frontier = [source]
+    d = 0
+    while frontier:
+        nxt = []
+        for v in frontier:
+            cv = count[v]
+            for w in graph.neighbors(v):
+                if w not in dist:
+                    dist[w] = d + 1
+                    count[w] = cv
+                    nxt.append(w)
+                elif dist[w] == d + 1:
+                    count[w] += cv
+        d += 1
+        if target in dist and dist[target] == d:
+            return d, count[target]
+        frontier = nxt
+    return INF, 0
+
+
+def all_pairs_counting(graph):
+    """Return {(s, t): (sd, spc)} for all ordered pairs with s != t.
+
+    Quadratic-plus: only for small graphs (tests and the verifier).
+    """
+    answers = {}
+    for s in graph.vertices():
+        dist, count = bfs_counting_sssp(graph, s)
+        for t in graph.vertices():
+            if s == t:
+                continue
+            if t in dist:
+                answers[(s, t)] = (dist[t], count[t])
+            else:
+                answers[(s, t)] = (INF, 0)
+    return answers
+
+
+def restricted_bfs_counting(graph, source, allowed):
+    """Counting BFS where intermediate vertices are restricted to ``allowed``.
+
+    Used to compute spc(v̂, ·) ground truth: paths from ``source`` may only
+    pass through vertices in ``allowed`` (the source itself is always
+    allowed; endpoints of a query must be in ``allowed`` to be reported).
+    """
+    dist = {source: 0}
+    count = {source: 1}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        cv = count[v]
+        for w in graph.neighbors(v):
+            if w not in allowed:
+                continue
+            if w not in dist:
+                dist[w] = dv + 1
+                count[w] = cv
+                queue.append(w)
+            elif dist[w] == dv + 1:
+                count[w] += cv
+    return dist, count
+
+
+def directed_bfs_counting_sssp(graph, source, reverse=False):
+    """Counting BFS on a :class:`DiGraph`.
+
+    ``reverse=False`` follows out-arcs (distances *from* source);
+    ``reverse=True`` follows in-arcs (distances *to* source).
+    """
+    step = graph.predecessors if reverse else graph.successors
+    dist = {source: 0}
+    count = {source: 1}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        cv = count[v]
+        for w in step(v):
+            if w not in dist:
+                dist[w] = dv + 1
+                count[w] = cv
+                queue.append(w)
+            elif dist[w] == dv + 1:
+                count[w] += cv
+    return dist, count

@@ -1,0 +1,65 @@
+"""Dijkstra shortest-path counting — the weighted substrate (Appendix C.2).
+
+Counting with Dijkstra follows the same recurrence as the BFS version, with
+the one extra rule that counts are only final when a vertex is settled
+(popped with its minimal distance); we use the standard lazy-deletion
+priority queue and skip stale entries.
+"""
+
+import heapq
+
+INF = float("inf")
+
+
+def dijkstra_counting_sssp(graph, source):
+    """Return ({v: sd(source, v)}, {v: spc(source, v)}) on a WeightedGraph."""
+    dist = {source: 0}
+    count = {source: 1}
+    settled = set()
+    heap = [(0, source)]
+    while heap:
+        dv, v = heapq.heappop(heap)
+        if v in settled:
+            continue
+        settled.add(v)
+        for w, weight in graph.neighbors(v).items():
+            cand = dv + weight
+            dw = dist.get(w)
+            if dw is None or cand < dw:
+                dist[w] = cand
+                count[w] = count[v]
+                heapq.heappush(heap, (cand, w))
+            elif cand == dw and w not in settled:
+                count[w] += count[v]
+    return dist, count
+
+
+def dijkstra_counting_pair(graph, source, target):
+    """Return (sd, spc) between a pair; stops once ``target`` is settled
+    *and* every path that could still tie has been accounted for."""
+    if source == target:
+        return 0, 1
+    dist = {source: 0}
+    count = {source: 1}
+    settled = set()
+    heap = [(0, source)]
+    while heap:
+        dv, v = heapq.heappop(heap)
+        if v in settled:
+            continue
+        # Ties into ``target`` are all relaxed before target pops, because
+        # contributing predecessors have strictly smaller distance (positive
+        # weights) and hence were settled earlier.
+        if v == target:
+            return dv, count[v]
+        settled.add(v)
+        for w, weight in graph.neighbors(v).items():
+            cand = dv + weight
+            dw = dist.get(w)
+            if dw is None or cand < dw:
+                dist[w] = cand
+                count[w] = count[v]
+                heapq.heappush(heap, (cand, w))
+            elif cand == dw and w not in settled:
+                count[w] += count[v]
+    return INF, 0

@@ -1,0 +1,190 @@
+"""Index verification: the ESPC cover constraint and structural invariants.
+
+Theorems 3.7 and 3.16 claim the updated index obeys Exact Shortest Paths
+Covering — every query answers (sd, spc) exactly.  ``verify_espc`` checks
+that claim against BFS ground truth, exhaustively on small graphs or over a
+random pair sample on larger ones, and raises :class:`IndexCorruption` with
+a precise diagnosis on the first mismatch.
+
+``check_invariants`` validates the structural well-formedness that every
+SPC-Index must satisfy regardless of the graph: per-vertex self-labels,
+rank-sorted hub arrays, the rank constraint (hubs rank at least as high as
+the label owner), positive counts and non-negative distances.
+"""
+
+import random
+
+from repro.exceptions import IndexCorruption
+from repro.traversal.bfs import bfs_counting_sssp, directed_bfs_counting_sssp
+
+INF = float("inf")
+
+
+def verify_espc(graph, index, sample_pairs=None, seed=0, exhaustive_threshold=400):
+    """Check SpcQUERY against BFS ground truth.
+
+    Parameters
+    ----------
+    graph, index:
+        The graph and the index claimed to cover it.
+    sample_pairs:
+        If None, verify all pairs when n <= ``exhaustive_threshold``, else
+        sample ``4 * n`` random pairs.  An int requests that many sampled
+        pairs; an iterable of (s, t) pairs is used verbatim.
+    """
+    vertices = sorted(graph.vertices())
+    n = len(vertices)
+    if n == 0:
+        return True
+
+    if sample_pairs is None and n <= exhaustive_threshold:
+        _verify_exhaustive(graph, index, vertices)
+        return True
+
+    if sample_pairs is None:
+        sample_pairs = 4 * n
+    if isinstance(sample_pairs, int):
+        rng = random.Random(seed)
+        pairs = [
+            (rng.choice(vertices), rng.choice(vertices)) for _ in range(sample_pairs)
+        ]
+    else:
+        pairs = list(sample_pairs)
+
+    # Group by source so one BFS serves all queries from that source.
+    by_source = {}
+    for s, t in pairs:
+        by_source.setdefault(s, []).append(t)
+    for s, ts in by_source.items():
+        dist, count = bfs_counting_sssp(graph, s)
+        for t in ts:
+            expected = (dist.get(t, INF), count.get(t, 0)) if s != t else (0, 1)
+            _compare(index, s, t, expected)
+    return True
+
+
+def _verify_exhaustive(graph, index, vertices):
+    for s in vertices:
+        dist, count = bfs_counting_sssp(graph, s)
+        for t in vertices:
+            if s == t:
+                expected = (0, 1)
+            else:
+                expected = (dist.get(t, INF), count.get(t, 0))
+            _compare(index, s, t, expected)
+
+
+def _compare(index, s, t, expected):
+    got = index.query(s, t)
+    if got != expected:
+        raise IndexCorruption(
+            f"ESPC violated for pair ({s}, {t}): index answers "
+            f"(sd={got[0]}, spc={got[1]}) but ground truth is "
+            f"(sd={expected[0]}, spc={expected[1]})"
+        )
+
+
+def verify_espc_directed(graph, index, exhaustive_threshold=300):
+    """Directed ESPC check: every ordered pair against directed BFS truth."""
+    vertices = sorted(graph.vertices())
+    if len(vertices) > exhaustive_threshold:
+        raise ValueError(
+            "verify_espc_directed is exhaustive-only; reduce the graph size"
+        )
+    for s in vertices:
+        dist, count = directed_bfs_counting_sssp(graph, s)
+        for t in vertices:
+            if s == t:
+                expected = (0, 1)
+            else:
+                expected = (dist.get(t, INF), count.get(t, 0))
+            got = index.query(s, t)
+            if got != expected:
+                raise IndexCorruption(
+                    f"directed ESPC violated for ({s} -> {t}): index answers "
+                    f"{got} but ground truth is {expected}"
+                )
+    return True
+
+
+def verify_espc_weighted(graph, index, exhaustive_threshold=200):
+    """Weighted ESPC check: every pair against Dijkstra counting truth."""
+    from repro.traversal.dijkstra import dijkstra_counting_sssp
+
+    vertices = sorted(graph.vertices())
+    if len(vertices) > exhaustive_threshold:
+        raise ValueError(
+            "verify_espc_weighted is exhaustive-only; reduce the graph size"
+        )
+    for s in vertices:
+        dist, count = dijkstra_counting_sssp(graph, s)
+        for t in vertices:
+            if s == t:
+                expected = (0, 1)
+            else:
+                expected = (dist.get(t, INF), count.get(t, 0))
+            got = index.query(s, t)
+            if got != expected:
+                raise IndexCorruption(
+                    f"weighted ESPC violated for ({s}, {t}): index answers "
+                    f"{got} but ground truth is {expected}"
+                )
+    return True
+
+
+def check_invariants(index, graph=None):
+    """Validate structural invariants of an SPC-Index.
+
+    With ``graph`` given, additionally checks that every labeled distance is
+    an *upper bound* on the true distance that never undercuts it (stale
+    labels after insertions may overestimate, never underestimate), by
+    checking the query result only — per-label distances are allowed to be
+    stale by Lemma 3.1.
+    """
+    order = index.order
+    for v in index.vertices():
+        ls = index.label_set(v)
+        rv = order.rank(v)
+        hubs = ls.hubs
+        if sorted(hubs) != hubs:
+            raise IndexCorruption(f"L({v}) hubs are not sorted by rank: {hubs}")
+        if len(set(hubs)) != len(hubs):
+            raise IndexCorruption(f"L({v}) contains duplicate hubs: {hubs}")
+        entry = ls.get(rv)
+        if entry != (0, 1):
+            raise IndexCorruption(f"L({v}) self-label is {entry}, expected (0, 1)")
+        for h, d, c in ls:
+            if h > rv:
+                raise IndexCorruption(
+                    f"rank constraint violated in L({v}): hub rank {h} is "
+                    f"lower than owner rank {rv}"
+                )
+            if d < 0:
+                raise IndexCorruption(f"L({v}) hub {h} has negative distance {d}")
+            if c <= 0:
+                raise IndexCorruption(f"L({v}) hub {h} has non-positive count {c}")
+            if (d == 0) != (h == rv):
+                raise IndexCorruption(
+                    f"L({v}) hub {h} has distance 0 but is not the self-label"
+                )
+    return True
+
+
+def indexes_equivalent(index_a, index_b, graph, sample_pairs=None, seed=0):
+    """Check that two indexes answer identically on ``graph``'s pairs.
+
+    Used to compare a dynamically-maintained index against a rebuilt one:
+    label *sets* may legitimately differ (IncSPC retains stale entries) but
+    query answers must agree.
+    """
+    vertices = sorted(graph.vertices())
+    if sample_pairs is None and len(vertices) <= 60:
+        pairs = [(s, t) for s in vertices for t in vertices]
+    else:
+        rng = random.Random(seed)
+        k = sample_pairs if isinstance(sample_pairs, int) else 4 * len(vertices)
+        pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(k)]
+    for s, t in pairs:
+        if index_a.query(s, t) != index_b.query(s, t):
+            return False
+    return True

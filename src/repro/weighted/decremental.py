@@ -1,0 +1,219 @@
+"""Weighted DecSPC (Appendix C.2): edge deletion and weight increase.
+
+"For edge deletion or weight increase cases, the conditions for the SR and
+R sets remain applicable ... the distance constraint for affected vertices
+is based on weight rather than the number of hops, i.e.
+|sd(v, a) − sd(v, b)| = w_ab.  The main difference when applying Algorithm 5
+and Algorithm 6 ... is the use of a Dijkstra-like search."
+
+Both phases mirror the unweighted DecSPC with the old edge weight playing
+the role of the +1 hop: SrrSEARCH runs on G_i and prunes vertices v with
+sd(v, a) + w_ab != sd(v, b); DecUPDATE runs rank-pruned Dijkstras on the
+modified graph.  The §3.2.3 isolated-vertex fast path applies verbatim to
+full deletions of a pendant, lower-ranked endpoint.
+"""
+
+import heapq
+
+from repro.core.stats import UpdateStats
+from repro.exceptions import EdgeNotFound, GraphError
+
+INF = float("inf")
+
+
+def dec_spc_weighted(graph, index, a, b, stats=None, use_isolated_fast_path=True):
+    """Delete edge (a, b) from ``graph`` and repair ``index``."""
+    if stats is None:
+        stats = UpdateStats(kind="delete", edge=(a, b))
+    if not graph.has_edge(a, b):
+        raise EdgeNotFound(a, b)
+    if use_isolated_fast_path and _try_isolated_fast_path(graph, index, a, b, stats):
+        return stats
+    w_ab = graph.weight(a, b)
+    _decremental_repair(graph, index, a, b, w_ab, stats, remove=True, new_weight=None)
+    return stats
+
+
+def increase_weight(graph, index, a, b, new_weight, stats=None):
+    """Increase the weight of edge (a, b) and repair ``index``."""
+    if stats is None:
+        stats = UpdateStats(kind="delete", edge=(a, b))
+    old = graph.weight(a, b)
+    if new_weight <= old:
+        raise GraphError(
+            f"increase_weight: new weight {new_weight} is not above {old}; "
+            "use decrease_weight for decreases"
+        )
+    _decremental_repair(
+        graph, index, a, b, old, stats, remove=False, new_weight=new_weight
+    )
+    return stats
+
+
+def _try_isolated_fast_path(graph, index, a, b, stats):
+    """§3.2.3 fast path for stranding a pendant, lower-ranked endpoint."""
+    rank = index.order.rank_map()
+    deg_a = graph.degree(a)
+    deg_b = graph.degree(b)
+    if deg_b == 1 and deg_a == 1:
+        if rank[a] > rank[b]:
+            a, b = b, a
+    elif deg_a == 1:
+        a, b = b, a
+    elif deg_b != 1:
+        return False
+    if rank[a] > rank[b]:
+        return False
+    graph.remove_edge(a, b)
+    lb = index.label_set(b)
+    stats.removed += len(lb) - 1
+    lb.clear()
+    lb.set(rank[b], 0, 1)
+    stats.isolated_fast_path = True
+    return True
+
+
+def _decremental_repair(graph, index, a, b, w_ab, stats, remove, new_weight):
+    order = index.order
+    rank = order.rank_map()
+    la = index.label_set(a)
+    lb = index.label_set(b)
+    lab = set(la.hubs) & set(lb.hubs)
+
+    sr_a, r_a = _srr_search_dijkstra(graph, index, a, b, w_ab, lab)
+    sr_b, r_b = _srr_search_dijkstra(graph, index, b, a, w_ab, lab)
+    stats.sr_a, stats.sr_b = len(sr_a), len(sr_b)
+    stats.r_a, stats.r_b = len(r_a), len(r_b)
+
+    if remove:
+        graph.remove_edge(a, b)
+    else:
+        graph.set_weight(a, b, new_weight)
+
+    targets_b = sr_b | r_b
+    targets_a = sr_a | r_a
+    affected = sorted(sr_a | sr_b, key=lambda v: rank[v])
+    stats.affected_hubs = len(affected)
+    for h_vertex in affected:
+        h_in_lab = rank[h_vertex] in lab
+        if h_vertex in sr_a:
+            _dec_update_dijkstra(graph, index, h_vertex, targets_b, h_in_lab, stats)
+        else:
+            _dec_update_dijkstra(graph, index, h_vertex, targets_a, h_in_lab, stats)
+
+
+def _srr_search_dijkstra(graph, index, a, b, w_ab, lab):
+    """Weighted Algorithm 5: Dijkstra from ``a`` pruned at unaffected vertices."""
+    rank = index.order.rank_map()
+    label_of = index.label_set
+    lb = label_of(b)
+    b_entry = {h: (d, c) for h, d, c in lb}
+
+    sr, r = set(), set()
+    dist = {a: 0}
+    count = {a: 1}
+    settled = set()
+    heap = [(0, rank[a], a)]
+    while heap:
+        dv, _, v = heapq.heappop(heap)
+        if v in settled or dv > dist[v]:
+            continue
+        settled.add(v)
+        ls = label_of(v)
+        hubs, dists, counts = ls.hubs, ls.dists, ls.counts
+        d_q, c_q = INF, 0
+        for i in range(len(hubs)):
+            e = b_entry.get(hubs[i])
+            if e is not None:
+                cand = dists[i] + e[0]
+                if cand < d_q:
+                    d_q = cand
+                    c_q = counts[i] * e[1]
+                elif cand == d_q:
+                    c_q += counts[i] * e[1]
+        if dv + w_ab != d_q:
+            continue
+        if rank[v] in lab or count[v] == c_q:
+            sr.add(v)
+        else:
+            r.add(v)
+        cv = count[v]
+        for w, weight in graph.neighbors(v).items():
+            if w in settled:
+                continue
+            cand = dv + weight
+            dw = dist.get(w)
+            if dw is None or cand < dw:
+                dist[w] = cand
+                count[w] = cv
+                heapq.heappush(heap, (cand, rank[w], w))
+            elif cand == dw:
+                count[w] += cv
+    return sr, r
+
+
+def _dec_update_dijkstra(graph, index, h_vertex, targets, h_in_lab, stats):
+    """Weighted Algorithm 6: rank-pruned Dijkstra from an affected hub."""
+    order = index.order
+    rank = order.rank_map()
+    label_of = index.label_set
+    h = rank[h_vertex]
+    hub_labels = label_of(h_vertex)
+    root_dist = {hr: d for hr, d, _ in hub_labels if hr != h}
+
+    updated = set()
+    dist = {h_vertex: 0}
+    count = {h_vertex: 1}
+    settled = set()
+    heap = [(0, h, h_vertex)]
+    while heap:
+        dv, _, v = heapq.heappop(heap)
+        if v in settled or dv > dist[v]:
+            continue
+        settled.add(v)
+        stats.bfs_visits += 1
+        ls = label_of(v)
+        hubs, dists = ls.hubs, ls.dists
+        d_bar = INF
+        for i in range(len(hubs)):
+            rd = root_dist.get(hubs[i])
+            if rd is not None:
+                cand = rd + dists[i]
+                if cand < d_bar:
+                    d_bar = cand
+        if d_bar < dv:
+            continue
+        if v in targets:
+            existing = ls.get(h)
+            if existing is None:
+                ls.set(h, dv, count[v])
+                stats.inserted += 1
+            else:
+                d_i, c_i = existing
+                if d_i != dv:
+                    ls.set(h, dv, count[v])
+                    stats.renew_dist += 1
+                elif c_i != count[v]:
+                    ls.set(h, dv, count[v])
+                    stats.renew_count += 1
+            updated.add(v)
+        cv = count[v]
+        for w, weight in graph.neighbors(v).items():
+            if w in settled or h > rank[w]:
+                continue
+            cand = dv + weight
+            dw = dist.get(w)
+            if dw is None or cand < dw:
+                dist[w] = cand
+                count[w] = cv
+                heapq.heappush(heap, (cand, rank[w], w))
+            elif cand == dw:
+                count[w] += cv
+
+    # Unconditional removal phase — see the note in
+    # repro.core.decremental._dec_update: stale labels from incremental
+    # updates can resurface if removal is gated on the common-hub flag.
+    del h_in_lab
+    for u in targets:
+        if u not in updated and label_of(u).remove(h):
+            stats.removed += 1

@@ -1,0 +1,138 @@
+"""Dynamic facade for weighted graphs, including weight changes.
+
+Weight updates are first-class (Appendix C.2): ``set_weight`` dispatches to
+the incremental path on decreases and the decremental path on increases.
+"""
+
+import time
+
+from repro.core.stats import StreamStats, UpdateStats
+from repro.weighted.builder import build_weighted_spc_index
+from repro.weighted.decremental import dec_spc_weighted, increase_weight
+from repro.weighted.incremental import decrease_weight, inc_spc_weighted
+
+
+class DynamicWeightedSPC:
+    """A shortest-path-counting oracle over a dynamic weighted graph.
+
+    Example
+    -------
+    >>> from repro.graph import WeightedGraph
+    >>> g = WeightedGraph.from_edges([(0, 1, 2), (1, 2, 2), (0, 2, 5)])
+    >>> dyn = DynamicWeightedSPC(g)
+    >>> dyn.query(0, 2)
+    (4, 1)
+    >>> _ = dyn.set_weight(0, 2, 4)   # tie the two routes
+    >>> dyn.query(0, 2)
+    (4, 2)
+    """
+
+    def __init__(self, graph, index=None, strategy="degree",
+                 use_isolated_fast_path=True):
+        self._graph = graph
+        self._index = (
+            index if index is not None
+            else build_weighted_spc_index(graph, strategy=strategy)
+        )
+        self._strategy = strategy
+        self._use_isolated_fast_path = use_isolated_fast_path
+        self.history = StreamStats()
+
+    @property
+    def graph(self):
+        """The underlying weighted graph."""
+        return self._graph
+
+    @property
+    def index(self):
+        """The maintained weighted SPC-Index."""
+        return self._index
+
+    def query(self, s, t):
+        """Return (sd(s, t), spc(s, t)) under weighted distances."""
+        return self._index.query(s, t)
+
+    def distance(self, s, t):
+        """Return the weighted shortest distance."""
+        return self._index.distance(s, t)
+
+    def count(self, s, t):
+        """Return the shortest-path count."""
+        return self._index.count(s, t)
+
+    def insert_edge(self, a, b, weight):
+        """Insert edge (a, b, weight); creates missing endpoints."""
+        for v in (a, b):
+            if not self._graph.has_vertex(v):
+                self.insert_vertex(v)
+        start = time.perf_counter()
+        stats = inc_spc_weighted(self._graph, self._index, a, b, weight)
+        stats.elapsed = time.perf_counter() - start
+        self.history.record(stats)
+        return stats
+
+    def delete_edge(self, a, b):
+        """Delete edge (a, b)."""
+        start = time.perf_counter()
+        stats = dec_spc_weighted(
+            self._graph, self._index, a, b,
+            use_isolated_fast_path=self._use_isolated_fast_path,
+        )
+        stats.elapsed = time.perf_counter() - start
+        self.history.record(stats)
+        return stats
+
+    def set_weight(self, a, b, new_weight):
+        """Change an edge's weight; dispatches on the direction of change."""
+        old = self._graph.weight(a, b)
+        start = time.perf_counter()
+        if new_weight == old:
+            stats = UpdateStats(kind="noop", edge=(a, b))
+        elif new_weight < old:
+            stats = decrease_weight(self._graph, self._index, a, b, new_weight)
+        else:
+            stats = increase_weight(self._graph, self._index, a, b, new_weight)
+        stats.elapsed = time.perf_counter() - start
+        self.history.record(stats)
+        return stats
+
+    def insert_vertex(self, v, edges=()):
+        """Add vertex ``v``; ``edges`` are (neighbor, weight) pairs.
+
+        Edge insertions are recorded individually; the returned stats
+        aggregate the whole operation.
+        """
+        start = time.perf_counter()
+        self._graph.add_vertex(v)
+        self._index.add_vertex(v)
+        marker = UpdateStats(kind="insert_vertex", edge=(v,))
+        marker.elapsed = time.perf_counter() - start
+        self.history.record(marker)
+        result = UpdateStats(kind="insert_vertex", edge=(v,))
+        result.merge(marker)
+        for u, w in edges:
+            result.merge(self.insert_edge(v, u, w))
+        return result
+
+    def delete_vertex(self, v):
+        """Delete vertex ``v`` via per-edge deletions."""
+        result = UpdateStats(kind="delete_vertex", edge=(v,))
+        for u in list(self._graph.neighbors(v)):
+            result.merge(self.delete_edge(v, u))
+        start = time.perf_counter()
+        self._graph.remove_vertex(v)
+        self._index.drop_vertex_labels(v)
+        marker = UpdateStats(kind="delete_vertex", edge=(v,))
+        marker.elapsed = time.perf_counter() - start
+        self.history.record(marker)
+        result.elapsed += marker.elapsed
+        return result
+
+    def rebuild(self):
+        """Reconstruct the index from scratch."""
+        start = time.perf_counter()
+        self._index = build_weighted_spc_index(self._graph, strategy=self._strategy)
+        return time.perf_counter() - start
+
+    def __repr__(self):
+        return f"DynamicWeightedSPC(graph={self._graph!r}, index={self._index!r})"

@@ -1,0 +1,32 @@
+"""Workload generators: update streams and query batches."""
+
+from repro.workloads.queries import random_pairs, stratified_pairs_by_distance
+from repro.workloads.updates import (
+    DeleteEdge,
+    DeleteVertex,
+    InsertEdge,
+    InsertVertex,
+    edge_degree,
+    hybrid_stream,
+    random_deletions,
+    random_insertions,
+    skewed_deletions,
+    skewed_insertions,
+    vertex_churn,
+)
+
+__all__ = [
+    "InsertEdge",
+    "DeleteEdge",
+    "InsertVertex",
+    "DeleteVertex",
+    "random_insertions",
+    "random_deletions",
+    "hybrid_stream",
+    "skewed_insertions",
+    "skewed_deletions",
+    "edge_degree",
+    "vertex_churn",
+    "random_pairs",
+    "stratified_pairs_by_distance",
+]

@@ -1,0 +1,52 @@
+"""Query workload generators (§4.1.1: "10,000 random pairs of vertices")."""
+
+import random
+
+from repro.exceptions import WorkloadError
+
+
+def random_pairs(graph, k, seed=0, distinct=False):
+    """Sample ``k`` (s, t) query pairs uniformly over the vertex set.
+
+    ``distinct=True`` forces s != t, matching how the paper's query
+    workloads avoid trivial self-pairs.
+    """
+    vertices = sorted(graph.vertices())
+    if len(vertices) < 2:
+        raise WorkloadError("need at least two vertices to sample pairs")
+    rng = random.Random(seed)
+    pairs = []
+    while len(pairs) < k:
+        s = rng.choice(vertices)
+        t = rng.choice(vertices)
+        if distinct and s == t:
+            continue
+        pairs.append((s, t))
+    return pairs
+
+
+def stratified_pairs_by_distance(graph, index, k_per_bucket, buckets=(1, 2, 3, 4),
+                                 seed=0, max_tries=200000):
+    """Sample query pairs stratified by shortest distance.
+
+    Useful for studying query latency as a function of distance (labeling
+    query time is distance-independent, BiBFS is not — the effect behind
+    Figure 7(c)'s gap).  Returns {bucket: [(s, t), ...]}.
+    """
+    vertices = sorted(graph.vertices())
+    rng = random.Random(seed)
+    out = {b: [] for b in buckets}
+    want = set(buckets)
+    tries = 0
+    while want and tries < max_tries:
+        tries += 1
+        s = rng.choice(vertices)
+        t = rng.choice(vertices)
+        if s == t:
+            continue
+        d = index.distance(s, t)
+        if d in out and len(out[d]) < k_per_bucket:
+            out[d].append((s, t))
+            if len(out[d]) >= k_per_bucket:
+                want.discard(d)
+    return out

@@ -1,0 +1,212 @@
+"""Update-stream workload generators (§4.1.1, §4.4, §4.5).
+
+The paper's update experiments draw from four workload shapes:
+
+* random **edge insertions** — 1,000 random new edges per graph (§4.1.1);
+* random **edge deletions** — k ∈ {50, 100} random existing edges (§4.1.1);
+* **hybrid streams** — 100 insertions mixed with 10 deletions (§4.4);
+* **degree-skewed** updates — edges picked by deg(u)·deg(v) buckets (§4.5).
+
+Updates are small objects with an ``apply(dynamic)`` method so streams can
+be replayed against any oracle exposing the DynamicSPC mutation API.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class InsertEdge:
+    """Insert edge (u, v)."""
+
+    u: int
+    v: int
+
+    def apply(self, dynamic):
+        """Apply to a DynamicSPC-like oracle."""
+        return dynamic.insert_edge(self.u, self.v)
+
+    def undo(self):
+        """The inverse update."""
+        return DeleteEdge(self.u, self.v)
+
+
+@dataclass(frozen=True)
+class DeleteEdge:
+    """Delete edge (u, v)."""
+
+    u: int
+    v: int
+
+    def apply(self, dynamic):
+        """Apply to a DynamicSPC-like oracle."""
+        return dynamic.delete_edge(self.u, self.v)
+
+    def undo(self):
+        """The inverse update."""
+        return InsertEdge(self.u, self.v)
+
+
+@dataclass(frozen=True)
+class InsertVertex:
+    """Insert vertex v with optional initial edges."""
+
+    v: int
+    edges: tuple = ()
+
+    def apply(self, dynamic):
+        """Apply to a DynamicSPC-like oracle."""
+        return dynamic.insert_vertex(self.v, edges=self.edges)
+
+
+@dataclass(frozen=True)
+class DeleteVertex:
+    """Delete vertex v and all incident edges."""
+
+    v: int
+
+    def apply(self, dynamic):
+        """Apply to a DynamicSPC-like oracle."""
+        return dynamic.delete_vertex(self.v)
+
+
+def random_insertions(graph, k, seed=0, max_tries_factor=200):
+    """Sample ``k`` distinct non-edges of ``graph`` as InsertEdge updates.
+
+    The sampled pairs are disjoint from existing edges and from each other,
+    so the whole batch can be applied in any order.
+    """
+    vertices = list(graph.vertices())
+    if len(vertices) < 2:
+        raise WorkloadError("need at least two vertices to insert edges")
+    rng = random.Random(seed)
+    chosen = set()
+    updates = []
+    tries = 0
+    limit = max_tries_factor * max(k, 1)
+    while len(updates) < k:
+        tries += 1
+        if tries > limit:
+            raise WorkloadError(
+                f"could not find {k} absent edges after {limit} tries "
+                f"(graph too dense?)"
+            )
+        u = rng.choice(vertices)
+        v = rng.choice(vertices)
+        if u == v:
+            continue
+        key = (u, v) if u <= v else (v, u)
+        if key in chosen or graph.has_edge(u, v):
+            continue
+        chosen.add(key)
+        updates.append(InsertEdge(*key))
+    return updates
+
+
+def random_deletions(graph, k, seed=0):
+    """Sample ``k`` distinct existing edges of ``graph`` as DeleteEdge updates."""
+    edges = sorted(graph.edges())
+    if k > len(edges):
+        raise WorkloadError(f"cannot delete {k} edges from a graph with {len(edges)}")
+    rng = random.Random(seed)
+    picked = rng.sample(edges, k)
+    return [DeleteEdge(u, v) for u, v in picked]
+
+
+def hybrid_stream(graph, insertions=100, deletions=10, seed=0):
+    """An interleaved stream of insertions and deletions (Figure 10).
+
+    Deletions are spread evenly through the insertion stream.  Inserted
+    edges are fresh non-edges; deleted edges are sampled from the original
+    edge set (disjoint from the insertions, so order cannot conflict).
+    """
+    ins = random_insertions(graph, insertions, seed=seed)
+    dels = random_deletions(graph, deletions, seed=seed + 1)
+    if deletions == 0:
+        return list(ins)
+    stream = []
+    gap = max(1, insertions // max(deletions, 1))
+    di = 0
+    for i, upd in enumerate(ins):
+        stream.append(upd)
+        if (i + 1) % gap == 0 and di < len(dels):
+            stream.append(dels[di])
+            di += 1
+    stream.extend(dels[di:])
+    return stream
+
+
+def edge_degree(graph, u, v):
+    """The paper's §4.5 notion of edge degree: deg(u) * deg(v)."""
+    return graph.degree(u) * graph.degree(v)
+
+
+def skewed_insertions(graph, k, seed=0, bucket="high"):
+    """Sample ``k`` absent edges skewed by endpoint-degree product.
+
+    ``bucket`` selects the skew: "high" favours high-degree endpoints,
+    "low" favours low-degree ones, "uniform" matches random_insertions.
+    Used by the Figure 11 experiment, which sorts updates by edge degree.
+    """
+    if bucket == "uniform":
+        return random_insertions(graph, k, seed=seed)
+    vertices = list(graph.vertices())
+    rng = random.Random(seed)
+    reverse = bucket == "high"
+    by_degree = sorted(vertices, key=graph.degree, reverse=reverse)
+    pool = by_degree[: max(2, len(by_degree) // 5)]
+    chosen = set()
+    updates = []
+    tries = 0
+    while len(updates) < k and tries < 500 * max(k, 1):
+        tries += 1
+        u = rng.choice(pool)
+        v = rng.choice(vertices)
+        if u == v:
+            continue
+        key = (u, v) if u <= v else (v, u)
+        if key in chosen or graph.has_edge(u, v):
+            continue
+        chosen.add(key)
+        updates.append(InsertEdge(*key))
+    if len(updates) < k:
+        raise WorkloadError(f"could not find {k} skewed absent edges")
+    return updates
+
+
+def skewed_deletions(graph, k, seed=0, bucket="high"):
+    """Sample ``k`` existing edges skewed by deg(u)·deg(v) (Figure 11)."""
+    edges = sorted(graph.edges())
+    if k > len(edges):
+        raise WorkloadError(f"cannot delete {k} edges from a graph with {len(edges)}")
+    if bucket == "uniform":
+        return random_deletions(graph, k, seed=seed)
+    scored = sorted(edges, key=lambda e: edge_degree(graph, *e),
+                    reverse=(bucket == "high"))
+    pool = scored[: max(k, len(scored) // 5)]
+    rng = random.Random(seed)
+    picked = rng.sample(pool, k)
+    return [DeleteEdge(u, v) for u, v in picked]
+
+
+def vertex_churn(graph, inserts=10, deletes=10, seed=0, attach=3):
+    """A vertex-level workload: new vertices with edges, plus removals.
+
+    Exercises the §3 vertex-insertion/deletion paths of the dynamic facade.
+    New vertex ids continue after the current maximum id.
+    """
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    if not vertices:
+        raise WorkloadError("vertex churn needs a non-empty graph")
+    next_id = max(vertices) + 1
+    updates = []
+    for i in range(inserts):
+        targets = tuple(rng.sample(vertices, min(attach, len(vertices))))
+        updates.append(InsertVertex(next_id + i, targets))
+    victims = rng.sample(vertices, min(deletes, len(vertices)))
+    updates.extend(DeleteVertex(v) for v in victims)
+    rng.shuffle(updates)
+    return updates

@@ -1,0 +1,96 @@
+"""Tests for betweenness analytics, cross-checked against networkx."""
+
+import pytest
+
+from repro.applications import (
+    group_betweenness,
+    pair_dependency,
+    top_k_betweenness,
+    vertex_betweenness,
+)
+from repro.core import build_spc_index
+from repro.graph import Graph, erdos_renyi, path_graph, star_graph, watts_strogatz
+
+
+class TestVertexBetweenness:
+    def test_path_graph_middle_dominates(self):
+        g = path_graph(5)
+        index = build_spc_index(g)
+        scores = vertex_betweenness(index)
+        assert scores[2] > scores[1] == scores[3] > scores[0]
+
+    def test_star_center(self):
+        g = star_graph(6)
+        index = build_spc_index(g)
+        scores = vertex_betweenness(index)
+        # Center carries every one of the C(5,2) leaf pairs.
+        assert scores[0] == 10
+        assert all(scores[v] == 0 for v in range(1, 6))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = erdos_renyi(16, 32, seed=seed)
+        index = build_spc_index(g)
+        ours = vertex_betweenness(index)
+        nxg = nx.Graph(list(g.edges()))
+        nxg.add_nodes_from(g.vertices())
+        theirs = nx.betweenness_centrality(nxg, normalized=False)
+        for v in g.vertices():
+            assert ours[v] == pytest.approx(theirs[v]), f"seed={seed} v={v}"
+
+    def test_top_k(self):
+        g = path_graph(7)
+        index = build_spc_index(g)
+        top = top_k_betweenness(index, k=2)
+        assert top[0][0] == 3  # the middle vertex
+
+
+class TestPairDependency:
+    def test_all_paths_through(self):
+        g = path_graph(3)
+        index = build_spc_index(g)
+        assert pair_dependency(index, 0, 2, 1) == 1.0
+
+    def test_half_paths_through(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        index = build_spc_index(g)
+        assert pair_dependency(index, 0, 3, 1) == 0.5
+
+    def test_endpoints_zero(self):
+        g = path_graph(3)
+        index = build_spc_index(g)
+        assert pair_dependency(index, 0, 2, 0) == 0.0
+
+
+class TestGroupBetweenness:
+    def test_single_vertex_group_matches_centrality(self):
+        g = watts_strogatz(20, k=4, rewire_prob=0.1, seed=2)
+        index = build_spc_index(g)
+        scores = vertex_betweenness(index)
+        for v in list(g.vertices())[:5]:
+            assert group_betweenness(g, index, [v]) == pytest.approx(scores[v])
+
+    def test_group_at_least_best_member(self):
+        g = erdos_renyi(15, 30, seed=3)
+        index = build_spc_index(g)
+        scores = vertex_betweenness(index)
+        ranked = sorted(scores, key=scores.get, reverse=True)
+        pair = ranked[:2]
+        b_group = group_betweenness(g, index, pair)
+        assert b_group >= max(scores[pair[0]], scores[pair[1]]) - 1e-9
+
+    def test_cut_group_captures_all_pairs(self):
+        # Removing the only middle vertex of a path intercepts every pair
+        # crossing it.
+        g = path_graph(5)
+        index = build_spc_index(g)
+        # Pairs crossing vertex 2: (0,3), (0,4), (1,3), (1,4) -> B = 4.
+        assert group_betweenness(g, index, [2]) == pytest.approx(4.0)
+
+    def test_restricted_pairs(self):
+        g = path_graph(5)
+        index = build_spc_index(g)
+        assert group_betweenness(g, index, [2], pairs=[(0, 4)]) == 1.0
+        assert group_betweenness(g, index, [2], pairs=[(0, 1)]) == 0.0

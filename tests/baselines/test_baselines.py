@@ -1,0 +1,58 @@
+"""Unit tests for the baseline oracles."""
+
+from repro.baselines import BFSCountingOracle, BiBFSCountingOracle, ReconstructionOracle
+from repro.core import build_spc_index
+from repro.graph import erdos_renyi, path_graph
+from repro.verify import verify_espc
+
+INF = float("inf")
+
+
+class TestQueryOracles:
+    def test_all_oracles_agree_with_index(self):
+        g = erdos_renyi(25, 60, seed=1)
+        index = build_spc_index(g)
+        bfs = BFSCountingOracle(g)
+        bibfs = BiBFSCountingOracle(g)
+        for s in range(0, 25, 3):
+            for t in range(1, 25, 4):
+                expected = index.query(s, t)
+                assert bfs.query(s, t) == expected
+                assert bibfs.query(s, t) == expected
+
+    def test_oracle_names(self):
+        g = path_graph(3)
+        assert BFSCountingOracle(g).name == "BFS"
+        assert BiBFSCountingOracle(g).name == "BiBFS"
+        assert ReconstructionOracle(g).name == "HP-SPC (rebuild)"
+
+
+class TestReconstructionOracle:
+    def test_insert_edge_rebuilds(self):
+        oracle = ReconstructionOracle(path_graph(5))
+        stats = oracle.insert_edge(0, 4)
+        assert stats.elapsed > 0
+        assert oracle.query(0, 4) == (1, 1)
+        assert verify_espc(oracle.graph, oracle.index)
+
+    def test_delete_edge_rebuilds(self):
+        oracle = ReconstructionOracle(path_graph(5))
+        oracle.delete_edge(2, 3)
+        assert oracle.query(0, 4) == (INF, 0)
+        assert verify_espc(oracle.graph, oracle.index)
+
+    def test_vertex_operations(self):
+        oracle = ReconstructionOracle(path_graph(3))
+        oracle.insert_vertex(7, edges=[0, 2])
+        assert oracle.query(7, 1) == (2, 2)
+        oracle.delete_vertex(7)
+        assert oracle.query(0, 2) == (2, 1)
+        assert verify_espc(oracle.graph, oracle.index)
+
+    def test_history_recorded(self):
+        oracle = ReconstructionOracle(path_graph(4))
+        oracle.insert_edge(0, 3)
+        oracle.delete_edge(0, 3)
+        assert oracle.history.updates == 2
+        assert oracle.history.insertions == 1
+        assert oracle.history.deletions == 1

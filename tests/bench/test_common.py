@@ -1,0 +1,71 @@
+"""Tests for the shared experiment machinery (dataset prep, workload runs)."""
+
+from repro.bench.experiments import common
+from repro.workloads import DeleteEdge, InsertEdge
+
+
+class TestPrepare:
+    def test_memoized(self):
+        a = common.prepare("EUA")
+        b = common.prepare("EUA")
+        assert a is b
+
+    def test_fresh_copies_are_independent(self):
+        prep = common.prepare("EUA")
+        g1, i1 = prep.fresh()
+        g2, i2 = prep.fresh()
+        u, v = next(iter(g1.edges()))
+        g1.remove_edge(u, v)
+        assert g2.has_edge(u, v)
+        i1.label_set(u).clear()
+        assert len(i2.label_set(u)) > 0
+
+    def test_build_stats_recorded(self):
+        prep = common.prepare("EUA")
+        assert prep.build_seconds > 0
+        assert prep.index_entries == prep.index.num_entries
+        assert prep.index_bytes == 8 * prep.index_entries
+
+
+class TestWorkloadRuns:
+    def test_same_key_shares_run(self):
+        a = common.run_insertions("EUA", 3, seed=42)
+        b = common.run_insertions("EUA", 3, seed=42)
+        assert a is b
+
+    def test_different_keys_do_not_share(self):
+        a = common.run_insertions("EUA", 3, seed=42)
+        b = common.run_insertions("EUA", 4, seed=42)
+        assert a is not b
+
+    def test_deletion_run_records_sr_sizes(self):
+        run = common.run_deletions("EUA", 3, seed=1)
+        assert len(run.stats) == 3
+        for s in run.stats:
+            assert s.kind == "delete"
+            assert s.elapsed > 0
+
+    def test_run_mutates_private_copy_only(self):
+        prep = common.prepare("EUA")
+        edges_before = prep.graph.num_edges
+        common.run_insertions("EUA", 2, seed=7)
+        assert prep.graph.num_edges == edges_before
+
+
+class TestApplyUpdates:
+    def test_dispatch_and_timing(self):
+        prep = common.prepare("EUA")
+        graph, index = prep.fresh()
+        u, v = sorted(graph.edges())[0]
+        # Delete then reinsert the same edge via the dispatcher.
+        stats = common.apply_updates(graph, index, [DeleteEdge(u, v), InsertEdge(u, v)])
+        assert [s.kind for s in stats] == ["delete", "insert"]
+        assert all(s.elapsed > 0 for s in stats)
+
+    def test_unknown_update_type(self):
+        import pytest
+
+        prep = common.prepare("EUA")
+        graph, index = prep.fresh()
+        with pytest.raises(TypeError):
+            common.apply_updates(graph, index, [object()])

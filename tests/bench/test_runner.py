@@ -1,0 +1,79 @@
+"""Tests for experiment dispatch and the CLI (on tiny synthetic configs)."""
+
+import json
+
+import pytest
+
+from repro.bench.config import BenchConfig, get_profile
+from repro.bench.runner import EXPERIMENTS, PAPER_SET, main, run_experiment
+
+
+def tiny_config():
+    """A minimal config so harness tests stay fast."""
+    return BenchConfig(
+        datasets=["EUA"],
+        streaming_datasets=["EUA"],
+        insertions=4,
+        deletions=3,
+        queries=30,
+        stream_insertions=5,
+        stream_deletions=2,
+        skew_insertions=3,
+        skew_deletions=2,
+    )
+
+
+class TestProfiles:
+    def test_named_profiles(self):
+        assert len(get_profile("quick").datasets) == 4
+        assert len(get_profile("full").datasets) == 10
+        with pytest.raises(ValueError):
+            get_profile("enormous")
+
+    def test_registry_covers_paper(self):
+        assert set(PAPER_SET) <= set(EXPERIMENTS)
+        assert len(PAPER_SET) == 8  # tables 3-5 + figures 7-11
+
+
+class TestRunExperiment:
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99", tiny_config())
+
+    @pytest.mark.parametrize("name", PAPER_SET)
+    def test_each_paper_experiment_runs(self, name):
+        result = run_experiment(name, tiny_config())
+        assert result.name == name
+        assert result.tables
+        for table in result.tables:
+            assert table.rows
+        # Renderable and JSON-serializable.
+        assert result.render()
+        json.dumps(result.to_dict(), default=str)
+
+    def test_ablations_run(self):
+        cfg = tiny_config()
+        for name in ("ablation_ordering", "ablation_aff"):
+            result = run_experiment(name, cfg)
+            assert result.tables[0].rows
+
+
+class TestCli:
+    def test_cli_runs_and_saves(self, tmp_path, capsys, monkeypatch):
+        # Use the tiny config by patching the profile resolver.
+        import repro.bench.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "get_profile", lambda name: tiny_config())
+        code = main(["table3", "--profile", "quick", "--save-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        saved = json.loads((tmp_path / "table3.json").read_text())
+        assert saved["name"] == "table3"
+
+    def test_cli_unknown_experiment(self, capsys, monkeypatch):
+        import repro.bench.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "get_profile", lambda name: tiny_config())
+        code = main(["tableXX"])
+        assert code == 1

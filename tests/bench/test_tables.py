@@ -1,0 +1,73 @@
+"""Unit tests for the result-table infrastructure."""
+
+import json
+
+import pytest
+
+from repro.bench.tables import ExperimentResult, Table
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        t = Table("T", ["a", "b"])
+        t.add_row(1, 2)
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_render_alignment(self):
+        t = Table("Title", ["col", "value"])
+        t.add_row("x", 1.5)
+        t.add_row("longer", 0.001)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert "col" in lines[2] and "value" in lines[2]
+        assert len({len(l) for l in lines[2:4]}) <= 2  # aligned grid
+
+    def test_float_formatting(self):
+        t = Table("T", ["v"])
+        t.add_row(1234.5)
+        t.add_row(0.000123)
+        t.add_row(0)
+        out = t.render()
+        assert "1,234" in out or "1,235" in out
+        assert "0.000123" in out
+
+    def test_column_access(self):
+        t = Table("T", ["name", "v"])
+        t.add_row("a", 1)
+        t.add_row("b", 2)
+        assert t.column("v") == [1, 2]
+        with pytest.raises(ValueError):
+            t.column("missing")
+
+    def test_to_dict(self):
+        t = Table("T", ["a"])
+        t.add_row(3)
+        assert t.to_dict() == {"title": "T", "columns": ["a"], "rows": [[3]]}
+
+
+class TestExperimentResult:
+    def _result(self):
+        t = Table("Table X", ["a"])
+        t.add_row(1)
+        return ExperimentResult("exp", "desc", tables=[t], extra={"k": [1, 2]})
+
+    def test_render_includes_header(self):
+        out = self._result().render()
+        assert out.startswith("== exp: desc ==")
+        assert "Table X" in out
+
+    def test_save_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        self._result().save(path)
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "exp"
+        assert payload["tables"][0]["rows"] == [[1]]
+        assert payload["extra"] == {"k": [1, 2]}
+
+    def test_table_lookup(self):
+        r = self._result()
+        assert r.table("Table X").rows == [[1]]
+        with pytest.raises(KeyError):
+            r.table("Nope")

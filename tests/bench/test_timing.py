@@ -1,0 +1,61 @@
+"""Unit tests for timing utilities."""
+
+import time
+
+from repro.bench.timing import (
+    Timer,
+    distribution_summary,
+    format_bytes,
+    format_seconds,
+    percentile,
+    timed,
+)
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_timed_records_into_dict(self):
+        record = {}
+        with timed(record, "step"):
+            time.sleep(0.005)
+        assert record["step"] >= 0.004
+
+
+class TestPercentiles:
+    def test_empty_and_single(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 25) == 7.0
+
+    def test_median_of_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+        assert percentile([0, 10], 75) == 7.5
+
+    def test_distribution_summary_shape(self):
+        s = distribution_summary([3, 1, 2, 4])
+        assert s["count"] == 4
+        assert s["min"] == 1 and s["max"] == 4
+        assert s["p25"] <= s["median"] <= s["p75"]
+        assert s["mean"] == 2.5
+
+    def test_distribution_summary_empty(self):
+        s = distribution_summary([])
+        assert s["count"] == 0 and s["mean"] == 0.0
+
+
+class TestFormatting:
+    def test_format_seconds_scales(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(0.0042).endswith("ms")
+        assert format_seconds(0.0000042).endswith("us")
+
+    def test_format_bytes_scales(self):
+        assert format_bytes(12) == "12 B"
+        assert format_bytes(4_200) == "4.2 KB"
+        assert format_bytes(3_500_000) == "3.50 MB"

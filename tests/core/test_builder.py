@@ -1,0 +1,100 @@
+"""Unit tests for HP-SPC construction on assorted graph families."""
+
+import pytest
+
+from repro.core import build_spc_index
+from repro.graph import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    star_graph,
+    watts_strogatz,
+)
+from repro.verify import check_invariants, verify_espc
+
+
+@pytest.mark.parametrize(
+    "graph_factory",
+    [
+        lambda: path_graph(12),
+        lambda: cycle_graph(11),
+        lambda: star_graph(15),
+        lambda: complete_graph(8),
+        lambda: grid_graph(4, 5),
+        lambda: erdos_renyi(40, 90, seed=1),
+        lambda: barabasi_albert(60, attach=2, seed=2),
+        lambda: watts_strogatz(50, k=4, rewire_prob=0.3, seed=3),
+    ],
+    ids=["path", "cycle", "star", "clique", "grid", "er", "ba", "ws"],
+)
+def test_espc_on_family(graph_factory):
+    g = graph_factory()
+    index = build_spc_index(g)
+    assert verify_espc(g, index)
+    assert check_invariants(index)
+
+
+class TestOrderingEffects:
+    def test_random_order_still_correct(self):
+        g = erdos_renyi(35, 70, seed=5)
+        index = build_spc_index(g, strategy="random")
+        assert verify_espc(g, index)
+
+    def test_natural_order_still_correct(self):
+        g = erdos_renyi(35, 70, seed=6)
+        index = build_spc_index(g, strategy="natural")
+        assert verify_espc(g, index)
+
+    def test_degree_order_smaller_than_random(self):
+        # The paper's motivation for degree ordering: smaller index.
+        g = barabasi_albert(150, attach=3, seed=7)
+        by_degree = build_spc_index(g, strategy="degree")
+        by_random = build_spc_index(g, strategy="random")
+        assert by_degree.num_entries < by_random.num_entries
+
+    def test_explicit_order_list(self):
+        g = path_graph(5)
+        index = build_spc_index(g, order=[4, 3, 2, 1, 0])
+        assert verify_espc(g, index)
+        assert index.rank(4) == 0
+
+
+class TestStructure:
+    def test_highest_rank_vertex_has_only_self_label(self):
+        g = erdos_renyi(20, 40, seed=8)
+        index = build_spc_index(g)
+        top = index.vertex_of_rank(0)
+        assert index.labels(top) == [(top, 0, 1)]
+
+    def test_star_center_covers_everything(self):
+        g = star_graph(10)
+        index = build_spc_index(g)  # center ranks first
+        # Every leaf: exactly the center label and the self label.
+        for leaf in range(1, 10):
+            assert len(index.label_set(leaf)) == 2
+        assert index.query(3, 7) == (2, 1)
+
+    def test_clique_label_chain(self):
+        # In a clique under natural order, L(v_i) = {v_0..v_i}: each earlier
+        # vertex is an (i, 1, 1) hub and nothing can be pruned below it.
+        g = complete_graph(5)
+        index = build_spc_index(g, strategy="natural")
+        for v in range(5):
+            assert len(index.label_set(v)) == v + 1
+
+    def test_isolated_vertices(self):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([(0, 1)], vertices=[2, 3])
+        index = build_spc_index(g)
+        assert index.query(2, 3) == (float("inf"), 0)
+        assert index.query(2, 2) == (0, 1)
+
+    def test_empty_graph(self):
+        from repro.graph import Graph
+
+        index = build_spc_index(Graph())
+        assert index.num_entries == 0

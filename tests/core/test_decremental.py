@@ -1,0 +1,124 @@
+"""Unit tests for DecSPC beyond the paper's Figure 6 trace."""
+
+import random
+
+import pytest
+
+from repro.core import build_spc_index, dec_spc
+from repro.exceptions import EdgeNotFound
+from repro.graph import Graph, cycle_graph, erdos_renyi, path_graph
+from repro.verify import check_invariants, verify_espc
+
+INF = float("inf")
+
+
+class TestSingleDeletions:
+    def test_delete_bridge_disconnects(self):
+        g = path_graph(4)
+        index = build_spc_index(g)
+        dec_spc(g, index, 1, 2)
+        assert index.query(0, 3) == (INF, 0)
+        assert index.query(0, 1) == (1, 1)
+        assert verify_espc(g, index)
+
+    def test_delete_from_cycle_reroutes(self):
+        g = cycle_graph(6)
+        index = build_spc_index(g)
+        dec_spc(g, index, 0, 1)
+        assert index.query(0, 1) == (5, 1)
+        assert verify_espc(g, index)
+
+    def test_delete_one_of_parallel_paths(self):
+        # Two length-2 paths 0-1-3 and 0-2-3; deleting (1, 3) leaves one.
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        index = build_spc_index(g)
+        dec_spc(g, index, 1, 3)
+        assert index.query(0, 3) == (2, 1)
+        assert verify_espc(g, index)
+
+    def test_missing_edge_raises_before_mutation(self):
+        g = path_graph(4)
+        index = build_spc_index(g)
+        with pytest.raises(EdgeNotFound):
+            dec_spc(g, index, 0, 3)
+        assert verify_espc(g, index)
+
+    def test_distance_unchanged_count_drops(self):
+        # The §2.3 critique of RA-based methods: deleting an edge can leave
+        # sd unchanged while spc must drop.
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        index = build_spc_index(g)
+        assert index.query(0, 4) == (3, 2)
+        dec_spc(g, index, 2, 3)
+        assert index.query(0, 4) == (3, 1)
+        assert verify_espc(g, index)
+
+
+class TestDeletionSequences:
+    def test_random_deletions_stay_exact(self):
+        rng = random.Random(11)
+        g = erdos_renyi(22, 55, seed=11)
+        index = build_spc_index(g)
+        edges = sorted(g.edges())
+        rng.shuffle(edges)
+        for u, v in edges[:25]:
+            dec_spc(g, index, u, v)
+            assert verify_espc(g, index), f"after delete ({u},{v})"
+            assert check_invariants(index)
+
+    def test_dismantle_entire_graph(self):
+        g = erdos_renyi(12, 26, seed=12)
+        index = build_spc_index(g)
+        for u, v in sorted(g.edges()):
+            dec_spc(g, index, u, v)
+        assert g.num_edges == 0
+        assert verify_espc(g, index)
+        # Every vertex keeps exactly its self-label.
+        for v in g.vertices():
+            assert index.labels(v) == [(v, 0, 1)]
+
+    def test_stats_record_sr_r_sizes(self):
+        g = erdos_renyi(20, 50, seed=13)
+        index = build_spc_index(g)
+        u, v = sorted(g.edges())[0]
+        stats = dec_spc(g, index, u, v, use_isolated_fast_path=False)
+        assert stats.sr_a >= 1  # at least the endpoint itself
+        assert stats.sr_b >= 1
+        assert stats.kind == "delete"
+
+
+class TestInterleavedWithIncremental:
+    def test_insert_then_delete_roundtrip_queries(self):
+        from repro.core import inc_spc
+
+        g = erdos_renyi(18, 36, seed=14)
+        index = build_spc_index(g)
+        baseline = {
+            (s, t): index.query(s, t)
+            for s in range(18)
+            for t in range(18)
+        }
+        inc_spc(g, index, 0, 17) if not g.has_edge(0, 17) else None
+        if g.has_edge(0, 17):
+            dec_spc(g, index, 0, 17)
+        for pair, expected in baseline.items():
+            assert index.query(*pair) == expected
+
+    def test_alternating_updates(self):
+        from repro.core import inc_spc
+
+        rng = random.Random(15)
+        g = erdos_renyi(20, 40, seed=15)
+        index = build_spc_index(g)
+        for step in range(30):
+            if step % 2 == 0:
+                # insert a random absent edge
+                while True:
+                    u, v = rng.randrange(20), rng.randrange(20)
+                    if u != v and not g.has_edge(u, v):
+                        inc_spc(g, index, u, v)
+                        break
+            else:
+                u, v = rng.choice(sorted(g.edges()))
+                dec_spc(g, index, u, v)
+            assert verify_espc(g, index), f"step {step}"

@@ -1,0 +1,96 @@
+"""Unit tests for IncSPC beyond the paper's Figure 3 trace."""
+
+import random
+
+import pytest
+
+from repro.core import build_spc_index, inc_spc
+from repro.exceptions import DuplicateEdge
+from repro.graph import Graph, erdos_renyi, path_graph
+from repro.verify import check_invariants, verify_espc
+
+INF = float("inf")
+
+
+class TestSingleInsertions:
+    def test_shortcut_edge_updates_distance(self):
+        g = path_graph(6)
+        index = build_spc_index(g)
+        inc_spc(g, index, 0, 5)
+        assert index.query(0, 5) == (1, 1)
+        assert verify_espc(g, index)
+
+    def test_parallel_path_updates_count_only(self):
+        # 0-1-2 plus new 0-3, 3-2 creates a second length-2 path.
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 3)])
+        index = build_spc_index(g)
+        stats = inc_spc(g, index, 3, 2)
+        assert index.query(0, 2) == (2, 2)
+        assert verify_espc(g, index)
+        assert stats.kind == "insert"
+
+    def test_connecting_two_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        index = build_spc_index(g)
+        assert index.query(0, 3) == (INF, 0)
+        inc_spc(g, index, 1, 2)
+        assert index.query(0, 3) == (3, 1)
+        assert verify_espc(g, index)
+
+    def test_attach_isolated_vertex(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        index = build_spc_index(g)
+        inc_spc(g, index, 1, 2)
+        assert index.query(0, 2) == (2, 1)
+        assert verify_espc(g, index)
+
+    def test_duplicate_edge_rejected_without_corruption(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        index = build_spc_index(g)
+        with pytest.raises(DuplicateEdge):
+            inc_spc(g, index, 0, 1)
+        assert verify_espc(g, index)
+
+    def test_stale_labels_never_surface(self):
+        # After a shortcut, old longer-distance labels may remain, but all
+        # queries must still be exact (Lemma 3.1 discussion).
+        g = path_graph(8)
+        index = build_spc_index(g)
+        inc_spc(g, index, 0, 7)
+        inc_spc(g, index, 1, 6)
+        assert verify_espc(g, index)
+        assert check_invariants(index)
+
+
+class TestInsertionSequences:
+    def test_many_random_insertions_stay_exact(self):
+        rng = random.Random(3)
+        g = erdos_renyi(25, 40, seed=3)
+        index = build_spc_index(g)
+        inserted = 0
+        while inserted < 20:
+            u, v = rng.randrange(25), rng.randrange(25)
+            if u == v or g.has_edge(u, v):
+                continue
+            inc_spc(g, index, u, v)
+            inserted += 1
+            assert verify_espc(g, index), f"after insert ({u},{v})"
+
+    def test_densify_to_clique(self):
+        g = path_graph(6)
+        index = build_spc_index(g)
+        for u in range(6):
+            for v in range(u + 1, 6):
+                if not g.has_edge(u, v):
+                    inc_spc(g, index, u, v)
+        assert verify_espc(g, index)
+        assert index.query(0, 5) == (1, 1)
+
+    def test_stats_accumulate_sensibly(self):
+        g = path_graph(10)
+        index = build_spc_index(g)
+        stats = inc_spc(g, index, 0, 9)
+        assert stats.affected_hubs >= 1
+        assert stats.total_label_ops > 0
+        assert stats.bfs_visits >= stats.total_label_ops
+        assert stats.removed == 0  # insertions never remove labels

@@ -1,0 +1,116 @@
+"""Unit tests for SPCIndex: queries, serialization, size accounting."""
+
+import pytest
+
+from repro.core import SPCIndex, build_spc_index
+from repro.exceptions import VertexNotFound
+from repro.graph import Graph, path_graph
+from repro.order import VertexOrder
+
+INF = float("inf")
+
+
+class TestBareIndex:
+    def test_self_labels_by_default(self):
+        index = SPCIndex(VertexOrder([0, 1, 2]))
+        assert index.query(0, 0) == (0, 1)
+        assert index.query(0, 2) == (INF, 0)
+
+    def test_missing_vertex(self):
+        index = SPCIndex(VertexOrder([0]))
+        with pytest.raises(VertexNotFound):
+            index.query(0, 5)
+
+    def test_rank_accessors(self):
+        index = SPCIndex(VertexOrder([5, 7]))
+        assert index.rank(5) == 0
+        assert index.vertex_of_rank(1) == 7
+        assert 5 in index and 9 not in index
+
+    def test_add_vertex_appends_rank(self):
+        index = SPCIndex(VertexOrder([0, 1]))
+        r = index.add_vertex(9)
+        assert r == 2
+        assert index.query(9, 9) == (0, 1)
+
+    def test_drop_vertex_labels(self):
+        index = SPCIndex(VertexOrder([0, 1]))
+        index.drop_vertex_labels(1)
+        with pytest.raises(VertexNotFound):
+            index.query(1, 1)
+        with pytest.raises(VertexNotFound):
+            index.drop_vertex_labels(1)
+
+
+class TestQueries:
+    def test_labels_in_id_space(self, paper_index):
+        assert paper_index.labels(1) == [(0, 1, 1), (1, 0, 1)]
+        assert paper_index.hubs(8) == {0, 2, 3, 8}
+
+    def test_query_symmetric(self, paper_index):
+        for s, t in [(4, 6), (0, 9), (3, 10), (11, 5)]:
+            assert paper_index.query(s, t) == paper_index.query(t, s)
+
+    def test_distance_and_count_helpers(self, paper_index):
+        assert paper_index.distance(4, 6) == 3
+        assert paper_index.count(4, 6) == 2
+
+    def test_pre_query_is_upper_bound(self, paper_index):
+        for s in range(12):
+            for t in range(12):
+                d, _ = paper_index.query(s, t)
+                d_bar, _ = paper_index.pre_query(s, t)
+                assert d_bar >= d
+
+
+class TestSizeAccounting:
+    def test_num_entries_and_bytes(self, paper_index):
+        assert paper_index.size_bytes == 8 * paper_index.num_entries
+
+    def test_average_and_max_label_size(self, paper_index):
+        assert paper_index.max_label_size() == 7  # L(v9) and L(v10)
+        expected_avg = paper_index.num_entries / 12
+        assert paper_index.average_label_size() == pytest.approx(expected_avg)
+
+    def test_empty_index_sizes(self):
+        index = SPCIndex(VertexOrder([]), with_self_labels=False)
+        assert index.num_entries == 0
+        assert index.average_label_size() == 0.0
+        assert index.max_label_size() == 0
+
+
+class TestSerialization:
+    def test_roundtrip(self, paper_graph, paper_index):
+        payload = paper_index.to_dict()
+        import json
+
+        payload = json.loads(json.dumps(payload))  # force JSON types
+        restored = SPCIndex.from_dict(payload)
+        for v in range(12):
+            assert restored.labels(v) == paper_index.labels(v)
+        assert restored.query(4, 6) == (3, 2)
+
+    def test_copy_independent(self, paper_index):
+        clone = paper_index.copy()
+        clone.label_set(5).set(0, 9, 9)
+        assert paper_index.label_set(5).get(0) == (2, 2)
+        assert clone.query(4, 6) == paper_index.query(4, 6)
+
+
+class TestAgainstSmallGraphs:
+    def test_path(self):
+        g = path_graph(6)
+        index = build_spc_index(g)
+        assert index.query(0, 5) == (5, 1)
+
+    def test_two_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        index = build_spc_index(g)
+        assert index.query(0, 3) == (INF, 0)
+        assert index.query(2, 3) == (1, 1)
+
+    def test_single_vertex(self):
+        g = Graph()
+        g.add_vertex(0)
+        index = build_spc_index(g)
+        assert index.query(0, 0) == (0, 1)

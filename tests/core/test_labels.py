@@ -1,0 +1,98 @@
+"""Unit tests for LabelSet and the packed 64-bit encoding."""
+
+import pytest
+
+from repro.core.labels import (
+    COUNT_BITS,
+    ENTRY_BYTES,
+    LabelSet,
+    pack_entry,
+    unpack_entry,
+)
+
+
+class TestLabelSet:
+    def test_set_keeps_sorted(self):
+        ls = LabelSet()
+        ls.set(5, 2, 1)
+        ls.set(1, 3, 2)
+        ls.set(3, 1, 1)
+        assert ls.hubs == [1, 3, 5]
+        assert list(ls) == [(1, 3, 2), (3, 1, 1), (5, 2, 1)]
+
+    def test_set_returns_operation(self):
+        ls = LabelSet()
+        assert ls.set(2, 1, 1) == "inserted"
+        assert ls.set(2, 1, 5) == "replaced"
+        assert ls.get(2) == (1, 5)
+
+    def test_get_missing(self):
+        ls = LabelSet()
+        ls.set(1, 1, 1)
+        assert ls.get(0) is None
+        assert ls.get(2) is None
+
+    def test_contains(self):
+        ls = LabelSet()
+        ls.set(4, 1, 1)
+        assert 4 in ls
+        assert 3 not in ls
+
+    def test_remove(self):
+        ls = LabelSet()
+        ls.set(1, 1, 1)
+        ls.set(2, 2, 2)
+        assert ls.remove(1)
+        assert not ls.remove(1)
+        assert ls.hubs == [2]
+        assert len(ls) == 1
+
+    def test_clear(self):
+        ls = LabelSet()
+        ls.set(1, 1, 1)
+        ls.clear()
+        assert len(ls) == 0
+
+    def test_as_dict_and_copy(self):
+        ls = LabelSet()
+        ls.set(0, 0, 1)
+        ls.set(7, 3, 4)
+        assert ls.as_dict() == {0: (0, 1), 7: (3, 4)}
+        clone = ls.copy()
+        clone.set(0, 9, 9)
+        assert ls.get(0) == (0, 1)
+
+    def test_repr_readable(self):
+        ls = LabelSet()
+        ls.set(0, 0, 1)
+        assert repr(ls) == "LabelSet[(0,0,1)]"
+
+
+class TestPackedEncoding:
+    def test_roundtrip(self):
+        packed = pack_entry(12345, 678, 99999)
+        assert unpack_entry(packed) == (12345, 678, 99999)
+
+    def test_fits_64_bits(self):
+        packed = pack_entry((1 << 25) - 1, (1 << 10) - 1, (1 << 29) - 1)
+        assert packed < (1 << 64)
+
+    def test_count_saturates(self):
+        packed = pack_entry(0, 0, 1 << 40)
+        assert unpack_entry(packed)[2] == (1 << COUNT_BITS) - 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_entry(1 << 25, 0, 1)
+        with pytest.raises(ValueError):
+            pack_entry(0, 1 << 10, 1)
+        with pytest.raises(ValueError):
+            pack_entry(0, 0, -1)
+
+    def test_labelset_packed(self):
+        ls = LabelSet()
+        ls.set(3, 2, 5)
+        assert [unpack_entry(p) for p in ls.packed()] == [(3, 2, 5)]
+
+    def test_entry_bytes_constant(self):
+        assert ENTRY_BYTES == 8

@@ -1,0 +1,128 @@
+"""Unit + property tests for shortest-path reconstruction from the index."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    build_spc_index,
+    count_paths_through,
+    enumerate_shortest_paths,
+    is_on_some_shortest_path,
+    shortest_path,
+)
+from repro.graph import Graph, cycle_graph, erdos_renyi, path_graph
+
+
+def _is_valid_path(graph, path, s, t, length):
+    if path[0] != s or path[-1] != t or len(path) != length + 1:
+        return False
+    return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+
+class TestShortestPath:
+    def test_path_graph(self):
+        g = path_graph(5)
+        index = build_spc_index(g)
+        assert shortest_path(g, index, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_self_path(self):
+        g = path_graph(3)
+        index = build_spc_index(g)
+        assert shortest_path(g, index, 1, 1) == [1]
+
+    def test_unreachable_returns_none(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        index = build_spc_index(g)
+        assert shortest_path(g, index, 0, 2) is None
+
+    def test_random_graphs_paths_valid(self):
+        rng = random.Random(1)
+        for seed in range(10):
+            g = erdos_renyi(20, 40, seed=seed)
+            index = build_spc_index(g)
+            for _ in range(10):
+                s, t = rng.randrange(20), rng.randrange(20)
+                d = index.distance(s, t)
+                p = shortest_path(g, index, s, t)
+                if d == float("inf"):
+                    assert p is None
+                else:
+                    assert _is_valid_path(g, p, s, t, d)
+
+
+class TestEnumerate:
+    def test_count_matches_enumeration(self):
+        for seed in range(8):
+            g = erdos_renyi(12, 26, seed=seed)
+            index = build_spc_index(g)
+            for s in range(0, 12, 3):
+                for t in range(1, 12, 4):
+                    paths = list(enumerate_shortest_paths(g, index, s, t))
+                    assert len(paths) == index.count(s, t), (seed, s, t)
+                    d = index.distance(s, t)
+                    for p in paths:
+                        assert _is_valid_path(g, p, s, t, d)
+                    # All paths distinct.
+                    assert len({tuple(p) for p in paths}) == len(paths)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = erdos_renyi(15, 35, seed=3)
+        index = build_spc_index(g)
+        nxg = nx.Graph(list(g.edges()))
+        nxg.add_nodes_from(g.vertices())
+        for s, t in [(0, 14), (1, 13), (2, 7)]:
+            if index.count(s, t) == 0:
+                continue
+            ours = sorted(tuple(p) for p in enumerate_shortest_paths(g, index, s, t))
+            theirs = sorted(tuple(p) for p in nx.all_shortest_paths(nxg, s, t))
+            assert ours == theirs
+
+    def test_limit(self):
+        from repro.graph import complete_bipartite
+
+        g = complete_bipartite(2, 6)
+        index = build_spc_index(g)
+        assert index.count(0, 1) == 6
+        assert len(list(enumerate_shortest_paths(g, index, 0, 1, limit=3))) == 3
+
+    def test_unreachable_yields_nothing(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        index = build_spc_index(g)
+        assert list(enumerate_shortest_paths(g, index, 0, 2)) == []
+
+
+class TestThroughVertex:
+    def test_on_path_predicate(self):
+        g = path_graph(5)
+        index = build_spc_index(g)
+        assert is_on_some_shortest_path(index, 0, 4, 2)
+        assert not is_on_some_shortest_path(index, 0, 1, 3)
+
+    def test_count_through_decomposition(self):
+        g = cycle_graph(6)
+        index = build_spc_index(g)
+        # 0 -> 3 has two shortest paths; each middle vertex carries one.
+        assert count_paths_through(index, 0, 3, 1) == 1
+        assert count_paths_through(index, 0, 3, 4) == 1
+        assert count_paths_through(index, 0, 3, 0) == 2  # endpoint: all
+
+    def test_count_through_off_path(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 3)])
+        index = build_spc_index(g)
+        assert count_paths_through(index, 0, 2, 3) == 0
+
+    def test_count_through_sums_to_total(self):
+        # Summing over vertices at a fixed distance k from s recovers spc.
+        g = erdos_renyi(15, 40, seed=9)
+        index = build_spc_index(g)
+        for s, t in [(0, 14), (2, 11)]:
+            d, c = index.query(s, t)
+            if c == 0 or d < 2:
+                continue
+            k = d // 2
+            level = [v for v in g.vertices() if index.distance(s, v) == k]
+            total = sum(count_paths_through(index, s, t, v) for v in level)
+            assert total == c

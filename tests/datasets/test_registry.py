@@ -1,0 +1,65 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    SMALL_DATASET_NAMES,
+    STREAMING_DATASET_NAMES,
+    dataset_info,
+    dataset_statistics,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+from repro.graph import is_connected
+
+
+class TestRegistry:
+    def test_ten_datasets_in_table3_order(self):
+        assert DATASET_NAMES == [
+            "EUA", "NTD", "STA", "WCO", "GOO", "BKS", "SKI", "DBP", "WAR", "IND",
+        ]
+        assert set(SMALL_DATASET_NAMES) <= set(DATASET_NAMES)
+        assert STREAMING_DATASET_NAMES == ["BKS", "WAR", "IND"]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            dataset_info("NOPE")
+        with pytest.raises(DatasetError):
+            load_dataset("NOPE")
+
+    def test_info_fields(self):
+        info = dataset_info("EUA")
+        assert info["paper_name"] == "email-EuAll"
+        assert info["paper_n"] == 265214
+        assert info["paper_m"] == 418956
+
+    @pytest.mark.parametrize("name", SMALL_DATASET_NAMES)
+    def test_small_datasets_load_connected(self, name):
+        g = load_dataset(name)
+        assert g.num_vertices > 100
+        assert is_connected(g)
+
+    def test_load_returns_copy_by_default(self):
+        a = load_dataset("EUA")
+        b = load_dataset("EUA")
+        u, v = next(iter(a.edges()))
+        a.remove_edge(u, v)
+        assert b.has_edge(u, v)
+
+    def test_load_deterministic(self):
+        a = load_dataset("NTD")
+        b = load_dataset("NTD")
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_statistics_row(self):
+        row = dataset_statistics("WCO")
+        assert row["key"] == "WCO"
+        assert row["n"] > 0 and row["m"] > 0
+        assert row["paper_n"] == 118100
+
+    def test_relative_size_ordering_preserved(self):
+        # IND must stay the largest analogue, as in Table 3.
+        sizes = {name: load_dataset(name, copy=False).num_edges
+                 for name in SMALL_DATASET_NAMES + ["IND"]}
+        assert sizes["IND"] == max(sizes.values())

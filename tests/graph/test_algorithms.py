@@ -1,0 +1,67 @@
+"""Unit tests for the graph algorithm toolkit."""
+
+from repro.graph import (
+    Graph,
+    approximate_diameter,
+    connected_components,
+    degree_stats,
+    induced_subgraph,
+    is_connected,
+    largest_component,
+    path_graph,
+)
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = path_graph(5)
+        comps = connected_components(g)
+        assert len(comps) == 1
+        assert comps[0] == set(range(5))
+
+    def test_multiple_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], vertices=[4])
+        comps = sorted(connected_components(g), key=lambda c: sorted(c)[0])
+        assert comps == [{0, 1}, {2, 3}, {4}]
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(4))
+        assert is_connected(Graph())  # vacuous
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        assert not is_connected(g)
+
+    def test_largest_component(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)])
+        big = largest_component(g)
+        assert sorted(big.vertices()) == [0, 1, 2]
+        assert big.num_edges == 2
+
+    def test_largest_component_empty(self):
+        assert largest_component(Graph()).num_vertices == 0
+
+    def test_induced_subgraph(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        sub = induced_subgraph(g, [0, 1])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+
+
+class TestDiameterAndDegrees:
+    def test_approximate_diameter_path(self):
+        g = path_graph(10)
+        assert approximate_diameter(g, samples=4, seed=1) == 9
+
+    def test_approximate_diameter_empty(self):
+        assert approximate_diameter(Graph()) == 0
+
+    def test_degree_stats(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        stats = degree_stats(g)
+        assert stats["max"] == 3
+        assert stats["min"] == 1
+        assert stats["mean"] == 1.5
+        assert stats["histogram"] == {3: 1, 1: 3}
+
+    def test_degree_stats_empty(self):
+        stats = degree_stats(Graph())
+        assert stats == {"min": 0, "max": 0, "mean": 0.0, "histogram": {}}

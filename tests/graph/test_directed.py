@@ -1,0 +1,71 @@
+"""Unit tests for the DiGraph substrate."""
+
+import pytest
+
+from repro.exceptions import DuplicateEdge, EdgeNotFound, SelfLoop, VertexNotFound
+from repro.graph import DiGraph
+
+
+class TestDiGraph:
+    def test_arcs_are_directed(self):
+        g = DiGraph.from_edges([(0, 1)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_successors_predecessors(self):
+        g = DiGraph.from_edges([(0, 1), (2, 1)])
+        assert sorted(g.successors(0)) == [1]
+        assert sorted(g.predecessors(1)) == [0, 2]
+
+    def test_degrees(self):
+        g = DiGraph.from_edges([(0, 1), (0, 2), (3, 0)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(0) == 1
+        assert g.degree(0) == 3
+
+    def test_reverse_arc_is_distinct(self):
+        g = DiGraph.from_edges([(0, 1)])
+        g.add_edge(1, 0)  # both directions may coexist
+        assert g.num_edges == 2
+
+    def test_duplicate_arc_rejected(self):
+        g = DiGraph.from_edges([(0, 1)])
+        with pytest.raises(DuplicateEdge):
+            g.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = DiGraph()
+        g.add_vertex(0)
+        with pytest.raises(SelfLoop):
+            g.add_edge(0, 0)
+
+    def test_remove_edge_direction_sensitive(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        with pytest.raises(EdgeNotFound):
+            g.remove_edge(0, 1)
+
+    def test_remove_vertex(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        removed = g.remove_vertex(0)
+        assert sorted(removed) == [(0, 1), (2, 0)]
+        assert g.num_edges == 1
+
+    def test_missing_vertex(self):
+        g = DiGraph()
+        with pytest.raises(VertexNotFound):
+            g.successors(1)
+
+    def test_to_undirected(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+        u = g.to_undirected()
+        assert u.num_edges == 2
+        assert u.has_edge(0, 1) and u.has_edge(2, 1)
+
+    def test_copy_independent(self):
+        g = DiGraph.from_edges([(0, 1)])
+        h = g.copy()
+        h.remove_edge(0, 1)
+        assert g.has_edge(0, 1)

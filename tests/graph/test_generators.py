@@ -1,0 +1,132 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    barabasi_albert,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    directed_scale_free,
+    erdos_renyi,
+    grid_graph,
+    is_connected,
+    path_graph,
+    powerlaw_cluster,
+    random_directed,
+    random_tree,
+    random_weighted,
+    star_graph,
+    watts_strogatz,
+)
+
+
+class TestBasicShapes:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g)
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(2, 3)
+        assert g.num_edges == 6
+        assert not g.has_edge(0, 1)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_with_diagonals(self):
+        g = grid_graph(5, 5, diagonal_prob=1.0)
+        assert g.num_edges == 4 * 5 * 2 + 16
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_size(self):
+        g = erdos_renyi(50, 120, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 120
+
+    def test_erdos_renyi_too_many_edges(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(4, 10)
+
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi(30, 60, seed=7)
+        b = erdos_renyi(30, 60, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert(100, attach=3, seed=2)
+        assert g.num_vertices == 100
+        # Core clique of 4 plus 3 edges per later vertex.
+        assert g.num_edges == 6 + 96 * 3
+        assert is_connected(g)
+
+    def test_barabasi_albert_heavy_tail(self):
+        g = barabasi_albert(300, attach=2, seed=3)
+        degs = sorted(g.degrees().values(), reverse=True)
+        assert degs[0] >= 4 * degs[len(degs) // 2]
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz(60, k=4, rewire_prob=0.2, seed=4)
+        assert g.num_vertices == 60
+        # Rewiring preserves the edge count.
+        assert g.num_edges == 60 * 2
+
+    def test_watts_strogatz_invalid_k(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, k=3)
+
+    def test_powerlaw_cluster(self):
+        g = powerlaw_cluster(200, attach=3, triangle_prob=0.7, seed=5)
+        assert g.num_vertices == 200
+        assert is_connected(g)
+
+    def test_random_tree(self):
+        g = random_tree(40, seed=6)
+        assert g.num_edges == 39
+        assert is_connected(g)
+
+    def test_random_tree_tiny(self):
+        assert random_tree(1).num_edges == 0
+        assert random_tree(2).num_edges == 1
+
+
+class TestDirectedAndWeighted:
+    def test_random_directed(self):
+        g = random_directed(30, 80, seed=1)
+        assert g.num_vertices == 30
+        assert g.num_edges == 80
+
+    def test_directed_scale_free(self):
+        g = directed_scale_free(100, attach=2, seed=8)
+        assert g.num_vertices == 100
+        assert g.num_edges >= 2 * 97
+
+    def test_random_weighted_integer(self):
+        g = random_weighted(40, 80, max_weight=5, seed=9)
+        assert g.num_edges == 80
+        assert all(1 <= w <= 5 and w == int(w) for _, _, w in g.edges())
+
+    def test_random_weighted_float(self):
+        g = random_weighted(40, 80, max_weight=5, seed=9, integer_weights=False)
+        assert all(0.5 <= w <= 5.0 for _, _, w in g.edges())

@@ -1,0 +1,65 @@
+"""Unit tests for edge-list I/O."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    Graph,
+    WeightedGraph,
+    read_edge_list,
+    read_weighted_edge_list,
+    write_edge_list,
+)
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header="test graph")
+        h = read_edge_list(path)
+        assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n% konect comment\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_directed_dump_deduplicated(self, tmp_path):
+        # SNAP dumps of directed graphs list both arc directions.
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_directed_read(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n")
+        g = read_edge_list(path, directed=True)
+        assert g.num_edges == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_weighted_roundtrip(self, tmp_path):
+        g = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 3.5)])
+        path = tmp_path / "w.txt"
+        write_edge_list(g, path)
+        h = read_weighted_edge_list(path)
+        assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_weighted_malformed(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError):
+            read_weighted_edge_list(path)

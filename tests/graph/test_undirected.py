@@ -1,0 +1,126 @@
+"""Unit tests for the undirected Graph substrate."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateEdge,
+    DuplicateVertex,
+    EdgeNotFound,
+    SelfLoop,
+    VertexNotFound,
+)
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_from_edges_with_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], vertices=[5, 6])
+        assert g.num_vertices == 4
+        assert g.degree(5) == 0
+
+    def test_from_edges_rejects_duplicates(self):
+        with pytest.raises(DuplicateEdge):
+            Graph.from_edges([(0, 1), (1, 0)])
+
+    def test_copy_is_independent(self):
+        g = Graph.from_edges([(0, 1)])
+        h = g.copy()
+        h.add_vertex(2)
+        h.add_edge(1, 2)
+        assert g.num_vertices == 2
+        assert h.num_edges == 2
+
+
+class TestMutation:
+    def test_add_vertex_duplicate(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(DuplicateVertex):
+            g.add_vertex(0)
+        g.add_vertex(0, exist_ok=True)  # no raise
+
+    def test_add_edge_missing_vertex(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(VertexNotFound):
+            g.add_edge(0, 1)
+
+    def test_add_edge_self_loop(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(SelfLoop):
+            g.add_edge(0, 0)
+
+    def test_add_edge_duplicate(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(DuplicateEdge):
+            g.add_edge(1, 0)
+
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        with pytest.raises(EdgeNotFound):
+            g.remove_edge(0, 2)
+
+    def test_remove_vertex_returns_removed_edges(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+        removed = g.remove_vertex(0)
+        assert sorted(removed) == [(0, 1), (0, 2)]
+        assert g.num_edges == 1
+        assert 0 not in g
+
+    def test_remove_missing_vertex(self):
+        g = Graph()
+        with pytest.raises(VertexNotFound):
+            g.remove_vertex(7)
+
+
+class TestAccessors:
+    def test_neighbors_and_degree(self):
+        g = Graph.from_edges([(0, 1), (0, 2)])
+        assert sorted(g.neighbors(0)) == [1, 2]
+        assert g.degree(0) == 2
+        assert g.degree(1) == 1
+
+    def test_neighbors_missing_vertex(self):
+        g = Graph()
+        with pytest.raises(VertexNotFound):
+            g.neighbors(3)
+
+    def test_edges_canonical_and_unique(self):
+        g = Graph.from_edges([(2, 1), (0, 2)])
+        assert sorted(g.edges()) == [(0, 2), (1, 2)]
+
+    def test_degrees_map(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.degrees() == {0: 1, 1: 2, 2: 1}
+
+    def test_contains_len_iter(self):
+        g = Graph.from_edges([(0, 1)])
+        assert 0 in g and 5 not in g
+        assert len(g) == 2
+        assert sorted(g) == [0, 1]
+
+    def test_equality(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(1, 0)])
+        assert a == b
+        b.add_vertex(2)
+        assert a != b

@@ -1,0 +1,67 @@
+"""Unit tests for the WeightedGraph substrate."""
+
+import pytest
+
+from repro.exceptions import DuplicateEdge, EdgeNotFound, GraphError, VertexNotFound
+from repro.graph import WeightedGraph
+
+
+class TestWeightedGraph:
+    def test_from_edges_and_weight(self):
+        g = WeightedGraph.from_edges([(0, 1, 2.5), (1, 2, 1)])
+        assert g.weight(0, 1) == 2.5
+        assert g.weight(1, 0) == 2.5
+        assert g.num_edges == 2
+
+    def test_positive_weight_enforced(self):
+        g = WeightedGraph()
+        g.add_vertex(0)
+        g.add_vertex(1)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -1.5)
+
+    def test_set_weight(self):
+        g = WeightedGraph.from_edges([(0, 1, 3)])
+        old = g.set_weight(0, 1, 5)
+        assert old == 3
+        assert g.weight(1, 0) == 5
+        with pytest.raises(GraphError):
+            g.set_weight(0, 1, 0)
+
+    def test_set_weight_missing_edge(self):
+        g = WeightedGraph.from_edges([(0, 1, 3)], vertices=[2])
+        with pytest.raises(EdgeNotFound):
+            g.set_weight(0, 2, 1)
+
+    def test_remove_edge_returns_weight(self):
+        g = WeightedGraph.from_edges([(0, 1, 4)])
+        assert g.remove_edge(0, 1) == 4
+        assert g.num_edges == 0
+
+    def test_remove_vertex_returns_triples(self):
+        g = WeightedGraph.from_edges([(0, 1, 1), (0, 2, 2)])
+        removed = g.remove_vertex(0)
+        assert sorted(removed) == [(0, 1, 1), (0, 2, 2)]
+
+    def test_duplicate_edge(self):
+        g = WeightedGraph.from_edges([(0, 1, 1)])
+        with pytest.raises(DuplicateEdge):
+            g.add_edge(1, 0, 2)
+
+    def test_neighbors_view(self):
+        g = WeightedGraph.from_edges([(0, 1, 1), (0, 2, 2)])
+        assert g.neighbors(0) == {1: 1, 2: 2}
+        with pytest.raises(VertexNotFound):
+            g.neighbors(9)
+
+    def test_edges_iteration(self):
+        g = WeightedGraph.from_edges([(1, 0, 3), (1, 2, 4)])
+        assert sorted(g.edges()) == [(0, 1, 3), (1, 2, 4)]
+
+    def test_copy_independent(self):
+        g = WeightedGraph.from_edges([(0, 1, 1)])
+        h = g.copy()
+        h.set_weight(0, 1, 9)
+        assert g.weight(0, 1) == 1

@@ -1,0 +1,100 @@
+"""Unit tests for vertex orderings."""
+
+import pytest
+
+from repro.exceptions import OrderingError
+from repro.graph import Graph, star_graph
+from repro.order import VertexOrder, degree_order, make_order, natural_order, random_order
+
+
+class TestVertexOrder:
+    def test_rank_and_vertex(self):
+        order = VertexOrder([5, 3, 9])
+        assert order.rank(5) == 0
+        assert order.rank(9) == 2
+        assert order.vertex(1) == 3
+
+    def test_higher_matches_paper_notation(self):
+        order = VertexOrder([5, 3, 9])
+        assert order.higher(5, 9)      # 5 <= 9 (5 ranks higher)
+        assert not order.higher(9, 3)
+        assert order.higher(3, 3)      # reflexive
+
+    def test_duplicate_vertex_rejected(self):
+        with pytest.raises(OrderingError):
+            VertexOrder([1, 2, 1])
+
+    def test_unknown_vertex(self):
+        order = VertexOrder([0])
+        with pytest.raises(OrderingError):
+            order.rank(4)
+        with pytest.raises(OrderingError):
+            order.vertex(2)
+
+    def test_append_gets_lowest_rank(self):
+        order = VertexOrder([0, 1])
+        r = order.append(7)
+        assert r == 2
+        assert order.rank(7) == 2
+        assert order.rank(0) == 0  # existing ranks untouched
+
+    def test_append_duplicate(self):
+        order = VertexOrder([0])
+        with pytest.raises(OrderingError):
+            order.append(0)
+
+    def test_iter_and_len(self):
+        order = VertexOrder([2, 0, 1])
+        assert list(order) == [2, 0, 1]
+        assert len(order) == 3
+        assert 0 in order and 9 not in order
+
+    def test_rank_map_is_live(self):
+        order = VertexOrder([0, 1])
+        rank = order.rank_map()
+        order.append(2)
+        assert rank[2] == 2
+
+
+class TestStrategies:
+    def test_degree_order_puts_hub_first(self):
+        g = star_graph(5)
+        order = degree_order(g)
+        assert order.vertex(0) == 0  # the center
+
+    def test_degree_order_tie_break_by_id(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        order = degree_order(g)
+        assert order.as_list() == [0, 1, 2, 3]
+
+    def test_natural_order(self):
+        g = Graph.from_edges([(5, 1), (3, 1)])
+        assert natural_order(g).as_list() == [1, 3, 5]
+
+    def test_random_order_deterministic(self):
+        g = star_graph(10)
+        a = random_order(g, seed=3)
+        b = random_order(g, seed=3)
+        assert a.as_list() == b.as_list()
+        c = random_order(g, seed=4)
+        assert a.as_list() != c.as_list()
+
+    def test_make_order_explicit_list(self):
+        g = Graph.from_edges([(0, 1)])
+        order = make_order(g, [1, 0])
+        assert order.rank(1) == 0
+
+    def test_make_order_explicit_missing_vertex(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        with pytest.raises(OrderingError):
+            make_order(g, [0, 1])
+
+    def test_make_order_explicit_extra_vertex(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(OrderingError):
+            make_order(g, [0, 1, 2])
+
+    def test_make_order_unknown_strategy(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(OrderingError):
+            make_order(g, "mystery")

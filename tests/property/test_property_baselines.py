@@ -1,0 +1,54 @@
+"""Property-based agreement tests across independent implementations.
+
+BFS, BiBFS and the hub-labeling index are three independent ways to compute
+(sd, spc); they must always agree.  networkx (available offline) provides a
+fourth, external reference for distances and path counts.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_spc_index
+from repro.traversal import bfs_counting_pair, bibfs_counting
+from tests.property.strategies import small_graphs
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+INF = float("inf")
+
+
+class TestThreeWayAgreement:
+    @settings(max_examples=60, **COMMON)
+    @given(g=small_graphs(), s=st.integers(0, 11), t=st.integers(0, 11))
+    def test_bfs_bibfs_index_agree(self, g, s, t):
+        n = g.num_vertices
+        s %= n
+        t %= n
+        index = build_spc_index(g)
+        expected = bfs_counting_pair(g, s, t)
+        assert bibfs_counting(g, s, t) == expected
+        assert index.query(s, t) == expected
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=40, **COMMON)
+    @given(g=small_graphs(max_vertices=10))
+    def test_distance_and_counts_match_networkx(self, g):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(g.vertices())
+        nxg.add_edges_from(g.edges())
+        index = build_spc_index(g)
+        for s in g.vertices():
+            lengths = nx.single_source_shortest_path_length(nxg, s)
+            for t in g.vertices():
+                d, c = index.query(s, t)
+                if t not in lengths:
+                    assert (d, c) == (INF, 0)
+                    continue
+                assert d == lengths[t]
+                expected_count = sum(
+                    1 for _ in nx.all_shortest_paths(nxg, s, t)
+                )
+                assert c == expected_count

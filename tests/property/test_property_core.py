@@ -1,0 +1,122 @@
+"""Property-based tests: the ESPC invariant under construction and updates.
+
+These are the heavy hitters of the test suite: hypothesis drives random
+graphs and update scripts through HP-SPC / IncSPC / DecSPC and checks every
+query against BFS ground truth after every step.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_spc_index, dec_spc, inc_spc
+from repro.verify import check_invariants, verify_espc
+from tests.property.strategies import replay_script, small_graphs, update_scripts
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestStaticConstruction:
+    @settings(max_examples=60, **COMMON)
+    @given(g=small_graphs())
+    def test_espc_holds_for_any_graph(self, g):
+        index = build_spc_index(g)
+        assert verify_espc(g, index)
+
+    @settings(max_examples=40, **COMMON)
+    @given(g=small_graphs(), seed=st.integers(0, 2**16))
+    def test_espc_independent_of_ordering(self, g, seed):
+        from repro.order import random_order
+
+        index = build_spc_index(g, order=random_order(g, seed=seed))
+        assert verify_espc(g, index)
+
+    @settings(max_examples=40, **COMMON)
+    @given(g=small_graphs())
+    def test_structural_invariants(self, g):
+        index = build_spc_index(g)
+        assert check_invariants(index)
+
+
+class TestIncrementalProperty:
+    @settings(max_examples=50, **COMMON)
+    @given(g=small_graphs(), script=update_scripts(max_ops=6))
+    def test_insert_only_scripts(self, g, script):
+        index = build_spc_index(g)
+        insert_only = [(k, i) for k, i in script if k == "ins"]
+        replay_script(
+            g, insert_only,
+            do_insert=lambda u, v: inc_spc(g, index, u, v),
+            do_delete=lambda u, v: None,
+        )
+        assert verify_espc(g, index)
+        assert check_invariants(index)
+
+
+class TestDecrementalProperty:
+    @settings(max_examples=50, **COMMON)
+    @given(g=small_graphs(), script=update_scripts(max_ops=6))
+    def test_delete_only_scripts(self, g, script):
+        index = build_spc_index(g)
+        delete_only = [(k, i) for k, i in script if k == "del"]
+        replay_script(
+            g, delete_only,
+            do_insert=lambda u, v: None,
+            do_delete=lambda u, v: dec_spc(g, index, u, v),
+        )
+        assert verify_espc(g, index)
+        assert check_invariants(index)
+
+
+class TestHybridProperty:
+    @settings(max_examples=60, **COMMON)
+    @given(g=small_graphs(), script=update_scripts(max_ops=10))
+    def test_mixed_scripts_stay_exact(self, g, script):
+        index = build_spc_index(g)
+        replay_script(
+            g, script,
+            do_insert=lambda u, v: inc_spc(g, index, u, v),
+            do_delete=lambda u, v: dec_spc(g, index, u, v),
+        )
+        assert verify_espc(g, index)
+
+    @settings(max_examples=30, **COMMON)
+    @given(g=small_graphs(max_vertices=9), script=update_scripts(max_ops=8))
+    def test_dynamic_equivalent_to_rebuild(self, g, script):
+        from repro.verify import indexes_equivalent
+
+        index = build_spc_index(g)
+        replay_script(
+            g, script,
+            do_insert=lambda u, v: inc_spc(g, index, u, v),
+            do_delete=lambda u, v: dec_spc(g, index, u, v),
+        )
+        rebuilt = build_spc_index(g)
+        assert indexes_equivalent(index, rebuilt, g)
+
+    @settings(max_examples=30, **COMMON)
+    @given(g=small_graphs(max_vertices=9), script=update_scripts(max_ops=8))
+    def test_update_then_inverse_preserves_queries(self, g, script):
+        # Apply one insert then its inverse delete: answers must return to
+        # the original for every pair (labels may differ).
+        index = build_spc_index(g)
+        baseline = {
+            (s, t): index.query(s, t)
+            for s in g.vertices()
+            for t in g.vertices()
+        }
+        candidates = [
+            (u, v)
+            for u in sorted(g.vertices())
+            for v in sorted(g.vertices())
+            if u < v and not g.has_edge(u, v)
+        ]
+        if not candidates:
+            return
+        u, v = candidates[len(script) % len(candidates)]
+        inc_spc(g, index, u, v)
+        dec_spc(g, index, u, v)
+        for pair, expected in baseline.items():
+            assert index.query(*pair) == expected

@@ -1,0 +1,100 @@
+"""Property-based tests on the core data structures (LabelSet, VertexOrder)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import LabelSet, pack_entry, unpack_entry
+from repro.order import VertexOrder
+
+
+class TestLabelSetModel:
+    """LabelSet must behave exactly like a dict keyed by hub."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["set", "remove", "get"]),
+                st.integers(0, 15),
+                st.integers(0, 50),
+                st.integers(1, 9),
+            ),
+            max_size=40,
+        )
+    )
+    def test_against_dict_model(self, ops):
+        ls = LabelSet()
+        model = {}
+        for op, hub, d, c in ops:
+            if op == "set":
+                result = ls.set(hub, d, c)
+                expected = "replaced" if hub in model else "inserted"
+                assert result == expected
+                model[hub] = (d, c)
+            elif op == "remove":
+                assert ls.remove(hub) == (hub in model)
+                model.pop(hub, None)
+            else:
+                assert ls.get(hub) == model.get(hub)
+            # Invariants after every op.
+            assert ls.hubs == sorted(model)
+            assert ls.as_dict() == model
+            assert len(ls) == len(model)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        entries=st.dictionaries(
+            st.integers(0, 2**25 - 1),
+            st.tuples(st.integers(0, 2**10 - 1), st.integers(1, 2**29 - 1)),
+            max_size=20,
+        )
+    )
+    def test_pack_roundtrip(self, entries):
+        ls = LabelSet()
+        for h, (d, c) in entries.items():
+            ls.set(h, d, c)
+        unpacked = [unpack_entry(p) for p in ls.packed()]
+        assert unpacked == list(ls)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        h=st.integers(0, 2**25 - 1),
+        d=st.integers(0, 2**10 - 1),
+        c=st.integers(0, 2**29 - 1),
+    )
+    def test_pack_entry_bijective_in_range(self, h, d, c):
+        assert unpack_entry(pack_entry(h, d, c)) == (h, d, c)
+
+
+class TestVertexOrderModel:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        initial=st.lists(st.integers(0, 30), unique=True, max_size=15),
+        ops=st.lists(
+            st.tuples(st.sampled_from(["append", "remove"]), st.integers(0, 30)),
+            max_size=25,
+        ),
+    )
+    def test_ranks_stable_under_churn(self, initial, ops):
+        order = VertexOrder(initial)
+        live_rank = {v: r for r, v in enumerate(initial)}
+        next_rank = len(initial)
+        for op, v in ops:
+            if op == "append":
+                if v in live_rank:
+                    continue
+                r = order.append(v)
+                assert r == next_rank
+                live_rank[v] = next_rank
+                next_rank += 1
+            else:
+                if v not in live_rank:
+                    continue
+                freed = order.remove(v)
+                assert freed == live_rank.pop(v)
+            # Live vertices keep their original rank numbers forever.
+            for u, r in live_rank.items():
+                assert order.rank(u) == r
+                assert order.vertex(r) == u
+            assert len(order) == len(live_rank)
+            assert order.as_list() == sorted(live_rank, key=live_rank.get)

@@ -1,0 +1,74 @@
+"""Unit tests for the SD-Index (distance-only PLL)."""
+
+import random
+
+from repro.graph import erdos_renyi, path_graph
+from repro.sd import build_sd_index
+from repro.traversal import bfs_distance_sssp
+
+INF = float("inf")
+
+
+class TestSDConstruction:
+    def test_distances_exact(self):
+        g = erdos_renyi(40, 90, seed=1)
+        index = build_sd_index(g)
+        for s in range(0, 40, 5):
+            truth = bfs_distance_sssp(g, s)
+            for t in range(40):
+                expected = truth.get(t, INF)
+                assert index.distance(s, t) == expected
+
+    def test_disconnected(self):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        index = build_sd_index(g)
+        assert index.distance(0, 2) == INF
+
+    def test_paper_sd_vs_spc_hub_sets(self, paper_graph, paper_order):
+        # §2.3: "(v0, 2) belongs to L(v5) in SD-Index, but v2 is no longer a
+        # hub of v8" — the SD index drops the non-canonical labels.
+        index = build_sd_index(paper_graph, order=paper_order)
+        assert ("v0-check", dict(index.labels(5)).get(0)) == ("v0-check", 2)
+        assert 2 not in dict(index.labels(8))
+
+    def test_sd_index_smaller_than_spc(self, paper_graph, paper_order, paper_index):
+        sd = build_sd_index(paper_graph, order=paper_order)
+        assert sd.num_entries <= paper_index.num_entries
+
+    def test_labels_sorted(self):
+        g = erdos_renyi(30, 60, seed=2)
+        index = build_sd_index(g)
+        for v in g.vertices():
+            hubs, _ = index.label_arrays(v)
+            assert hubs == sorted(hubs)
+
+
+class TestSDIncremental:
+    def test_distances_exact_after_insertions(self):
+        from repro.sd import inc_sd
+
+        rng = random.Random(5)
+        g = erdos_renyi(25, 45, seed=5)
+        index = build_sd_index(g)
+        done = 0
+        while done < 15:
+            u, v = rng.randrange(25), rng.randrange(25)
+            if u == v or g.has_edge(u, v):
+                continue
+            inc_sd(g, index, u, v)
+            done += 1
+            for s in range(0, 25, 4):
+                truth = bfs_distance_sssp(g, s)
+                for t in range(0, 25, 3):
+                    assert index.distance(s, t) == truth.get(t, INF)
+
+    def test_component_merge(self):
+        from repro.graph import Graph
+        from repro.sd import inc_sd
+
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        index = build_sd_index(g)
+        inc_sd(g, index, 1, 2)
+        assert index.distance(0, 3) == 3

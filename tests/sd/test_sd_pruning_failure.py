@@ -1,0 +1,81 @@
+"""Failure injection: SD-style pruning must corrupt SPC counts (§2.3).
+
+The paper argues the WWW'14 incremental algorithm "fails to detect the
+presence of new shortest paths with the same length as the pre-existing
+ones".  We verify the failure is real (the broken variant corrupts counts on
+a crafted graph and the verifier catches it) and that the correct IncSPC
+handles the same update.
+"""
+
+import pytest
+
+from repro.core import build_spc_index, inc_spc
+from repro.exceptions import IndexCorruption
+from repro.graph import Graph, erdos_renyi
+from repro.sd import inc_spc_sd_pruning
+from repro.verify import verify_espc
+
+
+def equal_length_scenario():
+    """A graph where inserting (3, 2) adds a second shortest path 0-2.
+
+    Existing: 0-1-2; new: 0-3 then (3, 2) closes a tie.  The tie is exactly
+    what non-strict pruning throws away.
+    """
+    return Graph.from_edges([(0, 1), (1, 2), (0, 3)])
+
+
+class TestSDPruningFailure:
+    def test_broken_variant_misses_tied_paths(self):
+        g = equal_length_scenario()
+        index = build_spc_index(g)
+        inc_spc_sd_pruning(g, index, 3, 2)
+        # Distance is right, count is wrong: the hallmark failure.
+        d, c = index.query(0, 2)
+        assert d == 2
+        assert c == 1  # true answer is 2
+        with pytest.raises(IndexCorruption):
+            verify_espc(g, index)
+
+    def test_correct_incspc_handles_same_update(self):
+        g = equal_length_scenario()
+        index = build_spc_index(g)
+        inc_spc(g, index, 3, 2)
+        assert index.query(0, 2) == (2, 2)
+        assert verify_espc(g, index)
+
+    def test_corruption_rate_on_random_graphs(self):
+        # Across random insertions, the broken rule must fail at least
+        # sometimes while the correct rule never does.
+        broken_failures = 0
+        trials = 0
+        for seed in range(12):
+            g = erdos_renyi(18, 30, seed=seed)
+            gb = g.copy()
+            index_ok = build_spc_index(g)
+            index_bad = build_spc_index(gb)
+            edge = _absent_edge(g, seed)
+            if edge is None:
+                continue
+            trials += 1
+            inc_spc(g, index_ok, *edge)
+            inc_spc_sd_pruning(gb, index_bad, *edge)
+            assert verify_espc(g, index_ok)
+            try:
+                verify_espc(gb, index_bad)
+            except IndexCorruption:
+                broken_failures += 1
+        assert trials >= 8
+        assert broken_failures >= 1
+
+
+def _absent_edge(g, seed):
+    import random
+
+    rng = random.Random(seed)
+    vs = sorted(g.vertices())
+    for _ in range(200):
+        u, v = rng.choice(vs), rng.choice(vs)
+        if u != v and not g.has_edge(u, v):
+            return u, v
+    return None

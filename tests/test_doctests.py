@@ -1,0 +1,37 @@
+"""Run every doctest embedded in the library's docstrings.
+
+The usage examples in docstrings are part of the public documentation;
+this keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.startswith("repro.bench.__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failures"
+
+
+def test_doctests_actually_cover_examples():
+    # Guard against the parametrization silently collecting nothing.
+    total_examples = 0
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        finder = doctest.DocTestFinder()
+        for test in finder.find(module):
+            total_examples += len(test.examples)
+    assert total_examples >= 10

@@ -1,0 +1,57 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    DatasetError,
+    DuplicateEdge,
+    DuplicateVertex,
+    EdgeNotFound,
+    GraphError,
+    IndexCorruption,
+    OrderingError,
+    ReproError,
+    SelfLoop,
+    VertexNotFound,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [GraphError, IndexCorruption, OrderingError, WorkloadError, DatasetError],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    @pytest.mark.parametrize(
+        "exc_type",
+        [VertexNotFound, EdgeNotFound, DuplicateEdge, DuplicateVertex, SelfLoop],
+    )
+    def test_graph_errors(self, exc_type):
+        assert issubclass(exc_type, GraphError)
+
+
+class TestPayloads:
+    def test_vertex_not_found_carries_vertex(self):
+        e = VertexNotFound(42)
+        assert e.vertex == 42
+        assert "42" in str(e)
+
+    def test_edge_errors_carry_edge(self):
+        assert EdgeNotFound(1, 2).edge == (1, 2)
+        assert DuplicateEdge(3, 4).edge == (3, 4)
+
+    def test_self_loop_message(self):
+        assert "self-loop" in str(SelfLoop(7))
+
+    def test_catch_all_library_errors(self):
+        # The single-except-clause contract from the module docstring.
+        from repro.graph import Graph
+
+        g = Graph()
+        with pytest.raises(ReproError):
+            g.neighbors(0)
+        with pytest.raises(ReproError):
+            g.add_vertex(0) or g.add_vertex(0)

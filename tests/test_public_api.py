@@ -1,0 +1,42 @@
+"""The public API surface: everything in __all__ imports and is documented."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_docstrings_on_public_callables(self):
+        import inspect
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_module_docstring_quickstart_is_true(self):
+        # The usage example in the package docstring must actually work.
+        from repro import DynamicSPC, Graph
+
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
+        dyn = DynamicSPC(g)
+        assert dyn.query(0, 2) == (2, 2)
+        dyn.insert_edge(0, 2)
+        dyn.delete_edge(0, 1)
+        assert dyn.check()
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.bench
+        import repro.datasets
+        import repro.directed
+        import repro.sd
+        import repro.weighted
+        import repro.workloads
+
+        assert repro.bench.PAPER_SET

@@ -1,0 +1,110 @@
+"""Unit tests for BFS counting engines."""
+
+from repro.graph import Graph, complete_bipartite, cycle_graph, path_graph
+from repro.traversal import (
+    INF,
+    all_pairs_counting,
+    bfs_counting_pair,
+    bfs_counting_sssp,
+    bfs_distance_sssp,
+    directed_bfs_counting_sssp,
+    restricted_bfs_counting,
+)
+
+
+class TestSSSPCounting:
+    def test_path_graph(self):
+        g = path_graph(4)
+        dist, count = bfs_counting_sssp(g, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert count == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_diamond_counts_two_paths(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        dist, count = bfs_counting_sssp(g, 0)
+        assert dist[3] == 2
+        assert count[3] == 2
+
+    def test_complete_bipartite_counting(self):
+        # K_{2,3}: between the two left vertices there are 3 paths of len 2.
+        g = complete_bipartite(2, 3)
+        dist, count = bfs_counting_sssp(g, 0)
+        assert dist[1] == 2
+        assert count[1] == 3
+
+    def test_unreachable_vertices_absent(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        dist, count = bfs_counting_sssp(g, 0)
+        assert 2 not in dist and 2 not in count
+
+    def test_distance_only_matches_counting(self):
+        g = cycle_graph(7)
+        assert bfs_distance_sssp(g, 0) == bfs_counting_sssp(g, 0)[0]
+
+    def test_even_cycle_two_paths_to_antipode(self):
+        g = cycle_graph(6)
+        _, count = bfs_counting_sssp(g, 0)
+        assert count[3] == 2
+
+
+class TestPairCounting:
+    def test_pair_matches_sssp(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        dist, count = bfs_counting_sssp(g, 0)
+        for t in [1, 2, 3, 4]:
+            assert bfs_counting_pair(g, 0, t) == (dist[t], count[t])
+
+    def test_self_pair(self):
+        g = path_graph(3)
+        assert bfs_counting_pair(g, 1, 1) == (0, 1)
+
+    def test_disconnected_pair(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        assert bfs_counting_pair(g, 0, 2) == (INF, 0)
+
+    def test_counts_final_at_target_level(self):
+        # Both length-2 paths must be counted even though the BFS could
+        # reach the target before finishing the level.
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert bfs_counting_pair(g, 0, 3) == (2, 2)
+
+
+class TestAllPairsAndRestricted:
+    def test_all_pairs_symmetry(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        answers = all_pairs_counting(g)
+        for (s, t), v in answers.items():
+            assert answers[(t, s)] == v
+
+    def test_all_pairs_disconnected(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        answers = all_pairs_counting(g)
+        assert answers[(0, 2)] == (INF, 0)
+
+    def test_restricted_bfs_blocks_vertices(self):
+        # 0-1-2 and 0-3-2: restricting out vertex 1 leaves one path.
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
+        allowed = {0, 2, 3}
+        dist, count = restricted_bfs_counting(g, 0, allowed)
+        assert dist[2] == 2
+        assert count[2] == 1
+        assert 1 not in dist
+
+
+class TestDirectedBFS:
+    def test_forward_vs_reverse(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        dist_f, count_f = directed_bfs_counting_sssp(g, 0)
+        assert dist_f == {0: 0, 1: 1, 2: 1}
+        dist_r, count_r = directed_bfs_counting_sssp(g, 2, reverse=True)
+        assert dist_r == {2: 0, 1: 1, 0: 1}
+        assert count_r[0] == 1
+
+    def test_directed_counting(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        _, count = directed_bfs_counting_sssp(g, 0)
+        assert count[3] == 2

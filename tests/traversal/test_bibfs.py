@@ -1,0 +1,78 @@
+"""Unit tests for bidirectional BFS counting — including the classic traps."""
+
+import random
+
+from repro.graph import (
+    Graph,
+    complete_bipartite,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+)
+from repro.traversal import INF, bfs_counting_pair, bibfs_counting
+
+
+class TestBiBFSBasics:
+    def test_self_pair(self):
+        g = path_graph(3)
+        assert bibfs_counting(g, 0, 0) == (0, 1)
+
+    def test_adjacent(self):
+        g = path_graph(3)
+        assert bibfs_counting(g, 0, 1) == (1, 1)
+
+    def test_disconnected(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        assert bibfs_counting(g, 0, 2) == (INF, 0)
+
+    def test_diamond(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert bibfs_counting(g, 0, 3) == (2, 2)
+
+    def test_odd_path_meeting_at_edge(self):
+        # Odd distances force the "frontiers meet across an edge" case.
+        g = path_graph(6)
+        assert bibfs_counting(g, 0, 5) == (5, 1)
+
+    def test_even_cycle_antipodes(self):
+        g = cycle_graph(8)
+        assert bibfs_counting(g, 0, 4) == (4, 2)
+
+    def test_odd_cycle(self):
+        g = cycle_graph(7)
+        assert bibfs_counting(g, 0, 3) == (3, 1)
+
+    def test_complete_bipartite_many_paths(self):
+        g = complete_bipartite(4, 5)
+        assert bibfs_counting(g, 0, 1) == (2, 5)
+
+    def test_parallel_chains(self):
+        # Three vertex-disjoint chains of length 4 between s and t.
+        edges = []
+        for chain in range(3):
+            a, b, c = 2 + 3 * chain, 3 + 3 * chain, 4 + 3 * chain
+            edges += [(0, a), (a, b), (b, c), (c, 1)]
+        g = Graph.from_edges(edges)
+        assert bibfs_counting(g, 0, 1) == (4, 3)
+
+
+class TestBiBFSAgainstBFS:
+    def test_random_graphs_match_unidirectional(self):
+        rng = random.Random(42)
+        for trial in range(25):
+            n = rng.randint(6, 40)
+            m = rng.randint(n - 1, min(3 * n, n * (n - 1) // 2))
+            g = erdos_renyi(n, m, seed=trial)
+            for _ in range(10):
+                s = rng.randrange(n)
+                t = rng.randrange(n)
+                assert bibfs_counting(g, s, t) == bfs_counting_pair(g, s, t), (
+                    f"trial={trial} pair=({s},{t})"
+                )
+
+    def test_asymmetric_degrees(self):
+        # A star meeting a long path stresses the smaller-frontier policy.
+        edges = [(0, i) for i in range(1, 30)]
+        edges += [(29, 30), (30, 31), (31, 32)]
+        g = Graph.from_edges(edges)
+        assert bibfs_counting(g, 1, 32) == bfs_counting_pair(g, 1, 32)

@@ -1,0 +1,66 @@
+"""Unit tests for Dijkstra counting on weighted graphs."""
+
+import random
+
+from repro.graph import WeightedGraph, random_weighted
+from repro.traversal import INF, dijkstra_counting_pair, dijkstra_counting_sssp
+
+
+def brute_force_counting(graph, source):
+    """Exponential reference: enumerate all simple paths (tiny graphs only)."""
+    paths = {}
+
+    def enumerate_paths(v, seen, length):
+        paths.setdefault(v, []).append(length)
+        for w, weight in graph.neighbors(v).items():
+            if w not in seen:
+                enumerate_paths(w, seen | {w}, length + weight)
+
+    enumerate_paths(source, {source}, 0)
+    result = {}
+    for v, lengths in paths.items():
+        m = min(lengths)
+        result[v] = (m, lengths.count(m))
+    return result
+
+
+class TestDijkstraCounting:
+    def test_weighted_diamond(self):
+        g = WeightedGraph.from_edges([(0, 1, 1), (0, 2, 2), (1, 3, 2), (2, 3, 1)])
+        dist, count = dijkstra_counting_sssp(g, 0)
+        assert dist[3] == 3
+        assert count[3] == 2
+
+    def test_unequal_weights_single_path(self):
+        g = WeightedGraph.from_edges([(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 2)])
+        dist, count = dijkstra_counting_sssp(g, 0)
+        assert dist[3] == 2
+        assert count[3] == 1
+
+    def test_matches_brute_force_random(self):
+        rng = random.Random(7)
+        for trial in range(15):
+            n = rng.randint(4, 9)
+            m = rng.randint(n - 1, n * (n - 1) // 2)
+            g = random_weighted(n, m, max_weight=4, seed=trial)
+            expected = brute_force_counting(g, 0)
+            dist, count = dijkstra_counting_sssp(g, 0)
+            for v, (d, c) in expected.items():
+                assert dist[v] == d, f"trial={trial} v={v}"
+                assert count[v] == c, f"trial={trial} v={v}"
+
+    def test_pair_query(self):
+        g = WeightedGraph.from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 2)])
+        assert dijkstra_counting_pair(g, 0, 2) == (2, 2)
+        assert dijkstra_counting_pair(g, 0, 0) == (0, 1)
+
+    def test_pair_disconnected(self):
+        g = WeightedGraph.from_edges([(0, 1, 1)])
+        g.add_vertex(9)
+        assert dijkstra_counting_pair(g, 0, 9) == (INF, 0)
+
+    def test_fractional_weights(self):
+        g = WeightedGraph.from_edges([(0, 1, 0.5), (1, 2, 0.5), (0, 2, 1.0)])
+        dist, count = dijkstra_counting_sssp(g, 0)
+        assert dist[2] == 1.0
+        assert count[2] == 2
