@@ -13,10 +13,9 @@ Run with:  python examples/collaboration_network.py
 
 import random
 
-from repro import DynamicSPC, Graph
-from repro.directed import DynamicDirectedSPC
+import repro
+from repro import Graph
 from repro.graph import DiGraph, WeightedGraph
-from repro.weighted import DynamicWeightedSPC
 
 
 def build_collaboration_graph(seed=21):
@@ -42,7 +41,7 @@ def build_collaboration_graph(seed=21):
 
 def main():
     graph = build_collaboration_graph()
-    dyn = DynamicSPC(graph)
+    dyn = repro.open(graph)
 
     a, b = 0, 59  # one author per community
     d, c = dyn.query(a, b)
@@ -59,7 +58,7 @@ def main():
     citations = DiGraph.from_edges(
         [(1, 0), (2, 0), (3, 1), (4, 2), (5, 2), (4, 3), (5, 4), (0, 5)]
     )
-    cite = DynamicDirectedSPC(citations)
+    cite = repro.open(citations)   # auto-selects the directed backend
     print(f"\ncitation paths 3 ~> 0: {cite.query(3, 0)}")
     cite.insert_edge(3, 2)
     print(f"after new citation 3 -> 2: {cite.query(3, 0)}")
@@ -68,7 +67,7 @@ def main():
     strength = WeightedGraph.from_edges(
         [(0, 1, 1), (1, 2, 2), (0, 3, 2), (3, 2, 1), (2, 4, 3)]
     )
-    wdyn = DynamicWeightedSPC(strength)
+    wdyn = repro.open(strength)    # auto-selects the weighted backend
     print(f"\nweighted distance 0 ~ 4: {wdyn.query(0, 4)}")
     # A pair of authors intensify their collaboration: weight drops.
     wdyn.set_weight(1, 2, 1)

@@ -11,7 +11,7 @@ Run with:  python examples/friend_recommendation.py
 
 import random
 
-from repro import DynamicSPC
+import repro
 from repro.graph import powerlaw_cluster
 
 
@@ -36,7 +36,7 @@ def recommend(dyn, user, k=5):
 def main():
     rng = random.Random(7)
     graph = powerlaw_cluster(300, attach=3, triangle_prob=0.6, seed=7)
-    dyn = DynamicSPC(graph)
+    dyn = repro.open(graph)
 
     user = max(graph.vertices(), key=graph.degree)
     print(f"user {user} has {graph.degree(user)} friends")

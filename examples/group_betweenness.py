@@ -7,14 +7,14 @@ Group betweenness of a vertex set C is
 where delta_st counts all shortest s-t paths and delta_st(C) those passing
 through C.  Since delta_st(C) = delta_st − delta_st(G \\ C), both terms are
 pairwise SPC queries: one on G, one on G with C removed — and removing C is
-just a few DynamicSPC.delete_vertex calls, no rebuild.
+just a few SPCEngine.delete_vertex calls, no rebuild.
 
 Run with:  python examples/group_betweenness.py
 """
 
 import itertools
 
-from repro import DynamicSPC
+import repro
 from repro.graph import watts_strogatz
 
 INF = float("inf")
@@ -26,7 +26,7 @@ def group_betweenness(dyn_full, group, vertices):
     ``dyn_full`` answers counts on G; a scratch oracle with ``group``
     removed answers counts on G \\ group.
     """
-    scratch = DynamicSPC(dyn_full.graph.copy())
+    scratch = repro.open(dyn_full.graph.copy())
     for v in group:
         scratch.delete_vertex(v)
 
@@ -44,7 +44,7 @@ def group_betweenness(dyn_full, group, vertices):
 
 def main():
     graph = watts_strogatz(60, k=4, rewire_prob=0.2, seed=5)
-    dyn = DynamicSPC(graph)
+    dyn = repro.open(graph)
     vertices = sorted(graph.vertices())
 
     # Rank single vertices by group betweenness (classic betweenness).

@@ -3,7 +3,8 @@
 Run with:  python examples/quickstart.py
 """
 
-from repro import DynamicSPC, Graph, bibfs_counting, build_spc_index, verify_espc
+import repro
+from repro import Graph, bibfs_counting, build_spc_index, verify_espc
 
 
 def main():
@@ -26,8 +27,9 @@ def main():
     print(f"SPC(4, 6) = distance {d}, {c} shortest paths")
     assert (d, c) == bibfs_counting(graph, 4, 6)  # agrees with online BFS
 
-    # --- 3. Dynamic maintenance -------------------------------------------
-    dyn = DynamicSPC(graph, index=index)
+    # --- 3. Dynamic maintenance through the engine ------------------------
+    dyn = repro.open(graph, index=index)   # backend auto-selected: 'core'
+    print(f"engine backend: {dyn.backend_name}")
 
     stats = dyn.insert_edge(3, 9)  # IncSPC: only affected hubs are repaired
     print(
@@ -47,7 +49,14 @@ def main():
     dyn.delete_vertex(8)
     print(f"after churn: {dyn.graph}, index entries = {dyn.index.num_entries}")
 
-    # --- 4. The index stays exact — verify against BFS ground truth -------
+    # --- 4. Batch serving: repeated traffic hits the query cache ----------
+    pairs = [(4, 6), (0, 9), (4, 6), (0, 9), (4, 6)]
+    answers = dyn.query_many(pairs)
+    info = dyn.cache_info()
+    print(f"query_many({len(pairs)} pairs) -> {answers[:2]}..., "
+          f"cache hits={info['hits']} misses={info['misses']}")
+
+    # --- 5. The index stays exact — verify against BFS ground truth -------
     verify_espc(dyn.graph, dyn.index)
     print("ESPC verified: every query equals BFS ground truth")
 

@@ -10,7 +10,8 @@ Run with:  python examples/streaming_maintenance.py
 
 import time
 
-from repro import DynamicSPC, build_spc_index
+import repro
+from repro import build_spc_index
 from repro.graph import barabasi_albert
 from repro.workloads import DeleteEdge, hybrid_stream
 
@@ -20,7 +21,7 @@ def main():
     print(f"graph: {graph}")
 
     start = time.perf_counter()
-    dyn = DynamicSPC(graph.copy())
+    dyn = repro.open(graph.copy())
     build_time = time.perf_counter() - start
     print(f"initial HP-SPC build: {build_time:.2f} s, "
           f"{dyn.index.num_entries} label entries")

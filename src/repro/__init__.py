@@ -3,20 +3,27 @@ Counting on Dynamic Graphs* (EDBT 2024).
 
 Public API quickstart::
 
-    from repro import Graph, DynamicSPC
+    import repro
 
-    g = Graph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
-    dyn = DynamicSPC(g)
-    dyn.query(0, 2)          # -> (2, 2): distance 2, two shortest paths
-    dyn.insert_edge(0, 2)    # IncSPC
-    dyn.delete_edge(0, 1)    # DecSPC
-    dyn.query(0, 2)          # answers stay exact under updates
+    g = repro.Graph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
+    engine = repro.open(g)          # backend auto-selected from graph type
+    engine.query(0, 2)              # -> (2, 2): distance 2, two shortest paths
+    engine.query_many([(0, 2), (1, 3)])   # batch serving (cached)
+    engine.insert_edge(0, 2)        # IncSPC
+    engine.delete_edge(0, 1)        # DecSPC
+    engine.query(0, 2)              # answers stay exact under updates
+
+``repro.open`` works identically for :class:`DiGraph` and
+:class:`WeightedGraph`; the legacy ``DynamicSPC`` / ``DynamicDirectedSPC``
+/ ``DynamicWeightedSPC`` facades remain as deprecation shims over the
+engine.
 
 Package map (see DESIGN.md for the full inventory):
 
 * :mod:`repro.graph` — graph substrates and generators;
 * :mod:`repro.core` — SPC-Index, HP-SPC builder, IncSPC / DecSPC;
 * :mod:`repro.directed` / :mod:`repro.weighted` — the appendix extensions;
+* :mod:`repro.engine` — the backend-agnostic serving engine (``repro.open``);
 * :mod:`repro.sd` — distance-only PLL (SD-Index) for comparison;
 * :mod:`repro.baselines` — BFS / BiBFS / reconstruction baselines;
 * :mod:`repro.workloads`, :mod:`repro.datasets` — experiment inputs;
@@ -34,17 +41,31 @@ from repro.core import (
     dec_spc,
     inc_spc,
 )
+from repro.engine import (
+    EngineConfig,
+    SPCBackend,
+    SPCEngine,
+    available_backends,
+    register_backend,
+)
+from repro.engine import open_engine as open  # noqa: A001
 from repro.graph import DiGraph, Graph, WeightedGraph
 from repro.order import VertexOrder, degree_order, make_order
 from repro.traversal import bfs_counting_pair, bfs_counting_sssp, bibfs_counting
 from repro.verify import check_invariants, indexes_equivalent, verify_espc
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
     "DiGraph",
     "WeightedGraph",
+    "open",
+    "SPCEngine",
+    "EngineConfig",
+    "SPCBackend",
+    "register_backend",
+    "available_backends",
     "SPCIndex",
     "LabelSet",
     "build_spc_index",

@@ -17,7 +17,7 @@ networkx in the test suite.
 
 import itertools
 
-from repro.core.dynamic import DynamicSPC
+from repro.engine import SPCEngine
 
 INF = float("inf")
 
@@ -63,11 +63,11 @@ def group_betweenness(graph, index, group, pairs=None):
     """B(group): summed fraction of shortest paths intersecting ``group``.
 
     ``graph``/``index`` describe G; the removal of ``group`` runs on a
-    scratch copy through DynamicSPC vertex deletions.  ``pairs`` restricts
+    scratch copy through SPCEngine vertex deletions.  ``pairs`` restricts
     the sum to specific (s, t) pairs (default: all unordered outside pairs).
     """
     group = set(group)
-    scratch = DynamicSPC(graph.copy(), index=index.copy())
+    scratch = SPCEngine(graph.copy(), index=index.copy())
     for v in group:
         scratch.delete_vertex(v)
 

@@ -91,23 +91,16 @@ def run_deletions(name, count, seed):
 
 
 def apply_updates(graph, index, updates):
-    """Apply a list of workload updates via inc/dec, collecting stats.
+    """Apply a list of workload updates through the engine, collecting stats.
 
-    Returns the list of per-update :class:`UpdateStats` with ``elapsed``
-    filled in.
+    Drives an :class:`SPCEngine` over the given (graph, index) pair — the
+    backend is auto-selected, so the same harness path times undirected,
+    directed and weighted streams.  The query cache is off: these runs
+    measure the *update* algorithms, and cache bookkeeping would only add
+    noise.  Returns the list of per-update :class:`UpdateStats` with
+    ``elapsed`` filled in.
     """
-    from repro.core import dec_spc, inc_spc
-    from repro.workloads import DeleteEdge, InsertEdge
+    from repro.engine import EngineConfig, SPCEngine
 
-    results = []
-    for upd in updates:
-        start = time.perf_counter()
-        if isinstance(upd, InsertEdge):
-            stats = inc_spc(graph, index, upd.u, upd.v)
-        elif isinstance(upd, DeleteEdge):
-            stats = dec_spc(graph, index, upd.u, upd.v)
-        else:
-            raise TypeError(f"unsupported update {upd!r}")
-        stats.elapsed = time.perf_counter() - start
-        results.append(stats)
-    return results
+    engine = SPCEngine(graph, config=EngineConfig(cache_size=0), index=index)
+    return engine.apply_stream(updates)

@@ -4,16 +4,27 @@ The paper's related work ([9], BatchHL) observes that batches of updates
 often contain churn — an edge inserted and deleted within the same batch
 leaves no trace, so paying two index repairs for it is pure waste.  This
 module gives DSPC set-semantics batches: only the *net* difference between
-the graph's current edge set and the batch's final edge set is applied.
+the graph's current edge state and the batch's final edge state is applied.
+
+Coalescing is graph-family-aware (it serves every :class:`SPCEngine`
+backend, not just the undirected core):
+
+* undirected / weighted graphs net (u, v) and (v, u) together; digraphs
+  keep arcs distinct;
+* on weighted graphs the edge *weight* is part of the state — delete +
+  reinsert at a new weight nets down to a single :class:`SetWeight`, and
+  reinsertion at the old weight cancels entirely.
 
 ``coalesce_edge_updates`` is pure (no graph mutation) and returns the
 effective update list plus how many operations were cancelled;
-:meth:`DynamicSPC.apply_batch` wires it into the facade.
+:meth:`SPCEngine.apply_batch` wires it into the facade.
 """
 
 from repro.exceptions import WorkloadError
 from repro.graph.base import normalize_edge
-from repro.workloads.updates import DeleteEdge, InsertEdge
+from repro.workloads.updates import DeleteEdge, InsertEdge, SetWeight
+
+_ABSENT = object()
 
 
 def coalesce_edge_updates(graph, updates):
@@ -22,18 +33,20 @@ def coalesce_edge_updates(graph, updates):
     Parameters
     ----------
     graph:
-        The graph the batch will be applied to (read-only here).
+        The graph the batch will be applied to (read-only here).  Directed
+        and weighted graphs are detected by their API (``successors`` /
+        ``weight``) and handled accordingly.
     updates:
-        An ordered iterable of InsertEdge / DeleteEdge.  Other update types
-        raise :class:`WorkloadError` — vertex operations don't commute with
-        edge coalescing and must be applied individually.
+        An ordered iterable of InsertEdge / DeleteEdge / SetWeight.  Other
+        update types raise :class:`WorkloadError` — vertex operations don't
+        commute with edge coalescing and must be applied individually.
 
     Returns
     -------
     (effective, cancelled):
         ``effective`` is the minimal update list producing the same final
-        edge set, in first-touch order; ``cancelled`` counts the operations
-        dropped.
+        edge state, in first-touch order; ``cancelled`` counts the
+        operations dropped.
 
     Example
     -------
@@ -44,39 +57,72 @@ def coalesce_edge_updates(graph, updates):
     >>> effective, cancelled
     ([InsertEdge(u=0, v=2)], 2)
     """
+    directed = hasattr(graph, "successors")
+    weighted = hasattr(graph, "weight")
+
+    def key_of(u, v):
+        return (u, v) if directed else normalize_edge(u, v)
+
+    def initial_state(u, v):
+        if not graph.has_edge(u, v):
+            return _ABSENT
+        return graph.weight(u, v) if weighted else True
+
+    # Net each touched edge down to its final state (absent, or present
+    # [at a weight]), remembering first-touch order and per-edge op counts.
     final = {}
+    touches = {}
     order = []
     for upd in updates:
-        if isinstance(upd, InsertEdge):
-            present = True
-        elif isinstance(upd, DeleteEdge):
-            present = False
+        if isinstance(upd, (InsertEdge, DeleteEdge, SetWeight)):
+            key = key_of(upd.u, upd.v)
         else:
             raise WorkloadError(
                 f"coalesce_edge_updates only handles edge updates, got {upd!r}"
             )
-        key = normalize_edge(upd.u, upd.v)
         if key not in final:
             order.append(key)
-        final[key] = present
-
-    # Count per-edge touches to derive cancellations after netting.
-    touches = {}
-    for upd in updates:
-        key = normalize_edge(upd.u, upd.v)
+            final[key] = initial_state(*key)
+        if isinstance(upd, InsertEdge):
+            if weighted and upd.weight is None:
+                raise WorkloadError(
+                    f"weighted batch insertion needs a weight: {upd!r}"
+                )
+            if not weighted and upd.weight is not None:
+                raise WorkloadError(
+                    f"unweighted graphs take no insertion weights: {upd!r}"
+                )
+            final[key] = upd.weight if weighted else True
+        elif isinstance(upd, DeleteEdge):
+            final[key] = _ABSENT
+        else:  # SetWeight
+            if not weighted:
+                raise WorkloadError(
+                    f"SetWeight in a batch for an unweighted graph: {upd!r}"
+                )
+            if final[key] is _ABSENT:
+                raise WorkloadError(
+                    f"SetWeight on an edge absent at that point: {upd!r}"
+                )
+            final[key] = upd.weight
         touches[key] = touches.get(key, 0) + 1
 
     effective = []
     cancelled = 0
     for key in order:
-        initially_present = graph.has_edge(*key)
-        finally_present = final[key]
-        if initially_present == finally_present:
+        before = initial_state(*key)
+        after = final[key]
+        if before == after:
             cancelled += touches[key]
             continue
-        if finally_present:
-            effective.append(InsertEdge(*key))
-        else:
+        if after is _ABSENT:
             effective.append(DeleteEdge(*key))
+        elif before is _ABSENT:
+            effective.append(
+                InsertEdge(*key, weight=after) if weighted else InsertEdge(*key)
+            )
+        else:
+            # Present on both sides at different weights: one weight change.
+            effective.append(SetWeight(*key, weight=after))
         cancelled += touches[key] - 1
     return effective, cancelled

@@ -84,9 +84,18 @@ def _try_isolated_fast_path(graph, index, a, b, stats):
 
     Returns True when the optimization applied (edge removed, index fixed).
     The vertex being stranded must rank *below* the surviving endpoint:
-    every path leaving it starts with the higher-ranked neighbor, so no
-    label anywhere uses it as hub, and its own labels all die with the
-    disconnection.
+    every path leaving it starts with the higher-ranked neighbor, so in a
+    canonical index no label uses it as hub, and its own labels all die
+    with the disconnection.
+
+    One caveat keeps this from being pure O(1): earlier *incremental*
+    updates legitimately retain stale labels (Lemma 3.1), and a stale
+    entry may still reference the stranded vertex as hub even though the
+    canonical argument says none can (same failure family as DESIGN.md
+    §5).  Those entries would answer finite distances to a now-isolated
+    vertex, so the fast path sweeps the stranded vertex's hub out of
+    every other label set — an O(n) pass of dict deletions, still far
+    cheaper than the SrrSEARCH + hub-repair machinery it replaces.
     """
     rank = index.order.rank_map()
     deg_a = graph.degree(a)
@@ -108,6 +117,10 @@ def _try_isolated_fast_path(graph, index, a, b, stats):
     stats.removed += len(lb) - 1
     lb.clear()
     lb.set(rank[b], 0, 1)
+    rb = rank[b]
+    for u in index.vertices():
+        if u != b and index.label_set(u).remove(rb):
+            stats.removed += 1
     stats.isolated_fast_path = True
     return True
 

@@ -1,35 +1,27 @@
-"""DSPC dynamic facade: a graph + SPC-Index pair kept in sync under updates.
+"""Deprecated facade: ``DynamicSPC`` is now a shim over :class:`SPCEngine`.
 
-``DynamicSPC`` is the user-facing entry point for the paper's problem
-statement ("maintain L in accordance with the topological modifications
-applied to G").  It owns a graph and its index and exposes
-
-* ``insert_edge`` / ``delete_edge``   — IncSPC / DecSPC (§3.1, §3.2);
-* ``insert_vertex``                   — empty label set + lowest rank (§3),
-  optionally with initial edges replayed through IncSPC;
-* ``delete_vertex``                   — a sequence of DecSPC deletions (§3)
-  followed by dropping the label set;
-* ``query`` / ``distance`` / ``count`` — SpcQUERY over the maintained index;
-* ``apply`` / ``apply_stream``        — replay of workload update objects;
-* an optional *lazy rebuild* policy (§6: "reconstructing the entire index
-  after a certain number of updates") via ``rebuild_every``.
-
-Every mutation returns :class:`UpdateStats` with wall-clock ``elapsed``
-filled in, and the facade accumulates a :class:`StreamStats` history — the
-Figure 10 streaming experiment reads it directly.
+The engine (:mod:`repro.engine`) is the single public entry point for
+dynamic shortest-path counting — create one with ``repro.open(graph)``.
+``DynamicSPC`` remains importable for existing code: it is a subclass of
+the engine pinned to the ``core`` (undirected) backend that translates the
+legacy keyword arguments into an :class:`EngineConfig` and emits a
+:class:`DeprecationWarning` on construction.  Behavior is unchanged —
+including the query cache staying *off*, since legacy callers were never
+required to route reads through the facade.
 """
 
-import time
+import warnings
 
-from repro.core.builder import build_spc_index
-from repro.core.decremental import dec_spc
-from repro.core.incremental import inc_spc
-from repro.core.stats import StreamStats, UpdateStats
+import repro.engine.adapters  # noqa: F401  (registers the built-in backends)
+from repro.engine.config import EngineConfig
+from repro.engine.engine import SPCEngine
 from repro.exceptions import GraphError
 
 
-class DynamicSPC:
-    """A shortest-path-counting oracle over a fully dynamic graph.
+class DynamicSPC(SPCEngine):
+    """Deprecated alias for an :class:`SPCEngine` on the core backend.
+
+    Prefer ``repro.open(graph)``.
 
     Example
     -------
@@ -43,188 +35,34 @@ class DynamicSPC:
     (1, 1)
     """
 
+    _backend_name = "core"
+
     def __init__(self, graph, index=None, strategy="degree", rebuild_every=None,
                  use_isolated_fast_path=True, rebuild_drift_threshold=None,
                  drift_check_every=50):
-        self._graph = graph
-        self._index = index if index is not None else build_spc_index(graph, strategy=strategy)
-        self._strategy = strategy
-        self._rebuild_every = rebuild_every
-        self._use_isolated_fast_path = use_isolated_fast_path
-        self._rebuild_drift_threshold = rebuild_drift_threshold
-        self._drift_check_every = drift_check_every
-        self._updates_since_rebuild = 0
-        self.history = StreamStats()
-
-    # ------------------------------------------------------------------
-    # Read access
-    # ------------------------------------------------------------------
-
-    @property
-    def graph(self):
-        """The underlying graph (mutate only through this facade)."""
-        return self._graph
-
-    @property
-    def index(self):
-        """The maintained SPC-Index."""
-        return self._index
-
-    def query(self, s, t):
-        """Return (sd(s, t), spc(s, t)) from the index."""
-        return self._index.query(s, t)
-
-    def distance(self, s, t):
-        """Return sd(s, t)."""
-        return self._index.distance(s, t)
-
-    def count(self, s, t):
-        """Return spc(s, t)."""
-        return self._index.count(s, t)
-
-    # ------------------------------------------------------------------
-    # Mutations
-    # ------------------------------------------------------------------
-
-    def insert_edge(self, a, b):
-        """Insert edge (a, b), creating missing endpoints, via IncSPC."""
-        for v in (a, b):
-            if not self._graph.has_vertex(v):
-                self.insert_vertex(v)
-        start = time.perf_counter()
-        stats = inc_spc(self._graph, self._index, a, b)
-        stats.elapsed = time.perf_counter() - start
-        self._after_update(stats)
-        return stats
-
-    def delete_edge(self, a, b):
-        """Delete edge (a, b) via DecSPC."""
-        start = time.perf_counter()
-        stats = dec_spc(self._graph, self._index, a, b,
-                        use_isolated_fast_path=self._use_isolated_fast_path)
-        stats.elapsed = time.perf_counter() - start
-        self._after_update(stats)
-        return stats
-
-    def insert_vertex(self, v, edges=()):
-        """Add vertex ``v`` (lowest rank) and optionally its initial edges.
-
-        Each initial edge is an IncSPC insertion recorded as its own update;
-        the *returned* stats aggregate the whole operation.  The history
-        records the vertex registration separately so totals are not
-        double-counted.
-        """
-        start = time.perf_counter()
-        self._graph.add_vertex(v)
-        self._index.add_vertex(v)
-        marker = UpdateStats(kind="insert_vertex", edge=(v,))
-        marker.elapsed = time.perf_counter() - start
-        self._after_update(marker)
-        result = UpdateStats(kind="insert_vertex", edge=(v,))
-        result.merge(marker)
-        for u in edges:
-            result.merge(self.insert_edge(v, u))
-        return result
-
-    def delete_vertex(self, v):
-        """Remove vertex ``v``: DecSPC per incident edge, then drop labels.
-
-        Edge deletions are recorded individually; the returned stats
-        aggregate the whole operation.
-        """
-        result = UpdateStats(kind="delete_vertex", edge=(v,))
-        for u in list(self._graph.neighbors(v)):
-            result.merge(self.delete_edge(v, u))
-        start = time.perf_counter()
-        self._graph.remove_vertex(v)
-        self._index.drop_vertex_labels(v)
-        marker = UpdateStats(kind="delete_vertex", edge=(v,))
-        marker.elapsed = time.perf_counter() - start
-        self._after_update(marker)
-        result.elapsed += marker.elapsed
-        return result
-
-    def apply(self, update):
-        """Apply one workload update object (see repro.workloads.updates)."""
-        return update.apply(self)
-
-    def apply_stream(self, updates):
-        """Apply an iterable of updates; returns the list of stats."""
-        return [self.apply(u) for u in updates]
-
-    def apply_batch(self, updates):
-        """Apply an edge-update batch with set semantics (net effect only).
-
-        Insert/delete churn that cancels out within the batch is skipped
-        entirely (see :mod:`repro.core.batch`).  Returns (stats list,
-        cancelled-op count).
-        """
-        from repro.core.batch import coalesce_edge_updates
-
-        effective, cancelled = coalesce_edge_updates(self._graph, updates)
-        return self.apply_stream(effective), cancelled
-
-    # ------------------------------------------------------------------
-    # Rebuild policy
-    # ------------------------------------------------------------------
-
-    def rebuild(self):
-        """Reconstruct the index from scratch (the HP-SPC baseline).
-
-        Also the §6 lazy strategy's escape hatch once the original vertex
-        ordering has drifted from the current degree distribution.
-        """
-        start = time.perf_counter()
-        self._index = build_spc_index(self._graph, strategy=self._strategy)
-        self._updates_since_rebuild = 0
-        return time.perf_counter() - start
-
-    def drift(self, samples=1000, seed=0):
-        """Measure how stale the frozen vertex ordering has become (§6).
-
-        Returns the :func:`repro.order.drift_report` dict; its
-        ``rebuild_recommended`` flag feeds the drift-based rebuild policy.
-        """
-        from repro.order import drift_report
-
-        return drift_report(self._graph, self._index.order, samples=samples,
-                            seed=seed)
-
-    def _after_update(self, stats):
-        self.history.record(stats)
-        if stats.kind in ("insert_vertex", "delete_vertex"):
-            return
-        self._updates_since_rebuild += 1
-        if self._rebuild_every and self._updates_since_rebuild >= self._rebuild_every:
-            self.rebuild()
-            return
-        if (
-            self._rebuild_drift_threshold is not None
-            and self._updates_since_rebuild % self._drift_check_every == 0
-            and self.drift()["sampled_inversions"] > self._rebuild_drift_threshold
-        ):
-            self.rebuild()
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-
-    def check(self, sample_pairs=None, seed=0):
-        """Verify the index against BFS ground truth; raises on mismatch.
-
-        Convenience wrapper over :func:`repro.verify.verify_espc`.
-        """
-        from repro.verify import verify_espc
-
-        verify_espc(self._graph, self._index, sample_pairs=sample_pairs, seed=seed)
-        return True
+        warnings.warn(
+            f"{type(self).__name__} is deprecated; use repro.open(graph) "
+            f"or repro.engine.SPCEngine instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = EngineConfig(
+            backend=self._backend_name,
+            strategy=strategy,
+            rebuild_every=rebuild_every,
+            rebuild_drift_threshold=rebuild_drift_threshold,
+            drift_check_every=drift_check_every,
+            use_isolated_fast_path=use_isolated_fast_path,
+            cache_size=0,  # legacy facades never cached queries
+        )
+        super().__init__(graph, config=config, index=index)
 
     def __repr__(self):
-        return f"DynamicSPC(graph={self._graph!r}, index={self._index!r})"
+        return f"{type(self).__name__}(graph={self.graph!r}, index={self.index!r})"
 
 
 def build_dynamic(graph, **kwargs):
-    """Build a :class:`DynamicSPC` for ``graph`` (alias constructor)."""
+    """Build a :class:`DynamicSPC` for ``graph`` (deprecated alias)."""
     if not hasattr(graph, "neighbors"):
         raise GraphError("build_dynamic expects an undirected Graph")
     return DynamicSPC(graph, **kwargs)

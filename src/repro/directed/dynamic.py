@@ -1,15 +1,21 @@
-"""Dynamic facade for directed graphs — mirror of :class:`DynamicSPC`."""
+"""Deprecated facade: ``DynamicDirectedSPC`` is a shim over the engine.
 
-import time
+Prefer ``repro.open(digraph)``.  Routing the directed family through
+:class:`SPCEngine` also fixes the historical feature skew: rebuild
+policies, drift checks, batch coalescing and the full
+:class:`UpdateStats` / :class:`StreamStats` reporting now behave exactly
+as on the undirected core.
+"""
 
-from repro.core.stats import StreamStats, UpdateStats
-from repro.directed.builder import build_directed_spc_index
-from repro.directed.decremental import dec_spc_directed
-from repro.directed.incremental import inc_spc_directed
+import warnings
+
+import repro.engine.adapters  # noqa: F401  (registers the built-in backends)
+from repro.engine.config import EngineConfig
+from repro.engine.engine import SPCEngine
 
 
-class DynamicDirectedSPC:
-    """A shortest-path-counting oracle over a fully dynamic digraph.
+class DynamicDirectedSPC(SPCEngine):
+    """Deprecated alias for an :class:`SPCEngine` on the directed backend.
 
     Example
     -------
@@ -23,97 +29,27 @@ class DynamicDirectedSPC:
     (1, 1)
     """
 
-    def __init__(self, graph, index=None, strategy="degree"):
-        self._graph = graph
-        self._index = (
-            index if index is not None
-            else build_directed_spc_index(graph, strategy=strategy)
+    def __init__(self, graph, index=None, strategy="degree", rebuild_every=None,
+                 rebuild_drift_threshold=None, drift_check_every=50):
+        warnings.warn(
+            "DynamicDirectedSPC is deprecated; use repro.open(graph) "
+            "or repro.engine.SPCEngine instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self._strategy = strategy
-        self.history = StreamStats()
-
-    @property
-    def graph(self):
-        """The underlying digraph."""
-        return self._graph
-
-    @property
-    def index(self):
-        """The maintained directed SPC-Index."""
-        return self._index
-
-    def query(self, s, t):
-        """Return (sd(s→t), spc(s→t))."""
-        return self._index.query(s, t)
-
-    def distance(self, s, t):
-        """Return sd(s→t)."""
-        return self._index.distance(s, t)
-
-    def count(self, s, t):
-        """Return spc(s→t)."""
-        return self._index.count(s, t)
-
-    def insert_edge(self, a, b):
-        """Insert arc a -> b (endpoints created if missing)."""
-        for v in (a, b):
-            if not self._graph.has_vertex(v):
-                self.insert_vertex(v)
-        start = time.perf_counter()
-        stats = inc_spc_directed(self._graph, self._index, a, b)
-        stats.elapsed = time.perf_counter() - start
-        self.history.record(stats)
-        return stats
-
-    def delete_edge(self, a, b):
-        """Delete arc a -> b."""
-        start = time.perf_counter()
-        stats = dec_spc_directed(self._graph, self._index, a, b)
-        stats.elapsed = time.perf_counter() - start
-        self.history.record(stats)
-        return stats
+        config = EngineConfig(
+            backend="directed",
+            strategy=strategy,
+            rebuild_every=rebuild_every,
+            rebuild_drift_threshold=rebuild_drift_threshold,
+            drift_check_every=drift_check_every,
+            cache_size=0,  # legacy facades never cached queries
+        )
+        super().__init__(graph, config=config, index=index)
 
     def insert_vertex(self, v, out_edges=(), in_edges=()):
-        """Add vertex ``v`` (lowest rank), then its initial arcs.
-
-        Arc insertions are recorded individually; the returned stats
-        aggregate the whole operation.
-        """
-        start = time.perf_counter()
-        self._graph.add_vertex(v)
-        self._index.add_vertex(v)
-        marker = UpdateStats(kind="insert_vertex", edge=(v,))
-        marker.elapsed = time.perf_counter() - start
-        self.history.record(marker)
-        result = UpdateStats(kind="insert_vertex", edge=(v,))
-        result.merge(marker)
-        for u in out_edges:
-            result.merge(self.insert_edge(v, u))
-        for u in in_edges:
-            result.merge(self.insert_edge(u, v))
-        return result
-
-    def delete_vertex(self, v):
-        """Delete vertex ``v``: one arc deletion per incident arc."""
-        result = UpdateStats(kind="delete_vertex", edge=(v,))
-        for w in list(self._graph.successors(v)):
-            result.merge(self.delete_edge(v, w))
-        for u in list(self._graph.predecessors(v)):
-            result.merge(self.delete_edge(u, v))
-        start = time.perf_counter()
-        self._graph.remove_vertex(v)
-        self._index.drop_vertex_labels(v)
-        marker = UpdateStats(kind="delete_vertex", edge=(v,))
-        marker.elapsed = time.perf_counter() - start
-        self.history.record(marker)
-        result.elapsed += marker.elapsed
-        return result
-
-    def rebuild(self):
-        """Reconstruct the index from scratch."""
-        start = time.perf_counter()
-        self._index = build_directed_spc_index(self._graph, strategy=self._strategy)
-        return time.perf_counter() - start
+        """Add vertex ``v`` (lowest rank), then its initial arcs."""
+        return super().insert_vertex(v, edges=out_edges, in_edges=in_edges)
 
     def __repr__(self):
-        return f"DynamicDirectedSPC(graph={self._graph!r}, index={self._index!r})"
+        return f"DynamicDirectedSPC(graph={self.graph!r}, index={self.index!r})"

@@ -1,0 +1,134 @@
+"""The three built-in backends: core (undirected), directed, weighted.
+
+Each adapter is a thin, stateful wrapper over the corresponding function
+stack (``repro.core`` / ``repro.directed`` / ``repro.weighted``) — no
+algorithmic logic lives here.  What the adapters buy is *uniformity*: the
+engine drives every family through the same five verbs (build / inc / dec /
+query / verify), which is what makes rebuild policies, streaming stats and
+batch coalescing graph-type-agnostic instead of core-only.
+"""
+
+from repro.core.builder import build_spc_index
+from repro.core.decremental import dec_spc
+from repro.core.incremental import inc_spc
+from repro.core.stats import UpdateStats
+from repro.directed.builder import build_directed_spc_index
+from repro.directed.decremental import dec_spc_directed
+from repro.directed.incremental import inc_spc_directed
+from repro.engine.backends import SPCBackend, register_backend
+from repro.exceptions import EngineError
+from repro.graph.directed import DiGraph
+from repro.graph.undirected import Graph
+from repro.graph.weighted import WeightedGraph
+from repro.weighted.builder import build_weighted_spc_index
+from repro.weighted.decremental import dec_spc_weighted, increase_weight
+from repro.weighted.incremental import decrease_weight, inc_spc_weighted
+
+
+@register_backend
+class CoreBackend(SPCBackend):
+    """Undirected, unweighted SPC over :class:`repro.graph.Graph` (§3)."""
+
+    name = "core"
+    graph_type = Graph
+
+    def build_index(self):
+        return build_spc_index(self.graph, strategy=self.config.strategy)
+
+    def insert_edge(self, a, b, weight=None):
+        self.check_weight(weight)
+        return inc_spc(self.graph, self.index, a, b)
+
+    def delete_edge(self, a, b):
+        return dec_spc(
+            self.graph, self.index, a, b,
+            use_isolated_fast_path=self.config.use_isolated_fast_path,
+        )
+
+    def verify(self, sample_pairs=None, seed=0):
+        from repro.verify import verify_espc
+
+        return verify_espc(self.graph, self.index,
+                           sample_pairs=sample_pairs, seed=seed)
+
+
+@register_backend
+class DirectedBackend(SPCBackend):
+    """Directed SPC over :class:`repro.graph.DiGraph` (Appendix C.1)."""
+
+    name = "directed"
+    graph_type = DiGraph
+    directed = True
+
+    def build_index(self):
+        return build_directed_spc_index(self.graph, strategy=self.config.strategy)
+
+    def insert_edge(self, a, b, weight=None):
+        self.check_weight(weight)
+        return inc_spc_directed(self.graph, self.index, a, b)
+
+    def delete_edge(self, a, b):
+        return dec_spc_directed(self.graph, self.index, a, b)
+
+    def initial_edges(self, v, edges, in_edges=()):
+        # ``edges`` are out-arcs v -> u; ``in_edges`` are in-arcs u -> v.
+        return [(v, u, None) for u in edges] + [(u, v, None) for u in in_edges]
+
+    def incident_edges(self, v):
+        return [(v, w) for w in self.graph.successors(v)] + [
+            (u, v) for u in self.graph.predecessors(v)
+        ]
+
+    def verify(self, sample_pairs=None, seed=0):
+        from repro.verify import verify_espc_directed
+
+        return verify_espc_directed(self.graph, self.index,
+                                    sample_pairs=sample_pairs, seed=seed)
+
+
+@register_backend
+class WeightedBackend(SPCBackend):
+    """Weighted SPC over :class:`repro.graph.WeightedGraph` (Appendix C.2)."""
+
+    name = "weighted"
+    graph_type = WeightedGraph
+    weighted = True
+
+    def check_weight(self, weight):
+        if weight is None:
+            raise EngineError(
+                "the weighted backend requires a weight for edge insertion"
+            )
+
+    def build_index(self):
+        return build_weighted_spc_index(self.graph, strategy=self.config.strategy)
+
+    def insert_edge(self, a, b, weight=None):
+        self.check_weight(weight)
+        return inc_spc_weighted(self.graph, self.index, a, b, weight)
+
+    def delete_edge(self, a, b):
+        return dec_spc_weighted(
+            self.graph, self.index, a, b,
+            use_isolated_fast_path=self.config.use_isolated_fast_path,
+        )
+
+    def set_weight(self, a, b, new_weight):
+        old = self.graph.weight(a, b)
+        if new_weight == old:
+            return UpdateStats(kind="noop", edge=(a, b))
+        if new_weight < old:
+            return decrease_weight(self.graph, self.index, a, b, new_weight)
+        return increase_weight(self.graph, self.index, a, b, new_weight)
+
+    def initial_edges(self, v, edges, in_edges=()):
+        if in_edges:
+            raise EngineError("the weighted backend has no in-edges")
+        # ``edges`` are (neighbor, weight) pairs.
+        return [(v, u, w) for u, w in edges]
+
+    def verify(self, sample_pairs=None, seed=0):
+        from repro.verify import verify_espc_weighted
+
+        return verify_espc_weighted(self.graph, self.index,
+                                    sample_pairs=sample_pairs, seed=seed)

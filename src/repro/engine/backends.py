@@ -1,0 +1,177 @@
+"""The backend protocol and registry the engine dispatches over.
+
+A *backend* owns one (graph, index) pair and knows how to build, repair and
+query the index for its graph family — the engine layers the serving-path
+features (caching, batching, history, rebuild policy) uniformly on top.
+The dynamic-shortest-path literature frames directed/weighted/fully-dynamic
+as *variants of one problem*; the registry makes that dispatch explicit:
+
+* ``register_backend`` — class decorator adding an implementation;
+* ``backend_for_graph`` — pick the backend whose graph type matches;
+* ``get_backend`` / ``available_backends`` — lookup and introspection.
+
+Third parties can register their own backend (e.g. an SD-only or a sharded
+one) without touching the engine, as long as it implements
+:class:`SPCBackend`.
+"""
+
+import abc
+
+from repro.exceptions import EngineError
+
+_REGISTRY = {}
+
+
+class SPCBackend(abc.ABC):
+    """One graph family's build / inc / dec / query implementation.
+
+    Subclasses set three class attributes —
+
+    * ``name`` — the registry key (``config.backend`` selects by it);
+    * ``graph_type`` — the graph class auto-selection matches on;
+    * ``weighted`` / ``directed`` — capability flags the engine consults
+      (query-key symmetry, weight handling, vertex-op shapes).
+
+    Instances hold ``graph``, ``index`` and the :class:`EngineConfig`.
+    """
+
+    name = None
+    graph_type = None
+    directed = False
+    weighted = False
+
+    def __init__(self, graph, index, config):
+        self.graph = graph
+        self.index = index
+        self.config = config
+
+    @classmethod
+    def build(cls, graph, config, index=None):
+        """Create a backend over ``graph``, building the index if missing."""
+        backend = cls(graph, None, config)
+        backend.index = index if index is not None else backend.build_index()
+        return backend
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build_index(self):
+        """Build a fresh index for the current graph (HP-SPC baseline)."""
+
+    # ------------------------------------------------------------------
+    # Updates — each returns an UpdateStats
+    # ------------------------------------------------------------------
+
+    def check_weight(self, weight):
+        """Validate an insert_edge weight *before* any mutation happens.
+
+        The engine calls this ahead of endpoint auto-creation so a doomed
+        insertion cannot leave half-registered vertices behind.
+        """
+        if weight is not None:
+            raise EngineError(
+                f"the {self.name} backend takes no edge weights"
+            )
+
+    @abc.abstractmethod
+    def insert_edge(self, a, b, weight=None):
+        """IncSPC for this family; ``weight`` only on weighted backends."""
+
+    @abc.abstractmethod
+    def delete_edge(self, a, b):
+        """DecSPC for this family."""
+
+    def set_weight(self, a, b, new_weight):
+        """Change an edge weight (weighted backends only)."""
+        raise EngineError(
+            f"backend {self.name!r} does not support edge-weight updates"
+        )
+
+    def add_vertex(self, v):
+        """Register a brand-new vertex with the graph and the index."""
+        self.graph.add_vertex(v)
+        self.index.add_vertex(v)
+
+    def remove_vertex(self, v):
+        """Drop an (already isolated) vertex from graph and index."""
+        self.graph.remove_vertex(v)
+        self.index.drop_vertex_labels(v)
+
+    # ------------------------------------------------------------------
+    # Shape adapters for the engine's generic vertex operations
+    # ------------------------------------------------------------------
+
+    def initial_edges(self, v, edges, in_edges=()):
+        """Normalize an insert_vertex edge spec to (a, b, weight) triples."""
+        if in_edges:
+            raise EngineError(
+                f"backend {self.name!r} has no in-edges; pass edges= only"
+            )
+        return [(v, u, None) for u in edges]
+
+    def incident_edges(self, v):
+        """Every edge a delete_vertex must remove, as (a, b) pairs."""
+        return [(v, u) for u in self.graph.neighbors(v)]
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def verify(self, sample_pairs=None, seed=0):
+        """Check the index against ground truth; raises IndexCorruption."""
+
+    def __repr__(self):
+        return f"{type(self).__name__}(graph={self.graph!r}, index={self.index!r})"
+
+
+def register_backend(cls):
+    """Class decorator: add an :class:`SPCBackend` subclass to the registry.
+
+    Registration order matters for auto-selection — earlier registrations
+    win when several ``graph_type``s match via subclassing.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, SPCBackend)):
+        raise EngineError(f"register_backend expects an SPCBackend subclass, got {cls!r}")
+    if not cls.name or cls.graph_type is None:
+        raise EngineError(
+            f"backend {cls.__name__} must define 'name' and 'graph_type'"
+        )
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_backend(name):
+    """Look a backend class up by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def backend_for_graph(graph):
+    """Auto-select the backend whose ``graph_type`` matches ``graph``.
+
+    Exact type matches take precedence over subclass matches, so a custom
+    backend registered for a Graph subclass wins on its own type.
+    """
+    for cls in _REGISTRY.values():
+        if type(graph) is cls.graph_type:
+            return cls
+    for cls in _REGISTRY.values():
+        if isinstance(graph, cls.graph_type):
+            return cls
+    raise EngineError(
+        f"no registered backend accepts graphs of type "
+        f"{type(graph).__name__}; available: "
+        f"{ {n: c.graph_type.__name__ for n, c in _REGISTRY.items()} }"
+    )
+
+
+def available_backends():
+    """Mapping of registered backend name -> graph type name."""
+    return {name: cls.graph_type.__name__ for name, cls in _REGISTRY.items()}

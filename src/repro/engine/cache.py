@@ -1,0 +1,99 @@
+"""Epoch-invalidated LRU cache for the engine's query fast path.
+
+Repeated SPC traffic (the PSPC serving scenario) frequently re-asks the
+same (s, t) pairs; label-set merging is cheap but not free, so the engine
+memoizes answers.  Correctness under updates comes from *epochs*: every
+mutation bumps the engine's epoch, and a cached entry only counts as a hit
+while its stamp matches the current epoch.  Stale entries are evicted
+lazily — on the next touch, or by ordinary LRU pressure — so invalidation
+is O(1) regardless of how many entries the cache holds.
+"""
+
+from collections import OrderedDict
+
+_MISS = object()
+
+
+class QueryCache:
+    """A bounded LRU mapping of query keys to answers, stamped by epoch.
+
+    Example
+    -------
+    >>> cache = QueryCache(maxsize=2)
+    >>> cache.put((0, 1), (1, 1))
+    >>> cache.get((0, 1))
+    (1, 1)
+    >>> cache.invalidate()          # an update happened
+    >>> cache.get((0, 1)) is None   # stale entry no longer answers
+    True
+    >>> cache.hits, cache.misses
+    (1, 1)
+    """
+
+    __slots__ = ("maxsize", "epoch", "hits", "misses", "invalidations", "_data")
+
+    def __init__(self, maxsize):
+        if maxsize < 1:
+            raise ValueError(f"QueryCache needs maxsize >= 1, got {maxsize!r}")
+        self.maxsize = maxsize
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._data = OrderedDict()
+
+    def __len__(self):
+        return len(self._data)
+
+    def get(self, key, default=None):
+        """Return the cached answer for ``key`` or ``default`` on a miss.
+
+        Entries written before the last :meth:`invalidate` are treated as
+        misses and dropped.
+        """
+        entry = self._data.get(key, _MISS)
+        if entry is _MISS:
+            self.misses += 1
+            return default
+        epoch, value = entry
+        if epoch != self.epoch:
+            del self._data[key]
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value):
+        """Store ``value`` under ``key``, evicting the LRU entry if full."""
+        self._data[key] = (self.epoch, value)
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def invalidate(self):
+        """Expire every current entry (O(1): just advances the epoch)."""
+        self.epoch += 1
+        self.invalidations += 1
+
+    def clear(self):
+        """Drop all entries and reset the hit/miss counters."""
+        self._data.clear()
+        self.hits = self.misses = self.invalidations = 0
+
+    def info(self):
+        """A dict snapshot of the cache counters (for dashboards/tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "epoch": self.epoch,
+        }
+
+    def __repr__(self):
+        return (
+            f"QueryCache(size={len(self._data)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses}, epoch={self.epoch})"
+        )

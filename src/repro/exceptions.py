@@ -67,3 +67,8 @@ class WorkloadError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a dataset name is unknown or a dataset fails to build."""
+
+
+class EngineError(ReproError):
+    """Raised for engine misuse: unknown backends, bad configs, or
+    operations the selected backend does not support."""

@@ -43,6 +43,12 @@ def verify_espc(graph, index, sample_pairs=None, seed=0, exhaustive_threshold=40
 
     if sample_pairs is None:
         sample_pairs = 4 * n
+    return _verify_sampled(graph, index, bfs_counting_sssp, vertices,
+                           sample_pairs, seed)
+
+
+def _verify_sampled(graph, index, sssp, vertices, sample_pairs, seed):
+    """Check a pair sample against ``sssp`` ground truth (any family)."""
     if isinstance(sample_pairs, int):
         rng = random.Random(seed)
         pairs = [
@@ -51,12 +57,12 @@ def verify_espc(graph, index, sample_pairs=None, seed=0, exhaustive_threshold=40
     else:
         pairs = list(sample_pairs)
 
-    # Group by source so one BFS serves all queries from that source.
+    # Group by source so one traversal serves all queries from that source.
     by_source = {}
     for s, t in pairs:
         by_source.setdefault(s, []).append(t)
     for s, ts in by_source.items():
-        dist, count = bfs_counting_sssp(graph, s)
+        dist, count = sssp(graph, s)
         for t in ts:
             expected = (dist.get(t, INF), count.get(t, 0)) if s != t else (0, 1)
             _compare(index, s, t, expected)
@@ -84,13 +90,22 @@ def _compare(index, s, t, expected):
         )
 
 
-def verify_espc_directed(graph, index, exhaustive_threshold=300):
-    """Directed ESPC check: every ordered pair against directed BFS truth."""
+def verify_espc_directed(graph, index, exhaustive_threshold=300,
+                         sample_pairs=None, seed=0):
+    """Directed ESPC check against directed BFS ground truth.
+
+    Exhaustive over every ordered pair up to ``exhaustive_threshold``
+    vertices; beyond that (or when ``sample_pairs`` is given) it checks a
+    random pair sample like :func:`verify_espc`.
+    """
     vertices = sorted(graph.vertices())
-    if len(vertices) > exhaustive_threshold:
-        raise ValueError(
-            "verify_espc_directed is exhaustive-only; reduce the graph size"
-        )
+    if not vertices:
+        return True
+    if sample_pairs is not None or len(vertices) > exhaustive_threshold:
+        if sample_pairs is None:
+            sample_pairs = 4 * len(vertices)
+        return _verify_sampled(graph, index, directed_bfs_counting_sssp,
+                               vertices, sample_pairs, seed)
     for s in vertices:
         dist, count = directed_bfs_counting_sssp(graph, s)
         for t in vertices:
@@ -107,15 +122,24 @@ def verify_espc_directed(graph, index, exhaustive_threshold=300):
     return True
 
 
-def verify_espc_weighted(graph, index, exhaustive_threshold=200):
-    """Weighted ESPC check: every pair against Dijkstra counting truth."""
+def verify_espc_weighted(graph, index, exhaustive_threshold=200,
+                         sample_pairs=None, seed=0):
+    """Weighted ESPC check against Dijkstra counting ground truth.
+
+    Exhaustive over every pair up to ``exhaustive_threshold`` vertices;
+    beyond that (or when ``sample_pairs`` is given) it checks a random
+    pair sample like :func:`verify_espc`.
+    """
     from repro.traversal.dijkstra import dijkstra_counting_sssp
 
     vertices = sorted(graph.vertices())
-    if len(vertices) > exhaustive_threshold:
-        raise ValueError(
-            "verify_espc_weighted is exhaustive-only; reduce the graph size"
-        )
+    if not vertices:
+        return True
+    if sample_pairs is not None or len(vertices) > exhaustive_threshold:
+        if sample_pairs is None:
+            sample_pairs = 4 * len(vertices)
+        return _verify_sampled(graph, index, dijkstra_counting_sssp,
+                               vertices, sample_pairs, seed)
     for s in vertices:
         dist, count = dijkstra_counting_sssp(graph, s)
         for t in vertices:

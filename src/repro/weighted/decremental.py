@@ -51,7 +51,13 @@ def increase_weight(graph, index, a, b, new_weight, stats=None):
 
 
 def _try_isolated_fast_path(graph, index, a, b, stats):
-    """§3.2.3 fast path for stranding a pendant, lower-ranked endpoint."""
+    """§3.2.3 fast path for stranding a pendant, lower-ranked endpoint.
+
+    Mirrors the unweighted fast path, including the sweep of the stranded
+    vertex's hub out of every other label set — stale entries retained by
+    earlier incremental updates may reference it even though the canonical
+    argument says none can (see repro/core/decremental.py).
+    """
     rank = index.order.rank_map()
     deg_a = graph.degree(a)
     deg_b = graph.degree(b)
@@ -69,6 +75,10 @@ def _try_isolated_fast_path(graph, index, a, b, stats):
     stats.removed += len(lb) - 1
     lb.clear()
     lb.set(rank[b], 0, 1)
+    rb = rank[b]
+    for u in index.vertices():
+        if u != b and index.label_set(u).remove(rb):
+            stats.removed += 1
     stats.isolated_fast_path = True
     return True
 

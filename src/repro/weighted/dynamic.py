@@ -1,19 +1,20 @@
-"""Dynamic facade for weighted graphs, including weight changes.
+"""Deprecated facade: ``DynamicWeightedSPC`` is a shim over the engine.
 
-Weight updates are first-class (Appendix C.2): ``set_weight`` dispatches to
-the incremental path on decreases and the decremental path on increases.
+Prefer ``repro.open(weighted_graph)``.  Weight updates stay first-class
+(Appendix C.2): ``set_weight`` dispatches to the incremental path on
+decreases and the decremental path on increases, now via the engine's
+``weighted`` backend.
 """
 
-import time
+import warnings
 
-from repro.core.stats import StreamStats, UpdateStats
-from repro.weighted.builder import build_weighted_spc_index
-from repro.weighted.decremental import dec_spc_weighted, increase_weight
-from repro.weighted.incremental import decrease_weight, inc_spc_weighted
+import repro.engine.adapters  # noqa: F401  (registers the built-in backends)
+from repro.engine.config import EngineConfig
+from repro.engine.engine import SPCEngine
 
 
-class DynamicWeightedSPC:
-    """A shortest-path-counting oracle over a dynamic weighted graph.
+class DynamicWeightedSPC(SPCEngine):
+    """Deprecated alias for an :class:`SPCEngine` on the weighted backend.
 
     Example
     -------
@@ -28,111 +29,28 @@ class DynamicWeightedSPC:
     """
 
     def __init__(self, graph, index=None, strategy="degree",
-                 use_isolated_fast_path=True):
-        self._graph = graph
-        self._index = (
-            index if index is not None
-            else build_weighted_spc_index(graph, strategy=strategy)
+                 use_isolated_fast_path=True, rebuild_every=None,
+                 rebuild_drift_threshold=None, drift_check_every=50):
+        warnings.warn(
+            "DynamicWeightedSPC is deprecated; use repro.open(graph) "
+            "or repro.engine.SPCEngine instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self._strategy = strategy
-        self._use_isolated_fast_path = use_isolated_fast_path
-        self.history = StreamStats()
-
-    @property
-    def graph(self):
-        """The underlying weighted graph."""
-        return self._graph
-
-    @property
-    def index(self):
-        """The maintained weighted SPC-Index."""
-        return self._index
-
-    def query(self, s, t):
-        """Return (sd(s, t), spc(s, t)) under weighted distances."""
-        return self._index.query(s, t)
-
-    def distance(self, s, t):
-        """Return the weighted shortest distance."""
-        return self._index.distance(s, t)
-
-    def count(self, s, t):
-        """Return the shortest-path count."""
-        return self._index.count(s, t)
+        config = EngineConfig(
+            backend="weighted",
+            strategy=strategy,
+            rebuild_every=rebuild_every,
+            rebuild_drift_threshold=rebuild_drift_threshold,
+            drift_check_every=drift_check_every,
+            use_isolated_fast_path=use_isolated_fast_path,
+            cache_size=0,  # legacy facades never cached queries
+        )
+        super().__init__(graph, config=config, index=index)
 
     def insert_edge(self, a, b, weight):
         """Insert edge (a, b, weight); creates missing endpoints."""
-        for v in (a, b):
-            if not self._graph.has_vertex(v):
-                self.insert_vertex(v)
-        start = time.perf_counter()
-        stats = inc_spc_weighted(self._graph, self._index, a, b, weight)
-        stats.elapsed = time.perf_counter() - start
-        self.history.record(stats)
-        return stats
-
-    def delete_edge(self, a, b):
-        """Delete edge (a, b)."""
-        start = time.perf_counter()
-        stats = dec_spc_weighted(
-            self._graph, self._index, a, b,
-            use_isolated_fast_path=self._use_isolated_fast_path,
-        )
-        stats.elapsed = time.perf_counter() - start
-        self.history.record(stats)
-        return stats
-
-    def set_weight(self, a, b, new_weight):
-        """Change an edge's weight; dispatches on the direction of change."""
-        old = self._graph.weight(a, b)
-        start = time.perf_counter()
-        if new_weight == old:
-            stats = UpdateStats(kind="noop", edge=(a, b))
-        elif new_weight < old:
-            stats = decrease_weight(self._graph, self._index, a, b, new_weight)
-        else:
-            stats = increase_weight(self._graph, self._index, a, b, new_weight)
-        stats.elapsed = time.perf_counter() - start
-        self.history.record(stats)
-        return stats
-
-    def insert_vertex(self, v, edges=()):
-        """Add vertex ``v``; ``edges`` are (neighbor, weight) pairs.
-
-        Edge insertions are recorded individually; the returned stats
-        aggregate the whole operation.
-        """
-        start = time.perf_counter()
-        self._graph.add_vertex(v)
-        self._index.add_vertex(v)
-        marker = UpdateStats(kind="insert_vertex", edge=(v,))
-        marker.elapsed = time.perf_counter() - start
-        self.history.record(marker)
-        result = UpdateStats(kind="insert_vertex", edge=(v,))
-        result.merge(marker)
-        for u, w in edges:
-            result.merge(self.insert_edge(v, u, w))
-        return result
-
-    def delete_vertex(self, v):
-        """Delete vertex ``v`` via per-edge deletions."""
-        result = UpdateStats(kind="delete_vertex", edge=(v,))
-        for u in list(self._graph.neighbors(v)):
-            result.merge(self.delete_edge(v, u))
-        start = time.perf_counter()
-        self._graph.remove_vertex(v)
-        self._index.drop_vertex_labels(v)
-        marker = UpdateStats(kind="delete_vertex", edge=(v,))
-        marker.elapsed = time.perf_counter() - start
-        self.history.record(marker)
-        result.elapsed += marker.elapsed
-        return result
-
-    def rebuild(self):
-        """Reconstruct the index from scratch."""
-        start = time.perf_counter()
-        self._index = build_weighted_spc_index(self._graph, strategy=self._strategy)
-        return time.perf_counter() - start
+        return super().insert_edge(a, b, weight)
 
     def __repr__(self):
-        return f"DynamicWeightedSPC(graph={self._graph!r}, index={self._index!r})"
+        return f"DynamicWeightedSPC(graph={self.graph!r}, index={self.index!r})"

@@ -6,6 +6,7 @@ from repro.workloads.updates import (
     DeleteVertex,
     InsertEdge,
     InsertVertex,
+    SetWeight,
     edge_degree,
     hybrid_stream,
     random_deletions,
@@ -20,6 +21,7 @@ __all__ = [
     "DeleteEdge",
     "InsertVertex",
     "DeleteVertex",
+    "SetWeight",
     "random_insertions",
     "random_deletions",
     "hybrid_stream",

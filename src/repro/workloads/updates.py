@@ -19,34 +19,64 @@ from repro.exceptions import WorkloadError
 
 @dataclass(frozen=True)
 class InsertEdge:
-    """Insert edge (u, v)."""
+    """Insert edge (u, v); ``weight`` only applies on weighted graphs."""
 
     u: int
     v: int
+    weight: float = None
 
     def apply(self, dynamic):
-        """Apply to a DynamicSPC-like oracle."""
-        return dynamic.insert_edge(self.u, self.v)
+        """Apply to an SPCEngine-like oracle."""
+        if self.weight is None:
+            return dynamic.insert_edge(self.u, self.v)
+        return dynamic.insert_edge(self.u, self.v, self.weight)
 
     def undo(self):
         """The inverse update."""
         return DeleteEdge(self.u, self.v)
 
+    def __repr__(self):
+        suffix = f", weight={self.weight!r}" if self.weight is not None else ""
+        return f"InsertEdge(u={self.u!r}, v={self.v!r}{suffix})"
+
 
 @dataclass(frozen=True)
 class DeleteEdge:
-    """Delete edge (u, v)."""
+    """Delete edge (u, v).
+
+    ``weight`` is never needed to apply the deletion; it exists so that on
+    weighted graphs the caller can record the deleted edge's weight and
+    ``undo()`` can reconstruct an applicable insertion.
+    """
 
     u: int
     v: int
+    weight: float = None
 
     def apply(self, dynamic):
-        """Apply to a DynamicSPC-like oracle."""
+        """Apply to an SPCEngine-like oracle."""
         return dynamic.delete_edge(self.u, self.v)
 
     def undo(self):
-        """The inverse update."""
-        return InsertEdge(self.u, self.v)
+        """The inverse update (carries the weight when one was recorded)."""
+        return InsertEdge(self.u, self.v, self.weight)
+
+    def __repr__(self):
+        suffix = f", weight={self.weight!r}" if self.weight is not None else ""
+        return f"DeleteEdge(u={self.u!r}, v={self.v!r}{suffix})"
+
+
+@dataclass(frozen=True)
+class SetWeight:
+    """Set edge (u, v)'s weight (weighted graphs only)."""
+
+    u: int
+    v: int
+    weight: float
+
+    def apply(self, dynamic):
+        """Apply to an SPCEngine-like oracle."""
+        return dynamic.set_weight(self.u, self.v, self.weight)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,101 @@
+"""Backend registry: auto-selection, lookup, third-party registration."""
+
+import pytest
+
+import repro
+from repro.engine import (
+    SPCBackend,
+    available_backends,
+    backend_for_graph,
+    get_backend,
+    register_backend,
+)
+from repro.engine.backends import _REGISTRY
+from repro.exceptions import EngineError
+from repro.graph import DiGraph, Graph, WeightedGraph
+
+
+class TestAutoSelection:
+    def test_graph_selects_core(self):
+        assert backend_for_graph(Graph()).name == "core"
+
+    def test_digraph_selects_directed(self):
+        assert backend_for_graph(DiGraph()).name == "directed"
+
+    def test_weighted_graph_selects_weighted(self):
+        assert backend_for_graph(WeightedGraph()).name == "weighted"
+
+    def test_unknown_graph_type_raises(self):
+        with pytest.raises(EngineError):
+            backend_for_graph(object())
+
+    def test_open_backend_names(self):
+        assert repro.open(Graph.from_edges([(0, 1)])).backend_name == "core"
+        assert repro.open(DiGraph.from_edges([(0, 1)])).backend_name == "directed"
+        assert (
+            repro.open(WeightedGraph.from_edges([(0, 1, 2)])).backend_name
+            == "weighted"
+        )
+
+
+class TestLookup:
+    def test_get_backend_by_name(self):
+        assert get_backend("core").name == "core"
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(EngineError):
+            get_backend("sharded")
+
+    def test_available_backends_lists_builtins(self):
+        listing = available_backends()
+        assert listing["core"] == "Graph"
+        assert listing["directed"] == "DiGraph"
+        assert listing["weighted"] == "WeightedGraph"
+
+    def test_explicit_backend_in_config_overrides_autoselection(self):
+        engine = repro.open(Graph.from_edges([(0, 1)]), backend="core")
+        assert engine.backend_name == "core"
+
+
+class TestRegistration:
+    def test_register_requires_backend_subclass(self):
+        with pytest.raises(EngineError):
+            register_backend(object)
+
+    def test_register_requires_name_and_graph_type(self):
+        class Anonymous(SPCBackend):
+            def build_index(self):
+                raise NotImplementedError
+
+            def insert_edge(self, a, b, weight=None):
+                raise NotImplementedError
+
+            def delete_edge(self, a, b):
+                raise NotImplementedError
+
+            def verify(self, sample_pairs=None, seed=0):
+                raise NotImplementedError
+
+        with pytest.raises(EngineError):
+            register_backend(Anonymous)
+
+    def test_custom_backend_for_graph_subclass_wins_on_exact_type(self):
+        from repro.engine.adapters import CoreBackend
+
+        class TaggedGraph(Graph):
+            pass
+
+        class TaggedBackend(CoreBackend):
+            name = "tagged"
+            graph_type = TaggedGraph
+
+        register_backend(TaggedBackend)
+        try:
+            assert backend_for_graph(TaggedGraph()).name == "tagged"
+            # plain graphs are untouched by the new registration
+            assert backend_for_graph(Graph()).name == "core"
+            engine = repro.open(TaggedGraph.from_edges([(0, 1), (1, 2)]))
+            assert engine.backend_name == "tagged"
+            assert engine.query(0, 2) == (2, 1)
+        finally:
+            _REGISTRY.pop("tagged", None)

@@ -1,0 +1,76 @@
+"""QueryCache: LRU bounds, epoch invalidation, counters."""
+
+import pytest
+
+from repro.engine import QueryCache
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        cache = QueryCache(maxsize=4)
+        cache.put((0, 1), (1, 1))
+        assert cache.get((0, 1)) == (1, 1)
+        assert cache.get((9, 9)) is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            QueryCache(maxsize=0)
+
+    def test_len_bounded_by_maxsize(self):
+        cache = QueryCache(maxsize=3)
+        for i in range(10):
+            cache.put((i, i), (i, 1))
+        assert len(cache) == 3
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # touch "a": "b" becomes LRU
+        cache.put("c", 3)               # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+
+class TestEpochs:
+    def test_invalidate_expires_all_entries(self):
+        cache = QueryCache(maxsize=8)
+        cache.put((0, 1), (1, 1))
+        cache.put((1, 2), (1, 1))
+        cache.invalidate()
+        assert cache.get((0, 1)) is None
+        assert cache.get((1, 2)) is None
+
+    def test_fresh_writes_after_invalidate_hit(self):
+        cache = QueryCache(maxsize=8)
+        cache.put((0, 1), (1, 1))
+        cache.invalidate()
+        cache.put((0, 1), (2, 2))
+        assert cache.get((0, 1)) == (2, 2)
+
+    def test_invalidate_is_constant_time_bookkeeping(self):
+        cache = QueryCache(maxsize=8)
+        cache.put((0, 1), (1, 1))
+        epoch_before = cache.epoch
+        cache.invalidate()
+        assert cache.epoch == epoch_before + 1
+        assert cache.invalidations == 1
+
+    def test_info_snapshot(self):
+        cache = QueryCache(maxsize=4)
+        cache.put((0, 1), (1, 1))
+        cache.get((0, 1))
+        info = cache.info()
+        assert info["hits"] == 1
+        assert info["size"] == 1
+        assert info["maxsize"] == 4
+
+    def test_clear_resets_counters(self):
+        cache = QueryCache(maxsize=4)
+        cache.put((0, 1), (1, 1))
+        cache.get((0, 1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0

@@ -1,0 +1,110 @@
+"""The legacy facades survive as deprecation shims over the engine."""
+
+import warnings
+
+import pytest
+
+from repro.core import DynamicSPC, build_dynamic
+from repro.directed import DynamicDirectedSPC
+from repro.engine import SPCEngine
+from repro.graph import DiGraph, Graph, WeightedGraph, path_graph
+from repro.weighted import DynamicWeightedSPC
+
+INF = float("inf")
+
+
+class TestDeprecationWarnings:
+    def test_dynamic_spc_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.open"):
+            DynamicSPC(path_graph(3))
+
+    def test_dynamic_directed_spc_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.open"):
+            DynamicDirectedSPC(DiGraph.from_edges([(0, 1)]))
+
+    def test_dynamic_weighted_spc_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.open"):
+            DynamicWeightedSPC(WeightedGraph.from_edges([(0, 1, 2)]))
+
+    def test_build_dynamic_warns(self):
+        with pytest.warns(DeprecationWarning):
+            build_dynamic(path_graph(3))
+
+
+def _quiet(ctor, *args, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return ctor(*args, **kwargs)
+
+
+class TestShimsAreEngines:
+    def test_shims_subclass_spc_engine(self):
+        assert issubclass(DynamicSPC, SPCEngine)
+        assert issubclass(DynamicDirectedSPC, SPCEngine)
+        assert issubclass(DynamicWeightedSPC, SPCEngine)
+
+    def test_shims_pin_their_backend(self):
+        assert _quiet(DynamicSPC, path_graph(3)).backend_name == "core"
+        assert _quiet(
+            DynamicDirectedSPC, DiGraph.from_edges([(0, 1)])
+        ).backend_name == "directed"
+        assert _quiet(
+            DynamicWeightedSPC, WeightedGraph.from_edges([(0, 1, 2)])
+        ).backend_name == "weighted"
+
+    def test_shims_do_not_cache_queries(self):
+        # Legacy callers may mutate graph+index outside the facade, so the
+        # shims must keep reading through to the index on every query.
+        assert _quiet(DynamicSPC, path_graph(3)).cache_info() is None
+
+
+class TestLegacyBehaviorPreserved:
+    def test_core_legacy_kwargs_roundtrip(self):
+        dyn = _quiet(DynamicSPC, path_graph(6), strategy="degree",
+                     rebuild_every=3, use_isolated_fast_path=False,
+                     drift_check_every=10)
+        assert dyn.config.rebuild_every == 3
+        assert dyn.config.use_isolated_fast_path is False
+        dyn.insert_edge(0, 5)
+        assert dyn.query(0, 5) == (1, 1)
+        assert dyn.history.updates == 1
+
+    def test_directed_insert_vertex_keeps_out_in_signature(self):
+        dyn = _quiet(DynamicDirectedSPC, DiGraph.from_edges([(0, 1), (1, 2)]))
+        dyn.insert_vertex(9, out_edges=[0], in_edges=[2])
+        assert dyn.query(2, 0) == (2, 1)  # 2 -> 9 -> 0
+        assert dyn.check()
+
+    def test_weighted_insert_edge_requires_weight_positionally(self):
+        dyn = _quiet(DynamicWeightedSPC,
+                     WeightedGraph.from_edges([(0, 1, 2), (1, 2, 2)]))
+        with pytest.raises(TypeError):
+            dyn.insert_edge(0, 2)  # legacy signature: weight is mandatory
+        dyn.insert_edge(0, 2, 3)
+        assert dyn.query(0, 2) == (3, 1)
+
+    def test_apply_batch_tuple_shape(self):
+        from repro.workloads import DeleteEdge, InsertEdge
+
+        dyn = _quiet(DynamicSPC, path_graph(4))
+        stats, cancelled = dyn.apply_batch(
+            [InsertEdge(0, 3), DeleteEdge(0, 3)])
+        assert stats == [] and cancelled == 2
+
+    def test_reprs_keep_legacy_class_names(self):
+        assert repr(_quiet(DynamicSPC, path_graph(3))).startswith("DynamicSPC(")
+        assert repr(
+            _quiet(DynamicDirectedSPC, DiGraph.from_edges([(0, 1)]))
+        ).startswith("DynamicDirectedSPC(")
+        assert repr(
+            _quiet(DynamicWeightedSPC, WeightedGraph.from_edges([(0, 1, 1)]))
+        ).startswith("DynamicWeightedSPC(")
+
+    def test_old_imports_still_resolve_from_repro(self):
+        import repro
+
+        assert repro.DynamicSPC is DynamicSPC
+        assert repro.build_dynamic is build_dynamic
+        from repro.core.dynamic import DynamicSPC as from_module
+
+        assert from_module is DynamicSPC
