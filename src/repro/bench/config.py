@@ -34,6 +34,16 @@ class BenchConfig:
     # timeouts); cap the deletion batch there so full runs stay bounded.
     deletions_large: int = 4
     large_datasets: tuple = ("SKI", "DBP", "WAR", "IND")
+    # repro.bench.micro knobs — synthetic-graph microbenchmarks tracking the
+    # serving/maintenance hot paths across PRs (see DESIGN.md §9).
+    micro_isolated_sizes: tuple = (1000, 2000, 4000)
+    micro_repeats: int = 5
+    micro_query_graph: tuple = (2000, 6000)   # (n, m) for the batch-query bench
+    micro_query_sources: int = 8
+    micro_query_targets: int = 300
+    micro_update_graph: tuple = (600, 1800)   # (n, m) for the update-latency bench
+    micro_update_insertions: int = 60
+    micro_update_deletions: int = 12
 
     def deletions_for(self, name):
         """Deletion batch size for a dataset (capped on the largest)."""
@@ -54,6 +64,14 @@ class BenchConfig:
             stream_deletions=5,
             skew_insertions=10,
             skew_deletions=5,
+            micro_isolated_sizes=(300, 600, 1200),
+            micro_repeats=3,
+            micro_query_graph=(500, 1500),
+            micro_query_sources=4,
+            micro_query_targets=100,
+            micro_update_graph=(200, 600),
+            micro_update_insertions=15,
+            micro_update_deletions=5,
         )
 
     @classmethod

@@ -1,0 +1,157 @@
+"""repro.bench.micro — hot-path microbenchmarks on synthetic graphs.
+
+Unlike the paper-reproduction experiments (tables/figures over the dataset
+registry), these benches track the *engineering* hot paths this codebase
+keeps optimizing, so every PR leaves a perf trajectory in
+``bench_results/micro.json`` to regress against:
+
+* ``isolated_deletion`` — §3.2.3 fast-path cost as n grows.  With the
+  reverse hub map the purge visits only holders(hub) and stays roughly
+  flat; the legacy PR 2 behaviour (timed alongside as ``sweep``) scans all
+  n label sets and grows linearly (DESIGN.md §9).
+* ``batch_queries`` — ``SPCEngine.query_many`` on a repeated-source batch
+  (the PSPC-style shared-scan path) versus a per-pair ``query`` loop over
+  the same pairs, both with the cache off so the work itself is measured.
+* ``update_latency`` — raw per-update wall clock over a hybrid
+  insert/delete stream, the end-to-end number the Figure 10 experiments
+  report on real datasets.
+
+Wired into the CLI as ``repro-bench micro``; CI runs the quick profile as
+a perf-smoke job that fails on crash, never on timing.
+"""
+
+import time
+
+from repro.bench.tables import ExperimentResult, Table
+from repro.bench.timing import distribution_summary
+from repro.engine import EngineConfig, SPCEngine
+from repro.graph.generators import barabasi_albert, erdos_renyi
+from repro.workloads import hybrid_stream
+
+
+def run(config):
+    """Run the micro suite; returns an ExperimentResult."""
+    result = ExperimentResult(
+        name="micro",
+        description="hot-path microbenchmarks (isolated deletion, "
+                    "batch queries, update latency)",
+    )
+    result.tables.append(_bench_isolated_deletion(config, result.extra))
+    result.tables.append(_bench_batch_queries(config, result.extra))
+    result.tables.append(_bench_update_latency(config, result.extra))
+    return result
+
+
+def _engine(graph):
+    """An engine with caching off: the benches measure work, not cache hits."""
+    return SPCEngine(graph, config=EngineConfig(cache_size=0))
+
+
+def _bench_isolated_deletion(config, extra):
+    """§3.2.3 fast path (reverse hub map) vs the legacy O(n) sweep."""
+    table = Table(
+        "Isolated-vertex deletion vs n (reverse hub map vs legacy sweep)",
+        ["n", "fast_path_us", "legacy_sweep_us", "sweep_ratio"],
+    )
+    series = []
+    for n in config.micro_isolated_sizes:
+        graph = barabasi_albert(n, attach=3, seed=7)
+        engine = _engine(graph)
+        anchor = max(graph.vertices(), key=graph.degree)
+        fast, sweep = [], []
+        pendant = max(graph.vertices()) + 1
+        for r in range(config.micro_repeats):
+            p = pendant + r
+            engine.insert_vertex(p, edges=(anchor,))
+            index = engine.index
+            rp = index.rank(p)
+            # Legacy baseline: what PR 2 paid per fast-path deletion — scan
+            # every label set for the stranded hub.  Nobody holds rp (the
+            # pendant ranks last), so the scan is side-effect free here.
+            label_of = index.label_set
+            start = time.perf_counter()
+            for u in index.vertices():
+                if u != p:
+                    label_of(u).remove(rp)
+            sweep.append(time.perf_counter() - start)
+            stats = engine.delete_edge(p, anchor)
+            assert stats.isolated_fast_path
+            fast.append(stats.elapsed)
+        fast_us = min(fast) * 1e6
+        sweep_us = min(sweep) * 1e6
+        table.add_row(n, round(fast_us, 1), round(sweep_us, 1),
+                      round(sweep_us / fast_us, 2) if fast_us else 0.0)
+        series.append({"n": n, "fast_path_us": fast_us,
+                       "legacy_sweep_us": sweep_us})
+    extra["isolated_deletion"] = series
+    return table
+
+
+def _bench_batch_queries(config, extra):
+    """Grouped query_many (shared source scan) vs a per-pair query loop."""
+    n, m = config.micro_query_graph
+    graph = erdos_renyi(n, m, seed=11)
+    engine = _engine(graph)
+    vertices = sorted(graph.vertices())
+    sources = vertices[: config.micro_query_sources]
+    step = max(1, len(vertices) // config.micro_query_targets)
+    targets = vertices[::step][: config.micro_query_targets]
+    pairs = [(s, t) for s in sources for t in targets]
+
+    start = time.perf_counter()
+    batched = engine.query_many(pairs)
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    looped = [engine.query(s, t) for s, t in pairs]
+    looped_s = time.perf_counter() - start
+    assert batched == looped
+
+    table = Table(
+        "query_many on a repeated-source batch (cache off)",
+        ["pairs", "sources", "batched_qps", "per_pair_qps", "speedup"],
+    )
+    batched_qps = len(pairs) / batched_s if batched_s else 0.0
+    looped_qps = len(pairs) / looped_s if looped_s else 0.0
+    table.add_row(
+        len(pairs), len(sources), round(batched_qps), round(looped_qps),
+        round(batched_qps / looped_qps, 2) if looped_qps else 0.0,
+    )
+    extra["batch_queries"] = {
+        "pairs": len(pairs),
+        "sources": len(sources),
+        "batched_seconds": batched_s,
+        "per_pair_seconds": looped_s,
+    }
+    return table
+
+
+def _bench_update_latency(config, extra):
+    """Per-update wall clock over a hybrid insert/delete stream."""
+    n, m = config.micro_update_graph
+    graph = erdos_renyi(n, m, seed=13)
+    engine = _engine(graph)
+    stream = hybrid_stream(
+        graph.copy(),
+        insertions=config.micro_update_insertions,
+        deletions=config.micro_update_deletions,
+        seed=17,
+    )
+    all_stats = engine.apply_stream(stream)
+    table = Table(
+        "update latency over a hybrid stream",
+        ["kind", "count", "mean_us", "median_us", "max_us"],
+    )
+    summaries = {}
+    for kind in ("insert", "delete"):
+        elapsed = [s.elapsed for s in all_stats if s.kind == kind]
+        summary = distribution_summary(elapsed)
+        summaries[kind] = summary
+        table.add_row(
+            kind, summary["count"],
+            round(summary["mean"] * 1e6, 1),
+            round(summary["median"] * 1e6, 1),
+            round(summary["max"] * 1e6, 1),
+        )
+    extra["update_latency"] = summaries
+    return table

@@ -4,6 +4,7 @@ import argparse
 import os
 import sys
 
+from repro.bench import micro
 from repro.bench.config import get_profile
 from repro.bench.experiments import (
     ablations,
@@ -30,6 +31,7 @@ EXPERIMENTS = {
     "ablation_ordering": ablations.run_ordering,
     "ablation_isolated_vertex": ablations.run_isolated_vertex,
     "ablation_aff": ablations.run_aff,
+    "micro": micro.run,
 }
 
 PAPER_SET = ["table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]

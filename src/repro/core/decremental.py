@@ -93,9 +93,9 @@ def _try_isolated_fast_path(graph, index, a, b, stats):
     entry may still reference the stranded vertex as hub even though the
     canonical argument says none can (same failure family as DESIGN.md
     §5).  Those entries would answer finite distances to a now-isolated
-    vertex, so the fast path sweeps the stranded vertex's hub out of
-    every other label set — an O(n) pass of dict deletions, still far
-    cheaper than the SrrSEARCH + hub-repair machinery it replaces.
+    vertex.  The reverse hub map lists exactly who holds the stranded
+    vertex's hub, so purging them is O(affected) — PR 2 had to sweep all
+    n label sets here (see DESIGN.md §9).
     """
     rank = index.order.rank_map()
     deg_a = graph.degree(a)
@@ -113,14 +113,15 @@ def _try_isolated_fast_path(graph, index, a, b, stats):
     if rank[a] > rank[b]:
         return False
     graph.remove_edge(a, b)
-    lb = index.label_set(b)
+    rb = rank[b]
+    label_of = index.label_set
+    for u in list(index.holders(rb)):
+        if u != b and label_of(u).remove(rb):
+            stats.removed += 1
+    lb = label_of(b)
     stats.removed += len(lb) - 1
     lb.clear()
-    lb.set(rank[b], 0, 1)
-    rb = rank[b]
-    for u in index.vertices():
-        if u != b and index.label_set(u).remove(rb):
-            stats.removed += 1
+    lb.set(rb, 0, 1)
     stats.isolated_fast_path = True
     return True
 
@@ -244,7 +245,11 @@ def _dec_update(graph, index, h_vertex, targets, h_in_lab, stats):
     # earlier *incremental* updates (Lemma 3.1's optimization) can resurface
     # when a deletion raises a distance back to the stale value, and those
     # labels are not covered by the common-hub argument.  See DESIGN.md §5.
+    # The reverse hub map narrows the pass from all targets to the targets
+    # that actually hold h (DESIGN.md §9); the intersection is a fresh set,
+    # safe to iterate while removals shrink holders(h).
     del h_in_lab
-    for u in targets:
-        if u not in updated and label_of(u).remove(h):
+    for u in index.holders(h) & targets:
+        if u not in updated:
+            label_of(u).remove(h)
             stats.removed += 1

@@ -13,13 +13,23 @@ and one :class:`~repro.core.labels.LabelSet` per vertex.  It answers
 
 The index never touches the graph at query time; that is the point of 2-hop
 labeling and what the benchmarks in Figure 7(c) measure.
+
+Alongside the forward map (vertex -> L(v)) the index maintains a *reverse
+hub map* ``holders``: hub rank -> set of vertices whose label set contains
+that hub.  Every :class:`LabelSet` is bound to it on creation, so the
+builders and the Inc/Dec maintenance algorithms keep it in sync for free.
+The map is what turns "remove hub h from everyone who holds it" — the
+§3.2.3 isolated-vertex sweep, DecUPDATE's removal pass, vertex dropping —
+from O(n) scans into O(affected) lookups (DESIGN.md §9).
 """
 
-from repro.core.labels import ENTRY_BYTES, LabelSet
+from repro.core.labels import ENTRY_BYTES, LabelSet, counting_probe
 from repro.exceptions import VertexNotFound
 from repro.order import VertexOrder
 
 INF = float("inf")
+
+_NO_HOLDERS = frozenset()
 
 
 class SPCIndex:
@@ -30,16 +40,18 @@ class SPCIndex:
     with only self-labels, correct for an edgeless graph.
     """
 
-    __slots__ = ("_order", "_labels")
+    __slots__ = ("_order", "_labels", "_holders")
 
     def __init__(self, order, with_self_labels=True):
         if not isinstance(order, VertexOrder):
             order = VertexOrder(order)
         self._order = order
         self._labels = {}
+        self._holders = {}
         rank = order.rank_map()
         for v in order:
             ls = LabelSet()
+            ls.bind(self._holders, v)
             if with_self_labels:
                 ls.set(rank[v], 0, 1)
             self._labels[v] = ls
@@ -92,6 +104,23 @@ class SPCIndex:
         return {self._order.vertex(h) for h in self.label_set(v).hubs}
 
     # ------------------------------------------------------------------
+    # Reverse hub map
+    # ------------------------------------------------------------------
+
+    def holders(self, hub_rank):
+        """Vertices whose label set contains ``hub_rank`` — O(1) lookup.
+
+        Returns the live internal set (empty frozenset when nobody holds
+        the hub): treat it as read-only, and copy before iterating if the
+        loop body mutates label sets.
+        """
+        return self._holders.get(hub_rank, _NO_HOLDERS)
+
+    def holders_map(self):
+        """The internal {hub_rank: set(vertex_id)} reverse map (read-only)."""
+        return self._holders
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
@@ -120,6 +149,15 @@ class SPCIndex:
         """Return spc(s, t) (0 when disconnected)."""
         return self.query(s, t)[1]
 
+    def source_probe(self, s):
+        """Return ``probe(t) -> (sd, spc)`` sharing one scan of L(s).
+
+        See :func:`repro.core.labels.counting_probe` — equivalent to
+        :meth:`query` for every t, profitable whenever several queries
+        share a source.
+        """
+        return counting_probe(self.label_set(s), self.label_set)
+
     # ------------------------------------------------------------------
     # Dynamic-maintenance support
     # ------------------------------------------------------------------
@@ -133,6 +171,7 @@ class SPCIndex:
         """
         r = self._order.append(v)
         ls = LabelSet()
+        ls.bind(self._holders, v)
         ls.set(r, 0, 1)
         self._labels[v] = ls
         return r
@@ -143,9 +182,18 @@ class SPCIndex:
         The vertex's rank slot is tombstoned, never recycled: ranks must
         stay stable for the labels of other vertices to remain meaningful.
         The same id may later be re-added (it gets a fresh lowest rank).
+
+        Any label entry elsewhere that still references ``v`` as hub (a
+        stale Lemma 3.1 leftover) is purged via the reverse hub map, so the
+        whole operation costs O(|L(v)| + |holders(v)|), not O(n).
         """
-        if v not in self._labels:
+        ls = self._labels.get(v)
+        if ls is None:
             raise VertexNotFound(v)
+        rv = self._order.rank(v)
+        ls.clear()  # unregisters v from every holders(h) it appeared in
+        for u in list(self._holders.get(rv, _NO_HOLDERS)):
+            self._labels[u].remove(rv)
         del self._labels[v]
         self._order.remove(v)
 
@@ -192,7 +240,11 @@ class SPCIndex:
 
     @classmethod
     def from_dict(cls, payload, vertex_type=int):
-        """Rebuild an index from :meth:`to_dict` output."""
+        """Rebuild an index from :meth:`to_dict` output.
+
+        The reverse hub map is derivable from the labels, so it is not
+        serialized; the bound ``set`` calls here rebuild it exactly.
+        """
         order = VertexOrder(payload["order"])
         index = cls(order, with_self_labels=False)
         for key, entries in payload["labels"].items():
@@ -203,10 +255,16 @@ class SPCIndex:
         return index
 
     def copy(self):
-        """Return an independent deep copy (order shared structurally)."""
+        """Return an independent deep copy (order shared structurally).
+
+        Copied label sets are re-bound to the clone's own reverse hub map,
+        which ``bind`` repopulates from their hubs.
+        """
         clone = SPCIndex(VertexOrder(self._order.as_raw_list()), with_self_labels=False)
         for v, ls in self._labels.items():
-            clone._labels[v] = ls.copy()
+            dup = ls.copy()
+            dup.bind(clone._holders, v)
+            clone._labels[v] = dup
         return clone
 
     def __repr__(self):

@@ -18,9 +18,19 @@ vertices always append to the order.
 ("each label entry (v, d, c) is encoded in a 64-bit integer ... v, d, and c
 take up 25, 10, and 29 bits") so the Table 4 index-size accounting can use
 the same 8-bytes-per-entry rule as the paper.
+
+A ``LabelSet`` can additionally be *bound* to an index-level reverse hub
+map (hub rank -> set of holder vertices) via :meth:`bind`.  Once bound,
+every mutation — :meth:`set`, :meth:`remove`, :meth:`clear` — keeps the
+shared map in sync, so the maintenance algorithms never have to thread
+holder bookkeeping through their hot loops.  The reverse map is what makes
+"who holds hub h?" an O(1) lookup instead of an O(n) sweep over every
+label set (see DESIGN.md §9).
 """
 
 from bisect import bisect_left
+
+INF = float("inf")
 
 HUB_BITS = 25
 DIST_BITS = 10
@@ -63,14 +73,36 @@ class LabelSet:
     The three parallel lists are public attributes (``hubs``, ``dists``,
     ``counts``) because the update algorithms iterate them in hot loops;
     mutate only through :meth:`set` / :meth:`remove` so sortedness holds.
+
+    When owned by an index, the set is *bound* (:meth:`bind`) to the
+    index's reverse hub map; mutations then maintain the map transparently.
     """
 
-    __slots__ = ("hubs", "dists", "counts")
+    __slots__ = ("hubs", "dists", "counts", "_holders", "_owner")
 
     def __init__(self):
         self.hubs = []
         self.dists = []
         self.counts = []
+        self._holders = None
+        self._owner = None
+
+    def bind(self, holders, owner):
+        """Attach this set to a shared reverse hub map.
+
+        ``holders`` is the index's ``{hub_rank: set(vertex_id)}`` dict and
+        ``owner`` the vertex whose labels this set stores.  Any hubs already
+        present are registered immediately, so binding a populated set (as
+        ``from_dict`` / ``copy`` do) leaves the map consistent.
+        """
+        self._holders = holders
+        self._owner = owner
+        for h in self.hubs:
+            s = holders.get(h)
+            if s is None:
+                holders[h] = {owner}
+            else:
+                s.add(owner)
 
     def __len__(self):
         return len(self.hubs)
@@ -106,6 +138,13 @@ class LabelSet:
         hubs.insert(i, hub)
         self.dists.insert(i, dist)
         self.counts.insert(i, count)
+        holders = self._holders
+        if holders is not None:
+            s = holders.get(hub)
+            if s is None:
+                holders[hub] = {self._owner}
+            else:
+                s.add(self._owner)
         return "inserted"
 
     def remove(self, hub):
@@ -116,11 +155,27 @@ class LabelSet:
             del hubs[i]
             del self.dists[i]
             del self.counts[i]
+            holders = self._holders
+            if holders is not None:
+                s = holders.get(hub)
+                if s is not None:
+                    s.discard(self._owner)
+                    if not s:
+                        del holders[hub]
             return True
         return False
 
     def clear(self):
         """Remove every entry."""
+        holders = self._holders
+        if holders is not None:
+            owner = self._owner
+            for h in self.hubs:
+                s = holders.get(h)
+                if s is not None:
+                    s.discard(owner)
+                    if not s:
+                        del holders[h]
         del self.hubs[:]
         del self.dists[:]
         del self.counts[:]
@@ -130,7 +185,11 @@ class LabelSet:
         return {h: (d, c) for h, d, c in self}
 
     def copy(self):
-        """Return an independent copy of this label set."""
+        """Return an independent, *unbound* copy of this label set.
+
+        The copy does not report into any reverse hub map; the adopting
+        index re-binds it (see ``SPCIndex.copy``).
+        """
         other = LabelSet()
         other.hubs = list(self.hubs)
         other.dists = list(self.dists)
@@ -144,3 +203,38 @@ class LabelSet:
     def __repr__(self):
         entries = ", ".join(f"({h},{d},{c})" for h, d, c in self)
         return f"LabelSet[{entries}]"
+
+
+def counting_probe(source_labels, target_label_of):
+    """Return ``probe(t) -> (sd, spc)`` sharing one scan of the source labels.
+
+    The PSPC-style batch-serving primitive behind ``source_probe`` on every
+    counting index: ``source_labels`` (an iterable of (hub, dist, count)
+    triples — the query source's label set) is materialized into one
+    hub -> (dist, count) dict, and each ``probe(t)`` answers by a single
+    scan over ``target_label_of(t)``'s label arrays — the same array-probe
+    trick SrrSEARCH uses.  Equivalent to the two-pointer merge query for
+    every t; profitable whenever several queries share a source.
+    """
+    s_entry = {}
+    for h, d, c in source_labels:
+        s_entry[h] = (d, c)
+
+    def probe(t):
+        lt = target_label_of(t)
+        hubs, dists, counts = lt.hubs, lt.dists, lt.counts
+        best = INF
+        count = 0
+        get = s_entry.get
+        for i in range(len(hubs)):
+            e = get(hubs[i])
+            if e is not None:
+                d = e[0] + dists[i]
+                if d < best:
+                    best = d
+                    count = e[1] * counts[i]
+                elif d == best:
+                    count += e[1] * counts[i]
+        return best, count
+
+    return probe

@@ -184,7 +184,11 @@ def _dec_update_directed(graph, index, h_vertex, targets, h_in_lab, stats, forwa
     # Unconditional removal phase — see the note in
     # repro.core.decremental._dec_update: stale labels from incremental
     # updates can resurface if removal is gated on the common-hub flag.
+    # The reverse hub map of the side being repaired narrows the pass to
+    # the targets that actually hold h.
     del h_in_lab
-    for u in targets:
-        if u not in updated and target_side(u).remove(h):
+    holder_set = index.in_holders(h) if forward else index.out_holders(h)
+    for u in holder_set & targets:
+        if u not in updated:
+            target_side(u).remove(h)
             stats.removed += 1

@@ -6,17 +6,24 @@ paths v → h.  A query SPC(s, t) merges L_out(s) against L_in(t): a common
 hub h contributes paths s → h → t.
 """
 
-from repro.core.labels import ENTRY_BYTES, LabelSet
+from repro.core.labels import ENTRY_BYTES, LabelSet, counting_probe
 from repro.exceptions import VertexNotFound
 from repro.order import VertexOrder
 
 INF = float("inf")
 
+_NO_HOLDERS = frozenset()
+
 
 class DirectedSPCIndex:
-    """Hub labeling for shortest-path counting on directed graphs."""
+    """Hub labeling for shortest-path counting on directed graphs.
 
-    __slots__ = ("_order", "_lin", "_lout")
+    Maintains one reverse hub map per label family: ``in_holders(h)`` lists
+    the vertices with h in L_in, ``out_holders(h)`` those with h in L_out
+    (DESIGN.md §9).
+    """
+
+    __slots__ = ("_order", "_lin", "_lout", "_in_holders", "_out_holders")
 
     def __init__(self, order, with_self_labels=True):
         if not isinstance(order, VertexOrder):
@@ -24,9 +31,13 @@ class DirectedSPCIndex:
         self._order = order
         self._lin = {}
         self._lout = {}
+        self._in_holders = {}
+        self._out_holders = {}
         rank = order.rank_map()
         for v in order:
             lin, lout = LabelSet(), LabelSet()
+            lin.bind(self._in_holders, v)
+            lout.bind(self._out_holders, v)
             if with_self_labels:
                 lin.set(rank[v], 0, 1)
                 lout.set(rank[v], 0, 1)
@@ -75,6 +86,22 @@ class DirectedSPCIndex:
         """L_out(v) in id space: [(hub_vertex, dist, count)]."""
         return [(self._order.vertex(h), d, c) for h, d, c in self.out_label_set(v)]
 
+    def in_holders(self, hub_rank):
+        """Vertices with ``hub_rank`` in their L_in (read-only set)."""
+        return self._in_holders.get(hub_rank, _NO_HOLDERS)
+
+    def out_holders(self, hub_rank):
+        """Vertices with ``hub_rank`` in their L_out (read-only set)."""
+        return self._out_holders.get(hub_rank, _NO_HOLDERS)
+
+    def in_holders_map(self):
+        """The internal L_in reverse map {hub_rank: set(vertex)} (read-only)."""
+        return self._in_holders
+
+    def out_holders_map(self):
+        """The internal L_out reverse map {hub_rank: set(vertex)} (read-only)."""
+        return self._out_holders
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -101,6 +128,14 @@ class DirectedSPCIndex:
         """Return spc(s→t)."""
         return self.query(s, t)[1]
 
+    def source_probe(self, s):
+        """Return ``probe(t) -> (sd(s→t), spc(s→t))`` sharing one L_out(s) scan.
+
+        Directed twin of :func:`repro.core.labels.counting_probe`: the
+        source dict comes from L_out(s) and each probe scans L_in(t).
+        """
+        return counting_probe(self.out_label_set(s), self.in_label_set)
+
     # ------------------------------------------------------------------
     # Dynamic-maintenance support / accounting
     # ------------------------------------------------------------------
@@ -109,6 +144,8 @@ class DirectedSPCIndex:
         """Register a new isolated vertex with the lowest rank."""
         r = self._order.append(v)
         lin, lout = LabelSet(), LabelSet()
+        lin.bind(self._in_holders, v)
+        lout.bind(self._out_holders, v)
         lin.set(r, 0, 1)
         lout.set(r, 0, 1)
         self._lin[v] = lin
@@ -116,9 +153,21 @@ class DirectedSPCIndex:
         return r
 
     def drop_vertex_labels(self, v):
-        """Forget both label sets of ``v`` and tombstone its rank."""
-        if v not in self._lin:
+        """Forget both label sets of ``v`` and tombstone its rank.
+
+        Stale entries referencing ``v`` as hub in either label family are
+        purged via the reverse hub maps — O(labels of v + holders of v).
+        """
+        lin = self._lin.get(v)
+        if lin is None:
             raise VertexNotFound(v)
+        rv = self._order.rank(v)
+        lin.clear()
+        self._lout[v].clear()
+        for u in list(self._in_holders.get(rv, _NO_HOLDERS)):
+            self._lin[u].remove(rv)
+        for u in list(self._out_holders.get(rv, _NO_HOLDERS)):
+            self._lout[u].remove(rv)
         del self._lin[v]
         del self._lout[v]
         self._order.remove(v)
@@ -164,14 +213,18 @@ class DirectedSPCIndex:
         return index
 
     def copy(self):
-        """Return an independent deep copy."""
+        """Return an independent deep copy (reverse hub maps rebuilt)."""
         clone = DirectedSPCIndex(
             VertexOrder(self._order.as_raw_list()), with_self_labels=False
         )
         for v, ls in self._lin.items():
-            clone._lin[v] = ls.copy()
+            dup = ls.copy()
+            dup.bind(clone._in_holders, v)
+            clone._lin[v] = dup
         for v, ls in self._lout.items():
-            clone._lout[v] = ls.copy()
+            dup = ls.copy()
+            dup.bind(clone._out_holders, v)
+            clone._lout[v] = dup
         return clone
 
     def __repr__(self):

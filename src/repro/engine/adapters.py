@@ -1,11 +1,17 @@
-"""The three built-in backends: core (undirected), directed, weighted.
+"""The built-in backends: core (undirected), directed, weighted, sd.
 
 Each adapter is a thin, stateful wrapper over the corresponding function
-stack (``repro.core`` / ``repro.directed`` / ``repro.weighted``) — no
-algorithmic logic lives here.  What the adapters buy is *uniformity*: the
-engine drives every family through the same five verbs (build / inc / dec /
-query / verify), which is what makes rebuild policies, streaming stats and
-batch coalescing graph-type-agnostic instead of core-only.
+stack (``repro.core`` / ``repro.directed`` / ``repro.weighted`` /
+``repro.sd``) — no algorithmic logic lives here.  What the adapters buy is
+*uniformity*: the engine drives every family through the same five verbs
+(build / inc / dec / query / verify), which is what makes rebuild policies,
+streaming stats and batch coalescing graph-type-agnostic instead of
+core-only.
+
+The ``sd`` backend is never auto-selected (core wins the ``Graph`` match);
+request it explicitly — ``repro.open(g, backend="sd")`` — to serve
+distance-only traffic from the lighter SD-Index.  Its queries answer
+``(sd, None)``: exact distances, no counts.
 """
 
 from repro.core.builder import build_spc_index
@@ -85,6 +91,11 @@ class DirectedBackend(SPCBackend):
         return verify_espc_directed(self.graph, self.index,
                                     sample_pairs=sample_pairs, seed=seed)
 
+    def check_invariants(self):
+        from repro.verify import check_invariants_directed
+
+        return check_invariants_directed(self.index)
+
 
 @register_backend
 class WeightedBackend(SPCBackend):
@@ -132,3 +143,66 @@ class WeightedBackend(SPCBackend):
 
         return verify_espc_weighted(self.graph, self.index,
                                     sample_pairs=sample_pairs, seed=seed)
+
+
+@register_backend
+class SDBackend(SPCBackend):
+    """Distance-only PLL over :class:`repro.graph.Graph` (§2.3, [3]).
+
+    Serves ``(sd, None)`` answers from the lighter SD-Index for read-heavy
+    traffic that never asks for counts.  Registered *after* the core
+    backend, so ``repro.open(g)`` still auto-selects counting; opt in with
+    ``repro.open(g, backend="sd")``.  Insertions run the WWW'14 incremental
+    algorithm (:func:`repro.sd.inc_sd`); the SD literature has no
+    decremental repair, so deletions rebuild the index — cheap relative to
+    the SPC build, and honest about the trade-off.
+    """
+
+    name = "sd"
+    graph_type = Graph
+
+    def build_index(self):
+        from repro.sd import build_sd_index
+
+        return build_sd_index(self.graph, strategy=self.config.strategy)
+
+    def insert_edge(self, a, b, weight=None):
+        from repro.sd import inc_sd
+
+        self.check_weight(weight)
+        stats = UpdateStats(kind="insert", edge=(a, b))
+        inc_sd(self.graph, self.index, a, b)
+        return stats
+
+    def delete_edge(self, a, b):
+        from repro.exceptions import EdgeNotFound
+
+        if not self.graph.has_edge(a, b):
+            raise EdgeNotFound(a, b)
+        stats = UpdateStats(kind="delete", edge=(a, b))
+        self.graph.remove_edge(a, b)
+        self.index = self.build_index()
+        return stats
+
+    def incident_edges(self, v):
+        # Each SD deletion is a full rebuild, so stripping a vertex's edges
+        # one delete_edge at a time would rebuild degree(v) times; let
+        # remove_vertex take them all out and rebuild once.
+        return []
+
+    def remove_vertex(self, v):
+        for u in list(self.graph.neighbors(v)):
+            self.graph.remove_edge(v, u)
+        self.graph.remove_vertex(v)
+        self.index = self.build_index()
+
+    def verify(self, sample_pairs=None, seed=0):
+        from repro.verify import verify_sd
+
+        return verify_sd(self.graph, self.index,
+                         sample_pairs=sample_pairs, seed=seed)
+
+    def check_invariants(self):
+        from repro.verify import check_sd_invariants
+
+        return check_sd_invariants(self.index)

@@ -123,6 +123,19 @@ class SPCBackend(abc.ABC):
     def verify(self, sample_pairs=None, seed=0):
         """Check the index against ground truth; raises IndexCorruption."""
 
+    def check_invariants(self):
+        """Validate structural label invariants; raises IndexCorruption.
+
+        Unlike :meth:`verify` this never touches the graph: it checks
+        sortedness, self-labels, the rank constraint and the reverse hub
+        map's consistency with the label sets.  The default suits any
+        backend whose index mirrors :class:`repro.core.index.SPCIndex`;
+        directed/SD-shaped indexes override.
+        """
+        from repro.verify import check_invariants
+
+        return check_invariants(self.index)
+
     def __repr__(self):
         return f"{type(self).__name__}(graph={self.graph!r}, index={self.index!r})"
 

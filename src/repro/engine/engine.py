@@ -111,11 +111,53 @@ class SPCEngine:
     def query_many(self, pairs):
         """Answer a batch of (s, t) pairs; returns answers in order.
 
-        Repeated pairs within the batch (and across batches, until the next
-        update) are answered from the cache — the PSPC-style serving fast
-        path for heavy repeated traffic.
+        The PSPC-style shared-scan serving path: cache misses are grouped
+        by source, each distinct source's labels are materialized into one
+        hub -> (dist, count) dict, and every pair of that group is answered
+        by a single probe-scan over the target's label arrays — the
+        two-pointer merge runs only for singleton sources.  Repeated pairs
+        within the batch compute exactly once (deduplicated on the cache
+        key before the cache is consulted, so each distinct missing pair
+        records exactly one miss), pairs repeated across batches are
+        served from the cache until the next update, and epoch/
+        invalidation semantics are unchanged.
         """
-        return [self.query(s, t) for s, t in pairs]
+        pairs = list(pairs)
+        answers = [None] * len(pairs)
+        cache = self._cache
+        key_indices = {}
+        for i, (s, t) in enumerate(pairs):
+            key = self._cache_key(s, t)
+            pending = key_indices.get(key)
+            if pending is not None:  # duplicate of a pending miss
+                pending.append(i)
+                continue
+            if cache is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    answers[i] = hit
+                    continue
+            key_indices[key] = [i]
+
+        by_source = {}
+        for key, indices in key_indices.items():
+            s, t = pairs[indices[0]]
+            by_source.setdefault(s, []).append((t, key, indices))
+
+        index = self._backend.index
+        source_probe = getattr(index, "source_probe", None)
+        for s, group in by_source.items():
+            if source_probe is not None and len(group) >= 2:
+                probe = source_probe(s)
+            else:  # singleton source: the two-pointer merge wins
+                probe = lambda t, _s=s: index.query(_s, t)  # noqa: E731
+            for t, key, indices in group:
+                answer = probe(t)
+                if cache is not None:
+                    cache.put(key, answer)
+                for i in indices:
+                    answers[i] = answer
+        return answers
 
     def distance(self, s, t):
         """Return sd(s, t)."""
@@ -300,6 +342,16 @@ class SPCEngine:
     def check(self, sample_pairs=None, seed=0):
         """Verify the index against ground truth; raises on mismatch."""
         self._backend.verify(sample_pairs=sample_pairs, seed=seed)
+        return True
+
+    def check_invariants(self):
+        """Validate structural label invariants without touching the graph.
+
+        Cheaper than :meth:`check` (no BFS ground truth): sortedness,
+        self-labels, the rank constraint, and reverse-hub-map consistency.
+        Raises :class:`~repro.exceptions.IndexCorruption` on violation.
+        """
+        self._backend.check_invariants()
         return True
 
     def __repr__(self):

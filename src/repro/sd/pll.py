@@ -15,6 +15,7 @@ when the existing index matches the tentative distance (d_L <= D, not
 d_L < D), which is what drops the non-canonical labels.
 """
 
+from bisect import bisect_left
 from collections import deque
 
 from repro.exceptions import VertexNotFound
@@ -75,6 +76,61 @@ class SDIndex:
             else:
                 j += 1
         return best
+
+    def query(self, s, t):
+        """Return (sd(s, t), None) — the engine-facing answer shape.
+
+        The SD-Index carries no counts, so the spc slot is ``None``; this
+        lets the SD backend serve distance-only traffic through the same
+        :class:`~repro.engine.SPCEngine` API as the counting backends.
+        """
+        return self.distance(s, t), None
+
+    def source_probe(self, s):
+        """Return ``probe(t) -> (sd, None)`` sharing one scan of L(s)."""
+        hubs_s, dists_s = self.label_arrays(s)
+        s_entry = dict(zip(hubs_s, dists_s))
+        label_of = self.label_arrays
+
+        def probe(t):
+            hubs, dists = label_of(t)
+            best = INF
+            get = s_entry.get
+            for i in range(len(hubs)):
+                rd = get(hubs[i])
+                if rd is not None:
+                    d = rd + dists[i]
+                    if d < best:
+                        best = d
+            return best, None
+
+        return probe
+
+    def add_vertex(self, v):
+        """Register a new (isolated) vertex with the lowest rank."""
+        r = self._order.append(v)
+        self._labels[v] = ([r], [0])
+        return r
+
+    def drop_vertex_labels(self, v):
+        """Forget ``v``'s labels and tombstone its rank slot.
+
+        Entries elsewhere referencing ``v`` as hub are purged too —
+        leaving them would answer finite distances through a vertex that
+        no longer exists.  The SD-Index keeps no reverse hub map (the SD
+        backend rebuilds on deletions rather than repairing), so this is
+        an O(n) sweep, acceptable for the rare direct-library use.
+        """
+        if v not in self._labels:
+            raise VertexNotFound(v)
+        rv = self._order.rank(v)
+        del self._labels[v]
+        for hubs, dists in self._labels.values():
+            i = bisect_left(hubs, rv)
+            if i < len(hubs) and hubs[i] == rv:
+                del hubs[i]
+                del dists[i]
+        self._order.remove(v)
 
     @property
     def num_entries(self):

@@ -9,7 +9,12 @@ a precise diagnosis on the first mismatch.
 ``check_invariants`` validates the structural well-formedness that every
 SPC-Index must satisfy regardless of the graph: per-vertex self-labels,
 rank-sorted hub arrays, the rank constraint (hubs rank at least as high as
-the label owner), positive counts and non-negative distances.
+the label owner), positive counts and non-negative distances — plus the
+reverse-hub-map consistency rule: every (v, h) label entry appears in
+holders(h), and every holders entry is backed by a label.
+``check_invariants_directed`` applies the same rules to both label
+families of a directed index; ``check_sd_invariants`` / ``verify_sd`` are
+the distance-only siblings for the SD backend.
 """
 
 import random
@@ -164,32 +169,159 @@ def check_invariants(index, graph=None):
     labels after insertions may overestimate, never underestimate), by
     checking the query result only — per-label distances are allowed to be
     stale by Lemma 3.1.
+
+    Also verifies the reverse hub map when the index maintains one: the
+    map and the label sets must describe exactly the same (holder, hub)
+    relation.
     """
-    order = index.order
-    for v in index.vertices():
-        ls = index.label_set(v)
+    _check_label_family(
+        index.order, index.vertices(), index.label_set, "L"
+    )
+    holders_map = getattr(index, "holders_map", None)
+    if holders_map is not None:
+        _check_holders_consistency(
+            holders_map(), {v: index.label_set(v) for v in index.vertices()}, "L"
+        )
+    return True
+
+
+def _check_label_family(order, vertices, label_of, family):
+    """Per-label-set structural checks shared by every index family."""
+    for v in vertices:
+        ls = label_of(v)
         rv = order.rank(v)
         hubs = ls.hubs
         if sorted(hubs) != hubs:
-            raise IndexCorruption(f"L({v}) hubs are not sorted by rank: {hubs}")
+            raise IndexCorruption(
+                f"{family}({v}) hubs are not sorted by rank: {hubs}"
+            )
         if len(set(hubs)) != len(hubs):
-            raise IndexCorruption(f"L({v}) contains duplicate hubs: {hubs}")
+            raise IndexCorruption(
+                f"{family}({v}) contains duplicate hubs: {hubs}"
+            )
         entry = ls.get(rv)
         if entry != (0, 1):
-            raise IndexCorruption(f"L({v}) self-label is {entry}, expected (0, 1)")
+            raise IndexCorruption(
+                f"{family}({v}) self-label is {entry}, expected (0, 1)"
+            )
         for h, d, c in ls:
             if h > rv:
                 raise IndexCorruption(
-                    f"rank constraint violated in L({v}): hub rank {h} is "
+                    f"rank constraint violated in {family}({v}): hub rank {h} "
+                    f"is lower than owner rank {rv}"
+                )
+            if d < 0:
+                raise IndexCorruption(
+                    f"{family}({v}) hub {h} has negative distance {d}"
+                )
+            if c <= 0:
+                raise IndexCorruption(
+                    f"{family}({v}) hub {h} has non-positive count {c}"
+                )
+            if (d == 0) != (h == rv):
+                raise IndexCorruption(
+                    f"{family}({v}) hub {h} has distance 0 but is not the "
+                    f"self-label"
+                )
+    return True
+
+
+def _check_holders_consistency(holders, label_sets, family):
+    """Check holders == {h: {v | h in label_sets[v]}} in both directions."""
+    for v, ls in label_sets.items():
+        for h in ls.hubs:
+            if v not in holders.get(h, ()):
+                raise IndexCorruption(
+                    f"reverse hub map missing {family}({v}) entry for hub "
+                    f"rank {h}"
+                )
+    for h, vs in holders.items():
+        if not vs:
+            raise IndexCorruption(
+                f"reverse hub map keeps an empty holder set for hub rank {h}"
+            )
+        for v in vs:
+            ls = label_sets.get(v)
+            if ls is None or h not in ls:
+                raise IndexCorruption(
+                    f"reverse hub map claims {v} holds hub rank {h} in "
+                    f"{family}, but no such label exists"
+                )
+    return True
+
+
+def check_invariants_directed(index):
+    """Directed-index structural invariants: both families, both maps."""
+    sides = (
+        ("L_in", index.in_label_set, index.in_holders_map),
+        ("L_out", index.out_label_set, index.out_holders_map),
+    )
+    for family, label_of, holders_map in sides:
+        _check_label_family(index.order, index.vertices(), label_of, family)
+        _check_holders_consistency(
+            holders_map(), {v: label_of(v) for v in index.vertices()}, family
+        )
+    return True
+
+
+def check_sd_invariants(index):
+    """Structural invariants of the distance-only SD-Index."""
+    order = index.order
+    for v in order:
+        hubs, dists = index.label_arrays(v)
+        rv = order.rank(v)
+        if sorted(hubs) != hubs:
+            raise IndexCorruption(f"SD L({v}) hubs are not sorted by rank: {hubs}")
+        if len(set(hubs)) != len(hubs):
+            raise IndexCorruption(f"SD L({v}) contains duplicate hubs: {hubs}")
+        if rv not in hubs:
+            raise IndexCorruption(f"SD L({v}) is missing its self-label")
+        for h, d in zip(hubs, dists):
+            if h > rv:
+                raise IndexCorruption(
+                    f"rank constraint violated in SD L({v}): hub rank {h} is "
                     f"lower than owner rank {rv}"
                 )
             if d < 0:
-                raise IndexCorruption(f"L({v}) hub {h} has negative distance {d}")
-            if c <= 0:
-                raise IndexCorruption(f"L({v}) hub {h} has non-positive count {c}")
+                raise IndexCorruption(f"SD L({v}) hub {h} has negative distance {d}")
             if (d == 0) != (h == rv):
                 raise IndexCorruption(
-                    f"L({v}) hub {h} has distance 0 but is not the self-label"
+                    f"SD L({v}) hub {h} has distance 0 but is not the self-label"
+                )
+    return True
+
+
+def verify_sd(graph, index, sample_pairs=None, seed=0, exhaustive_threshold=400):
+    """Check SD-Index distances against BFS ground truth.
+
+    Sampling behaves like :func:`verify_espc`; only sd(s, t) is compared
+    (the SD-Index carries no counts).
+    """
+    vertices = sorted(graph.vertices())
+    n = len(vertices)
+    if n == 0:
+        return True
+    if sample_pairs is None and n <= exhaustive_threshold:
+        pairs = [(s, t) for s in vertices for t in vertices]
+    elif isinstance(sample_pairs, int) or sample_pairs is None:
+        k = sample_pairs if isinstance(sample_pairs, int) else 4 * n
+        rng = random.Random(seed)
+        pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(k)]
+    else:
+        pairs = list(sample_pairs)
+
+    by_source = {}
+    for s, t in pairs:
+        by_source.setdefault(s, []).append(t)
+    for s, ts in by_source.items():
+        dist, _ = bfs_counting_sssp(graph, s)
+        for t in ts:
+            expected = dist.get(t, INF)
+            got = index.distance(s, t)
+            if got != expected:
+                raise IndexCorruption(
+                    f"SD-Index violated for pair ({s}, {t}): index answers "
+                    f"sd={got} but ground truth is sd={expected}"
                 )
     return True
 

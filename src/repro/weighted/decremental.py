@@ -53,10 +53,11 @@ def increase_weight(graph, index, a, b, new_weight, stats=None):
 def _try_isolated_fast_path(graph, index, a, b, stats):
     """§3.2.3 fast path for stranding a pendant, lower-ranked endpoint.
 
-    Mirrors the unweighted fast path, including the sweep of the stranded
-    vertex's hub out of every other label set — stale entries retained by
-    earlier incremental updates may reference it even though the canonical
-    argument says none can (see repro/core/decremental.py).
+    Mirrors the unweighted fast path: stale entries retained by earlier
+    incremental updates may reference the stranded vertex as hub even
+    though the canonical argument says none can (see
+    repro/core/decremental.py), and the reverse hub map purges exactly
+    those holders in O(affected).
     """
     rank = index.order.rank_map()
     deg_a = graph.degree(a)
@@ -71,14 +72,15 @@ def _try_isolated_fast_path(graph, index, a, b, stats):
     if rank[a] > rank[b]:
         return False
     graph.remove_edge(a, b)
-    lb = index.label_set(b)
+    rb = rank[b]
+    label_of = index.label_set
+    for u in list(index.holders(rb)):
+        if u != b and label_of(u).remove(rb):
+            stats.removed += 1
+    lb = label_of(b)
     stats.removed += len(lb) - 1
     lb.clear()
-    lb.set(rank[b], 0, 1)
-    rb = rank[b]
-    for u in index.vertices():
-        if u != b and index.label_set(u).remove(rb):
-            stats.removed += 1
+    lb.set(rb, 0, 1)
     stats.isolated_fast_path = True
     return True
 
@@ -223,7 +225,9 @@ def _dec_update_dijkstra(graph, index, h_vertex, targets, h_in_lab, stats):
     # Unconditional removal phase — see the note in
     # repro.core.decremental._dec_update: stale labels from incremental
     # updates can resurface if removal is gated on the common-hub flag.
+    # Narrowed to holders(h) ∩ targets via the reverse hub map.
     del h_in_lab
-    for u in targets:
-        if u not in updated and label_of(u).remove(h):
+    for u in index.holders(h) & targets:
+        if u not in updated:
+            label_of(u).remove(h)
             stats.removed += 1

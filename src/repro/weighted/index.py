@@ -4,29 +4,34 @@
 shortest paths instead of the number of hops."  Structurally identical to
 the unweighted index — the same sorted LabelSet and merge queries work with
 float or int distances — so this class mirrors
-:class:`repro.core.index.SPCIndex` with weighted semantics documented.
+:class:`repro.core.index.SPCIndex` with weighted semantics documented,
+including the incrementally-maintained reverse hub map (DESIGN.md §9).
 """
 
-from repro.core.labels import ENTRY_BYTES, LabelSet
+from repro.core.labels import ENTRY_BYTES, LabelSet, counting_probe
 from repro.exceptions import VertexNotFound
 from repro.order import VertexOrder
 
 INF = float("inf")
 
+_NO_HOLDERS = frozenset()
+
 
 class WeightedSPCIndex:
     """Hub labeling for shortest-path counting on weighted graphs."""
 
-    __slots__ = ("_order", "_labels")
+    __slots__ = ("_order", "_labels", "_holders")
 
     def __init__(self, order, with_self_labels=True):
         if not isinstance(order, VertexOrder):
             order = VertexOrder(order)
         self._order = order
         self._labels = {}
+        self._holders = {}
         rank = order.rank_map()
         for v in order:
             ls = LabelSet()
+            ls.bind(self._holders, v)
             if with_self_labels:
                 ls.set(rank[v], 0, 1)
             self._labels[v] = ls
@@ -59,6 +64,14 @@ class WeightedSPCIndex:
         ls = self.label_set(v)
         return [(self._order.vertex(h), d, c) for h, d, c in ls]
 
+    def holders(self, hub_rank):
+        """Vertices whose label set contains ``hub_rank`` (read-only set)."""
+        return self._holders.get(hub_rank, _NO_HOLDERS)
+
+    def holders_map(self):
+        """The internal {hub_rank: set(vertex_id)} reverse map (read-only)."""
+        return self._holders
+
     def query(self, s, t):
         """Return (sd(s, t), spc(s, t)) under edge-weight distances."""
         return _merge(self.label_set(s), self.label_set(t), None)
@@ -75,18 +88,36 @@ class WeightedSPCIndex:
         """Return spc(s, t)."""
         return self.query(s, t)[1]
 
+    def source_probe(self, s):
+        """Return ``probe(t) -> (sd, spc)`` sharing one scan of L(s).
+
+        See :func:`repro.core.labels.counting_probe`; identical under
+        weighted distances.
+        """
+        return counting_probe(self.label_set(s), self.label_set)
+
     def add_vertex(self, v):
         """Register a new isolated vertex with the lowest rank."""
         r = self._order.append(v)
         ls = LabelSet()
+        ls.bind(self._holders, v)
         ls.set(r, 0, 1)
         self._labels[v] = ls
         return r
 
     def drop_vertex_labels(self, v):
-        """Forget ``v``'s label set and tombstone its rank."""
-        if v not in self._labels:
+        """Forget ``v``'s label set and tombstone its rank.
+
+        Stale entries elsewhere that reference ``v`` as hub are purged via
+        the reverse hub map — O(|L(v)| + |holders(v)|).
+        """
+        ls = self._labels.get(v)
+        if ls is None:
             raise VertexNotFound(v)
+        rv = self._order.rank(v)
+        ls.clear()
+        for u in list(self._holders.get(rv, _NO_HOLDERS)):
+            self._labels[u].remove(rv)
         del self._labels[v]
         self._order.remove(v)
 
@@ -121,12 +152,14 @@ class WeightedSPCIndex:
         return index
 
     def copy(self):
-        """Return an independent deep copy."""
+        """Return an independent deep copy (reverse hub map rebuilt)."""
         clone = WeightedSPCIndex(
             VertexOrder(self._order.as_raw_list()), with_self_labels=False
         )
         for v, ls in self._labels.items():
-            clone._labels[v] = ls.copy()
+            dup = ls.copy()
+            dup.bind(clone._holders, v)
+            clone._labels[v] = dup
         return clone
 
     def __repr__(self):

@@ -9,8 +9,10 @@ from repro.workloads.updates import (
     SetWeight,
     edge_degree,
     hybrid_stream,
+    is_weighted_graph,
     random_deletions,
     random_insertions,
+    random_weight_changes,
     skewed_deletions,
     skewed_insertions,
     vertex_churn,
@@ -22,8 +24,10 @@ __all__ = [
     "InsertVertex",
     "DeleteVertex",
     "SetWeight",
+    "is_weighted_graph",
     "random_insertions",
     "random_deletions",
+    "random_weight_changes",
     "hybrid_stream",
     "skewed_insertions",
     "skewed_deletions",

@@ -1,0 +1,136 @@
+"""Unit tests for the reverse hub map on SPCIndex and the fast paths it feeds."""
+
+import pytest
+
+import repro
+from repro.core import build_spc_index, dec_spc, inc_spc
+from repro.core.index import SPCIndex
+from repro.exceptions import IndexCorruption
+from repro.graph import Graph
+from repro.graph.generators import erdos_renyi, path_graph, star_graph
+from repro.verify import check_invariants
+
+
+def holders_from_labels(index):
+    expected = {}
+    for v in index.vertices():
+        for h in index.label_set(v).hubs:
+            expected.setdefault(h, set()).add(v)
+    return expected
+
+
+class TestMaintainedMap:
+    def test_builder_populates(self):
+        index = build_spc_index(erdos_renyi(25, 60, seed=2))
+        assert index.holders_map() == holders_from_labels(index)
+
+    def test_empty_hub_returns_empty_set(self):
+        index = build_spc_index(path_graph(3))
+        assert index.holders(10_000) == frozenset()
+
+    def test_holders_tracks_insert_and_delete(self):
+        g = path_graph(6)
+        index = build_spc_index(g)
+        inc_spc(g, index, 0, 5)
+        assert index.holders_map() == holders_from_labels(index)
+        dec_spc(g, index, 0, 5)
+        assert index.holders_map() == holders_from_labels(index)
+
+    def test_no_empty_holder_sets_kept(self):
+        g = path_graph(6)
+        index = build_spc_index(g)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]:
+            dec_spc(g, index, u, v)
+        assert all(index.holders_map().values())
+        assert index.holders_map() == holders_from_labels(index)
+
+
+class TestIsolatedFastPath:
+    def test_fast_path_uses_holders(self):
+        g = star_graph(8)
+        index = build_spc_index(g)
+        stats = dec_spc(g, index, 0, 3)
+        assert stats.isolated_fast_path
+        assert index.holders_map() == holders_from_labels(index)
+        assert index.query(0, 3) == (float("inf"), 0)
+        assert index.query(3, 3) == (0, 1)
+
+    def test_stale_hub_purged_via_holders(self):
+        # Build a shape where an incremental insert leaves a stale label
+        # referencing a low-ranked vertex as hub, then strand that vertex:
+        # the fast path must purge the stale entry via holders, not a sweep.
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        index = build_spc_index(g, order=[0, 1, 2])
+        inc_spc(g, index, 0, 2)   # triangle; stale entries possible later
+        dec_spc(g, index, 1, 2)
+        dec_spc(g, index, 0, 2)   # strands 2
+        assert index.holders_map() == holders_from_labels(index)
+        for s in (0, 1):
+            assert index.query(s, 2) == (float("inf"), 0)
+        assert check_invariants(index)
+
+
+class TestDropVertexLabels:
+    def test_drop_purges_stale_hub_references(self):
+        g = path_graph(4)
+        index = build_spc_index(g, order=[0, 1, 2, 3])
+        # Plant a stale Lemma 3.1-style leftover referencing vertex 3 as
+        # hub in another label set, then drop vertex 3: the reverse map
+        # must locate and purge it without a sweep.
+        r3 = index.rank(3)
+        index.label_set(0).set(r3, 5, 2)
+        assert 0 in index.holders(r3)
+        index.drop_vertex_labels(3)
+        assert r3 not in index.label_set(0)
+        assert index.holders(r3) == frozenset()
+        assert index.holders_map() == holders_from_labels(index)
+
+    def test_drop_after_isolation(self):
+        g = star_graph(10)
+        index = build_spc_index(g)
+        dec_spc(g, index, 0, 9)
+        index.drop_vertex_labels(9)
+        assert 9 not in index
+        assert index.holders_map() == holders_from_labels(index)
+
+
+class TestRoundtrips:
+    def test_from_dict_rebuilds_map(self):
+        index = build_spc_index(erdos_renyi(15, 30, seed=1))
+        restored = SPCIndex.from_dict(index.to_dict())
+        assert restored.holders_map() == index.holders_map()
+
+    def test_copy_has_independent_map(self):
+        g = path_graph(5)
+        index = build_spc_index(g)
+        clone = index.copy()
+        dec_spc(g, index, 3, 4)
+        assert clone.holders_map() != index.holders_map()
+        assert clone.holders_map() == holders_from_labels(clone)
+
+
+class TestInvariantWiring:
+    def test_check_invariants_validates_map(self):
+        g = path_graph(5)
+        index = build_spc_index(g)
+        assert check_invariants(index)
+        # Corrupt the map directly: a claimed holder without a label.
+        index.holders_map().setdefault(0, set()).add(999)
+        with pytest.raises(IndexCorruption):
+            check_invariants(index)
+
+    def test_engine_check_invariants_all_backends(self):
+        from repro.graph.generators import random_directed, random_weighted
+
+        for engine in (
+            repro.open(erdos_renyi(15, 30, seed=1)),
+            repro.open(random_directed(12, 40, seed=1)),
+            repro.open(random_weighted(12, 25, seed=1)),
+        ):
+            assert engine.check_invariants()
+
+    def test_engine_check_invariants_detects_corruption(self):
+        engine = repro.open(path_graph(4))
+        engine.index.holders_map()[999] = {0}
+        with pytest.raises(IndexCorruption):
+            engine.check_invariants()

@@ -1,0 +1,145 @@
+"""The grouped (shared-scan) batch-query path of SPCEngine.query_many."""
+
+import pytest
+
+import repro
+from repro.graph.generators import (
+    erdos_renyi,
+    path_graph,
+    random_directed,
+    random_weighted,
+)
+
+
+def all_backend_engines(cache_size=0):
+    return [
+        repro.open(erdos_renyi(40, 90, seed=1), cache_size=cache_size),
+        repro.open(random_directed(30, 120, seed=2), cache_size=cache_size),
+        repro.open(random_weighted(30, 80, seed=3), cache_size=cache_size),
+        repro.open(erdos_renyi(40, 90, seed=1), backend="sd",
+                   cache_size=cache_size),
+    ]
+
+
+class TestGroupedMatchesMerge:
+    @pytest.mark.parametrize("engine", all_backend_engines(),
+                             ids=lambda e: e.backend_name)
+    def test_repeated_sources_match_per_pair_query(self, engine):
+        vs = sorted(engine.graph.vertices())
+        pairs = [(s, t) for s in vs[:4] for t in vs]
+        assert engine.query_many(pairs) == [
+            engine.index.query(s, t) for s, t in pairs
+        ]
+
+    @pytest.mark.parametrize("engine", all_backend_engines(),
+                             ids=lambda e: e.backend_name)
+    def test_self_and_duplicate_pairs(self, engine):
+        vs = sorted(engine.graph.vertices())
+        s = vs[0]
+        pairs = [(s, s), (s, vs[1]), (s, vs[1]), (s, s)]
+        answers = engine.query_many(pairs)
+        assert answers[0] == answers[3]
+        assert answers[1] == answers[2]
+        assert answers[0][0] == 0
+
+    def test_singleton_sources_fall_back(self):
+        engine = repro.open(path_graph(6), cache_size=0)
+        pairs = [(0, 5), (1, 4), (2, 3)]  # all distinct sources
+        assert engine.query_many(pairs) == [
+            engine.index.query(s, t) for s, t in pairs
+        ]
+
+    def test_empty_batch(self):
+        assert repro.open(path_graph(3)).query_many([]) == []
+
+
+class TestCacheSemantics:
+    def test_grouped_answers_are_cached(self):
+        engine = repro.open(path_graph(8), cache_size=64)
+        pairs = [(0, t) for t in range(8)]
+        first = engine.query_many(pairs)
+        info_after_first = engine.cache_info()
+        assert engine.query_many(pairs) == first
+        info_after_second = engine.cache_info()
+        assert info_after_second["hits"] >= info_after_first["hits"] + len(pairs)
+
+    def test_cache_hits_skip_the_probe(self):
+        engine = repro.open(path_graph(8), cache_size=64)
+        pairs = [(0, t) for t in range(8)]
+        warm = engine.query_many(pairs)
+        # Mutating the index behind the engine's back would change probe
+        # answers; cached answers must be served verbatim instead.
+        assert engine.query_many(pairs) == warm
+
+    def test_updates_invalidate_grouped_answers(self):
+        engine = repro.open(path_graph(8), cache_size=64)
+        pairs = [(0, 7), (0, 6), (0, 5)]
+        assert engine.query_many(pairs) == [(7, 1), (6, 1), (5, 1)]
+        engine.insert_edge(0, 7)
+        assert engine.query_many(pairs) == [(1, 1), (2, 1), (3, 1)]
+
+    def test_counters_one_miss_per_distinct_pair(self):
+        engine = repro.open(path_graph(5), cache_size=64)
+        engine.query_many([(0, 2), (0, 2), (1, 3)])
+        info = engine.cache_info()
+        assert info["misses"] == 2  # duplicates never touch the counters
+        assert info["hits"] == 0
+        engine.query_many([(0, 2), (0, 2), (1, 3)])
+        info = engine.cache_info()
+        assert info["misses"] == 2
+        assert info["hits"] == 3  # warm occurrences each count a hit
+
+    def test_mixed_hit_miss_batch(self):
+        engine = repro.open(path_graph(10), cache_size=64)
+        engine.query(0, 9)  # warm one pair
+        pairs = [(0, 9), (0, 8), (0, 7), (3, 4)]
+        assert engine.query_many(pairs) == [
+            engine.index.query(s, t) for s, t in pairs
+        ]
+
+
+class TestUndirectedSymmetryCaching:
+    def test_symmetric_pairs_share_cache_entries(self):
+        engine = repro.open(path_graph(6), cache_size=64)
+        engine.query_many([(0, t) for t in range(6)])
+        before = engine.cache_info()["hits"]
+        engine.query_many([(t, 0) for t in range(6)])
+        assert engine.cache_info()["hits"] >= before + 6
+
+
+class TestMissDeduplication:
+    @staticmethod
+    def count_probes(monkeypatch):
+        """Instrument SPCIndex.source_probe to record every probe(t) call."""
+        from repro.core.index import SPCIndex
+
+        calls = []
+        original = SPCIndex.source_probe
+
+        def counting_source_probe(self, s):
+            probe = original(self, s)
+
+            def counted(t):
+                calls.append((s, t))
+                return probe(t)
+
+            return counted
+
+        monkeypatch.setattr(SPCIndex, "source_probe", counting_source_probe)
+        return calls
+
+    def test_duplicate_pairs_compute_once_without_cache(self, monkeypatch):
+        calls = self.count_probes(monkeypatch)
+        engine = repro.open(path_graph(8), cache_size=0)
+        answers = engine.query_many([(0, 7)] * 50 + [(0, 6)])
+        assert answers == [engine.index.query(0, 7)] * 50 + [
+            engine.index.query(0, 6)
+        ]
+        assert len(calls) == 2  # one probe per distinct pair
+
+    def test_symmetric_duplicates_compute_once_without_cache(self, monkeypatch):
+        calls = self.count_probes(monkeypatch)
+        engine = repro.open(path_graph(8), cache_size=0)
+        answers = engine.query_many([(0, 7), (7, 0), (0, 6)])
+        assert answers[0] == answers[1]
+        assert len(calls) == 2

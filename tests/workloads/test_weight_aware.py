@@ -1,0 +1,134 @@
+"""Weight-aware stream generation: weighted graphs get weighted updates."""
+
+import pytest
+
+import repro
+from repro.exceptions import WorkloadError
+from repro.graph.generators import erdos_renyi, random_weighted
+from repro.workloads import (
+    DeleteEdge,
+    InsertEdge,
+    SetWeight,
+    hybrid_stream,
+    is_weighted_graph,
+    random_deletions,
+    random_insertions,
+    random_weight_changes,
+    skewed_deletions,
+    skewed_insertions,
+)
+
+
+@pytest.fixture
+def wg():
+    return random_weighted(20, 45, seed=4)
+
+
+@pytest.fixture
+def ug():
+    return erdos_renyi(20, 45, seed=4)
+
+
+class TestDetection:
+    def test_weighted_detected(self, wg, ug):
+        assert is_weighted_graph(wg)
+        assert not is_weighted_graph(ug)
+
+
+class TestInsertions:
+    def test_weighted_insertions_carry_weights(self, wg):
+        ups = random_insertions(wg, 8, seed=1)
+        assert all(isinstance(u, InsertEdge) for u in ups)
+        assert all(u.weight is not None for u in ups)
+        assert all(1 <= u.weight <= 10 for u in ups)
+
+    def test_unweighted_insertions_stay_bare(self, ug):
+        assert all(u.weight is None for u in random_insertions(ug, 8, seed=1))
+
+    def test_weight_range_respected(self, wg):
+        ups = random_insertions(wg, 5, seed=2, weight_range=(3, 3))
+        assert {u.weight for u in ups} == {3}
+
+    def test_skewed_insertions_carry_weights(self, wg):
+        assert all(
+            u.weight is not None for u in skewed_insertions(wg, 5, seed=1)
+        )
+
+
+class TestDeletions:
+    def test_weighted_deletions_record_weight(self, wg):
+        for u in random_deletions(wg, 5, seed=1):
+            assert u.weight == wg.weight(u.u, u.v)
+            undone = u.undo()
+            assert isinstance(undone, InsertEdge)
+            assert undone.weight == u.weight
+
+    def test_skewed_deletions_record_weight(self, wg):
+        for u in skewed_deletions(wg, 5, seed=1):
+            assert u.weight == wg.weight(u.u, u.v)
+
+    def test_insert_undo_round_trips_weight(self, wg):
+        ins = random_insertions(wg, 3, seed=7)[0]
+        assert ins.undo().weight == ins.weight
+        assert ins.undo().undo() == ins
+
+    def test_unweighted_deletions_stay_bare(self, ug):
+        assert all(u.weight is None for u in random_deletions(ug, 5, seed=1))
+
+
+class TestWeightChanges:
+    def test_changes_target_existing_edges(self, wg):
+        for u in random_weight_changes(wg, 6, seed=1):
+            assert isinstance(u, SetWeight)
+            assert wg.has_edge(u.u, u.v)
+            assert u.weight != wg.weight(u.u, u.v)  # never a no-op
+
+    def test_exclusion(self, wg):
+        dels = random_deletions(wg, 5, seed=2)
+        excluded = {(d.u, d.v) for d in dels}
+        for u in random_weight_changes(wg, 6, seed=1, exclude=excluded):
+            assert (u.u, u.v) not in excluded
+
+    def test_rejected_on_unweighted(self, ug):
+        with pytest.raises(WorkloadError):
+            random_weight_changes(ug, 3)
+
+    def test_single_value_range_stays_in_range(self, wg):
+        # A (k, k) range cannot dodge an edge already at weight k; it must
+        # emit k (a harmless engine no-op), never an out-of-range weight.
+        u, v, _ = sorted(wg.edges())[0]
+        wg.set_weight(u, v, 7)
+        ups = random_weight_changes(wg, wg.num_edges, seed=3,
+                                    weight_range=(7, 7))
+        assert {w.weight for w in ups} == {7}
+
+
+class TestHybridStream:
+    def test_weighted_stream_mixes_all_kinds(self, wg):
+        stream = hybrid_stream(wg, insertions=12, deletions=3, seed=0)
+        kinds = {type(u) for u in stream}
+        assert kinds == {InsertEdge, DeleteEdge, SetWeight}
+        assert sum(isinstance(u, SetWeight) for u in stream) == 3
+        assert all(
+            u.weight is not None for u in stream if isinstance(u, InsertEdge)
+        )
+
+    def test_unweighted_stream_unchanged(self, ug):
+        stream = hybrid_stream(ug, insertions=12, deletions=3, seed=0)
+        assert {type(u) for u in stream} == {InsertEdge, DeleteEdge}
+
+    def test_set_weights_rejected_on_unweighted(self, ug):
+        with pytest.raises(WorkloadError):
+            hybrid_stream(ug, insertions=5, deletions=1, set_weights=2)
+
+    def test_stream_applies_to_weighted_engine(self, wg):
+        engine = repro.open(wg)
+        stream = hybrid_stream(wg, insertions=10, deletions=3, seed=1)
+        engine.apply_stream(stream)
+        assert engine.check()
+        assert engine.check_invariants()
+
+    def test_explicit_set_weight_count(self, wg):
+        stream = hybrid_stream(wg, insertions=10, deletions=2, seed=0,
+                               set_weights=5)
+        assert sum(isinstance(u, SetWeight) for u in stream) == 5
