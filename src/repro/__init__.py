@@ -24,6 +24,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.core` — SPC-Index, HP-SPC builder, IncSPC / DecSPC;
 * :mod:`repro.directed` / :mod:`repro.weighted` — the appendix extensions;
 * :mod:`repro.engine` — the backend-agnostic serving engine (``repro.open``);
+* :mod:`repro.serve` — snapshot-isolated concurrent serving + WAL durability;
 * :mod:`repro.sd` — distance-only PLL (SD-Index) for comparison;
 * :mod:`repro.baselines` — BFS / BiBFS / reconstruction baselines;
 * :mod:`repro.workloads`, :mod:`repro.datasets` — experiment inputs;
@@ -50,6 +51,7 @@ from repro.engine import (
 )
 from repro.engine import open_engine as open  # noqa: A001
 from repro.graph import DiGraph, Graph, WeightedGraph
+from repro import serve  # noqa: F401  (repro.serve.restore & friends)
 from repro.order import VertexOrder, degree_order, make_order
 from repro.traversal import bfs_counting_pair, bfs_counting_sssp, bibfs_counting
 from repro.verify import check_invariants, indexes_equivalent, verify_espc
@@ -61,6 +63,7 @@ __all__ = [
     "DiGraph",
     "WeightedGraph",
     "open",
+    "serve",
     "SPCEngine",
     "EngineConfig",
     "SPCBackend",

@@ -1,0 +1,122 @@
+"""Perf-trajectory comparison against a committed baseline (opt-in).
+
+``bench_results/`` records the hot-path numbers per PR; this module turns
+them into a regression gate::
+
+    repro-bench micro --compare bench_results/micro.json --tolerance 0.5
+
+re-runs the experiment and exits nonzero when any tracked metric regressed
+beyond the tolerance (0.5 = 50% slower than the baseline).  It is **off by
+default everywhere**: CI's perf-smoke job never passes ``--compare``
+(shared runners make timing nondeterministic), so the gate is a local
+tool — run it before committing a hot-path change, against the baseline
+the previous PR committed.
+
+Only experiments registered in :data:`METRIC_EXTRACTORS` are comparable;
+each extractor picks the stable, meaningful numbers out of the result's
+``extra`` payload (never table formatting) and declares which direction is
+better.  Improvements are reported but never fail the run.
+"""
+
+import json
+
+_LOWER = "lower"
+_HIGHER = "higher"
+
+
+def _micro_metrics(extra):
+    """Tracked metrics for repro.bench.micro: all seconds/us, lower wins."""
+    metrics = {}
+    for row in extra.get("isolated_deletion", []):
+        metrics[f"isolated_deletion.fast_path_us[n={row['n']}]"] = (
+            row["fast_path_us"], _LOWER,
+        )
+    batch = extra.get("batch_queries")
+    if batch:
+        metrics["batch_queries.batched_seconds"] = (
+            batch["batched_seconds"], _LOWER,
+        )
+    for kind, summary in extra.get("update_latency", {}).items():
+        metrics[f"update_latency.{kind}.mean_s"] = (summary["mean"], _LOWER)
+    return metrics
+
+
+def _serve_metrics(extra):
+    """Tracked metrics for repro.bench.serve: throughput up, latency down."""
+    metrics = {}
+    for backend, report in extra.items():
+        metrics[f"{backend}.read_qps"] = (report["read_qps"], _HIGHER)
+        metrics[f"{backend}.read_latency_p99_ms"] = (
+            report["read_latency_ms"]["p99"], _LOWER,
+        )
+    return metrics
+
+
+#: experiment name -> extra-payload metric extractor.
+METRIC_EXTRACTORS = {
+    "micro": _micro_metrics,
+    "serve": _serve_metrics,
+}
+
+
+def compare_result(result, baseline_path, tolerance):
+    """Compare one fresh ExperimentResult against a committed baseline.
+
+    Returns (regressions, report_lines): ``regressions`` lists dicts for
+    every metric worse than ``baseline * (1 + tolerance)`` (or better-is-
+    higher mirrored); ``report_lines`` is the full human-readable account,
+    one line per shared metric.
+    """
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    lines = []
+    if baseline.get("name") != result.name:
+        lines.append(
+            f"[compare] baseline {baseline_path} records "
+            f"{baseline.get('name')!r}, not {result.name!r}; skipping"
+        )
+        return [], lines
+    extractor = METRIC_EXTRACTORS.get(result.name)
+    if extractor is None:
+        lines.append(
+            f"[compare] no tracked metrics for {result.name!r} "
+            f"(comparable: {sorted(METRIC_EXTRACTORS)}); skipping"
+        )
+        return [], lines
+
+    current = extractor(result.extra)
+    base = extractor(baseline.get("extra", {}))
+    regressions = []
+    for name in sorted(current):
+        if name not in base:
+            lines.append(f"[compare] {name}: new metric, no baseline")
+            continue
+        cur_value, direction = current[name]
+        base_value, _ = base[name]
+        if not base_value:
+            lines.append(f"[compare] {name}: baseline is 0, skipped")
+            continue
+        if direction == _LOWER:
+            change = (cur_value - base_value) / base_value
+        else:
+            change = (base_value - cur_value) / base_value
+        verdict = "ok"
+        if change > tolerance:
+            verdict = "REGRESSION"
+            regressions.append({
+                "metric": name,
+                "baseline": base_value,
+                "current": cur_value,
+                "change": change,
+                "direction": direction,
+            })
+        elif change < 0:
+            verdict = "improved"
+        lines.append(
+            f"[compare] {name}: {base_value:.6g} -> {cur_value:.6g} "
+            f"({change:+.1%} {'slower' if direction == _LOWER else 'worse'}"
+            f" bound {tolerance:.0%}) {verdict}"
+        )
+    for name in sorted(set(base) - set(current)):
+        lines.append(f"[compare] {name}: present in baseline only")
+    return regressions, lines

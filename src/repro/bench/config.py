@@ -44,6 +44,13 @@ class BenchConfig:
     micro_update_graph: tuple = (600, 1800)   # (n, m) for the update-latency bench
     micro_update_insertions: int = 60
     micro_update_deletions: int = 12
+    # repro.bench.serve knobs — the serving-layer load test (N readers +
+    # 1 writer over SPCService; see repro.serve.loadgen).
+    serve_backends: tuple = ("core", "directed", "weighted", "sd")
+    serve_readers: int = 4
+    serve_duration: float = 2.0    # seconds of mixed load per backend
+    serve_graph: tuple = (300, 900)   # (n, m) of the synthetic graph
+    serve_churn: int = 40          # edges per half of the cyclic update stream
 
     def deletions_for(self, name):
         """Deletion batch size for a dataset (capped on the largest)."""
@@ -72,6 +79,11 @@ class BenchConfig:
             micro_update_graph=(200, 600),
             micro_update_insertions=15,
             micro_update_deletions=5,
+            serve_backends=("core", "sd"),
+            serve_readers=2,
+            serve_duration=0.5,
+            serve_graph=(120, 360),
+            serve_churn=20,
         )
 
     @classmethod

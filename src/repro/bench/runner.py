@@ -5,6 +5,8 @@ import os
 import sys
 
 from repro.bench import micro
+from repro.bench import serve as serve_bench
+from repro.bench.compare import compare_result
 from repro.bench.config import get_profile
 from repro.bench.experiments import (
     ablations,
@@ -32,6 +34,7 @@ EXPERIMENTS = {
     "ablation_isolated_vertex": ablations.run_isolated_vertex,
     "ablation_aff": ablations.run_aff,
     "micro": micro.run,
+    "serve": serve_bench.run,
 }
 
 PAPER_SET = ["table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]
@@ -69,6 +72,17 @@ def main(argv=None):
         "--save-dir", default=None,
         help="directory to write one JSON result file per experiment",
     )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE_JSON",
+        help="compare against a committed baseline result (e.g. "
+             "bench_results/micro.json) and fail on regressions beyond "
+             "--tolerance; opt-in, never run in CI",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional regression before --compare fails "
+             "(default: 0.5 = 50%%)",
+    )
     args = parser.parse_args(argv)
 
     names = args.experiments or ["paper"]
@@ -94,6 +108,19 @@ def main(argv=None):
             continue
         print(result.render())
         print()
+        if args.compare:
+            regressions, report = compare_result(
+                result, args.compare, args.tolerance
+            )
+            for line in report:
+                print(line)
+            if regressions:
+                print(
+                    f"[compare] {len(regressions)} metric(s) regressed "
+                    f"beyond {args.tolerance:.0%}",
+                    file=sys.stderr,
+                )
+                failures += 1
         if args.save_dir:
             os.makedirs(args.save_dir, exist_ok=True)
             result.save(os.path.join(args.save_dir, f"{name}.json"))

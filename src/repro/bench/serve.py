@@ -1,0 +1,55 @@
+"""repro.bench.serve — the serving layer under mixed read/update load.
+
+Runs :func:`repro.serve.loadgen.run_loadgen` once per backend family and
+tabulates read throughput, latency percentiles, applied-update counts and
+snapshot staleness.  Consistency checking is always on — a snapshot
+regression, torn read or rejected update fails the run with
+:class:`~repro.exceptions.ServeError` — while the timing numbers are
+recorded, never judged (CI's serve-smoke job runs the quick profile and
+fails on crash/inconsistency only).
+
+Results land in ``bench_results/serve.json`` via
+``repro-bench serve --save-dir bench_results``.
+"""
+
+from repro.bench.tables import ExperimentResult, Table
+from repro.serve.loadgen import run_loadgen
+
+
+def run(config):
+    """Run the serve loadgen per backend; returns an ExperimentResult."""
+    result = ExperimentResult(
+        name="serve",
+        description="snapshot-isolated service under mixed read/update "
+                    "load (N readers + 1 writer, consistency-checked)",
+    )
+    n, m = config.serve_graph
+    table = Table(
+        f"loadgen: {config.serve_readers} readers, {config.serve_duration}s, "
+        f"ER({n}, {m})",
+        ["backend", "read_qps", "p50_ms", "p99_ms", "applied",
+         "snapshots", "max_lag", "max_staleness_ms"],
+    )
+    for backend in config.serve_backends:
+        report = run_loadgen(
+            backend=backend,
+            readers=config.serve_readers,
+            duration=config.serve_duration,
+            n=n,
+            m=m,
+            churn=config.serve_churn,
+            seed=config.seed,
+        )
+        table.add_row(
+            backend,
+            report["read_qps"],
+            report["read_latency_ms"]["p50"],
+            report["read_latency_ms"]["p99"],
+            report["updates_applied"],
+            report["snapshots_published"],
+            report["lag_batches"]["max"],
+            report["staleness_ms"]["max"],
+        )
+        result.extra[backend] = report
+    result.tables.append(table)
+    return result

@@ -126,3 +126,24 @@ def coalesce_edge_updates(graph, updates):
             effective.append(SetWeight(*key, weight=after))
         cancelled += touches[key] - 1
     return effective, cancelled
+
+
+def coalesce_if_edge_batch(graph, updates, enabled=True):
+    """The serving layer's tolerant coalescing gate.
+
+    Returns ``(effective, cancelled)``: net-effect coalescing when
+    ``enabled`` and every update is an edge update, the batch verbatim
+    (``cancelled == 0``) otherwise.  Unlike :meth:`SPCEngine.apply_batch`
+    — which raises on vertex operations because a caller handing it a
+    coalescible batch asked for set semantics — a serving queue legally
+    mixes vertex and edge updates, so mixed batches fall back to verbatim
+    replay rather than failing.  Keeping the gate here, next to the
+    netting rules, means a future change to those rules (as PR 2 made for
+    SetWeight) cannot silently diverge between the two entry points.
+    """
+    updates = list(updates)
+    if enabled and all(
+        isinstance(u, (InsertEdge, DeleteEdge, SetWeight)) for u in updates
+    ):
+        return coalesce_edge_updates(graph, updates)
+    return updates, 0

@@ -17,10 +17,12 @@ distance-only traffic from the lighter SD-Index.  Its queries answer
 from repro.core.builder import build_spc_index
 from repro.core.decremental import dec_spc
 from repro.core.incremental import inc_spc
+from repro.core.index import SPCIndex
 from repro.core.stats import UpdateStats
 from repro.directed.builder import build_directed_spc_index
 from repro.directed.decremental import dec_spc_directed
 from repro.directed.incremental import inc_spc_directed
+from repro.directed.index import DirectedSPCIndex
 from repro.engine.backends import SPCBackend, register_backend
 from repro.exceptions import EngineError
 from repro.graph.directed import DiGraph
@@ -29,6 +31,7 @@ from repro.graph.weighted import WeightedGraph
 from repro.weighted.builder import build_weighted_spc_index
 from repro.weighted.decremental import dec_spc_weighted, increase_weight
 from repro.weighted.incremental import decrease_weight, inc_spc_weighted
+from repro.weighted.index import WeightedSPCIndex
 
 
 @register_backend
@@ -37,6 +40,7 @@ class CoreBackend(SPCBackend):
 
     name = "core"
     graph_type = Graph
+    index_type = SPCIndex
 
     def build_index(self):
         return build_spc_index(self.graph, strategy=self.config.strategy)
@@ -64,6 +68,7 @@ class DirectedBackend(SPCBackend):
 
     name = "directed"
     graph_type = DiGraph
+    index_type = DirectedSPCIndex
     directed = True
 
     def build_index(self):
@@ -103,6 +108,7 @@ class WeightedBackend(SPCBackend):
 
     name = "weighted"
     graph_type = WeightedGraph
+    index_type = WeightedSPCIndex
     weighted = True
 
     def check_weight(self, weight):
@@ -156,20 +162,58 @@ class SDBackend(SPCBackend):
     algorithm (:func:`repro.sd.inc_sd`); the SD literature has no
     decremental repair, so deletions rebuild the index — cheap relative to
     the SPC build, and honest about the trade-off.
+
+    Inside an update batch (``config.sd_defer_rebuilds``) consecutive
+    deletions coalesce: each one only removes its edge from the graph, and
+    the rebuild runs once — at the end of the batch, or earlier if an
+    insertion needs a current index to repair incrementally.  Deferral is
+    confined to the engine's batch hooks, so queries never see a stale
+    index.
     """
 
     name = "sd"
     graph_type = Graph
 
+    def __init__(self, graph, index, config):
+        super().__init__(graph, index, config)
+        self._in_batch = False
+        self._rebuild_pending = False
+        #: rebuilds performed over this backend's lifetime (policy tests
+        #: and the serving layer's stats read this).
+        self.rebuild_count = 0
+
+    @classmethod
+    def index_from_dict(cls, payload):
+        from repro.sd import SDIndex
+
+        return SDIndex.from_dict(payload)
+
     def build_index(self):
         from repro.sd import build_sd_index
 
+        self._rebuild_pending = False
+        self.rebuild_count += 1
         return build_sd_index(self.graph, strategy=self.config.strategy)
+
+    def begin_update_batch(self):
+        if self.config.sd_defer_rebuilds:
+            self._in_batch = True
+
+    def end_update_batch(self):
+        self._in_batch = False
+        self._flush_pending_rebuild()
+
+    def _flush_pending_rebuild(self):
+        if self._rebuild_pending:
+            self.index = self.build_index()
 
     def insert_edge(self, a, b, weight=None):
         from repro.sd import inc_sd
 
         self.check_weight(weight)
+        # inc_sd repairs the *current* index; a deferred deletion would
+        # leave it repairing stale labels, so settle the debt first.
+        self._flush_pending_rebuild()
         stats = UpdateStats(kind="insert", edge=(a, b))
         inc_sd(self.graph, self.index, a, b)
         return stats
@@ -181,7 +225,10 @@ class SDBackend(SPCBackend):
             raise EdgeNotFound(a, b)
         stats = UpdateStats(kind="delete", edge=(a, b))
         self.graph.remove_edge(a, b)
-        self.index = self.build_index()
+        if self._in_batch:
+            self._rebuild_pending = True
+        else:
+            self.index = self.build_index()
         return stats
 
     def incident_edges(self, v):
@@ -194,7 +241,12 @@ class SDBackend(SPCBackend):
         for u in list(self.graph.neighbors(v)):
             self.graph.remove_edge(v, u)
         self.graph.remove_vertex(v)
-        self.index = self.build_index()
+        if self._in_batch:
+            # Same deferral as delete_edge: no query can run before the
+            # batch ends, so a vertex-removal storm rebuilds once too.
+            self._rebuild_pending = True
+        else:
+            self.index = self.build_index()
 
     def verify(self, sample_pairs=None, seed=0):
         from repro.verify import verify_sd

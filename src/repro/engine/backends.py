@@ -37,6 +37,9 @@ class SPCBackend(abc.ABC):
 
     name = None
     graph_type = None
+    #: the index class this backend builds — used by the serving layer to
+    #: rehydrate checkpoints (see :meth:`index_from_dict`).
+    index_type = None
     directed = False
     weighted = False
 
@@ -61,8 +64,48 @@ class SPCBackend(abc.ABC):
         """Build a fresh index for the current graph (HP-SPC baseline)."""
 
     # ------------------------------------------------------------------
+    # Snapshot / serialization hooks (the repro.serve seam)
+    # ------------------------------------------------------------------
+
+    def snapshot_index(self):
+        """Return an independent copy of the index, safe to read from other
+        threads while this backend keeps mutating its live index.
+
+        The default relies on the index's own ``copy`` (which rebinds the
+        reverse hub maps); backends whose index lacks one must override.
+        """
+        return self.index.copy()
+
+    def index_to_dict(self):
+        """JSON-serializable payload of the live index (checkpointing)."""
+        return self.index.to_dict()
+
+    @classmethod
+    def index_from_dict(cls, payload):
+        """Rehydrate an index of this backend's family from a checkpoint."""
+        if cls.index_type is None:
+            raise EngineError(
+                f"backend {cls.name!r} declares no index_type; "
+                f"checkpoints cannot be restored for it"
+            )
+        return cls.index_type.from_dict(payload)
+
+    # ------------------------------------------------------------------
     # Updates — each returns an UpdateStats
     # ------------------------------------------------------------------
+
+    def begin_update_batch(self):
+        """Hook: a stream of updates is about to be applied back-to-back.
+
+        No queries will be issued until :meth:`end_update_batch`, so a
+        backend may defer expensive per-update work (the SD backend
+        coalesces its rebuild-on-delete into one rebuild per batch).
+        The default is a no-op; the engine brackets ``apply_stream`` /
+        ``apply_batch`` with these hooks.
+        """
+
+    def end_update_batch(self):
+        """Hook: the update stream ended; restore query-ready state."""
 
     def check_weight(self, weight):
         """Validate an insert_edge weight *before* any mutation happens.

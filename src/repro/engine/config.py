@@ -44,6 +44,13 @@ class EngineConfig:
     cache_size:
         Capacity of the epoch-invalidated LRU query cache; ``0`` disables
         caching entirely.
+    sd_defer_rebuilds:
+        SD backend only: inside an update batch (``apply_stream`` /
+        ``apply_batch``, bracketed by the backend batch hooks), coalesce
+        the rebuild-on-delete policy into a single rebuild per batch
+        instead of one per deletion.  Queries never observe the deferred
+        state — the engine rebuilds before the batch call returns — so
+        this is purely a cost knob for delete-heavy SD traffic.
 
     Example
     -------
@@ -61,6 +68,7 @@ class EngineConfig:
     use_isolated_fast_path: bool = True
     coalesce_batches: bool = True
     cache_size: int = 1024
+    sd_defer_rebuilds: bool = True
 
     def __post_init__(self):
         if self.rebuild_every is not None and self.rebuild_every < 1:

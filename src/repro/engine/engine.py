@@ -29,6 +29,43 @@ from repro.core.stats import StreamStats, UpdateStats
 from repro.engine.backends import backend_for_graph, get_backend
 from repro.engine.cache import QueryCache
 from repro.engine.config import EngineConfig
+from repro.exceptions import EngineError
+
+
+def source_probe_or_merge(index, s, group_size):
+    """Pick the answer strategy for one source's group of queries.
+
+    Returns a ``probe(t) -> (sd, spc)``: the PSPC-style shared scan
+    (``index.source_probe``) when the group has enough targets to
+    amortize materializing L(s), else the per-pair two-pointer merge.
+    Shared by :meth:`SPCEngine.query_many` and the serving layer's
+    :meth:`~repro.serve.SnapshotView.query_many` so the heuristic cannot
+    silently diverge between the two batch paths.
+    """
+    source_probe = getattr(index, "source_probe", None)
+    if source_probe is not None and group_size >= 2:
+        return source_probe(s)
+    return lambda t: index.query(s, t)
+
+
+def batch_answers(index, pairs):
+    """Answer (s, t) pairs against one index state, cache-free.
+
+    The uncached core of the PSPC-style batch path: group by source, one
+    :func:`source_probe_or_merge` probe per group.  ``SPCEngine.query_many``
+    layers cache lookups and miss-deduplication on top of the same
+    grouping; the serving layer's immutable snapshots call this directly.
+    """
+    pairs = list(pairs)
+    answers = [None] * len(pairs)
+    by_source = {}
+    for i, (s, t) in enumerate(pairs):
+        by_source.setdefault(s, []).append((t, i))
+    for s, group in by_source.items():
+        probe = source_probe_or_merge(index, s, len(group))
+        for t, i in group:
+            answers[i] = probe(t)
+    return answers
 
 
 class SPCEngine:
@@ -93,6 +130,20 @@ class SPCEngine:
         """Monotone counter of topology changes (drives cache validity)."""
         return self._epoch
 
+    def seed_epoch(self, epoch):
+        """Fast-forward the epoch counter (checkpoint restore only).
+
+        The serving layer uses the epoch as a cross-restart consistency
+        coordinate, so a restored engine must not reissue epoch numbers
+        readers already saw.  Rewinding is refused — a lower epoch would
+        resurrect stale cache entries and break snapshot monotonicity.
+        """
+        if epoch < self._epoch:
+            raise EngineError(
+                f"cannot rewind epoch from {self._epoch} to {epoch}"
+            )
+        self._epoch = epoch
+
     # ------------------------------------------------------------------
     # Serving path
     # ------------------------------------------------------------------
@@ -145,12 +196,8 @@ class SPCEngine:
             by_source.setdefault(s, []).append((t, key, indices))
 
         index = self._backend.index
-        source_probe = getattr(index, "source_probe", None)
         for s, group in by_source.items():
-            if source_probe is not None and len(group) >= 2:
-                probe = source_probe(s)
-            else:  # singleton source: the two-pointer merge wins
-                probe = lambda t, _s=s: index.query(_s, t)  # noqa: E731
+            probe = source_probe_or_merge(index, s, len(group))
             for t, key, indices in group:
                 answer = probe(t)
                 if cache is not None:
@@ -259,8 +306,18 @@ class SPCEngine:
         return apply_to(self)
 
     def apply_stream(self, updates):
-        """Apply an iterable of updates; returns the list of stats."""
-        return [self.apply(u) for u in updates]
+        """Apply an iterable of updates; returns the list of stats.
+
+        The stream is bracketed by the backend's update-batch hooks, so a
+        backend may defer per-update work to the end of the stream (the SD
+        backend's batched rebuild); the index is query-ready again before
+        this returns.
+        """
+        self._backend.begin_update_batch()
+        try:
+            return [self.apply(u) for u in updates]
+        finally:
+            self._backend.end_update_batch()
 
     def apply_batch(self, updates, coalesce=None):
         """Apply an edge-update batch with set semantics (net effect only).

@@ -72,3 +72,18 @@ class DatasetError(ReproError):
 class EngineError(ReproError):
     """Raised for engine misuse: unknown backends, bad configs, or
     operations the selected backend does not support."""
+
+
+class ReadOnlyError(ReproError):
+    """Raised when a mutation is attempted on an immutable snapshot view.
+
+    :class:`repro.serve.SnapshotView` pins one published epoch of the
+    index; writes must go through :meth:`repro.serve.SPCService.submit`
+    so the writer thread applies them and publishes a fresh snapshot.
+    """
+
+
+class ServeError(ReproError):
+    """Raised for serving-layer misuse or failure: submitting to a closed
+    service, a flush/checkpoint timeout, a dead writer thread, or a
+    corrupt checkpoint/WAL file."""

@@ -137,6 +137,43 @@ class SDIndex:
         """Total number of (hub, dist) entries."""
         return sum(len(h) for h, _ in self._labels.values())
 
+    # ------------------------------------------------------------------
+    # Serialization — same shape as SPCIndex.to_dict, minus the counts
+    # ------------------------------------------------------------------
+
+    def to_dict(self):
+        """Return a JSON-serializable snapshot of the index.
+
+        Tombstoned rank slots serialize as null so ranks survive roundtrips.
+        """
+        return {
+            "order": self._order.as_raw_list(),
+            "labels": {
+                str(v): [[h, d] for h, d in zip(hubs, dists)]
+                for v, (hubs, dists) in self._labels.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload, vertex_type=int):
+        """Rebuild an index from :meth:`to_dict` output."""
+        index = cls(VertexOrder(payload["order"]))
+        for key, entries in payload["labels"].items():
+            hubs, dists = index.label_arrays(vertex_type(key))
+            for h, d in entries:
+                hubs.append(h)
+                dists.append(d)
+        return index
+
+    def copy(self):
+        """Return an independent deep copy (order copied, labels duplicated)."""
+        clone = SDIndex(VertexOrder(self._order.as_raw_list()))
+        clone._labels = {
+            v: (list(hubs), list(dists))
+            for v, (hubs, dists) in self._labels.items()
+        }
+        return clone
+
     def __repr__(self):
         return f"SDIndex(n={len(self._labels)}, entries={self.num_entries})"
 

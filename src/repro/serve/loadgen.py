@@ -1,0 +1,309 @@
+"""Multi-threaded load generator for the serving layer.
+
+Drives mixed read/update traffic against an :class:`~repro.serve.SPCService`
+— N reader threads issuing point and batch queries against pinned
+snapshots, one submitter feeding a cyclic update stream (k fresh edge
+insertions, then their deletions in reverse, so the stream is valid
+forever and the graph orbits its initial state) — and reports throughput,
+read-latency percentiles, and snapshot staleness.
+
+Two kinds of failure are checked *while* generating load, and raise
+:class:`~repro.exceptions.ServeError` (this is what the CI serve-smoke job
+trips on — never on timing):
+
+* **snapshot regression** — a reader observing a snapshot with a lower
+  sequence number than one it already held (publication must be monotone);
+* **torn reads** — the same pair queried twice on one pinned snapshot
+  answering differently, or a batch answer disagreeing with its point
+  answers, or a malformed answer (finite distance with zero count, or an
+  infinite distance with a nonzero count).
+
+After the run the engine's structural invariants are validated too
+(``check_invariants``), so index corruption under concurrency cannot slip
+through as a plausible-looking wrong answer.
+
+Wired into the benchmark CLI as ``repro-bench serve`` (results land in
+``bench_results/serve.json``); importable directly via
+:func:`run_loadgen` for ad-hoc profiling.
+"""
+
+import random
+import threading
+import time
+
+from repro.engine import EngineConfig, SPCEngine
+from repro.exceptions import ServeError
+from repro.graph.generators import erdos_renyi, random_directed, random_weighted
+from repro.serve.service import ServeConfig, SPCService
+from repro.workloads.updates import random_insertions
+
+INF = float("inf")
+
+#: how a loadgen graph is synthesized per backend name.
+_GRAPH_MAKERS = {
+    "core": erdos_renyi,
+    "sd": erdos_renyi,
+    "directed": random_directed,
+    "weighted": random_weighted,
+}
+
+
+def _percentile(sorted_values, q):
+    """repro.bench.timing.percentile, imported lazily.
+
+    The module-level import would be circular (``repro.bench.__init__``
+    pulls in the runner, which registers :mod:`repro.bench.serve`, which
+    imports this module); by call time the cycle has resolved.
+    """
+    from repro.bench.timing import percentile
+
+    return percentile(sorted_values, q)
+
+
+def make_workload(backend, n, m, seed=0, churn=40):
+    """Build (graph, update_cycle, query_pairs) for one loadgen run.
+
+    The update cycle inserts ``churn`` fresh edges then deletes them in
+    reverse order — applying it end-to-end returns the graph to its
+    initial state, so the submitter can loop it indefinitely and every
+    prefix is a valid update stream.
+    """
+    try:
+        maker = _GRAPH_MAKERS[backend]
+    except KeyError:
+        raise ServeError(
+            f"loadgen knows no backend {backend!r}; "
+            f"choose from {sorted(_GRAPH_MAKERS)}"
+        ) from None
+    graph = maker(n, m, seed=seed)
+    insertions = random_insertions(graph, churn, seed=seed + 1)
+    cycle = list(insertions) + [u.undo() for u in reversed(insertions)]
+    rng = random.Random(seed + 2)
+    vertices = sorted(graph.vertices())
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(512)
+    ]
+    return graph, cycle, pairs
+
+
+def _check_answer(snap, s, t, answer, problems):
+    d, c = answer
+    if d == INF:
+        if c not in (0, None):
+            problems.append(
+                f"disconnected ({s},{t}) answered count {c!r} at seq {snap.seq}"
+            )
+    elif d < 0 or (c is not None and c < 1):
+        problems.append(
+            f"malformed answer {answer!r} for ({s},{t}) at seq {snap.seq}"
+        )
+
+
+def _reader_loop(service, pairs, deadline, seed, record):
+    rng = random.Random(seed)
+    latencies = []        # point-query timings only
+    batch_latencies = []  # query_many-of-8 timings, reported separately
+    problems = []
+    reads = 0
+    try:
+        reads = _read_until(service, pairs, deadline, rng, latencies,
+                            batch_latencies, problems)
+    except Exception as exc:  # noqa: BLE001 — a dead reader must fail the
+        # run, not silently shrink the sample (the smoke job's contract).
+        problems.append(f"reader thread crashed: {exc!r}")
+    record["reads"] = reads
+    record["latencies"] = latencies
+    record["batch_latencies"] = batch_latencies
+    record["problems"] = problems
+
+
+def _read_until(service, pairs, deadline, rng, latencies, batch_latencies,
+                problems):
+    reads = 0
+    last_seq = -1
+    while time.time() < deadline:
+        s, t = pairs[rng.randrange(len(pairs))]
+        start = time.perf_counter()
+        snap = service.snapshot()
+        answer = snap.query(s, t)
+        latencies.append(time.perf_counter() - start)
+        reads += 1
+        if snap.seq < last_seq:
+            problems.append(
+                f"snapshot regressed: seq {snap.seq} after {last_seq}"
+            )
+        last_seq = snap.seq
+        _check_answer(snap, s, t, answer, problems)
+        if reads % 16 == 0:
+            # Torn-read probe: a pinned snapshot must answer identically
+            # forever, even while the writer publishes newer epochs.
+            again = snap.query(s, t)
+            if again != answer:
+                problems.append(
+                    f"torn read on ({s},{t}) at seq {snap.seq}: "
+                    f"{answer!r} then {again!r}"
+                )
+        if reads % 64 == 0:
+            batch = [pairs[rng.randrange(len(pairs))] for _ in range(8)]
+            start = time.perf_counter()
+            answers = snap.query_many(batch)
+            batch_latencies.append(time.perf_counter() - start)
+            reads += len(batch)
+            for (bs, bt), ba in zip(batch, answers):
+                if ba != snap.query(bs, bt):
+                    problems.append(
+                        f"query_many({bs},{bt}) disagreed with query "
+                        f"at seq {snap.seq}"
+                    )
+    return reads
+
+
+def _submitter_loop(service, cycle, deadline, batch_size, pause, record):
+    submitted = 0
+    i = 0
+    record["problems"] = problems = []
+    try:
+        while cycle and time.time() < deadline:
+            chunk = cycle[i:i + batch_size]
+            if not chunk:
+                i = 0
+                continue
+            service.submit_many(chunk)
+            submitted += len(chunk)
+            i = (i + len(chunk)) % len(cycle)
+            if pause:
+                time.sleep(pause)
+    except Exception as exc:  # noqa: BLE001 — surfaced as a run failure
+        problems.append(f"submitter thread crashed: {exc!r}")
+    record["submitted"] = submitted
+
+
+def run_loadgen(backend="core", readers=4, duration=1.0, n=300, m=900,
+                churn=40, batch_size=8, pause=0.001, seed=0,
+                publish_every=16, max_staleness=0.02, durability_dir=None,
+                strict=True):
+    """Run one mixed read/update load against a fresh service.
+
+    Returns a JSON-safe report dict; with ``strict`` (the default) any
+    observed inconsistency raises :class:`~repro.exceptions.ServeError`
+    listing every problem — timing numbers never fail the run.
+    """
+    graph, cycle, pairs = make_workload(backend, n, m, seed=seed, churn=churn)
+    engine = SPCEngine(graph, config=EngineConfig(backend=backend))
+    config = ServeConfig(
+        publish_every=publish_every,
+        max_staleness=max_staleness,
+        queue_capacity=4096,
+        durability_dir=durability_dir,
+    )
+    service = SPCService(engine, config=config, overwrite=True)
+
+    deadline = time.time() + duration
+    reader_records = [{} for _ in range(readers)]
+    threads = [
+        threading.Thread(
+            target=_reader_loop,
+            args=(service, pairs, deadline, seed + 10 + i, reader_records[i]),
+            name=f"loadgen-reader-{i}",
+        )
+        for i in range(readers)
+    ]
+    submit_record = {}
+    threads.append(threading.Thread(
+        target=_submitter_loop,
+        args=(service, cycle, deadline, batch_size, pause, submit_record),
+        name="loadgen-submitter",
+    ))
+
+    start = time.time()
+    lag_samples, staleness_samples = [], []
+    try:
+        for t in threads:
+            t.start()
+        while time.time() < deadline:
+            lag_samples.append(service.lag())
+            staleness_samples.append(service.staleness())
+            time.sleep(0.01)
+        for t in threads:
+            t.join()
+        service.flush()
+        elapsed = time.time() - start
+        stats = service.stats()
+    except BaseException:
+        # Even when flush (or a sampler call) raises, the writer thread
+        # and any WAL handle must not leak into the caller's process —
+        # but the original failure stays the one reported.
+        try:
+            service.close()
+        except ServeError:
+            pass
+        raise
+    service.close()
+    engine.check_invariants()
+
+    problems = [p for rec in reader_records for p in rec.get("problems", [])]
+    problems.extend(submit_record.get("problems", []))
+    latencies = sorted(
+        lat for rec in reader_records for lat in rec.get("latencies", [])
+    )
+    batch_latencies = sorted(
+        lat for rec in reader_records for lat in rec.get("batch_latencies", [])
+    )
+    reads = sum(rec.get("reads", 0) for rec in reader_records)
+    report = {
+        "backend": backend,
+        "readers": readers,
+        "duration_s": round(elapsed, 3),
+        "graph": {"n": n, "m": m},
+        "reads": reads,
+        "read_qps": round(reads / elapsed) if elapsed else 0,
+        "read_latency_ms": {
+            "p50": round(_percentile(latencies, 50) * 1e3, 4),
+            "p99": round(_percentile(latencies, 99) * 1e3, 4),
+            "max": round((latencies[-1] if latencies else 0.0) * 1e3, 4),
+            "mean": round(
+                (sum(latencies) / len(latencies) if latencies else 0.0) * 1e3,
+                4,
+            ),
+        },
+        # query_many-of-8 timings, kept out of the point-read percentiles
+        # so p99 tracks single-read latency, not the batch mix.
+        "batch_latency_ms": {
+            "p50": round(_percentile(batch_latencies, 50) * 1e3, 4),
+            "p99": round(_percentile(batch_latencies, 99) * 1e3, 4),
+        },
+        "updates_submitted": submit_record.get("submitted", 0),
+        "updates_applied": stats["applied_updates"],
+        "updates_cancelled": stats["cancelled_updates"],
+        "applied_batches": stats["applied_batches"],
+        "snapshots_published": stats["snapshots_published"],
+        "lag_batches": {
+            "mean": round(
+                sum(lag_samples) / len(lag_samples) if lag_samples else 0.0, 3
+            ),
+            "max": max(lag_samples, default=0),
+        },
+        "staleness_ms": {
+            "mean": round(
+                (sum(staleness_samples) / len(staleness_samples)
+                 if staleness_samples else 0.0) * 1e3,
+                3,
+            ),
+            "max": round(max(staleness_samples, default=0.0) * 1e3, 3),
+        },
+        "update_errors": len(service.errors),
+        "consistency_problems": problems,
+    }
+    if service.errors:
+        # The cyclic stream is valid by construction; a rejected update
+        # means the service lost an edge somewhere — that is a failure.
+        problems.extend(
+            f"update rejected: {u!r}: {exc}" for u, exc in service.errors
+        )
+    if strict and problems:
+        preview = "; ".join(problems[:5])
+        raise ServeError(
+            f"loadgen observed {len(problems)} inconsistencies "
+            f"({report['backend']} backend): {preview}"
+        )
+    return report

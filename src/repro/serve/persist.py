@@ -1,0 +1,119 @@
+"""Checkpoint files: durable, backend-agnostic snapshots of an engine.
+
+A checkpoint is one JSON document holding everything needed to rebuild an
+:class:`~repro.engine.SPCEngine` without re-running the index builder:
+the backend name, the engine config, the graph (vertices + edges, with
+weights on weighted graphs), the index payload (each family's
+``to_dict``), and ``applied_seq`` — the WAL sequence number the state
+reflects.  ``applied_seq`` is the joint between the two durability files:
+restore loads the checkpoint, then replays only WAL records with a higher
+sequence number.
+
+Writes go through a temp file + ``os.replace`` so a crash mid-checkpoint
+leaves the previous checkpoint intact, never a half-written one.
+"""
+
+import dataclasses
+import json
+import os
+
+from repro.engine import EngineConfig, SPCEngine, get_backend
+from repro.exceptions import ServeError
+
+#: bump when the payload layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+
+def graph_to_payload(graph):
+    """JSON-safe payload of a graph: sorted vertices and edges.
+
+    ``edges()`` yields (u, v, w) triples on weighted graphs and (u, v)
+    pairs elsewhere (arcs on digraphs), so one shape covers every family.
+    Sorting makes checkpoints deterministic.
+    """
+    return {
+        "vertices": sorted(graph.vertices()),
+        "edges": [list(e) for e in sorted(graph.edges())],
+    }
+
+
+def graph_from_payload(payload, graph_type):
+    """Rebuild a graph of ``graph_type`` from :func:`graph_to_payload`."""
+    edges = [tuple(e) for e in payload["edges"]]
+    return graph_type.from_edges(edges, vertices=payload["vertices"])
+
+
+def config_to_payload(config):
+    """EngineConfig -> plain dict (dataclass fields only)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_payload(payload):
+    """Rebuild an EngineConfig, ignoring fields this version doesn't know.
+
+    Forward compatibility: a checkpoint written by a newer version with
+    extra knobs still restores; unknown knobs are dropped.
+    """
+    known = {f.name for f in dataclasses.fields(EngineConfig)}
+    return EngineConfig(**{k: v for k, v in payload.items() if k in known})
+
+
+def engine_to_payload(engine, applied_seq=0):
+    """Capture a full engine state as a checkpoint payload."""
+    backend = engine.backend
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "backend": backend.name,
+        "applied_seq": applied_seq,
+        "epoch": engine.epoch,
+        "config": config_to_payload(engine.config),
+        "graph": graph_to_payload(engine.graph),
+        "index": backend.index_to_dict(),
+    }
+
+
+def engine_from_payload(payload):
+    """Rebuild a live engine from :func:`engine_to_payload` output.
+
+    The index is rehydrated from its serialized labels (no rebuild), so
+    restore cost is I/O plus deserialization — not an HP-SPC build.
+    """
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise ServeError(
+            f"unsupported checkpoint format {payload.get('format')!r} "
+            f"(this version reads format {CHECKPOINT_FORMAT})"
+        )
+    backend_cls = get_backend(payload["backend"])
+    graph = graph_from_payload(payload["graph"], backend_cls.graph_type)
+    config = config_from_payload(payload["config"]).replace(
+        backend=payload["backend"]
+    )
+    index = backend_cls.index_from_dict(payload["index"])
+    engine = SPCEngine(graph, config=config, index=index)
+    # Continue the pre-crash epoch numbering so snapshots published after
+    # a restore never reissue epochs readers already saw.
+    engine.seed_epoch(payload.get("epoch", 0))
+    return engine
+
+
+def save_checkpoint(path, engine, applied_seq=0):
+    """Atomically write a checkpoint of ``engine`` to ``path``."""
+    payload = engine_to_payload(engine, applied_seq=applied_seq)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as f:
+        json.dump(payload, f)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return payload
+
+
+def load_checkpoint(path):
+    """Read a checkpoint payload; raises ServeError when unreadable."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise ServeError(f"no checkpoint at {path}") from None
+    except ValueError as exc:
+        raise ServeError(f"corrupt checkpoint at {path}: {exc}") from exc

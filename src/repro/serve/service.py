@@ -1,0 +1,740 @@
+"""SPCService: snapshot-isolated concurrent serving over one SPCEngine.
+
+The engine itself is single-threaded by design; this module is the
+reader/writer split the ROADMAP calls for.  One writer thread owns the
+engine exclusively: it drains submitted updates from a queue, applies each
+drained batch net-effect (reusing the engine's coalescing and the
+backend's batch hooks, so e.g. SD delete storms rebuild once per batch),
+appends the applied updates to the write-ahead log, and — under a publish
+policy — copies the index into a fresh immutable
+:class:`~repro.serve.snapshot.SnapshotView` and publishes it with a single
+attribute store.  Any number of reader threads answer queries against the
+current snapshot with no locks: the GIL makes the snapshot-pointer read
+atomic, and a published snapshot is never mutated.
+
+Publish policy (:class:`ServeConfig`): a new snapshot is published once
+``publish_every`` updates have been applied since the last one, or once
+the oldest unpublished update is ``max_staleness`` seconds old, whichever
+comes first.  Readers therefore see answers at most ``max_staleness``
+behind the applied stream — the freshness/throughput dial that PSPC-style
+shared serving and the dynamic road-network literature both expose.
+
+Durability: with ``durability_dir`` set, the service keeps a checkpoint
+file (``snapshot.json``) plus a WAL (``wal.jsonl``) in that directory;
+:func:`restore` warm-restarts by loading the checkpoint and replaying the
+WAL tail — no index rebuild, identical answers, for every backend family.
+"""
+
+import dataclasses
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.batch import coalesce_if_edge_batch
+from repro.exceptions import ServeError
+from repro.serve.persist import (
+    engine_from_payload,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serve.snapshot import SnapshotView
+from repro.serve.wal import WriteAheadLog, is_loggable, read_wal
+
+#: filenames inside a durability directory.
+SNAPSHOT_FILENAME = "snapshot.json"
+WAL_FILENAME = "wal.jsonl"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """All tunables of an :class:`SPCService`.
+
+    Parameters
+    ----------
+    publish_every:
+        Publish a fresh snapshot once this many updates have been applied
+        since the last publication (the every-k half of the policy).
+    max_staleness:
+        Publish once the oldest applied-but-unpublished update is this
+        many seconds old (the freshness half).  Bounds how far behind the
+        applied stream readers can observe.
+    drain_max:
+        Upper bound on updates drained into one applied batch — caps both
+        coalescing latency and the size of a WAL record.
+    queue_capacity:
+        Bound on queued *submissions* (a ``submit`` counts one slot, a
+        whole ``submit_many`` batch also counts one — the batch is kept
+        whole so its churn coalesces deterministically); ``0`` means
+        unbounded.  A full queue makes ``submit`` block (backpressure),
+        never drop, so the bound throttles submitters that issue many
+        small submissions, not the size of individual batches.
+    durability_dir:
+        Directory for the checkpoint + WAL pair; ``None`` disables
+        persistence entirely.
+    wal_fsync:
+        fsync the WAL after every appended batch.  Off by default: the
+        load generator measures serving throughput, and per-batch fsync
+        is a durability experiment, not a serving one.
+    """
+
+    publish_every: int = 32
+    max_staleness: float = 0.05
+    drain_max: int = 256
+    queue_capacity: int = 0
+    durability_dir: str = None
+    wal_fsync: bool = False
+
+    def __post_init__(self):
+        if self.publish_every < 1:
+            raise ServeError(
+                f"publish_every must be >= 1, got {self.publish_every!r}"
+            )
+        if self.max_staleness <= 0:
+            raise ServeError(
+                f"max_staleness must be > 0 seconds, got {self.max_staleness!r}"
+            )
+        if self.drain_max < 1:
+            raise ServeError(f"drain_max must be >= 1, got {self.drain_max!r}")
+        if self.queue_capacity < 0:
+            raise ServeError(
+                f"queue_capacity must be >= 0 (0 = unbounded), "
+                f"got {self.queue_capacity!r}"
+            )
+
+    def replace(self, **changes):
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+class _Barrier:
+    """Control token: set ``event`` once everything before it is applied
+    and published (``error`` carries the reason when it wasn't)."""
+
+    __slots__ = ("event", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.error = None
+
+
+class _Checkpoint:
+    """Control token: write a checkpoint at the writer's current seq."""
+
+    __slots__ = ("path", "truncate_wal", "event", "error")
+
+    def __init__(self, path, truncate_wal):
+        self.path = path
+        self.truncate_wal = truncate_wal
+        self.event = threading.Event()
+        self.error = None
+
+
+_STOP = object()
+
+
+class SPCService:
+    """A concurrent, durable serving layer over one :class:`SPCEngine`.
+
+    Example
+    -------
+    >>> import repro
+    >>> from repro.serve import SPCService
+    >>> engine = repro.open(repro.Graph.from_edges([(0, 1), (1, 2)]))
+    >>> with SPCService(engine) as service:
+    ...     service.query(0, 2)
+    ...     from repro.workloads import InsertEdge
+    ...     service.submit(InsertEdge(0, 2))
+    ...     _ = service.flush()
+    ...     service.query(0, 2)
+    (2, 1)
+    (1, 1)
+
+    The engine must not be touched by the caller while the service owns
+    it: every mutation goes through :meth:`submit`, every read through
+    :meth:`query` / :meth:`query_many` / :meth:`snapshot`.
+    """
+
+    def __init__(self, engine, config=None, overwrite=False,
+                 _resume_seq=None, **overrides):
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self._engine = engine
+        self._config = config
+        self._queue = queue.Queue(maxsize=config.queue_capacity)
+        self._closed = False
+        self._fatal = None
+        self._inflight = None  # dequeued-but-unhandled control token
+        #: (update, exception) pairs for updates the writer rejected;
+        #: the service keeps serving past individual bad updates.
+        self.errors = []
+
+        self._seq = 0 if _resume_seq is None else _resume_seq
+        self._applied_updates = 0
+        self._cancelled_updates = 0
+        self._published = 0
+        self._dirty = 0
+        self._dirty_since = None
+
+        self._wal = None
+        if config.durability_dir is not None:
+            os.makedirs(config.durability_dir, exist_ok=True)
+            snap_path = self._durable_snapshot_path()
+            wal_path = os.path.join(config.durability_dir, WAL_FILENAME)
+            if _resume_seq is None:
+                if os.path.exists(snap_path) and not overwrite:
+                    raise ServeError(
+                        f"{snap_path} already holds a checkpoint; use "
+                        f"repro.serve.restore({config.durability_dir!r}) to "
+                        f"continue it, or pass overwrite=True to discard it"
+                    )
+                # Truncate the stale WAL *before* writing the seq-0
+                # checkpoint: every crash window then leaves a consistent
+                # pair (old checkpoint + old WAL, old checkpoint + empty
+                # WAL, or new checkpoint + empty WAL) — never a fresh
+                # checkpoint with a previous run's records to replay.
+                self._wal = WriteAheadLog(wal_path, fsync=config.wal_fsync)
+                self._wal.truncate()
+                save_checkpoint(snap_path, engine, applied_seq=0)
+            else:
+                self._wal = WriteAheadLog(wal_path, fsync=config.wal_fsync)
+
+        self._snapshot = self._make_snapshot()
+        self._published += 1
+        self._thread = threading.Thread(
+            target=self._writer_loop, name="spc-service-writer", daemon=True
+        )
+        self._alive = True
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Read path (any thread, lock-free)
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """The current :class:`SnapshotView` (pin it for a consistent batch)."""
+        return self._snapshot
+
+    def query(self, s, t):
+        """Answer (sd, spc) from the freshest published snapshot."""
+        return self._snapshot.query(s, t)
+
+    def query_many(self, pairs):
+        """Answer a batch of pairs against one single snapshot."""
+        return self._snapshot.query_many(pairs)
+
+    def distance(self, s, t):
+        """sd(s, t) from the freshest published snapshot."""
+        return self._snapshot.query(s, t)[0]
+
+    def count(self, s, t):
+        """spc(s, t) from the freshest published snapshot."""
+        return self._snapshot.query(s, t)[1]
+
+    # ------------------------------------------------------------------
+    # Write path (any thread submits; one writer thread applies)
+    # ------------------------------------------------------------------
+
+    def submit(self, update):
+        """Enqueue one workload update (InsertEdge / DeleteEdge / ...).
+
+        Returns immediately (blocking only on queue backpressure); the
+        writer thread applies it and a later snapshot reflects it.
+        Raises :class:`~repro.exceptions.ServeError` if the writer has
+        died — including when death races the enqueue, in which case the
+        update may not have been applied.
+        """
+        self._check_writable()
+        self._put_update(update)
+        # The writer can stop between the check above and the put landing
+        # (a fatal error, or a clean close() consuming its stop sentinel);
+        # either way its drain may have missed this update, so a stopped
+        # writer after the put must surface here, not as a silent drop.
+        self._raise_if_stopped()
+
+    def submit_many(self, updates):
+        """Enqueue an iterable of updates, preserving order.
+
+        The whole iterable is enqueued as one unit, so the writer drains
+        it into a single net-effect batch: churn *within* a submit_many
+        call always coalesces, regardless of drain timing.
+        """
+        self._check_writable()
+        updates = list(updates)
+        if updates:
+            self._put_update(updates)
+            self._raise_if_stopped()  # same enqueue/stop race as submit()
+
+    def flush(self, timeout=30.0):
+        """Block until everything submitted so far is applied *and*
+        published; returns the resulting snapshot."""
+        self._check_writable()
+        barrier = _Barrier()
+        deadline = time.monotonic() + timeout
+        self._put_control(barrier, timeout)
+        if not barrier.event.wait(max(0.0, deadline - time.monotonic())):
+            raise ServeError(f"flush timed out after {timeout} s")
+        self._raise_if_dead()
+        if barrier.error is not None:
+            # The barrier was released by shutdown, not by the writer
+            # reaching it — submissions ahead of it were never applied.
+            raise ServeError(f"flush failed: {barrier.error}") from barrier.error
+        return self._snapshot
+
+    def checkpoint(self, path=None, truncate_wal=False, timeout=30.0):
+        """Write a checkpoint consistent with a single writer position.
+
+        Runs on the writer thread (serialized with updates, so the file
+        never captures a half-applied batch).  ``path`` defaults to the
+        durability directory's snapshot file; ``truncate_wal=True``
+        additionally empties the WAL, which the checkpoint just subsumed —
+        allowed only when the checkpoint *is* the durability directory's
+        snapshot file, since truncating on behalf of an external copy
+        would leave the directory's own checkpoint unable to explain the
+        missing records.  Returns the path written.
+        """
+        self._check_writable()
+        if path is None:
+            if self._config.durability_dir is None:
+                raise ServeError(
+                    "checkpoint needs a path (no durability_dir configured)"
+                )
+            path = self._durable_snapshot_path()
+        if truncate_wal:
+            if self._wal is None:
+                raise ServeError("truncate_wal requires a durability_dir")
+            durable = self._durable_snapshot_path()
+            if os.path.realpath(path) != os.path.realpath(durable):
+                raise ServeError(
+                    f"truncate_wal is only valid when checkpointing to the "
+                    f"durability directory's own snapshot ({durable}); an "
+                    f"external checkpoint at {path} would orphan the "
+                    f"truncated records"
+                )
+        token = _Checkpoint(path, truncate_wal)
+        deadline = time.monotonic() + timeout
+        self._put_control(token, timeout)
+        if not token.event.wait(max(0.0, deadline - time.monotonic())):
+            raise ServeError(f"checkpoint timed out after {timeout} s")
+        self._raise_if_dead()
+        if token.error is not None:
+            raise ServeError(f"checkpoint failed: {token.error}") from token.error
+        return path
+
+    def close(self, timeout=30.0):
+        """Stop the writer (after draining the queue) and release the WAL.
+
+        Idempotent.  Raises :class:`~repro.exceptions.ServeError` if the
+        writer thread died of an unexpected error at any point.
+        """
+        if self._closed:
+            self._raise_if_dead()
+            return
+        deadline = time.monotonic() + timeout
+        self._put_control(_STOP, timeout)
+        self._thread.join(max(0.0, deadline - time.monotonic()))
+        if self._thread.is_alive():
+            # The writer is still applying: leave the WAL open underneath
+            # it — closing it here would make the next append fail *after*
+            # the engine mutated, silently diverging state from the log —
+            # and leave _closed unset so a retry can join again instead of
+            # reporting a clean shutdown that never happened.
+            raise ServeError(f"writer thread failed to stop within {timeout} s")
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+        self._raise_if_dead()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The owned engine — do not touch it while the service is open."""
+        return self._engine
+
+    @property
+    def config(self):
+        """The service's :class:`ServeConfig` (frozen)."""
+        return self._config
+
+    @property
+    def applied_seq(self):
+        """Sequence number of the last applied (and WAL-logged) batch."""
+        return self._seq
+
+    def lag(self):
+        """How many applied batches the published snapshot is behind."""
+        return self._seq - self._snapshot.seq
+
+    def staleness(self):
+        """Seconds the oldest applied-but-unpublished update has waited
+        (0.0 when the snapshot is current)."""
+        since = self._dirty_since
+        return 0.0 if since is None else time.monotonic() - since
+
+    def stats(self):
+        """A dict snapshot of the service counters (approximate under
+        concurrency — stats are monitoring, not invariants)."""
+        snap = self._snapshot
+        return {
+            "backend": snap.backend_name,
+            "queue_depth": self._queue.qsize(),
+            "applied_updates": self._applied_updates,
+            "cancelled_updates": self._cancelled_updates,
+            "applied_batches": self._seq,
+            "snapshots_published": self._published,
+            "snapshot_epoch": snap.epoch,
+            "snapshot_seq": snap.seq,
+            "lag_batches": self._seq - snap.seq,
+            "errors": len(self.errors),
+            "closed": self._closed,
+        }
+
+    def __repr__(self):
+        return (
+            f"SPCService(backend={self._snapshot.backend_name!r}, "
+            f"seq={self._seq}, snapshot_seq={self._snapshot.seq}, "
+            f"published={self._published}, closed={self._closed})"
+        )
+
+    # ------------------------------------------------------------------
+    # Writer thread
+    # ------------------------------------------------------------------
+
+    def _writer_loop(self):
+        try:
+            while True:
+                try:
+                    item = self._queue.get(timeout=self._poll_timeout())
+                except queue.Empty:
+                    if self._dirty:
+                        self._publish()
+                    continue
+                if not self._handle(item):
+                    return
+        except BaseException as exc:  # noqa: BLE001 — surfaced via ServeError
+            self._fatal = exc
+        finally:
+            self._alive = False
+            self._release_inflight()
+            self._release_waiters()
+
+    def _handle(self, item):
+        """Process one queue item; returns False when the writer must stop.
+
+        Everything the drain pulled off the queue before a control token
+        has been applied by the time the token is handled, so handling it
+        inline (rather than re-queuing it behind newer submissions, where
+        a fast submitter could starve it) preserves FIFO semantics.
+        """
+        if item is _STOP:
+            if self._dirty:
+                self._publish()
+            return False
+        if isinstance(item, _Barrier):
+            self._inflight = item
+            try:
+                if self._dirty:
+                    self._publish()
+            except BaseException as exc:
+                item.error = exc  # flush must not report stale success
+                raise
+            finally:
+                item.event.set()
+                self._inflight = None
+            return True
+        if isinstance(item, _Checkpoint):
+            self._inflight = item
+            self._do_checkpoint(item)  # sets its event in a finally
+            self._inflight = None
+            return True
+        control = self._apply_drained(item)
+        self._maybe_publish()
+        if control is not None:
+            return self._handle(control)
+        return True
+
+    def _poll_timeout(self):
+        """How long the writer may sleep before a staleness deadline."""
+        if self._dirty_since is None:
+            return None
+        deadline = self._dirty_since + self._config.max_staleness
+        return max(0.0, deadline - time.monotonic())
+
+    def _apply_drained(self, first):
+        """Drain up to drain_max updates starting at ``first`` and apply
+        them as one net-effect batch; returns a control token that ended
+        the drain early (to be re-queued), or None."""
+        batch = list(first) if isinstance(first, list) else [first]
+        control = None
+        while len(batch) < self._config.drain_max:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP or isinstance(item, (_Barrier, _Checkpoint)):
+                control = item
+                if item is not _STOP:
+                    # Track the dequeued token: if applying this batch
+                    # kills the writer before _handle(control) runs, the
+                    # waiter must still be woken (see _release_inflight).
+                    self._inflight = item
+                break
+            if isinstance(item, list):  # a submit_many unit, kept whole
+                batch.extend(item)
+            else:
+                batch.append(item)
+
+        engine = self._engine
+        try:
+            effective, cancelled = coalesce_if_edge_batch(
+                engine.graph, batch, enabled=engine.config.coalesce_batches
+            )
+        except Exception:  # noqa: BLE001 — any ill-formed update (a
+            # WorkloadError from SetWeight on an unweighted graph, a
+            # TypeError from an unorderable endpoint) can crash coalescing.
+            # Replay the batch verbatim so the per-update isolation below
+            # records the bad one in `errors` and the good ones still
+            # apply — a malformed submission must never kill the writer.
+            effective, cancelled = batch, 0
+        applied = []
+        backend = engine.backend
+        backend.begin_update_batch()
+        try:
+            for update in effective:
+                if self._wal is not None and not is_loggable(update):
+                    # An update the WAL cannot record must not be applied:
+                    # restore would silently diverge from the live engine.
+                    self.errors.append((update, ServeError(
+                        f"update {update!r} is not WAL-serializable"
+                    )))
+                    continue
+                try:
+                    engine.apply(update)
+                except Exception as exc:  # noqa: BLE001 — one bad update
+                    # must not kill the writer; anything the engine raises
+                    # (ReproError or a TypeError from a malformed object)
+                    # becomes an errors entry and the service keeps serving.
+                    self.errors.append((update, exc))
+                else:
+                    applied.append(update)
+        finally:
+            backend.end_update_batch()
+
+        self._cancelled_updates += cancelled
+        if applied:
+            self._seq += 1
+            if self._wal is not None:
+                self._wal.append(self._seq, applied)
+            self._applied_updates += len(applied)
+            self._dirty += len(applied)
+            if self._dirty_since is None:
+                self._dirty_since = time.monotonic()
+        return control
+
+    def _maybe_publish(self):
+        if not self._dirty:
+            return
+        if (
+            self._dirty >= self._config.publish_every
+            or time.monotonic() - self._dirty_since >= self._config.max_staleness
+        ):
+            self._publish()
+
+    def _publish(self):
+        backend = self._engine.backend
+        self._snapshot = self._make_snapshot(backend)
+        self._published += 1
+        self._dirty = 0
+        self._dirty_since = None
+
+    def _make_snapshot(self, backend=None):
+        backend = backend if backend is not None else self._engine.backend
+        return SnapshotView(
+            backend.snapshot_index(),
+            backend.name,
+            self._engine.epoch,
+            self._seq,
+            time.time(),
+        )
+
+    def _do_checkpoint(self, token):
+        try:
+            save_checkpoint(token.path, self._engine, applied_seq=self._seq)
+            if token.truncate_wal and self._wal is not None:
+                self._wal.truncate()
+        except Exception as exc:  # noqa: BLE001 — handed back to the caller
+            token.error = exc
+        finally:
+            token.event.set()
+
+    def _durable_snapshot_path(self):
+        return os.path.join(self._config.durability_dir, SNAPSHOT_FILENAME)
+
+    def _put_update(self, item):
+        """Enqueue an update, blocking on backpressure only while the
+        writer is actually draining.
+
+        A plain blocking put on a bounded queue would hang forever if the
+        writer died while other submitters kept the queue full; polling
+        lets the stop surface as a ServeError instead of a silent hang.
+        """
+        while True:
+            try:
+                self._queue.put(item, timeout=0.2)
+                return
+            except queue.Full:
+                self._raise_if_stopped()
+
+    def _put_control(self, item, timeout):
+        """Enqueue a control token without blocking past ``timeout``.
+
+        On a bounded queue a plain ``put`` could block forever (e.g. the
+        writer died while submitters kept the queue full), so the caller's
+        timeout must cover the enqueue as well as the wait.
+        """
+        try:
+            self._queue.put(item, timeout=timeout)
+        except queue.Full:
+            self._raise_if_dead()
+            raise ServeError(
+                f"update queue still full after {timeout} s; "
+                f"the writer is not draining"
+            ) from None
+
+    def _check_writable(self):
+        self._raise_if_dead()
+        if self._closed or not self._alive:
+            raise ServeError("service is closed")
+
+    def _raise_if_stopped(self):
+        """Post-enqueue guard: the writer must still be draining."""
+        self._raise_if_dead()
+        if not self._alive:
+            raise ServeError(
+                "service stopped while the update was being submitted; "
+                "it may not have been applied"
+            )
+
+    def _raise_if_dead(self):
+        if self._fatal is not None:
+            raise ServeError(
+                f"writer thread died: {self._fatal!r}"
+            ) from self._fatal
+
+    def _release_inflight(self):
+        """Wake the waiter whose token was dequeued but never handled.
+
+        Covers the window between a control token leaving the queue (in
+        the drain loop) and its handling — a writer death in between
+        would otherwise leave flush()/checkpoint() blocked until their
+        timeout, masking the real failure.
+        """
+        token = self._inflight
+        self._inflight = None
+        if token is None:
+            return
+        if token.error is None:
+            token.error = self._fatal or ServeError("service stopped")
+        token.event.set()
+
+    def _release_waiters(self):
+        """On writer exit, wake every queued barrier/checkpoint waiter.
+
+        Updates still queued behind the stop sentinel (a submit that raced
+        close, or anything pending when the writer died) are recorded in
+        ``errors`` rather than vanishing silently.
+        """
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if isinstance(item, (_Barrier, _Checkpoint)):
+                item.error = self._fatal or ServeError("service stopped")
+                item.event.set()
+            elif item is not _STOP:
+                dropped = item if isinstance(item, list) else [item]
+                self.errors.extend(
+                    (u, ServeError("dropped: service stopped before apply"))
+                    for u in dropped
+                )
+
+
+def serve(graph_or_engine, config=None, engine_config=None, **overrides):
+    """Open an :class:`SPCService` over a graph or an existing engine.
+
+    Convenience entry point: ``repro.serve.serve(graph)`` builds the
+    engine (auto-selected backend, ``engine_config`` forwarded) and wraps
+    it; keyword overrides patch individual :class:`ServeConfig` fields.
+    """
+    from repro.engine import SPCEngine
+
+    if isinstance(graph_or_engine, SPCEngine):
+        engine = graph_or_engine
+    else:
+        engine = SPCEngine(graph_or_engine, config=engine_config)
+    return SPCService(engine, config=config, **overrides)
+
+
+def restore(path, config=None, **overrides):
+    """Warm-restart a service from a durability directory (or checkpoint).
+
+    ``path`` is normally the ``durability_dir`` of a previous service: the
+    checkpoint is loaded (index rehydrated, no rebuild), the WAL tail
+    (records past the checkpoint's ``applied_seq``) is replayed through
+    the engine, and the returned service continues appending to the same
+    WAL.  ``path`` may also point at a bare checkpoint file written by
+    :meth:`SPCService.checkpoint`, in which case there is no WAL to replay
+    and the restored service is only durable if ``config`` says so.
+    """
+    if os.path.isdir(path):
+        directory = path
+        snap_path = os.path.join(directory, SNAPSHOT_FILENAME)
+        wal_path = os.path.join(directory, WAL_FILENAME)
+    else:
+        directory = None
+        snap_path = path
+        wal_path = None
+
+    payload = load_checkpoint(snap_path)
+    engine = engine_from_payload(payload)
+    last_seq = payload.get("applied_seq", 0)
+    if wal_path is not None:
+        for seq, updates in read_wal(wal_path, after_seq=last_seq):
+            engine.apply_stream(updates)
+            last_seq = seq
+
+    if config is None:
+        config = ServeConfig(**overrides)
+    elif overrides:
+        config = config.replace(**overrides)
+    if directory is not None and config.durability_dir is None:
+        config = config.replace(durability_dir=directory)
+    # Resume (append to the existing WAL) only when the service keeps
+    # living in the directory that was just replayed; restoring a bare
+    # checkpoint file into a *new* durability dir must take the fresh
+    # path instead, so that dir gets a base checkpoint its WAL applies to.
+    # Compare real paths, not spellings — "state/" and "state" are the
+    # same directory and must resume, not trip the fresh-path guard.
+    same_dir = (
+        directory is not None
+        and config.durability_dir is not None
+        and os.path.realpath(config.durability_dir) == os.path.realpath(directory)
+    )
+    resume = last_seq if same_dir or (
+        directory is None and config.durability_dir is None
+    ) else None
+    return SPCService(engine, config=config, _resume_seq=resume)

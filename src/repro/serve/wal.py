@@ -1,0 +1,184 @@
+"""The write-ahead log: a replayable record of applied update batches.
+
+Durability in :mod:`repro.serve` is checkpoint + log: a checkpoint file
+captures the full engine state at some sequence number, and the WAL holds
+every batch applied after it.  Restoring a service loads the latest
+checkpoint and replays the WAL tail (``seq > checkpoint.applied_seq``),
+which reproduces the live engine exactly — the log records the *effective*
+updates the writer actually applied (post-coalescing), so replay applies
+them verbatim, in order, with no re-coalescing.
+
+Format: one JSON object per line, ``{"seq": n, "updates": [[op, ...]]}``,
+with updates encoded as compact op-tagged lists (see :func:`encode_update`).
+Appends are flushed per record; ``fsync`` is opt-in (ServeConfig.wal_fsync)
+because the loadgen measures throughput and a laptop fsync per batch is a
+different experiment.  A torn final line — the crash case — is ignored on
+read.
+"""
+
+import json
+import os
+
+from repro.exceptions import ServeError
+from repro.workloads.updates import (
+    DeleteEdge,
+    DeleteVertex,
+    InsertEdge,
+    InsertVertex,
+    SetWeight,
+)
+
+_ENCODERS = {
+    InsertEdge: lambda u: ["ie", u.u, u.v, u.weight],
+    DeleteEdge: lambda u: ["de", u.u, u.v, u.weight],
+    SetWeight: lambda u: ["sw", u.u, u.v, u.weight],
+    InsertVertex: lambda u: ["iv", u.v, list(u.edges)],
+    DeleteVertex: lambda u: ["dv", u.v],
+}
+
+_DECODERS = {
+    "ie": lambda rec: InsertEdge(rec[1], rec[2], rec[3]),
+    "de": lambda rec: DeleteEdge(rec[1], rec[2], rec[3]),
+    "sw": lambda rec: SetWeight(rec[1], rec[2], rec[3]),
+    "iv": lambda rec: InsertVertex(rec[1], tuple(
+        tuple(e) if isinstance(e, list) else e for e in rec[2])),
+    "dv": lambda rec: DeleteVertex(rec[1]),
+}
+
+
+def is_loggable(update):
+    """True when :func:`encode_update` can serialize ``update``."""
+    return type(update) in _ENCODERS
+
+
+def encode_update(update):
+    """Encode one workload update as a JSON-safe op-tagged list."""
+    try:
+        encoder = _ENCODERS[type(update)]
+    except KeyError:
+        raise ServeError(
+            f"update {update!r} is not WAL-serializable"
+        ) from None
+    return encoder(update)
+
+
+def decode_update(record):
+    """Decode :func:`encode_update` output back into an update object."""
+    try:
+        decoder = _DECODERS[record[0]]
+    except (KeyError, IndexError, TypeError):
+        raise ServeError(f"corrupt WAL update record {record!r}") from None
+    return decoder(record)
+
+
+def read_wal(path, after_seq=0):
+    """Yield (seq, [updates]) records with ``seq > after_seq``, in order.
+
+    A missing file yields nothing (an empty log).  A torn final line is
+    tolerated (the record was never acknowledged); corruption anywhere
+    else raises :class:`~repro.exceptions.ServeError`.
+
+    "Torn" means *any* final line without its trailing newline — even one
+    whose JSON happens to be complete.  ``append`` acknowledges a record
+    only after flushing line + newline, so an unterminated line was never
+    acknowledged; and :func:`_trim_torn_tail` physically deletes it on the
+    next append, so replaying it here would resurrect a record the log is
+    about to forget (the sequence would silently skip it afterwards).
+    """
+    if not os.path.exists(path):
+        return
+    last_seq = None
+    with open(path) as f:
+        for lineno, raw in enumerate(f):
+            if not raw.endswith("\n"):
+                break  # the torn tail: unterminated, never acknowledged
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                seq = payload["seq"]
+                updates = [decode_update(rec) for rec in payload["updates"]]
+            except (ValueError, KeyError, ServeError) as exc:
+                # A newline-terminated line was fully flushed and
+                # acknowledged — a parse failure here is real corruption
+                # of durable state, never a crash artifact.
+                raise ServeError(
+                    f"corrupt WAL record at {path}:{lineno + 1}: {line[:80]!r}"
+                ) from exc
+            if last_seq is not None and seq <= last_seq:
+                raise ServeError(
+                    f"non-monotone WAL sequence at {path}:{lineno + 1}: "
+                    f"{seq} after {last_seq}"
+                )
+            last_seq = seq
+            if seq > after_seq:
+                yield seq, updates
+
+
+def last_wal_seq(path, default=0):
+    """The highest sequence number recorded in the WAL at ``path``."""
+    seq = default
+    for seq, _ in read_wal(path):
+        pass
+    return seq
+
+
+def _trim_torn_tail(path):
+    """Truncate a partial final line left by a crash mid-append.
+
+    Readers already ignore a torn tail, but an *appender* must physically
+    remove it — otherwise the next record is glued onto the fragment,
+    corrupting a record that was never acknowledged into one that poisons
+    the whole log.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return
+    if size == 0:
+        return
+    with open(path, "rb+") as f:
+        f.seek(-1, os.SEEK_END)
+        if f.read(1) == b"\n":
+            return
+        f.seek(0)
+        data = f.read()
+        keep = data.rfind(b"\n") + 1  # 0 when no complete line survives
+        f.truncate(keep)
+
+
+class WriteAheadLog:
+    """Append-only writer over the WAL file.
+
+    Owned by the service's writer thread — appends are single-threaded by
+    construction, so the class needs no locking of its own.  Opening the
+    log trims any torn final line (see :func:`_trim_torn_tail`).
+    """
+
+    def __init__(self, path, fsync=False):
+        self.path = path
+        self.fsync = fsync
+        _trim_torn_tail(path)
+        self._file = open(path, "a")
+
+    def append(self, seq, updates):
+        """Durably record one applied batch under sequence number ``seq``."""
+        record = {"seq": seq, "updates": [encode_update(u) for u in updates]}
+        self._file.write(json.dumps(record) + "\n")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def truncate(self):
+        """Drop every record (after a checkpoint subsumed them)."""
+        self._file.close()
+        self._file = open(self.path, "w")
+
+    def close(self):
+        """Flush and close the underlying file."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __repr__(self):
+        return f"WriteAheadLog(path={self.path!r}, fsync={self.fsync})"

@@ -1,0 +1,126 @@
+"""The opt-in perf-trajectory gate: repro-bench --compare/--tolerance."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import METRIC_EXTRACTORS, compare_result
+from repro.bench.tables import ExperimentResult
+
+
+def micro_result(fast_us=10.0, batched_s=0.01, mean_s=0.001):
+    result = ExperimentResult(name="micro", description="test")
+    result.extra = {
+        "isolated_deletion": [{"n": 100, "fast_path_us": fast_us}],
+        "batch_queries": {"batched_seconds": batched_s},
+        "update_latency": {"insert": {"mean": mean_s}},
+    }
+    return result
+
+
+def write_baseline(tmp_path, result):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(result.to_dict()))
+    return str(path)
+
+
+class TestCompare:
+    def test_identical_run_passes(self, tmp_path):
+        baseline = write_baseline(tmp_path, micro_result())
+        regressions, lines = compare_result(micro_result(), baseline, 0.5)
+        assert regressions == []
+        assert any("ok" in line for line in lines)
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        baseline = write_baseline(tmp_path, micro_result(fast_us=10.0))
+        current = micro_result(fast_us=20.0)  # 100% slower, 50% allowed
+        regressions, _ = compare_result(current, baseline, 0.5)
+        assert len(regressions) == 1
+        assert regressions[0]["metric"].startswith("isolated_deletion")
+        assert regressions[0]["change"] == pytest.approx(1.0)
+
+    def test_regression_within_tolerance_passes(self, tmp_path):
+        baseline = write_baseline(tmp_path, micro_result(fast_us=10.0))
+        current = micro_result(fast_us=14.0)  # 40% slower, 50% allowed
+        regressions, _ = compare_result(current, baseline, 0.5)
+        assert regressions == []
+
+    def test_improvement_never_fails(self, tmp_path):
+        baseline = write_baseline(tmp_path, micro_result(fast_us=10.0))
+        current = micro_result(fast_us=1.0)
+        regressions, lines = compare_result(current, baseline, 0.5)
+        assert regressions == []
+        assert any("improved" in line for line in lines)
+
+    def test_name_mismatch_skips(self, tmp_path):
+        baseline = write_baseline(tmp_path, micro_result())
+        other = ExperimentResult(name="fig7", description="test")
+        regressions, lines = compare_result(other, baseline, 0.5)
+        assert regressions == []
+        assert any("skipping" in line for line in lines)
+
+    def test_untracked_experiment_skips(self, tmp_path):
+        result = ExperimentResult(name="fig7", description="test")
+        path = tmp_path / "fig7.json"
+        path.write_text(json.dumps(result.to_dict()))
+        regressions, lines = compare_result(result, str(path), 0.5)
+        assert regressions == []
+        assert any("no tracked metrics" in line for line in lines)
+
+    def test_serve_extractor_directions(self):
+        extractor = METRIC_EXTRACTORS["serve"]
+        metrics = extractor({
+            "core": {
+                "read_qps": 1000,
+                "read_latency_ms": {"p99": 0.5},
+            },
+        })
+        assert metrics["core.read_qps"] == (1000, "higher")
+        assert metrics["core.read_latency_p99_ms"] == (0.5, "lower")
+
+    def test_higher_is_better_regression(self, tmp_path):
+        baseline = ExperimentResult(name="serve", description="test")
+        baseline.extra = {
+            "core": {"read_qps": 1000, "read_latency_ms": {"p99": 0.5}},
+        }
+        current = ExperimentResult(name="serve", description="test")
+        current.extra = {
+            "core": {"read_qps": 400, "read_latency_ms": {"p99": 0.5}},
+        }
+        path = write_baseline(tmp_path, baseline)
+        regressions, _ = compare_result(current, path, 0.5)
+        assert [r["metric"] for r in regressions] == ["core.read_qps"]
+
+
+class TestCLI:
+    def test_compare_flag_fails_on_regression(self, tmp_path, monkeypatch):
+        from repro.bench import runner
+
+        baseline = write_baseline(tmp_path, micro_result(fast_us=1.0))
+
+        def fake_run(config):
+            return micro_result(fast_us=100.0)
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "micro", fake_run)
+        code = runner.main(
+            ["micro", "--profile", "quick", "--compare", baseline]
+        )
+        assert code == 1
+
+    def test_compare_flag_passes_within_tolerance(self, tmp_path, monkeypatch):
+        from repro.bench import runner
+
+        baseline = write_baseline(tmp_path, micro_result())
+        monkeypatch.setitem(
+            runner.EXPERIMENTS, "micro", lambda config: micro_result()
+        )
+        code = runner.main(
+            ["micro", "--profile", "quick", "--compare", baseline,
+             "--tolerance", "0.5"]
+        )
+        assert code == 0
+
+    def test_serve_experiment_registered(self):
+        from repro.bench.runner import EXPERIMENTS
+
+        assert "serve" in EXPERIMENTS

@@ -138,3 +138,60 @@ class TestInvariants:
         dists[0] = -1
         with pytest.raises(IndexCorruption):
             sd_engine.check_invariants()
+
+
+class TestBatchedRebuild:
+    """config.sd_defer_rebuilds: one rebuild per drained batch of deletes."""
+
+    def test_delete_batch_rebuilds_once(self):
+        engine = repro.open(erdos_renyi(20, 40, seed=2), backend="sd")
+        edges = sorted(engine.graph.edges())[:5]
+        before = engine.backend.rebuild_count
+        from repro.workloads import DeleteEdge
+
+        stats, _ = engine.apply_batch([DeleteEdge(u, v) for u, v in edges])
+        assert len(stats) == 5
+        assert engine.backend.rebuild_count == before + 1
+        assert engine.check()
+
+    def test_insert_after_deferred_delete_flushes_first(self):
+        engine = repro.open(path_graph(6), backend="sd")
+        from repro.workloads import DeleteEdge, InsertEdge
+
+        before = engine.backend.rebuild_count
+        # delete 2-3 (deferred), then insert 0-5: inc_sd must repair a
+        # *current* index, so the pending rebuild flushes before it runs.
+        engine.apply_batch([DeleteEdge(2, 3), InsertEdge(0, 5)],
+                           coalesce=False)
+        assert engine.backend.rebuild_count == before + 1
+        assert engine.query(2, 3) == (5, None)  # 2-1-0-5-4-3
+        assert engine.check()
+
+    def test_knob_off_rebuilds_per_delete(self):
+        engine = repro.open(erdos_renyi(20, 40, seed=2), backend="sd",
+                            sd_defer_rebuilds=False)
+        edges = sorted(engine.graph.edges())[:4]
+        before = engine.backend.rebuild_count
+        from repro.workloads import DeleteEdge
+
+        engine.apply_batch([DeleteEdge(u, v) for u, v in edges])
+        assert engine.backend.rebuild_count == before + 4
+        assert engine.check()
+
+    def test_single_delete_outside_batch_rebuilds_immediately(self, sd_engine):
+        before = sd_engine.backend.rebuild_count
+        sd_engine.delete_edge(2, 3)
+        assert sd_engine.backend.rebuild_count == before + 1
+        assert sd_engine.query(0, 4) == (float("inf"), None)
+
+    def test_vertex_removal_batch_rebuilds_once(self):
+        engine = repro.open(erdos_renyi(20, 40, seed=2), backend="sd")
+        from repro.workloads import DeleteVertex
+
+        victims = sorted(engine.graph.vertices())[:3]
+        before = engine.backend.rebuild_count
+        engine.apply_stream([DeleteVertex(v) for v in victims])
+        assert engine.backend.rebuild_count == before + 1
+        for v in victims:
+            assert v not in engine.graph
+        assert engine.check()

@@ -1,0 +1,94 @@
+"""SnapshotView: immutability, epoch pinning, and the lock-free read path."""
+
+import pytest
+
+import repro
+from repro.engine import EngineConfig, SPCEngine
+from repro.exceptions import ReadOnlyError
+from repro.graph.generators import erdos_renyi, random_directed, random_weighted
+from repro.serve.snapshot import _MUTATORS, SnapshotView
+from repro.workloads import InsertEdge
+
+BACKEND_GRAPHS = [
+    ("core", lambda: erdos_renyi(30, 60, seed=1)),
+    ("directed", lambda: random_directed(30, 60, seed=1)),
+    ("weighted", lambda: random_weighted(30, 60, seed=1)),
+    ("sd", lambda: erdos_renyi(30, 60, seed=1)),
+]
+
+
+def snapshot_of(engine, seq=0):
+    backend = engine.backend
+    return SnapshotView(
+        backend.snapshot_index(), backend.name, engine.epoch, seq,
+        published_at=0.0,
+    )
+
+
+@pytest.fixture
+def engine(paper_graph):
+    return repro.open(paper_graph)
+
+
+class TestReadPath:
+    def test_query_matches_engine(self, engine):
+        snap = snapshot_of(engine)
+        for s in range(12):
+            for t in range(12):
+                assert snap.query(s, t) == engine.index.query(s, t)
+
+    def test_query_many_matches_and_preserves_order(self, engine):
+        snap = snapshot_of(engine)
+        pairs = [(0, 4), (0, 9), (0, 4), (3, 7), (11, 2)]
+        assert snap.query_many(pairs) == [snap.query(s, t) for s, t in pairs]
+
+    def test_distance_and_count(self, engine):
+        snap = snapshot_of(engine)
+        d, c = snap.query(0, 4)
+        assert snap.distance(0, 4) == d
+        assert snap.count(0, 4) == c
+
+    @pytest.mark.parametrize("backend,make", BACKEND_GRAPHS)
+    def test_all_backends(self, backend, make):
+        eng = SPCEngine(make(), config=EngineConfig(backend=backend))
+        snap = snapshot_of(eng)
+        vs = sorted(eng.graph.vertices())
+        pairs = [(s, t) for s in vs[:5] for t in vs[-5:]]
+        assert snap.query_many(pairs) == [eng.index.query(s, t) for s, t in pairs]
+
+
+class TestIsolation:
+    def test_snapshot_survives_engine_updates(self, engine):
+        snap = snapshot_of(engine)
+        before = snap.query(0, 4)
+        engine.insert_edge(0, 4)
+        assert engine.query(0, 4) == (1, 1)
+        assert snap.query(0, 4) == before  # pinned epoch, unchanged
+
+    def test_metadata(self, engine):
+        engine.apply(InsertEdge(0, 4))
+        snap = snapshot_of(engine, seq=7)
+        assert snap.epoch == engine.epoch
+        assert snap.seq == 7
+        assert snap.backend_name == "core"
+        assert "epoch" in repr(snap)
+
+
+class TestReadOnly:
+    @pytest.mark.parametrize("method", _MUTATORS)
+    def test_every_mutator_rejected(self, engine, method):
+        snap = snapshot_of(engine)
+        with pytest.raises(ReadOnlyError, match="immutable"):
+            getattr(snap, method)()
+
+    def test_rejection_names_the_escape_hatch(self, engine):
+        snap = snapshot_of(engine)
+        with pytest.raises(ReadOnlyError, match="SPCService.submit"):
+            snap.insert_edge(0, 4)
+
+    def test_index_unchanged_after_rejection(self, engine):
+        snap = snapshot_of(engine)
+        before = snap.query(0, 4)
+        with pytest.raises(ReadOnlyError):
+            snap.delete_edge(0, 1)
+        assert snap.query(0, 4) == before
