@@ -52,10 +52,26 @@ def _serve_metrics(extra):
     return metrics
 
 
+def _cluster_metrics(extra):
+    """Tracked metrics for repro.bench.cluster: routed throughput up,
+    latency and kill-to-converged recovery time down."""
+    metrics = {}
+    for backend, report in extra.items():
+        metrics[f"{backend}.read_qps"] = (report["read_qps"], _HIGHER)
+        metrics[f"{backend}.read_latency_p99_ms"] = (
+            report["read_latency_ms"]["p99"], _LOWER,
+        )
+        catch_up = report.get("fault_injection", {}).get("catch_up_ms")
+        if catch_up is not None:
+            metrics[f"{backend}.catch_up_ms"] = (catch_up, _LOWER)
+    return metrics
+
+
 #: experiment name -> extra-payload metric extractor.
 METRIC_EXTRACTORS = {
     "micro": _micro_metrics,
     "serve": _serve_metrics,
+    "cluster": _cluster_metrics,
 }
 
 

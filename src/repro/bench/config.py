@@ -51,6 +51,15 @@ class BenchConfig:
     serve_duration: float = 2.0    # seconds of mixed load per backend
     serve_graph: tuple = (300, 900)   # (n, m) of the synthetic graph
     serve_churn: int = 40          # edges per half of the cyclic update stream
+    # repro.bench.cluster knobs — the replicated fleet under routed load
+    # with kill-and-catch-up fault injection (see repro.cluster.loadgen).
+    cluster_backends: tuple = ("core", "directed", "weighted", "sd")
+    cluster_replicas: int = 2
+    cluster_readers: int = 4
+    cluster_duration: float = 1.5   # seconds of routed load per backend
+    cluster_graph: tuple = (240, 720)   # (n, m) of the synthetic graph
+    cluster_churn: int = 30
+    cluster_staleness_delta: int = 16   # Δ of the bounded-staleness policy
 
     def deletions_for(self, name):
         """Deletion batch size for a dataset (capped on the largest)."""
@@ -84,6 +93,11 @@ class BenchConfig:
             serve_duration=0.5,
             serve_graph=(120, 360),
             serve_churn=20,
+            cluster_backends=("core", "sd"),
+            cluster_readers=2,
+            cluster_duration=0.6,
+            cluster_graph=(100, 300),
+            cluster_churn=16,
         )
 
     @classmethod

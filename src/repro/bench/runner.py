@@ -4,6 +4,7 @@ import argparse
 import os
 import sys
 
+from repro.bench import cluster as cluster_bench
 from repro.bench import micro
 from repro.bench import serve as serve_bench
 from repro.bench.compare import compare_result
@@ -35,6 +36,7 @@ EXPERIMENTS = {
     "ablation_aff": ablations.run_aff,
     "micro": micro.run,
     "serve": serve_bench.run,
+    "cluster": cluster_bench.run,
 }
 
 PAPER_SET = ["table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]

@@ -1,0 +1,46 @@
+"""repro.cluster — WAL-replicated multi-replica serving behind a router.
+
+Horizontal scale-out for the serving layer: one durable **primary**
+(:class:`~repro.serve.SPCService`) owns the engine and the write-ahead
+log; K **replicas** bootstrap from its checkpoint and tail the WAL as a
+replication stream, each publishing its own immutable snapshots; a
+**router** spreads reads across the fleet under round-robin,
+least-loaded, or bounded-staleness policies, with sticky sessions for
+read-your-writes::
+
+    import repro
+    from repro.cluster import SPCCluster
+
+    engine = repro.open(graph)
+    with SPCCluster(engine, "state/", replicas=2,
+                    policy="bounded_staleness", staleness_delta=8) as c:
+        session = c.session()
+        session.submit(InsertEdge(0, 9)).ack()   # ack = applied + published
+        session.query(0, 9)       # routed; never older than the ack
+        c.kill_replica("replica-0")              # fault injection
+        c.restart_replica("replica-0")           # checkpoint + WAL tail
+        c.sync()                                 # whole fleet converged
+
+See DESIGN.md §11 for the replication protocol, bootstrap state machine,
+routing policies and failure model, and :mod:`repro.cluster.loadgen` /
+``repro-bench cluster`` for the kill-and-catch-up consistency harness.
+"""
+
+from repro.cluster.cluster import ClusterConfig, SPCCluster, cluster
+from repro.cluster.loadgen import run_cluster_loadgen
+from repro.cluster.replica import Replica
+from repro.cluster.router import POLICIES, ClusterRouter, RoutedRead
+from repro.cluster.session import ClusterSession, WriteTicket
+
+__all__ = [
+    "SPCCluster",
+    "ClusterConfig",
+    "cluster",
+    "Replica",
+    "ClusterRouter",
+    "RoutedRead",
+    "POLICIES",
+    "ClusterSession",
+    "WriteTicket",
+    "run_cluster_loadgen",
+]

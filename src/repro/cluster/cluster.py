@@ -1,0 +1,333 @@
+"""SPCCluster: one primary, K WAL-replicated replicas, one router.
+
+The scale-out shape the ROADMAP calls for: a single writer
+(:class:`~repro.serve.SPCService` with durability on) keeps the
+authoritative engine and the WAL; each :class:`~repro.cluster.Replica`
+bootstraps from the primary's checkpoint and tails that WAL as its
+replication stream; a :class:`~repro.cluster.ClusterRouter` spreads reads
+across the fleet under a pluggable policy.  Writes always go to the
+primary — the cluster is single-writer by construction, which is what
+keeps every replica a deterministic replay of one totally-ordered log.
+
+Fault injection is a first-class operation, not a test hack:
+:meth:`SPCCluster.kill_replica` hard-stops a follower mid-stream and
+:meth:`SPCCluster.restart_replica` brings a fresh one up under the same
+name from the *current* checkpoint + WAL tail — exactly the crash/recover
+path an operator would take — while the router routes around the outage.
+"""
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.engine import SPCEngine
+from repro.exceptions import ClusterError
+from repro.serve.service import ServeConfig, SPCService
+from repro.cluster.replica import Replica
+from repro.cluster.router import ClusterRouter
+from repro.cluster.session import ClusterSession
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """All tunables of an :class:`SPCCluster`.
+
+    Parameters
+    ----------
+    replicas:
+        How many followers to run.
+    policy:
+        Routing policy name (see :mod:`repro.cluster.router`).
+    staleness_delta:
+        The Δ of ``bounded_staleness``: never serve an answer whose seq
+        lags the primary's applied seq by more than this many batches.
+    poll_interval:
+        Seconds a replica sleeps between empty WAL polls.
+    replica_backends:
+        Optional per-replica backend family overrides (a tuple indexed by
+        replica slot; ``None`` entries — and a ``None`` tuple — follow
+        the primary's family).  Overrides must share the primary's graph
+        type (core ⇄ sd).
+    wait_timeout:
+        How long a routed read may wait for a fresh-enough target before
+        raising :class:`~repro.exceptions.ClusterError`.
+    """
+
+    replicas: int = 2
+    policy: str = "round_robin"
+    staleness_delta: int = 8
+    poll_interval: float = 0.002
+    replica_backends: tuple = None
+    wait_timeout: float = 5.0
+
+    def __post_init__(self):
+        if self.replicas < 1:
+            raise ClusterError(
+                f"a cluster needs at least one replica, got {self.replicas!r}"
+            )
+        if self.replica_backends is not None and (
+            len(self.replica_backends) != self.replicas
+        ):
+            raise ClusterError(
+                f"replica_backends names {len(self.replica_backends)} "
+                f"families for {self.replicas} replicas"
+            )
+
+    def replace(self, **changes):
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+class SPCCluster:
+    """A replicated serving fleet over one engine's WAL.
+
+    Example
+    -------
+    >>> import repro, tempfile
+    >>> from repro.cluster import SPCCluster
+    >>> from repro.workloads import InsertEdge
+    >>> engine = repro.open(repro.Graph.from_edges([(0, 1), (1, 2)]))
+    >>> with SPCCluster(engine, tempfile.mkdtemp()) as c:
+    ...     session = c.session()
+    ...     _ = session.submit(InsertEdge(0, 2)).ack()
+    ...     session.query(0, 2)
+    (1, 1)
+    """
+
+    def __init__(self, engine, state_dir, config=None, serve_config=None,
+                 overwrite=False, **overrides):
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self._config = config
+        if serve_config is None:
+            serve_config = ServeConfig()
+        serve_config = serve_config.replace(durability_dir=state_dir)
+        self._state_dir = state_dir
+        self._closed = False
+        self.primary = SPCService(
+            engine, config=serve_config, overwrite=overwrite
+        )
+        self._replicas = {}
+        try:
+            for slot in range(config.replicas):
+                name = f"replica-{slot}"
+                backend = None
+                if config.replica_backends is not None:
+                    backend = config.replica_backends[slot]
+                self._replicas[name] = Replica(
+                    state_dir,
+                    name=name,
+                    backend=backend,
+                    poll_interval=config.poll_interval,
+                )
+            self.router = ClusterRouter(
+                self.primary,
+                list(self._replicas.values()),
+                policy=config.policy,
+                staleness_delta=config.staleness_delta,
+                wait_timeout=config.wait_timeout,
+            )
+        except BaseException:
+            # A replica that failed to bootstrap must not leak the ones
+            # that did, nor the primary's writer thread.
+            self._teardown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Write path (primary only)
+    # ------------------------------------------------------------------
+
+    def submit(self, update):
+        """Enqueue one update on the primary."""
+        self.primary.submit(update)
+
+    def submit_many(self, updates):
+        """Enqueue a batch (kept whole) on the primary."""
+        self.primary.submit_many(updates)
+
+    def flush(self, timeout=30.0):
+        """Apply + publish everything submitted on the primary so far."""
+        return self.primary.flush(timeout=timeout)
+
+    def checkpoint(self, truncate_wal=False, timeout=30.0):
+        """Durable checkpoint on the primary (replicas re-bootstrap if the
+        WAL is truncated beneath their tail)."""
+        return self.primary.checkpoint(
+            truncate_wal=truncate_wal, timeout=timeout
+        )
+
+    # ------------------------------------------------------------------
+    # Read path (routed)
+    # ------------------------------------------------------------------
+
+    def query(self, s, t):
+        """Answer (sd, spc) from whichever target the policy picks."""
+        return self.router.query(s, t)
+
+    def query_tagged(self, s, t):
+        """Routed answer plus its consistency tag: (answer, seq, target)."""
+        return self.router.query_tagged(s, t)
+
+    def query_many(self, pairs):
+        """Answer a batch of pairs against one routed snapshot."""
+        return self.router.query_many(pairs)
+
+    def session(self):
+        """A sticky :class:`ClusterSession` (read-your-writes)."""
+        return ClusterSession(self)
+
+    # ------------------------------------------------------------------
+    # Fleet operations
+    # ------------------------------------------------------------------
+
+    @property
+    def replicas(self):
+        """Mapping name -> :class:`Replica` (live view, do not mutate)."""
+        return self._replicas
+
+    @property
+    def config(self):
+        """The cluster's :class:`ClusterConfig` (frozen)."""
+        return self._config
+
+    @property
+    def state_dir(self):
+        """The primary's durability directory (= the replication stream)."""
+        return self._state_dir
+
+    def sync(self, timeout=30.0):
+        """Flush the primary, then block until every healthy replica has
+        replayed up to the primary's applied seq.  Returns that seq.
+
+        Raises :class:`ClusterError` when a replica cannot catch up in
+        time (or died trying) — a lagging fleet is an operational fact
+        the caller must see, not average away.
+        """
+        self.primary.flush(timeout=timeout)
+        target = self.primary.applied_seq
+        for name, replica in self._replicas.items():
+            if not replica.healthy:
+                continue
+            if not replica.catch_up(target, timeout=timeout):
+                raise ClusterError(
+                    f"replica {name!r} is stuck at seq "
+                    f"{replica.applied_seq}, primary at {target}"
+                )
+        return target
+
+    def kill_replica(self, name):
+        """Hard-stop one follower mid-stream (fault injection).
+
+        The dead replica stays registered (and unhealthy, so the router
+        skips it) until :meth:`restart_replica` replaces it.
+        """
+        self._replica(name).kill()
+
+    def restart_replica(self, name):
+        """Crash-recover a follower: bootstrap a fresh replica under the
+        same name from the *current* checkpoint + WAL tail and swap it
+        into the router.  Returns the new :class:`Replica`.
+        """
+        old = self._replica(name)
+        old.kill()
+        replica = Replica(
+            self._state_dir,
+            name=name,
+            backend=old.backend_override,
+            poll_interval=self._config.poll_interval,
+        )
+        self._replicas[name] = replica
+        self.router.set_replica(name, replica)
+        return replica
+
+    def check_invariants(self):
+        """Validate label invariants on the primary engine and every
+        healthy replica engine."""
+        self.primary.engine.check_invariants()
+        for replica in self._replicas.values():
+            if replica.healthy:
+                replica.check_invariants()
+        return True
+
+    def stats(self):
+        """One dict tying together primary, replica and router counters."""
+        return {
+            "primary": self.primary.stats(),
+            "replicas": {
+                name: r.stats() for name, r in self._replicas.items()
+            },
+            "router": self.router.stats(),
+        }
+
+    def close(self, timeout=30.0):
+        """Stop every replica and the primary.  Idempotent.
+
+        Replica applier failures surface as :class:`ClusterError` after
+        everything has been torn down — a dead replica must not leave the
+        primary's writer thread running.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        failures = self._teardown(timeout=timeout)
+        if failures:
+            raise ClusterError(
+                f"cluster shutdown found {len(failures)} failed component(s): "
+                + "; ".join(failures)
+            )
+
+    def _teardown(self, timeout=30.0):
+        failures = []
+        for name, replica in self._replicas.items():
+            try:
+                replica.close()
+            except ClusterError as exc:
+                failures.append(str(exc))
+        try:
+            self.primary.close(timeout=timeout)
+        except Exception as exc:  # noqa: BLE001 — reported, not masked
+            failures.append(f"primary: {exc!r}")
+        return failures
+
+    def _replica(self, name):
+        try:
+            return self._replicas[name]
+        except KeyError:
+            raise ClusterError(
+                f"no replica named {name!r}; have {sorted(self._replicas)}"
+            ) from None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"SPCCluster(replicas={sorted(self._replicas)}, "
+            f"policy={self._config.policy!r}, "
+            f"primary_seq={self.primary.applied_seq})"
+        )
+
+
+def cluster(graph_or_engine, state_dir, config=None, serve_config=None,
+            engine_config=None, overwrite=False, **overrides):
+    """Open an :class:`SPCCluster` over a graph or an existing engine.
+
+    Convenience entry point mirroring :func:`repro.serve.serve`:
+    ``repro.cluster.cluster(graph, dir)`` builds the engine (auto-selected
+    backend, ``engine_config`` forwarded), wraps it in a durable primary
+    in ``state_dir``, and boots the replica fleet; keyword overrides patch
+    individual :class:`ClusterConfig` fields.
+    """
+    if isinstance(graph_or_engine, SPCEngine):
+        engine = graph_or_engine
+    else:
+        engine = SPCEngine(graph_or_engine, config=engine_config)
+    return SPCCluster(
+        engine, state_dir, config=config, serve_config=serve_config,
+        overwrite=overwrite, **overrides
+    )

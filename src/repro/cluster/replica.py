@@ -1,0 +1,302 @@
+"""Replica: one follower service kept in sync by tailing the primary's WAL.
+
+A :class:`Replica` owns a full :class:`~repro.engine.SPCEngine` of its own
+— bootstrapped from the primary's durable checkpoint — and an applier
+thread that tails the primary's write-ahead log as a replication stream:
+every WAL record is applied in sequence order through the engine's logged
+apply path (one ``begin/end_update_batch`` bracket per polled tail, so
+e.g. an SD replica rebuilds once per tail, not once per record) and a
+fresh immutable :class:`~repro.serve.SnapshotView` is published, tagged
+with the replica's applied sequence number.  Readers query the replica
+exactly like they query the primary service: lock-free, against the
+current snapshot.
+
+Bootstrap and catch-up form a small state machine:
+
+* **bootstrap** — load the checkpoint; if the replica runs the same
+  backend family as the primary the index is rehydrated warm (no
+  rebuild); a different family of the *same graph type* (core ⇄ sd) cold
+  starts by rebuilding its own index from the checkpointed graph; a
+  different graph family raises
+  :class:`~repro.exceptions.CheckpointMismatchError`.
+* **tail** — poll the WAL for contiguous new records and apply them.
+* **re-bootstrap** — when the tailer reports a gap (the primary
+  compacted the WAL under an auto-checkpoint policy, or truncation raced
+  regrowth), discard the engine and bootstrap again from the *new*
+  checkpoint; the replica's applied seq jumps forward to the checkpoint's.
+
+A replica never writes: it keeps no WAL and no checkpoint of its own, and
+its engine is reached only through published snapshots.
+"""
+
+import os
+import threading
+import time
+
+from repro.engine import EngineConfig, SPCEngine, get_backend
+from repro.exceptions import CheckpointMismatchError, ClusterError
+from repro.serve.persist import (
+    engine_from_payload,
+    graph_from_payload,
+    load_checkpoint,
+)
+from repro.serve.service import SNAPSHOT_FILENAME, WAL_FILENAME
+from repro.serve.snapshot import SnapshotView
+from repro.serve.wal import WalTailer
+
+
+class Replica:
+    """A read-only follower of one primary's durability directory.
+
+    Parameters
+    ----------
+    primary_dir:
+        The primary service's ``durability_dir`` — the checkpoint +
+        WAL pair that is both the bootstrap source and the replication
+        stream.
+    name:
+        Identifier used by the router and in error messages.
+    backend:
+        Backend family for this replica's engine; ``None`` follows the
+        checkpoint's family (warm bootstrap).  A different family must
+        share the checkpoint's graph type.
+    poll_interval:
+        Seconds the applier sleeps between empty polls of the WAL.
+    """
+
+    def __init__(self, primary_dir, name="replica", backend=None,
+                 poll_interval=0.002):
+        self.name = name
+        self._dir = primary_dir
+        self.backend_override = backend
+        self._poll_interval = poll_interval
+        self._snapshot = None
+        self._engine = None
+        self._tailer = None
+        self._applied_seq = 0
+        self._fatal = None
+        self._alive = True
+        self._bootstraps = 0
+        self._batches_applied = 0
+        self._stop = threading.Event()
+        self._bootstrap()  # constructor fails loudly on a bad checkpoint
+        self._thread = threading.Thread(
+            target=self._apply_loop, name=f"spc-replica-{name}", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Read path (any thread, lock-free — same contract as SPCService)
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """The current :class:`SnapshotView` (pin it for a consistent batch)."""
+        return self._snapshot
+
+    def query(self, s, t):
+        """Answer (sd, spc) from the freshest replicated snapshot."""
+        return self._snapshot.query(s, t)
+
+    def query_many(self, pairs):
+        """Answer a batch of pairs against one single snapshot."""
+        return self._snapshot.query_many(pairs)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def applied_seq(self):
+        """Sequence number of the last replicated batch this replica holds."""
+        return self._applied_seq
+
+    @property
+    def healthy(self):
+        """True while the applier thread is running without a fatal error."""
+        return self._alive and self._fatal is None
+
+    @property
+    def fatal(self):
+        """The exception that killed the applier, or ``None``."""
+        return self._fatal
+
+    @property
+    def bootstraps(self):
+        """How many times this replica (re-)bootstrapped from a checkpoint."""
+        return self._bootstraps
+
+    @property
+    def backend_name(self):
+        """The registry name of this replica's backend."""
+        return self._engine.backend_name
+
+    def catch_up(self, target_seq, timeout=10.0):
+        """Block until ``applied_seq >= target_seq``; True on success.
+
+        Returns False on timeout; raises :class:`ClusterError` if the
+        applier died while waiting (it can never catch up).
+        """
+        deadline = time.monotonic() + timeout
+        while self._applied_seq < target_seq:
+            if not self.healthy:
+                raise ClusterError(
+                    f"replica {self.name!r} died at seq {self._applied_seq} "
+                    f"while catching up to {target_seq}: {self._fatal!r}"
+                )
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(min(self._poll_interval, 0.005))
+        return True
+
+    def check_invariants(self):
+        """Validate the replica engine's structural label invariants."""
+        self._engine.check_invariants()
+        return True
+
+    def stats(self):
+        """A dict snapshot of the replica counters (monitoring only)."""
+        snap = self._snapshot
+        return {
+            "name": self.name,
+            "backend": self._engine.backend_name,
+            "applied_seq": self._applied_seq,
+            "snapshot_seq": snap.seq if snap is not None else None,
+            "batches_applied": self._batches_applied,
+            "bootstraps": self._bootstraps,
+            "healthy": self.healthy,
+        }
+
+    def kill(self):
+        """Hard-stop the applier mid-stream (fault injection).
+
+        The last published snapshot stays readable, but the replica stops
+        following the primary and reports unhealthy so routers skip it.
+        Idempotent; does not raise on an already-dead replica.
+        """
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+        self._alive = False
+
+    def close(self):
+        """Stop the applier; raises if it had died of an unexpected error."""
+        self.kill()
+        if self._fatal is not None:
+            raise ClusterError(
+                f"replica {self.name!r} applier died: {self._fatal!r}"
+            ) from self._fatal
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"Replica(name={self.name!r}, backend={self._engine.backend_name!r}, "
+            f"applied_seq={self._applied_seq}, healthy={self.healthy})"
+        )
+
+    # ------------------------------------------------------------------
+    # Applier thread
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self):
+        """(Re)build the engine from the primary's current checkpoint."""
+        payload = load_checkpoint(os.path.join(self._dir, SNAPSHOT_FILENAME))
+        ckpt_backend = payload.get("backend")
+        want = self.backend_override or ckpt_backend
+        if want == ckpt_backend:
+            engine = engine_from_payload(payload)
+        else:
+            engine = self._cold_bootstrap(payload, want)
+        self._engine = engine
+        self._applied_seq = payload.get("applied_seq", 0)
+        # The replication stream must match the *primary's* family (the
+        # WAL is stamped by the writer), not this replica's — a core WAL
+        # drives an sd replica just fine.
+        self._tailer = WalTailer(
+            os.path.join(self._dir, WAL_FILENAME),
+            after_seq=self._applied_seq,
+            expect_backend=ckpt_backend,
+        )
+        self._bootstraps += 1
+        self._publish()
+
+    def _cold_bootstrap(self, payload, want):
+        """Build a fresh index of a different family over the checkpointed
+        graph — only families sharing the graph type can follow the WAL."""
+        want_cls = get_backend(want)
+        ckpt_cls = get_backend(payload["backend"])
+        if want_cls.graph_type is not ckpt_cls.graph_type:
+            raise CheckpointMismatchError(
+                f"replica {self.name!r} wants backend {want!r} "
+                f"({want_cls.graph_type.__name__}) but the primary "
+                f"checkpoint is {payload['backend']!r} "
+                f"({ckpt_cls.graph_type.__name__}); a replica can only "
+                f"follow a WAL written over the same graph family"
+            )
+        graph = graph_from_payload(payload["graph"], want_cls.graph_type)
+        engine = SPCEngine(graph, config=EngineConfig(backend=want))
+        engine.seed_epoch(payload.get("epoch", 0))
+        return engine
+
+    def _publish(self):
+        backend = self._engine.backend
+        self._snapshot = SnapshotView(
+            backend.snapshot_index(),
+            backend.name,
+            self._engine.epoch,
+            self._applied_seq,
+            time.time(),
+        )
+
+    #: consecutive no-progress re-bootstraps before the applier gives up —
+    #: a gap that a fresh checkpoint cannot advance past (corruption in
+    #: the middle of the log) would otherwise hot-loop forever while the
+    #: replica still reported healthy.
+    MAX_STALLED_BOOTSTRAPS = 3
+
+    def _apply_loop(self):
+        stalled = 0
+        try:
+            while not self._stop.is_set():
+                records, gap = self._tailer.poll()
+                if records:
+                    self._applied_seq = self._engine.apply_logged_batches(
+                        records
+                    )
+                    self._batches_applied += len(records)
+                    self._publish()
+                    stalled = 0
+                if gap:
+                    # The primary compacted the WAL beneath us: the missing
+                    # records live only in the new checkpoint now.
+                    before = self._applied_seq
+                    self._bootstrap()
+                    if records or self._applied_seq > before:
+                        stalled = 0
+                        continue
+                    # The fresh checkpoint did not move us past the gap:
+                    # the stream is stuck (corrupt record, incompatible
+                    # rewrite), not compacting.  Back off, and after a few
+                    # fruitless rounds die visibly instead of spinning
+                    # while routers keep trusting an ever-staler replica.
+                    stalled += 1
+                    if stalled >= self.MAX_STALLED_BOOTSTRAPS:
+                        raise ClusterError(
+                            f"replica {self.name!r} cannot advance past a "
+                            f"replication-stream gap at seq "
+                            f"{self._applied_seq}: {stalled} consecutive "
+                            f"re-bootstraps made no progress (corrupt or "
+                            f"incompatible WAL at {self._tailer.path})"
+                        )
+                    self._stop.wait(self._poll_interval)
+                    continue
+                if not records:
+                    self._stop.wait(self._poll_interval)
+        except BaseException as exc:  # noqa: BLE001 — surfaced via healthy/fatal
+            self._fatal = exc
+        finally:
+            self._alive = False

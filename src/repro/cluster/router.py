@@ -1,0 +1,271 @@
+"""ClusterRouter: policy-driven read routing across a replica fleet.
+
+The router fronts one primary :class:`~repro.serve.SPCService` and K
+:class:`~repro.cluster.replica.Replica` followers.  Every read acquires a
+*lease*: the router picks a target under the configured policy, pins that
+target's current snapshot (eligibility is evaluated on the exact snapshot
+the caller will read — never on a counter that could move between check
+and use), bumps the target's in-flight counter, and hands back a
+:class:`RoutedRead` whose release decrements the counter.
+
+Policies (``policy=`` name):
+
+* ``round_robin`` — rotate across the healthy replicas.
+* ``least_loaded`` — pick the healthy replica with the fewest in-flight
+  leases (ties broken round-robin so idle fleets still spread).
+* ``bounded_staleness`` — serve only from snapshots whose sequence number
+  is within ``staleness_delta`` of the primary's applied seq at selection
+  time: an answer tagged ``seq`` is never handed out with
+  ``seq < primary_seq - delta``.  Selection among the fresh-enough
+  replicas rotates round-robin.
+
+Every policy also honours a per-read ``min_seq`` floor — the hook sticky
+sessions use for read-your-writes (see
+:class:`~repro.cluster.session.ClusterSession`).  When no replica
+qualifies the router falls back to the primary's own snapshot if *it*
+qualifies, and otherwise briefly waits for the fleet to catch up before
+raising :class:`~repro.exceptions.ClusterError` — returning a stale
+answer instead would silently break the policy's promise.
+"""
+
+import threading
+import time
+
+from repro.exceptions import ClusterError
+
+#: policy registry — name -> nothing but validation; selection is shared.
+POLICIES = ("round_robin", "least_loaded", "bounded_staleness")
+
+
+class _Target:
+    """Router-side bookkeeping for one queryable backend (replica/primary)."""
+
+    __slots__ = ("name", "handle", "inflight", "routed")
+
+    def __init__(self, name, handle):
+        self.name = name
+        self.handle = handle
+        self.inflight = 0
+        self.routed = 0
+
+    def healthy(self):
+        return getattr(self.handle, "healthy", True)
+
+
+class RoutedRead:
+    """A leased (target, pinned snapshot) pair; use as a context manager.
+
+    ``snapshot`` is immutable, so the lease may be held for a whole batch
+    of queries; releasing only returns the in-flight slot used by the
+    ``least_loaded`` policy.
+    """
+
+    __slots__ = ("name", "snapshot", "_router", "_target", "_released")
+
+    def __init__(self, router, target, snapshot):
+        self.name = target.name
+        self.snapshot = snapshot
+        self._router = router
+        self._target = target
+        self._released = False
+
+    def release(self):
+        """Return the in-flight slot (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._router._release(self._target)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+
+class ClusterRouter:
+    """Route reads across one primary and its replicas under a policy."""
+
+    def __init__(self, primary, replicas, policy="round_robin",
+                 staleness_delta=8, wait_timeout=5.0):
+        if policy not in POLICIES:
+            raise ClusterError(
+                f"unknown routing policy {policy!r}; choose from {POLICIES}"
+            )
+        if staleness_delta < 0:
+            raise ClusterError(
+                f"staleness_delta must be >= 0, got {staleness_delta!r}"
+            )
+        self.policy = policy
+        self.staleness_delta = staleness_delta
+        self.wait_timeout = wait_timeout
+        self._primary = _Target("primary", primary)
+        self._replicas = [_Target(r.name, r) for r in replicas]
+        self._lock = threading.Lock()
+        self._rr = 0
+        self._fallbacks = 0
+        self._waits = 0
+
+    # ------------------------------------------------------------------
+    # Fleet management
+    # ------------------------------------------------------------------
+
+    def add_replica(self, replica):
+        """Register a new follower with the router."""
+        with self._lock:
+            self._replicas.append(_Target(replica.name, replica))
+
+    def set_replica(self, name, replica):
+        """Swap the handle behind ``name`` (a restarted replica)."""
+        with self._lock:
+            for t in self._replicas:
+                if t.name == name:
+                    t.handle = replica
+                    return
+        raise ClusterError(f"router knows no replica named {name!r}")
+
+    def replica_names(self):
+        """The registered replica names, in registration order."""
+        with self._lock:
+            return [t.name for t in self._replicas]
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def acquire(self, min_seq=0):
+        """Lease a target under the policy; returns a :class:`RoutedRead`.
+
+        Guarantees: the leased snapshot is from a healthy target,
+        ``snapshot.seq >= min_seq``, and — under ``bounded_staleness`` —
+        ``snapshot.seq >= primary_applied_seq - staleness_delta`` as of
+        selection.  Raises :class:`ClusterError` when nothing qualifies
+        within ``wait_timeout`` seconds.
+        """
+        deadline = time.monotonic() + self.wait_timeout
+        while True:
+            lease = self._try_acquire(min_seq)
+            if lease is not None:
+                return lease
+            if time.monotonic() >= deadline:
+                raise ClusterError(
+                    f"no routing target reached seq >= {min_seq} within "
+                    f"{self.wait_timeout} s (policy {self.policy!r}, "
+                    f"delta {self.staleness_delta}, primary at seq "
+                    f"{self._primary_seq()}); the fleet is lagging or down"
+                )
+            with self._lock:
+                self._waits += 1
+            time.sleep(0.001)
+
+    def query(self, s, t, min_seq=0):
+        """Answer one pair through the policy; returns (sd, spc)."""
+        with self.acquire(min_seq) as lease:
+            return lease.snapshot.query(s, t)
+
+    def query_tagged(self, s, t, min_seq=0):
+        """Answer one pair; returns ``(answer, seq, target_name)``.
+
+        The seq is the claimed consistency point of the answer — the
+        harness checks every tagged answer against a progressive WAL
+        replay at exactly that sequence number.
+        """
+        with self.acquire(min_seq) as lease:
+            return lease.snapshot.query(s, t), lease.snapshot.seq, lease.name
+
+    def query_many(self, pairs, min_seq=0):
+        """Answer a batch of pairs against one leased snapshot."""
+        with self.acquire(min_seq) as lease:
+            return lease.snapshot.query_many(pairs)
+
+    def query_many_tagged(self, pairs, min_seq=0):
+        """Batch variant of :meth:`query_tagged`: (answers, seq, name)."""
+        with self.acquire(min_seq) as lease:
+            return (
+                lease.snapshot.query_many(pairs),
+                lease.snapshot.seq,
+                lease.name,
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        """Routing counters per target plus fallback/wait totals."""
+        with self._lock:
+            return {
+                "policy": self.policy,
+                "staleness_delta": self.staleness_delta,
+                "routed": {t.name: t.routed for t in self._replicas},
+                "primary_reads": self._primary.routed,
+                "fallbacks": self._fallbacks,
+                "waits": self._waits,
+            }
+
+    def __repr__(self):
+        return (
+            f"ClusterRouter(policy={self.policy!r}, "
+            f"replicas={[t.name for t in self._replicas]}, "
+            f"delta={self.staleness_delta})"
+        )
+
+    # ------------------------------------------------------------------
+    # Selection internals
+    # ------------------------------------------------------------------
+
+    def _primary_seq(self):
+        return self._primary.handle.applied_seq
+
+    def _try_acquire(self, min_seq):
+        """One selection attempt; returns a lease or None (nothing fresh)."""
+        if self.policy == "bounded_staleness":
+            floor = self._primary_seq() - self.staleness_delta
+        else:
+            floor = None
+        candidates = []  # (target, pinned snapshot)
+        with self._lock:
+            replicas = list(self._replicas)
+        for target in replicas:
+            if not target.healthy():
+                continue
+            snap = target.handle.snapshot()
+            if snap is None or snap.seq < min_seq:
+                continue
+            if floor is not None and snap.seq < floor:
+                continue
+            candidates.append((target, snap))
+        if candidates:
+            return self._lease(*self._pick(candidates))
+        # No replica qualifies: the primary's own snapshot is the fallback,
+        # held to the same freshness bar (its snapshot can trail its
+        # applied seq by up to publish_every, so it must be checked too).
+        snap = self._primary.handle.snapshot()
+        if snap is not None and snap.seq >= min_seq and (
+            floor is None or snap.seq >= floor
+        ):
+            with self._lock:
+                self._fallbacks += 1
+            return self._lease(self._primary, snap)
+        return None
+
+    def _pick(self, candidates):
+        """Choose among eligible (target, snapshot) pairs under the policy."""
+        with self._lock:
+            if self.policy == "least_loaded":
+                lightest = min(c[0].inflight for c in candidates)
+                candidates = [
+                    c for c in candidates if c[0].inflight == lightest
+                ]
+            self._rr += 1
+            return candidates[self._rr % len(candidates)]
+
+    def _lease(self, target, snapshot):
+        with self._lock:
+            target.inflight += 1
+            target.routed += 1
+        return RoutedRead(self, target, snapshot)
+
+    def _release(self, target):
+        with self._lock:
+            target.inflight -= 1

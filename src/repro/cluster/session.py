@@ -1,0 +1,86 @@
+"""Sticky sessions: read-your-writes on top of the cluster router.
+
+A cluster serves reads from replicas that trail the primary, so a plain
+``submit`` followed by a routed ``query`` can read *around* your own
+write.  A :class:`ClusterSession` closes that hole with a sequence-number
+watermark instead of pinning a server: every acknowledged write records
+the primary sequence number it was applied under (``submit(...).ack()``),
+and every session read passes that watermark as the router's ``min_seq``
+floor — any replica that has replayed past your write may serve you, and
+one always exists because the primary's own published snapshot covers
+every acked seq (``flush`` waits for apply *and* publish).
+
+The session is "sticky" to a position in the replication stream, not to a
+machine: that keeps load spread across the fleet while still guaranteeing
+a session never observes a state older than its own last acked write.
+"""
+
+class WriteTicket:
+    """Handle for one submitted update (or batch); ``ack`` makes it
+    durable-visible and advances the session's read floor."""
+
+    __slots__ = ("_session", "acked_seq")
+
+    def __init__(self, session):
+        self._session = session
+        self.acked_seq = None
+
+    def ack(self, timeout=30.0):
+        """Block until the write is applied *and published*, then raise the
+        session's read floor to that sequence number.  Returns the seq.
+
+        Idempotent: re-acking returns the original seq without waiting.
+        """
+        if self.acked_seq is None:
+            self.acked_seq = self._session._ack(timeout)
+        return self.acked_seq
+
+
+class ClusterSession:
+    """One submitter's read-your-writes view over an SPCCluster."""
+
+    def __init__(self, cluster):
+        self._cluster = cluster
+        self.last_acked_seq = 0
+
+    # ------------------------------------------------------------------
+    # Write path — submissions go to the primary, acks move the floor
+    # ------------------------------------------------------------------
+
+    def submit(self, update):
+        """Enqueue one update on the primary; returns a :class:`WriteTicket`."""
+        self._cluster.primary.submit(update)
+        return WriteTicket(self)
+
+    def submit_many(self, updates):
+        """Enqueue a batch (kept whole) on the primary; returns a ticket."""
+        self._cluster.primary.submit_many(updates)
+        return WriteTicket(self)
+
+    def _ack(self, timeout):
+        snapshot = self._cluster.primary.flush(timeout=timeout)
+        self.last_acked_seq = max(self.last_acked_seq, snapshot.seq)
+        return self.last_acked_seq
+
+    # ------------------------------------------------------------------
+    # Read path — routed, floored at the session's last acked write
+    # ------------------------------------------------------------------
+
+    def query(self, s, t):
+        """Answer (sd, spc), never older than the last acked write."""
+        return self._cluster.router.query(s, t, min_seq=self.last_acked_seq)
+
+    def query_tagged(self, s, t):
+        """Like :meth:`query` but returns ``(answer, seq, target_name)``."""
+        return self._cluster.router.query_tagged(
+            s, t, min_seq=self.last_acked_seq
+        )
+
+    def query_many(self, pairs):
+        """Answer a batch against one snapshot covering every acked write."""
+        return self._cluster.router.query_many(
+            pairs, min_seq=self.last_acked_seq
+        )
+
+    def __repr__(self):
+        return f"ClusterSession(last_acked_seq={self.last_acked_seq})"

@@ -319,6 +319,28 @@ class SPCEngine:
         finally:
             self._backend.end_update_batch()
 
+    def apply_logged_batches(self, records):
+        """Replay WAL records — an iterable of ``(seq, updates)`` pairs —
+        and return the last sequence number applied (``None`` when empty).
+
+        The replica-side apply path: records come from a write-ahead log,
+        so they are already net-effect (the primary coalesced before
+        logging) and must be applied verbatim, in order.  The whole record
+        stream shares one ``begin/end_update_batch`` bracket, so backends
+        that defer per-update work amortize it across the entire tail (the
+        SD backend rebuilds once per replayed tail, not once per record).
+        """
+        last_seq = None
+        self._backend.begin_update_batch()
+        try:
+            for seq, updates in records:
+                for update in updates:
+                    self.apply(update)
+                last_seq = seq
+        finally:
+            self._backend.end_update_batch()
+        return last_seq
+
     def apply_batch(self, updates, coalesce=None):
         """Apply an edge-update batch with set semantics (net effect only).
 

@@ -87,3 +87,18 @@ class ServeError(ReproError):
     """Raised for serving-layer misuse or failure: submitting to a closed
     service, a flush/checkpoint timeout, a dead writer thread, or a
     corrupt checkpoint/WAL file."""
+
+
+class CheckpointMismatchError(ServeError):
+    """Raised when a checkpoint and a WAL do not describe the same state:
+    the WAL was written by a different backend family than the checkpoint
+    restores, or the checkpoint's index payload does not match its declared
+    backend.  Replaying such a pair would raise deep inside the engine at
+    best and silently diverge at worst, so restore refuses up front."""
+
+
+class ClusterError(ReproError):
+    """Raised for cluster-layer misuse or failure: routing when no target
+    satisfies the staleness bound, querying a dead replica, a replica that
+    failed to bootstrap or diverged from the replication stream, or a
+    fault-injection harness observing an inconsistency."""

@@ -40,9 +40,10 @@ from repro.serve.service import (
     serve,
 )
 from repro.serve.snapshot import SnapshotView
-from repro.serve.wal import WriteAheadLog, last_wal_seq, read_wal
+from repro.serve.wal import WalTailer, WriteAheadLog, last_wal_seq, read_wal
 
 __all__ = [
+    "WalTailer",
     "SPCService",
     "ServeConfig",
     "SnapshotView",

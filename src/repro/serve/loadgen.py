@@ -86,16 +86,21 @@ def make_workload(backend, n, m, seed=0, churn=40):
     return graph, cycle, pairs
 
 
-def _check_answer(snap, s, t, answer, problems):
+def _check_answer(seq, s, t, answer, problems):
+    """Flag a structurally impossible (distance, count) answer.
+
+    Shared with the cluster harness (:mod:`repro.cluster.loadgen`) so the
+    two loadgens can never diverge in what counts as malformed.
+    """
     d, c = answer
     if d == INF:
         if c not in (0, None):
             problems.append(
-                f"disconnected ({s},{t}) answered count {c!r} at seq {snap.seq}"
+                f"disconnected ({s},{t}) answered count {c!r} at seq {seq}"
             )
     elif d < 0 or (c is not None and c < 1):
         problems.append(
-            f"malformed answer {answer!r} for ({s},{t}) at seq {snap.seq}"
+            f"malformed answer {answer!r} for ({s},{t}) at seq {seq}"
         )
 
 
@@ -133,7 +138,7 @@ def _read_until(service, pairs, deadline, rng, latencies, batch_latencies,
                 f"snapshot regressed: seq {snap.seq} after {last_seq}"
             )
         last_seq = snap.seq
-        _check_answer(snap, s, t, answer, problems)
+        _check_answer(snap.seq, s, t, answer, problems)
         if reads % 16 == 0:
             # Torn-read probe: a pinned snapshot must answer identically
             # forever, even while the writer publishes newer epochs.

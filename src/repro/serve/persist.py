@@ -18,7 +18,7 @@ import json
 import os
 
 from repro.engine import EngineConfig, SPCEngine, get_backend
-from repro.exceptions import ServeError
+from repro.exceptions import CheckpointMismatchError, ServeError
 
 #: bump when the payload layout changes incompatibly.
 CHECKPOINT_FORMAT = 1
@@ -84,11 +84,27 @@ def engine_from_payload(payload):
             f"(this version reads format {CHECKPOINT_FORMAT})"
         )
     backend_cls = get_backend(payload["backend"])
-    graph = graph_from_payload(payload["graph"], backend_cls.graph_type)
+    try:
+        graph = graph_from_payload(payload["graph"], backend_cls.graph_type)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointMismatchError(
+            f"checkpoint declares backend {payload['backend']!r} but its "
+            f"graph payload does not load as {backend_cls.graph_type.__name__}"
+            f": {exc!r}"
+        ) from exc
     config = config_from_payload(payload["config"]).replace(
         backend=payload["backend"]
     )
-    index = backend_cls.index_from_dict(payload["index"])
+    try:
+        index = backend_cls.index_from_dict(payload["index"])
+    except (KeyError, TypeError, ValueError) as exc:
+        # A hand-edited or mixed-up checkpoint: the declared family's
+        # index class cannot rehydrate the payload.  Without this guard
+        # the family-specific ``from_dict`` surfaces a bare KeyError.
+        raise CheckpointMismatchError(
+            f"checkpoint declares backend {payload['backend']!r} but its "
+            f"index payload does not rehydrate as that family: {exc!r}"
+        ) from exc
     engine = SPCEngine(graph, config=config, index=index)
     # Continue the pre-crash epoch numbering so snapshots published after
     # a restore never reissue epochs readers already saw.

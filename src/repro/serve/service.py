@@ -33,7 +33,7 @@ import time
 from dataclasses import dataclass
 
 from repro.core.batch import coalesce_if_edge_batch
-from repro.exceptions import ServeError
+from repro.exceptions import CheckpointMismatchError, ServeError
 from repro.serve.persist import (
     engine_from_payload,
     load_checkpoint,
@@ -77,6 +77,19 @@ class ServeConfig:
         fsync the WAL after every appended batch.  Off by default: the
         load generator measures serving throughput, and per-batch fsync
         is a durability experiment, not a serving one.
+    auto_checkpoint_every_k_batches:
+        Automatic WAL compaction, count half: after this many applied
+        batches since the last durable checkpoint, the writer thread
+        writes a fresh checkpoint and truncates the WAL it subsumed
+        (``checkpoint(truncate_wal=True)`` semantics, inline on the
+        writer).  ``0`` disables; requires a ``durability_dir``.  Bounds
+        restore time for long-running services; replicas tailing the WAL
+        survive the truncation by re-bootstrapping from the new
+        checkpoint (see :class:`~repro.serve.wal.WalTailer`).
+    wal_max_bytes:
+        Automatic WAL compaction, size half: compact as above once the
+        WAL exceeds this many bytes.  ``0`` disables; requires a
+        ``durability_dir``.  Either trigger alone suffices.
     """
 
     publish_every: int = 32
@@ -85,6 +98,8 @@ class ServeConfig:
     queue_capacity: int = 0
     durability_dir: str = None
     wal_fsync: bool = False
+    auto_checkpoint_every_k_batches: int = 0
+    wal_max_bytes: int = 0
 
     def __post_init__(self):
         if self.publish_every < 1:
@@ -102,6 +117,20 @@ class ServeConfig:
                 f"queue_capacity must be >= 0 (0 = unbounded), "
                 f"got {self.queue_capacity!r}"
             )
+        if self.auto_checkpoint_every_k_batches < 0:
+            raise ServeError(
+                f"auto_checkpoint_every_k_batches must be >= 0 (0 = off), "
+                f"got {self.auto_checkpoint_every_k_batches!r}"
+            )
+        if self.wal_max_bytes < 0:
+            raise ServeError(
+                f"wal_max_bytes must be >= 0 (0 = off), "
+                f"got {self.wal_max_bytes!r}"
+            )
+        # Note: the compaction knobs also require a durability_dir, but
+        # that pairing is checked by SPCService, not here — wrappers like
+        # SPCCluster inject the directory into a caller-supplied config
+        # after construction.
 
     def replace(self, **changes):
         """Return a copy of this config with ``changes`` applied."""
@@ -162,6 +191,13 @@ class SPCService:
             config = ServeConfig(**overrides)
         elif overrides:
             config = config.replace(**overrides)
+        if config.durability_dir is None and (
+            config.auto_checkpoint_every_k_batches or config.wal_max_bytes
+        ):
+            raise ServeError(
+                "auto_checkpoint_every_k_batches / wal_max_bytes compact "
+                "the WAL, which requires a durability_dir"
+            )
         self._engine = engine
         self._config = config
         self._queue = queue.Queue(maxsize=config.queue_capacity)
@@ -178,6 +214,13 @@ class SPCService:
         self._published = 0
         self._dirty = 0
         self._dirty_since = None
+        # Auto-compaction bookkeeping: the seq of the last durable
+        # checkpoint (fresh services write one at _seq below; a resumed
+        # service's WAL tail was just replayed, so treating the resume
+        # point as checkpointed only delays the first compaction by < k).
+        self._last_checkpoint_seq = self._seq
+        self._auto_compactions = 0
+        self._auto_bytes_floor = 0  # raised after a failed compaction
 
         self._wal = None
         if config.durability_dir is not None:
@@ -196,11 +239,15 @@ class SPCService:
                 # pair (old checkpoint + old WAL, old checkpoint + empty
                 # WAL, or new checkpoint + empty WAL) — never a fresh
                 # checkpoint with a previous run's records to replay.
-                self._wal = WriteAheadLog(wal_path, fsync=config.wal_fsync)
+                self._wal = WriteAheadLog(
+                    wal_path, fsync=config.wal_fsync, backend=engine.backend_name
+                )
                 self._wal.truncate()
                 save_checkpoint(snap_path, engine, applied_seq=0)
             else:
-                self._wal = WriteAheadLog(wal_path, fsync=config.wal_fsync)
+                self._wal = WriteAheadLog(
+                    wal_path, fsync=config.wal_fsync, backend=engine.backend_name
+                )
 
         self._snapshot = self._make_snapshot()
         self._published += 1
@@ -399,6 +446,8 @@ class SPCService:
             "snapshot_seq": snap.seq,
             "lag_batches": self._seq - snap.seq,
             "errors": len(self.errors),
+            "wal_bytes": self._wal.size if self._wal is not None else 0,
+            "wal_compactions": self._auto_compactions,
             "closed": self._closed,
         }
 
@@ -462,6 +511,7 @@ class SPCService:
             return True
         control = self._apply_drained(item)
         self._maybe_publish()
+        self._maybe_auto_checkpoint()
         if control is not None:
             return self._handle(control)
         return True
@@ -574,11 +624,75 @@ class SPCService:
         try:
             save_checkpoint(token.path, self._engine, applied_seq=self._seq)
             if token.truncate_wal and self._wal is not None:
-                self._wal.truncate()
+                self._truncate_wal_with_marker()
+            if self._config.durability_dir is not None and (
+                os.path.realpath(token.path)
+                == os.path.realpath(self._durable_snapshot_path())
+            ):
+                self._last_checkpoint_seq = self._seq
         except Exception as exc:  # noqa: BLE001 — handed back to the caller
             token.error = exc
         finally:
             token.event.set()
+
+    def _maybe_auto_checkpoint(self):
+        """Compact the WAL when the automatic policy says it is due.
+
+        Runs inline on the writer thread right after a batch applied, so
+        the checkpoint captures a consistent engine exactly like a manual
+        ``checkpoint(truncate_wal=True)``.  Failure is recorded in
+        ``errors`` and serving continues with the WAL intact — losing the
+        compaction is recoverable, killing the writer is not; the
+        bookkeeping still advances so one bad disk does not retry the
+        checkpoint after every subsequent batch.
+        """
+        cfg = self._config
+        if self._wal is None or not (
+            cfg.auto_checkpoint_every_k_batches or cfg.wal_max_bytes
+        ):
+            return
+        batches_due = (
+            cfg.auto_checkpoint_every_k_batches
+            and self._seq - self._last_checkpoint_seq
+            >= cfg.auto_checkpoint_every_k_batches
+        )
+        bytes_due = cfg.wal_max_bytes and self._wal.size > max(
+            cfg.wal_max_bytes, self._auto_bytes_floor
+        )
+        if not (batches_due or bytes_due):
+            return
+        try:
+            save_checkpoint(
+                self._durable_snapshot_path(), self._engine,
+                applied_seq=self._seq,
+            )
+            self._truncate_wal_with_marker()
+            self._auto_compactions += 1
+            self._auto_bytes_floor = 0
+        except Exception as exc:  # noqa: BLE001 — see docstring
+            self.errors.append((None, ServeError(
+                f"auto checkpoint at seq {self._seq} failed: {exc!r}"
+            )))
+            self._auto_bytes_floor = self._wal.size * 2
+        finally:
+            self._last_checkpoint_seq = self._seq
+
+    def _truncate_wal_with_marker(self):
+        """Truncate the WAL, then stamp its head with the truncation point.
+
+        The empty-updates marker record (seq = the checkpoint's seq) keeps
+        the log self-describing for replication: a tailer whose offset was
+        already 0 cannot tell a truncated-to-empty log from a not-yet-
+        written one, so a compaction while it lagged would go unnoticed
+        until the next real append.  With the marker, the first record a
+        lagging tailer reads names a sequence number it cannot reach
+        contiguously — the gap that tells it to re-bootstrap from the
+        fresh checkpoint.  Restore filters the marker out naturally
+        (``seq <= applied_seq``), and replaying it is a no-op anyway.
+        """
+        self._wal.truncate()
+        if self._seq:
+            self._wal.append(self._seq, [])
 
     def _durable_snapshot_path(self):
         return os.path.join(self._config.durability_dir, SNAPSHOT_FILENAME)
@@ -713,9 +827,25 @@ def restore(path, config=None, **overrides):
     engine = engine_from_payload(payload)
     last_seq = payload.get("applied_seq", 0)
     if wal_path is not None:
-        for seq, updates in read_wal(wal_path, after_seq=last_seq):
-            engine.apply_stream(updates)
-            last_seq = seq
+        records = read_wal(
+            wal_path, after_seq=last_seq, expect_backend=engine.backend_name
+        )
+        try:
+            replayed = engine.apply_logged_batches(records)
+        except ServeError:
+            raise  # corruption / family mismatch, already well-described
+        except Exception as exc:  # noqa: BLE001 — an unstamped foreign log
+            # surfaces as whatever the engine rejects it with (an
+            # EngineError about weights, a KeyError on a missing vertex);
+            # name the real problem instead of leaking the replay guts.
+            raise CheckpointMismatchError(
+                f"WAL at {wal_path} does not replay onto the checkpoint at "
+                f"{snap_path} (backend {engine.backend_name!r}): {exc!r}; "
+                f"the checkpoint and the log do not describe the same "
+                f"service"
+            ) from exc
+        if replayed is not None:
+            last_seq = replayed
 
     if config is None:
         config = ServeConfig(**overrides)

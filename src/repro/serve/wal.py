@@ -9,17 +9,27 @@ updates the writer actually applied (post-coalescing), so replay applies
 them verbatim, in order, with no re-coalescing.
 
 Format: one JSON object per line, ``{"seq": n, "updates": [[op, ...]]}``,
-with updates encoded as compact op-tagged lists (see :func:`encode_update`).
+with updates encoded as compact op-tagged lists (see :func:`encode_update`)
+and an optional ``"backend"`` field naming the backend family that applied
+the batch (readers use it to refuse replaying a log against a checkpoint
+of a different family — see :exc:`~repro.exceptions.CheckpointMismatchError`).
 Appends are flushed per record; ``fsync`` is opt-in (ServeConfig.wal_fsync)
 because the loadgen measures throughput and a laptop fsync per batch is a
 different experiment.  A torn final line — the crash case — is ignored on
 read.
+
+Besides the batch reader (:func:`read_wal`, restore's replay path) the
+module ships :class:`WalTailer` — the replication stream: an incremental
+reader that remembers its file position, yields newly appended records in
+sequence order, and detects compaction (the primary checkpointed and
+truncated the log beneath it) so a replica knows to re-bootstrap from the
+fresh checkpoint.
 """
 
 import json
 import os
 
-from repro.exceptions import ServeError
+from repro.exceptions import CheckpointMismatchError, ServeError
 from repro.workloads.updates import (
     DeleteEdge,
     DeleteVertex,
@@ -71,12 +81,36 @@ def decode_update(record):
     return decoder(record)
 
 
-def read_wal(path, after_seq=0):
+def check_record_backend(payload, expect_backend, where):
+    """Refuse a WAL record stamped with a foreign backend family.
+
+    Records written before backend stamping existed carry no ``backend``
+    field and are accepted (the caller falls back to replay-time errors);
+    a stamped record naming a different family raises
+    :class:`~repro.exceptions.CheckpointMismatchError` *before* any update
+    is applied — mixing families can diverge silently (an undirected log
+    replayed onto a directed engine applies arcs, not edges), so this must
+    fail up front, not deep inside the engine.
+    """
+    recorded = payload.get("backend")
+    if expect_backend is None or recorded is None or recorded == expect_backend:
+        return
+    raise CheckpointMismatchError(
+        f"WAL record at {where} was written by the {recorded!r} backend "
+        f"but is being replayed against a {expect_backend!r} checkpoint; "
+        f"the checkpoint and the log do not describe the same service"
+    )
+
+
+def read_wal(path, after_seq=0, expect_backend=None):
     """Yield (seq, [updates]) records with ``seq > after_seq``, in order.
 
     A missing file yields nothing (an empty log).  A torn final line is
     tolerated (the record was never acknowledged); corruption anywhere
-    else raises :class:`~repro.exceptions.ServeError`.
+    else raises :class:`~repro.exceptions.ServeError`.  With
+    ``expect_backend`` set, a record stamped by a different backend family
+    raises :class:`~repro.exceptions.CheckpointMismatchError` (see
+    :func:`check_record_backend`).
 
     "Torn" means *any* final line without its trailing newline — even one
     whose JSON happens to be complete.  ``append`` acknowledges a record
@@ -98,8 +132,15 @@ def read_wal(path, after_seq=0):
             try:
                 payload = json.loads(line)
                 seq = payload["seq"]
+                if not isinstance(seq, int):
+                    raise ServeError(f"non-integer seq {seq!r}")
+                check_record_backend(
+                    payload, expect_backend, f"{path}:{lineno + 1}"
+                )
                 updates = [decode_update(rec) for rec in payload["updates"]]
-            except (ValueError, KeyError, ServeError) as exc:
+            except CheckpointMismatchError:
+                raise
+            except (ValueError, KeyError, TypeError, ServeError) as exc:
                 # A newline-terminated line was fully flushed and
                 # acknowledged — a parse failure here is real corruption
                 # of durable state, never a crash artifact.
@@ -153,27 +194,46 @@ class WriteAheadLog:
 
     Owned by the service's writer thread — appends are single-threaded by
     construction, so the class needs no locking of its own.  Opening the
-    log trims any torn final line (see :func:`_trim_torn_tail`).
+    log trims any torn final line (see :func:`_trim_torn_tail`).  With
+    ``backend`` set, every record is stamped with the backend family that
+    applied it, so readers can refuse a checkpoint/WAL family mismatch.
+    ``size`` tracks the log's current byte length (the input to the
+    ``wal_max_bytes`` auto-compaction policy).
     """
 
-    def __init__(self, path, fsync=False):
+    def __init__(self, path, fsync=False, backend=None):
         self.path = path
         self.fsync = fsync
+        self.backend = backend
         _trim_torn_tail(path)
         self._file = open(path, "a")
+        self.size = os.path.getsize(path)
 
     def append(self, seq, updates):
         """Durably record one applied batch under sequence number ``seq``."""
         record = {"seq": seq, "updates": [encode_update(u) for u in updates]}
-        self._file.write(json.dumps(record) + "\n")
+        if self.backend is not None:
+            record["backend"] = self.backend
+        line = json.dumps(record) + "\n"
+        self._file.write(line)
         self._file.flush()
         if self.fsync:
             os.fsync(self._file.fileno())
+        self.size += len(line)
 
     def truncate(self):
-        """Drop every record (after a checkpoint subsumed them)."""
+        """Drop every record (after a checkpoint subsumed them).
+
+        The replacement handle opens *before* the old one closes: if the
+        open fails (EMFILE, EACCES, a vanished directory) the log keeps
+        its records and a usable handle — a failed compaction must
+        degrade to "no compaction", never to a writer whose next append
+        dies on a closed file.
+        """
+        replacement = open(self.path, "w")
         self._file.close()
-        self._file = open(self.path, "w")
+        self._file = replacement
+        self.size = 0
 
     def close(self):
         """Flush and close the underlying file."""
@@ -182,3 +242,120 @@ class WriteAheadLog:
 
     def __repr__(self):
         return f"WriteAheadLog(path={self.path!r}, fsync={self.fsync})"
+
+
+class WalTailer:
+    """Incremental WAL reader — the replication stream a replica tails.
+
+    Remembers a byte offset and the last sequence number it handed out;
+    each :meth:`poll` reopens the file (robust against the writer's
+    truncate-by-reopen), reads any newly appended *complete* lines, and
+    returns ``(records, gap)``:
+
+    * ``records`` — the new ``(seq, [updates])`` batches, strictly
+      contiguous with everything polled so far (``seq == last + 1``; WAL
+      sequence numbers are contiguous by construction, one record per
+      applied batch);
+    * ``gap`` — ``True`` when the log can no longer supply the next
+      record: a compaction marker (an *empty-updates* record, left at the
+      head of a truncated log) names a seq past our position, a sequence
+      number jumped, or a mid-file read landed inside a record (truncate
+      racing regrowth).  The tailer's own state is unusable after a gap —
+      the caller must re-bootstrap from the primary's checkpoint and
+      build a fresh tailer with ``after_seq = checkpoint.applied_seq``.
+
+    A file that shrank beneath the offset (the primary checkpointed with
+    ``truncate_wal``) is rescanned from the head rather than reported as
+    a gap outright: the marker decides.  A caught-up tailer skips the
+    marker (``seq <= last``) and keeps streaming — compaction costs it
+    nothing — while a lagging tailer sees a marker past its position and
+    re-bootstraps.  The marker must never be applied as a record: the
+    writer only logs non-empty batches, so an empty-updates record always
+    means "everything up to this seq now lives only in the checkpoint",
+    even when its seq is exactly ``last + 1``.
+
+    A torn final line (the writer is mid-append) is simply not consumed
+    yet: the offset stays at the start of the incomplete line and the
+    record is returned by a later poll once its newline lands.  Records
+    with ``seq <= after_seq`` are skipped (the bootstrap checkpoint
+    already contains them).  Like :func:`read_wal`, a stamped record from
+    a foreign backend family raises
+    :class:`~repro.exceptions.CheckpointMismatchError`.
+    """
+
+    def __init__(self, path, after_seq=0, expect_backend=None):
+        self.path = path
+        self.last_seq = after_seq
+        self.expect_backend = expect_backend
+        self._offset = 0
+
+    def poll(self):
+        """Return ``(new_records, gap)`` — see the class docstring."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            # Not written yet is an empty stream; vanished after we read
+            # from it means the log we were following is gone.
+            return [], self._offset > 0
+        if size < self._offset:
+            # Compacted beneath us: rescan from the head.  The compaction
+            # marker decides below whether we only skip already-applied
+            # records (caught up: no gap) or must re-bootstrap (lagging).
+            self._offset = 0
+        if size == self._offset:
+            return [], False
+        with open(self.path, "rb") as f:
+            f.seek(self._offset)
+            data = f.read(size - self._offset)
+        end = data.rfind(b"\n")
+        if end < 0:
+            return [], False  # only a torn tail so far; poll again later
+        complete = data[:end + 1]
+        records = []
+        consumed = 0
+        for raw in complete.splitlines(keepends=True):
+            try:
+                payload = json.loads(raw)
+                seq = payload["seq"]
+                check_record_backend(
+                    payload, self.expect_backend,
+                    f"{self.path} (tail offset {self._offset + consumed})",
+                )
+                encoded = payload["updates"]
+                updates = (
+                    [decode_update(rec) for rec in encoded]
+                    if seq > self.last_seq else []
+                )
+            except CheckpointMismatchError:
+                raise
+            except (ValueError, KeyError, TypeError, ServeError):
+                # A parse failure mid-stream means our offset no longer
+                # points at a record boundary (truncation raced regrowth
+                # past our position) — resynchronize via re-bootstrap.
+                return records, True
+            if seq > self.last_seq and not encoded:
+                # A compaction marker past our position: the real records
+                # up to ``seq`` exist only in the checkpoint now.  Never
+                # apply it — even at seq == last + 1 it stands in for a
+                # batch whose updates were truncated away.
+                return records, True
+            consumed += len(raw)
+            if seq <= self.last_seq:
+                continue  # already covered by the bootstrap checkpoint
+            if seq != self.last_seq + 1:
+                return records, True  # records were compacted away
+            records.append((seq, updates))
+            self.last_seq = seq
+        self._offset += consumed
+        return records, False
+
+    @property
+    def position(self):
+        """Byte offset of the next unread record (monitoring only)."""
+        return self._offset
+
+    def __repr__(self):
+        return (
+            f"WalTailer(path={self.path!r}, last_seq={self.last_seq}, "
+            f"offset={self._offset})"
+        )

@@ -78,6 +78,25 @@ class TestCompare:
         assert metrics["core.read_qps"] == (1000, "higher")
         assert metrics["core.read_latency_p99_ms"] == (0.5, "lower")
 
+    def test_cluster_extractor_directions(self):
+        extractor = METRIC_EXTRACTORS["cluster"]
+        metrics = extractor({
+            "core": {
+                "read_qps": 2000,
+                "read_latency_ms": {"p99": 0.4},
+                "fault_injection": {"catch_up_ms": 12.5, "converged": True},
+            },
+            "sd": {
+                "read_qps": 1500,
+                "read_latency_ms": {"p99": 0.3},
+                "fault_injection": {},  # fault injection disabled
+            },
+        })
+        assert metrics["core.read_qps"] == (2000, "higher")
+        assert metrics["core.read_latency_p99_ms"] == (0.4, "lower")
+        assert metrics["core.catch_up_ms"] == (12.5, "lower")
+        assert "sd.catch_up_ms" not in metrics
+
     def test_higher_is_better_regression(self, tmp_path):
         baseline = ExperimentResult(name="serve", description="test")
         baseline.extra = {
@@ -124,3 +143,8 @@ class TestCLI:
         from repro.bench.runner import EXPERIMENTS
 
         assert "serve" in EXPERIMENTS
+
+    def test_cluster_experiment_registered(self):
+        from repro.bench.runner import EXPERIMENTS
+
+        assert "cluster" in EXPERIMENTS

@@ -231,6 +231,60 @@ class TestApplyBatch:
         assert len(stats) == 2 and cancelled == 0
 
 
+class TestApplyLoggedBatches:
+    """The replica-side replay path: WAL records applied verbatim under
+    one batch bracket."""
+
+    def test_replays_records_in_order_and_returns_last_seq(self):
+        engine = repro.open(path_graph(5))
+        reference = repro.open(path_graph(5))
+        records = [
+            (3, [InsertEdge(0, 2), InsertEdge(0, 3)]),
+            (4, [DeleteEdge(0, 2)]),
+            (5, [InsertEdge(1, 4)]),
+        ]
+        assert engine.apply_logged_batches(records) == 5
+        for _, updates in records:
+            reference.apply_stream(updates)
+        for s in range(5):
+            for t in range(5):
+                assert engine.query(s, t) == reference.query(s, t)
+
+    def test_empty_stream_returns_none(self):
+        engine = repro.open(path_graph(3))
+        assert engine.apply_logged_batches([]) is None
+        assert engine.apply_logged_batches([(7, [])]) == 7
+
+    def test_single_batch_bracket_across_records(self):
+        calls = []
+        engine = repro.open(path_graph(4))
+        backend = engine.backend
+        orig_begin, orig_end = backend.begin_update_batch, backend.end_update_batch
+        backend.begin_update_batch = lambda: calls.append("begin")
+        backend.end_update_batch = lambda: calls.append("end")
+        try:
+            engine.apply_logged_batches(
+                [(1, [InsertEdge(0, 2)]), (2, [InsertEdge(0, 3)])]
+            )
+        finally:
+            backend.begin_update_batch = orig_begin
+            backend.end_update_batch = orig_end
+        assert calls == ["begin", "end"]
+
+    def test_bracket_closes_on_failure(self):
+        calls = []
+        engine = repro.open(path_graph(4))
+        backend = engine.backend
+        orig_end = backend.end_update_batch
+        backend.end_update_batch = lambda: calls.append("end")
+        try:
+            with pytest.raises(Exception):
+                engine.apply_logged_batches([(1, [object()])])
+        finally:
+            backend.end_update_batch = orig_end
+        assert calls == ["end"]
+
+
 class TestUniformStatsAndPolicies:
     """The directed-parity satellite: stats history, rebuild policies and
     drift checks now behave identically on every backend."""

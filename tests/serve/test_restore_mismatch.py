@@ -1,0 +1,137 @@
+"""Regression: restore fails loudly and early on checkpoint/WAL mismatch.
+
+Before the guard, restoring a durability directory whose checkpoint and
+WAL came from different backend families surfaced as whatever the replay
+happened to trip over — an ``EngineError`` about weights, a bare
+``KeyError``, or (directed checkpoint + undirected WAL) *no error at
+all*, silently diverging state.  Restore now refuses with
+:class:`~repro.exceptions.CheckpointMismatchError` before applying
+anything: WAL records are stamped with the family that wrote them, and
+unstamped foreign logs are wrapped at replay time.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.engine import EngineConfig, SPCEngine
+from repro.exceptions import CheckpointMismatchError, ServeError
+from repro.graph.generators import erdos_renyi, random_directed, random_weighted
+from repro.serve import (
+    SNAPSHOT_FILENAME,
+    WAL_FILENAME,
+    SPCService,
+    load_checkpoint,
+    restore,
+)
+from repro.workloads import random_insertions
+
+_MAKERS = {
+    "core": erdos_renyi,
+    "sd": erdos_renyi,
+    "directed": random_directed,
+    "weighted": random_weighted,
+}
+
+
+def _populated_dir(tmp_path, backend, updates=4):
+    d = str(tmp_path / backend)
+    graph = _MAKERS[backend](30, 60, seed=5)
+    engine = SPCEngine(graph, config=EngineConfig(backend=backend))
+    service = SPCService(engine, durability_dir=d)
+    service.submit_many(random_insertions(engine.graph, updates, seed=1))
+    service.flush()
+    service.close()
+    return d
+
+
+@pytest.mark.parametrize(
+    "ckpt_backend,wal_backend",
+    [
+        ("weighted", "core"),
+        ("core", "weighted"),
+        ("directed", "core"),   # silently diverged before the guard
+        ("core", "directed"),
+        ("weighted", "directed"),
+    ],
+)
+def test_mixed_family_restore_refused(tmp_path, ckpt_backend, wal_backend):
+    ckpt_dir = _populated_dir(tmp_path, ckpt_backend)
+    wal_dir = _populated_dir(tmp_path, wal_backend)
+    # simulate the operator mix-up: a foreign checkpoint lands in a
+    # directory whose WAL belongs to another service
+    shutil.copy(
+        os.path.join(ckpt_dir, SNAPSHOT_FILENAME),
+        os.path.join(wal_dir, SNAPSHOT_FILENAME),
+    )
+    with pytest.raises(CheckpointMismatchError, match="backend|replay"):
+        restore(wal_dir).close()
+
+
+def test_unstamped_foreign_wal_still_refused(tmp_path):
+    # Logs written before backend stamping existed carry no family field;
+    # the replay-time wrapper must still name the mismatch clearly.
+    core_dir = _populated_dir(tmp_path, "core")
+    weighted_dir = _populated_dir(tmp_path, "weighted")
+    wal_path = os.path.join(core_dir, WAL_FILENAME)
+    with open(wal_path) as f:
+        records = [json.loads(line) for line in f if line.strip()]
+    for record in records:
+        record.pop("backend", None)
+    with open(wal_path, "w") as f:
+        for record in records:
+            f.write(json.dumps(record) + "\n")
+    shutil.copy(
+        os.path.join(weighted_dir, SNAPSHOT_FILENAME),
+        os.path.join(core_dir, SNAPSHOT_FILENAME),
+    )
+    with pytest.raises(CheckpointMismatchError, match="does not replay"):
+        restore(core_dir).close()
+
+
+def test_sibling_families_share_update_shapes(tmp_path):
+    # core and sd run over the same Graph type and the same update
+    # shapes; a core WAL under an sd checkpoint replays cleanly when the
+    # record stamps agree with reality, so only a *stamped* mismatch
+    # should refuse.  (This pins the guard to real mismatches.)
+    core_dir = _populated_dir(tmp_path, "core")
+    sd_dir = _populated_dir(tmp_path, "sd")
+    shutil.copy(
+        os.path.join(sd_dir, SNAPSHOT_FILENAME),
+        os.path.join(core_dir, SNAPSHOT_FILENAME),
+    )
+    with pytest.raises(CheckpointMismatchError, match="'core'"):
+        restore(core_dir).close()
+
+
+def test_tampered_index_payload_refused(tmp_path):
+    # A checkpoint whose declared backend does not match its own index
+    # payload (hand-edited or mixed up) used to die with a bare KeyError
+    # deep in from_dict.
+    core_dir = _populated_dir(tmp_path, "core")
+    directed_dir = _populated_dir(tmp_path, "directed")
+    core_payload = load_checkpoint(os.path.join(core_dir, SNAPSHOT_FILENAME))
+    directed_payload = load_checkpoint(
+        os.path.join(directed_dir, SNAPSHOT_FILENAME)
+    )
+    core_payload["index"] = directed_payload["index"]
+    with open(os.path.join(core_dir, SNAPSHOT_FILENAME), "w") as f:
+        json.dump(core_payload, f)
+    with pytest.raises(CheckpointMismatchError, match="index payload"):
+        restore(core_dir)
+
+
+def test_mismatch_error_is_a_serve_error(tmp_path):
+    # callers catching the serving layer's exception family keep working
+    assert issubclass(CheckpointMismatchError, ServeError)
+
+
+def test_matching_pair_still_restores(tmp_path):
+    d = _populated_dir(tmp_path, "weighted")
+    restored = restore(d)
+    try:
+        assert restored.applied_seq >= 1
+    finally:
+        restored.close()

@@ -1,11 +1,12 @@
-"""WAL encoding, replay semantics, and crash tolerance."""
+"""WAL encoding, replay semantics, crash tolerance, and tailing."""
 
 import json
 
 import pytest
 
-from repro.exceptions import ServeError
+from repro.exceptions import CheckpointMismatchError, ServeError
 from repro.serve.wal import (
+    WalTailer,
     WriteAheadLog,
     decode_update,
     encode_update,
@@ -173,3 +174,180 @@ class TestLog:
         log.append(1, [SetWeight(0, 1, 4)])
         log.close()
         assert list(read_wal(path)) == [(1, [SetWeight(0, 1, 4)])]
+
+    def test_size_tracks_appends_and_truncate(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path)
+        assert log.size == 0
+        log.append(1, [InsertEdge(0, 1)])
+        assert log.size == os.path.getsize(path) > 0
+        log.truncate()
+        assert log.size == 0
+        log.close()
+
+
+class TestBackendStamping:
+    def test_stamped_records_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path, backend="core")
+        log.append(1, [InsertEdge(0, 1)])
+        log.close()
+        with open(path) as f:
+            assert json.loads(f.readline())["backend"] == "core"
+        assert list(read_wal(path, expect_backend="core")) == [
+            (1, [InsertEdge(0, 1)])
+        ]
+
+    def test_foreign_stamp_refused(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path, backend="weighted")
+        log.append(1, [InsertEdge(0, 1, weight=2)])
+        log.close()
+        with pytest.raises(CheckpointMismatchError, match="weighted"):
+            list(read_wal(path, expect_backend="core"))
+
+    def test_unstamped_records_accepted_by_any_expectation(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path)  # legacy: no backend stamp
+        log.append(1, [InsertEdge(0, 1)])
+        log.close()
+        assert [s for s, _ in read_wal(path, expect_backend="core")] == [1]
+
+
+class TestTailer:
+    def test_incremental_polls_see_only_new_records(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        tailer = WalTailer(path)
+        assert tailer.poll() == ([], False)  # not written yet
+        log = WriteAheadLog(path)
+        log.append(1, [InsertEdge(0, 1)])
+        assert tailer.poll() == ([(1, [InsertEdge(0, 1)])], False)
+        assert tailer.poll() == ([], False)
+        log.append(2, [DeleteEdge(0, 1)])
+        log.append(3, [InsertEdge(2, 3)])
+        records, gap = tailer.poll()
+        assert not gap
+        assert [seq for seq, _ in records] == [2, 3]
+        log.close()
+
+    def test_after_seq_skips_checkpointed_prefix(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path)
+        for seq in (1, 2, 3):
+            log.append(seq, [InsertEdge(seq, seq + 10)])
+        log.close()
+        tailer = WalTailer(path, after_seq=2)
+        records, gap = tailer.poll()
+        assert not gap
+        assert [seq for seq, _ in records] == [3]
+
+    def test_torn_tail_not_consumed_until_complete(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path)
+        log.append(1, [InsertEdge(0, 1)])
+        tailer = WalTailer(path)
+        assert [s for (s, _) in tailer.poll()[0]] == [1]
+        with open(path, "a") as f:
+            f.write('{"seq": 2, "updates": [["ie", 5')  # mid-append
+        assert tailer.poll() == ([], False)
+        with open(path, "a") as f:
+            f.write(', 6, null]]}\n')  # the append completes
+        records, gap = tailer.poll()
+        assert not gap
+        assert records == [(2, [InsertEdge(5, 6)])]
+        log.close()
+
+    def test_caught_up_tailer_survives_truncation_without_gap(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path)
+        log.append(1, [InsertEdge(0, 1)])
+        log.append(2, [InsertEdge(2, 3)])
+        tailer = WalTailer(path)
+        tailer.poll()  # fully caught up at seq 2
+        log.truncate()  # the primary compacted beneath the tailer
+        log.append(2, [])  # ...and left the checkpoint marker
+        assert tailer.poll() == ([], False)  # marker skipped, no gap
+        log.append(3, [InsertEdge(4, 5)])
+        records, gap = tailer.poll()
+        assert not gap  # compaction cost a caught-up tailer nothing
+        assert [seq for seq, _ in records] == [3]
+        log.close()
+
+    def test_truncation_rebootstraps_a_lagging_tailer(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path)
+        log.append(1, [InsertEdge(0, 1)])
+        tailer = WalTailer(path)
+        tailer.poll()  # at seq 1
+        log.append(2, [InsertEdge(2, 3)])  # never polled
+        log.truncate()
+        log.append(2, [])  # marker: everything <= 2 is checkpoint-only now
+        log.close()
+        assert tailer.poll() == ([], True)
+
+    def test_compaction_marker_at_head_reports_a_gap(self, tmp_path):
+        # A lagging tailer (offset 0) reading a freshly compacted log must
+        # learn from the head marker that records were compacted away.
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path)
+        log.append(5, [])  # the truncation marker a checkpoint leaves
+        log.close()
+        tailer = WalTailer(path, after_seq=2)
+        records, gap = tailer.poll()
+        assert records == []
+        assert gap
+
+    def test_marker_at_next_seq_is_never_applied_as_a_record(self, tmp_path):
+        # Regression: a marker whose seq is exactly last + 1 stands in
+        # for a *truncated* batch; applying it as an empty record would
+        # silently skip that batch's updates and diverge the replica.
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path)
+        log.append(4, [])  # checkpoint at 4; tailer below sits at 3
+        log.append(5, [InsertEdge(0, 1)])
+        log.close()
+        tailer = WalTailer(path, after_seq=3)
+        records, gap = tailer.poll()
+        assert records == []
+        assert gap  # must re-bootstrap, not fake-apply seq 4
+
+    def test_caught_up_tailer_skips_the_marker(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path)
+        log.append(5, [])
+        log.append(6, [InsertEdge(0, 1)])
+        log.close()
+        tailer = WalTailer(path, after_seq=5)
+        records, gap = tailer.poll()
+        assert not gap
+        assert [seq for seq, _ in records] == [6]
+
+    def test_sequence_jump_reports_a_gap(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path)
+        log.append(1, [InsertEdge(0, 1)])
+        tailer = WalTailer(path)
+        tailer.poll()
+        log.append(4, [InsertEdge(2, 3)])  # 2 and 3 are gone
+        log.close()
+        records, gap = tailer.poll()
+        assert records == []
+        assert gap
+
+    def test_garbage_mid_stream_reports_a_gap(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with open(path, "w") as f:
+            f.write("glued fragment not json\n")
+        tailer = WalTailer(path)
+        assert tailer.poll() == ([], True)
+
+    def test_foreign_stamp_raises_not_gap(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        log = WriteAheadLog(path, backend="directed")
+        log.append(1, [InsertEdge(0, 1)])
+        log.close()
+        tailer = WalTailer(path, expect_backend="core")
+        with pytest.raises(CheckpointMismatchError, match="directed"):
+            tailer.poll()
