@@ -26,6 +26,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.engine` — the backend-agnostic serving engine (``repro.open``);
 * :mod:`repro.serve` — snapshot-isolated concurrent serving + WAL durability;
 * :mod:`repro.cluster` — WAL-replicated multi-replica serving + query router;
+* :mod:`repro.audit` — shadow-replica differential verification + perf
+  trajectory;
 * :mod:`repro.sd` — distance-only PLL (SD-Index) for comparison;
 * :mod:`repro.baselines` — BFS / BiBFS / reconstruction baselines;
 * :mod:`repro.workloads`, :mod:`repro.datasets` — experiment inputs;
@@ -54,6 +56,7 @@ from repro.engine import open_engine as open  # noqa: A001
 from repro.graph import DiGraph, Graph, WeightedGraph
 from repro import serve  # noqa: F401  (repro.serve.restore & friends)
 from repro import cluster  # noqa: F401  (repro.cluster.SPCCluster & friends)
+from repro import audit  # noqa: F401  (repro.audit.ShadowAuditor & friends)
 from repro.order import VertexOrder, degree_order, make_order
 from repro.traversal import bfs_counting_pair, bfs_counting_sssp, bibfs_counting
 from repro.verify import check_invariants, indexes_equivalent, verify_espc
@@ -67,6 +70,7 @@ __all__ = [
     "open",
     "serve",
     "cluster",
+    "audit",
     "SPCEngine",
     "EngineConfig",
     "SPCBackend",

@@ -1,0 +1,159 @@
+"""Corrupting wrappers — test-only fault injection for the audit stack.
+
+The serving layer's own fault harness kills processes and truncates logs;
+what it cannot produce is a *plausible wrong answer* — a replica that
+stays healthy, keeps its seq current, and quietly serves bad counts.
+That is exactly the failure differential verification exists to catch, so
+these wrappers simulate it at the two seams the serving layer exposes:
+
+* :func:`corrupt_snapshot_wrapper` — for a live fleet: installed via
+  :meth:`repro.cluster.Replica.set_snapshot_wrapper`, it proxies every
+  snapshot the replica publishes so served answers are corrupted while
+  the engine, WAL tail and checkpoints stay clean (the shadow baseline
+  must bootstrap from *honest* state, or the audit would be comparing one
+  lie to another).
+* :func:`tamper_backend` — for a single service: rebinds the engine
+  backend's ``snapshot_index`` hook so every *published* index copy is a
+  corrupting proxy, while ``index_to_dict`` (the checkpoint path) keeps
+  telling the truth.
+
+Corruption modes map one-to-one onto the comparator's severity classes:
+
+* ``"count"`` — finite-distance answers gain one phantom path
+  (``count-mismatch``); distance-only and unreachable answers are served
+  honestly, so a corrupted run reports *exactly one* divergence class.
+* ``"dist"``  — finite distances grow by one (``dist-mismatch``); the
+  mode that bites distance-only (sd) backends too.
+* ``"refusal"`` — finite-distance answers report zero paths, a
+  structurally impossible shape (``refusal``).
+"""
+
+from repro.exceptions import AuditDivergenceError
+
+INF = float("inf")
+
+#: corruption mode -> the comparator severity class it must trigger.
+MODES = ("count", "dist", "refusal")
+
+
+def corrupt_answer(answer, mode):
+    """Corrupt one (distance, count) answer under ``mode``.
+
+    Answers the mode cannot corrupt without changing its divergence class
+    (unreachable pairs; counts that do not exist) pass through honestly.
+    """
+    d, c = answer
+    if d == INF:
+        return answer
+    if mode == "count":
+        if c is None:
+            return answer
+        return d, c + 1
+    if mode == "dist":
+        return d + 1, c
+    if mode == "refusal":
+        if c is None:
+            return answer
+        return d, 0
+    raise AuditDivergenceError(
+        f"unknown corruption mode {mode!r}; choose from {MODES}"
+    )
+
+
+class CorruptingSnapshot:
+    """A snapshot proxy that lies on the read path only.
+
+    Wraps a published :class:`~repro.serve.SnapshotView`: ``query`` and
+    ``query_many`` corrupt their answers under the configured mode, while
+    every coordinate a router or reader inspects (``seq``, ``epoch``,
+    ``backend_name``, ``published_at``) passes through untouched — the
+    tampered replica looks perfectly healthy from the outside.
+    """
+
+    __slots__ = ("_inner", "_mode")
+
+    def __init__(self, inner, mode="count"):
+        if mode not in MODES:
+            raise AuditDivergenceError(
+                f"unknown corruption mode {mode!r}; choose from {MODES}"
+            )
+        self._inner = inner
+        self._mode = mode
+
+    def query(self, s, t):
+        return corrupt_answer(self._inner.query(s, t), self._mode)
+
+    def query_many(self, pairs):
+        return [
+            corrupt_answer(a, self._mode)
+            for a in self._inner.query_many(pairs)
+        ]
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __repr__(self):
+        return f"CorruptingSnapshot(mode={self._mode!r}, inner={self._inner!r})"
+
+
+def corrupt_snapshot_wrapper(mode="count"):
+    """A :meth:`~repro.cluster.Replica.set_snapshot_wrapper` argument that
+    proxies every published snapshot through :class:`CorruptingSnapshot`."""
+    if mode not in MODES:
+        raise AuditDivergenceError(
+            f"unknown corruption mode {mode!r}; choose from {MODES}"
+        )
+    return lambda snapshot: CorruptingSnapshot(snapshot, mode)
+
+
+class CorruptingIndex:
+    """An index proxy that corrupts ``query`` answers.
+
+    ``source_probe`` is pinned to ``None`` so the batch path
+    (:func:`repro.engine.batch_answers`) falls back to per-pair ``query``
+    — every answer then flows through the corruption, not just singleton
+    sources.  Everything else delegates, so serialization stays honest.
+    """
+
+    #: hide the shared-scan fast path; see the class docstring.
+    source_probe = None
+
+    def __init__(self, inner, mode="count"):
+        if mode not in MODES:
+            raise AuditDivergenceError(
+                f"unknown corruption mode {mode!r}; choose from {MODES}"
+            )
+        self._inner = inner
+        self._mode = mode
+
+    def query(self, s, t):
+        return corrupt_answer(self._inner.query(s, t), self._mode)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __repr__(self):
+        return f"CorruptingIndex(mode={self._mode!r}, inner={self._inner!r})"
+
+
+def tamper_backend(backend, mode="count"):
+    """Make ``backend`` publish corrupting index copies from now on.
+
+    Rebinding ``snapshot_index`` on the *instance* poisons every snapshot
+    the serving layer publishes next, while the checkpoint path
+    (``index_to_dict``) and the live index stay honest — the audited
+    service keeps passing its own invariant checks while serving wrong
+    answers, which is precisely the scenario the shadow auditor exists
+    for.  Returns the undo callable that restores the honest hook.
+    """
+    original = backend.snapshot_index
+
+    def corrupted_snapshot_index():
+        return CorruptingIndex(original(), mode)
+
+    backend.snapshot_index = corrupted_snapshot_index
+
+    def restore():
+        backend.snapshot_index = original
+
+    return restore

@@ -1,0 +1,366 @@
+"""Serve-and-audit load harness: a replicated fleet under live shadow audit.
+
+Drives routed read traffic and a cyclic update stream against an
+:class:`~repro.cluster.SPCCluster` — like :mod:`repro.cluster.loadgen` —
+but with the audit stack attached end to end: an
+:class:`~repro.audit.AuditSampler` tapped into the router, a
+:class:`~repro.audit.ShadowAuditor` tailing the primary's WAL, and an
+optional *kill-and-corrupt* fault script:
+
+* a third of the way in, replica-0 is killed mid-stream (the router
+  routes around it);
+* just before the midpoint, another replica's published snapshots are
+  wrapped in a corrupting proxy (:func:`repro.audit.faults
+  .corrupt_snapshot_wrapper`) — a byzantine replica that stays healthy
+  and current while serving wrong answers.
+
+With ``strict`` (the default) the run's contract is exact: a clean run
+must end with **zero** divergences, and a corrupted run must end with at
+least one divergence of **exactly** the severity class its corruption
+mode maps to — anything else raises
+:class:`~repro.exceptions.AuditDivergenceError`.  Timing numbers are
+recorded, never judged (the CI audit-smoke job trips on contract
+violations only).
+
+Wired into the benchmark CLI as ``repro-bench audit`` (results land in
+``bench_results/audit.json``); importable via :func:`run_audit_loadgen`.
+"""
+
+import random
+import shutil
+import tempfile
+import threading
+import time
+
+from repro.audit.comparator import (
+    COUNT_MISMATCH,
+    DIST_MISMATCH,
+    REFUSAL,
+    DivergenceReport,
+)
+from repro.audit.faults import corrupt_snapshot_wrapper
+from repro.audit.sampler import AuditSampler
+from repro.audit.shadow import ShadowAuditor
+from repro.cluster.cluster import ClusterConfig, SPCCluster
+from repro.engine import EngineConfig, SPCEngine
+from repro.exceptions import AuditDivergenceError, ClusterError, ServeError
+from repro.serve.loadgen import _percentile, make_workload
+from repro.serve.service import ServeConfig
+
+#: corruption mode -> the one severity class a strict run must report.
+EXPECTED_SEVERITY = {
+    "count": COUNT_MISMATCH,
+    "dist": DIST_MISMATCH,
+    "refusal": REFUSAL,
+}
+
+
+def _reader_loop(cluster, pairs, deadline, seed, record):
+    """Routed point + batch reads until the deadline (the sampler sees
+    every answer through the router's tap — no per-read bookkeeping)."""
+    rng = random.Random(seed)
+    latencies = []
+    problems = []
+    reads = 0
+    try:
+        while time.time() < deadline:
+            s, t = pairs[rng.randrange(len(pairs))]
+            start = time.perf_counter()
+            cluster.query_tagged(s, t)
+            latencies.append(time.perf_counter() - start)
+            reads += 1
+            if reads % 64 == 0:
+                batch = [pairs[rng.randrange(len(pairs))] for _ in range(8)]
+                cluster.router.query_many_tagged(batch)
+                reads += len(batch)
+    except Exception as exc:  # noqa: BLE001 — a dead reader fails the run
+        problems.append(f"reader thread crashed: {exc!r}")
+    record["reads"] = reads
+    record["latencies"] = latencies
+    record["problems"] = problems
+
+
+def _submitter_loop(cluster, cycle, deadline, batch_size, pause, record):
+    submitted = 0
+    i = 0
+    record["problems"] = problems = []
+    try:
+        while cycle and time.time() < deadline:
+            chunk = cycle[i:i + batch_size]
+            if not chunk:
+                i = 0
+                continue
+            cluster.submit_many(chunk)
+            submitted += len(chunk)
+            i = (i + len(chunk)) % len(cycle)
+            if pause:
+                time.sleep(pause)
+    except Exception as exc:  # noqa: BLE001 — surfaced as a run failure
+        problems.append(f"submitter thread crashed: {exc!r}")
+    record["submitted"] = submitted
+
+
+def _fault_controller(cluster, deadline, duration, kill, corrupt, record):
+    """Kill replica-0 at 0.3·T; tamper the last replica at 0.45·T.
+
+    Scheduling is absolute (against the run's start), not cumulative:
+    killing a replica joins its applier thread, which under full reader
+    load can take a sizable slice of a short run — relative sleeps would
+    silently push the corruption past the deadline and a strict corrupt
+    run would then fail with a misleading "undetected".  A corruption
+    that still misses its window is recorded as a run problem, never
+    skipped silently.
+    """
+    problems = []
+    events = {}
+    start = deadline - duration
+    try:
+        if kill:
+            time.sleep(max(0.0, start + duration * 0.3 - time.time()))
+            if time.time() < deadline:
+                cluster.kill_replica("replica-0")
+                events["killed"] = "replica-0"
+                events["killed_at_seq"] = cluster.primary.applied_seq
+        if corrupt:
+            time.sleep(max(0.0, start + duration * 0.45 - time.time()))
+            if time.time() < deadline:
+                names = cluster.router.replica_names()
+                victim = events.get("killed")
+                candidates = [nm for nm in names if nm != victim]
+                if not candidates:
+                    raise ClusterError(
+                        "corruption needs a live replica; run with "
+                        "replicas >= 2 when also killing one"
+                    )
+                target = candidates[-1]
+                cluster.replicas[target].set_snapshot_wrapper(
+                    corrupt_snapshot_wrapper(corrupt)
+                )
+                events["corrupted"] = target
+                events["corrupted_at_seq"] = cluster.primary.applied_seq
+            else:
+                problems.append(
+                    f"corruption ({corrupt}) missed its injection window: "
+                    f"the run ended before 0.45·T came around (raise "
+                    f"duration above {duration} s)"
+                )
+    except Exception as exc:  # noqa: BLE001 — a failed injection is a failure
+        problems.append(f"fault controller crashed: {exc!r}")
+    record["events"] = events
+    record["problems"] = problems
+
+
+def run_audit_loadgen(backend="core", replicas=2, readers=3, duration=1.2,
+                      n=240, m=720, churn=30, batch_size=6, pause=0.001,
+                      seed=0, policy="bounded_staleness", staleness_delta=16,
+                      publish_every=8, max_staleness=0.01,
+                      sample_rate=0.2, reservoir=512, history=1024,
+                      corrupt=None, kill=True, drain_timeout=30.0,
+                      state_dir=None, strict=True):
+    """Run one audited, fault-injected cluster load; returns a report dict.
+
+    ``corrupt`` is ``None`` (clean run) or a :data:`~repro.audit.faults
+    .MODES` name; ``kill`` adds the mid-run replica kill.  See the module
+    docstring for the strict-mode contract.
+    """
+    if corrupt is not None and corrupt not in EXPECTED_SEVERITY:
+        raise AuditDivergenceError(
+            f"unknown corruption mode {corrupt!r}; "
+            f"choose from {sorted(EXPECTED_SEVERITY)}"
+        )
+    graph, cycle, pairs = make_workload(backend, n, m, seed=seed, churn=churn)
+    engine = SPCEngine(graph, config=EngineConfig(backend=backend))
+    own_dir = state_dir is None
+    state_dir = state_dir or tempfile.mkdtemp(prefix="repro-audit-")
+    serve_config = ServeConfig(
+        publish_every=publish_every,
+        max_staleness=max_staleness,
+        queue_capacity=4096,
+        durability_dir=state_dir,
+    )
+    cluster_config = ClusterConfig(
+        replicas=replicas,
+        policy=policy,
+        staleness_delta=staleness_delta,
+    )
+    cluster = None
+    auditor = None
+    detection = {}
+    try:
+        cluster = SPCCluster(
+            engine, state_dir, config=cluster_config,
+            serve_config=serve_config, overwrite=True,
+        )
+        sampler = AuditSampler(
+            rate=sample_rate, capacity=reservoir, seed=seed + 5
+        )
+        cluster.router.set_answer_tap(sampler)
+
+        def on_divergence(divergence):
+            # Record *when* the tripwire fired, relative to the run —
+            # the detection-latency number the report exposes.
+            detection.setdefault("first_divergence_at", time.time())
+            detection.setdefault("first_divergence_seq", divergence.seq)
+            detection.setdefault("first_divergence_severity",
+                                 divergence.severity)
+
+        auditor = ShadowAuditor(
+            sampler, state_dir,
+            report=DivergenceReport(sink=on_divergence),
+            history=history,
+        )
+    except BaseException:
+        if auditor is not None:
+            try:
+                auditor.close()
+            except ServeError:
+                pass
+        if cluster is not None:
+            try:
+                cluster.close()
+            except ClusterError:
+                pass
+        if own_dir:
+            shutil.rmtree(state_dir, ignore_errors=True)
+        raise
+
+    run_started = time.time()
+    deadline = run_started + duration
+    reader_records = [{} for _ in range(readers)]
+    threads = [
+        threading.Thread(
+            target=_reader_loop,
+            args=(cluster, pairs, deadline, seed + 30 + i, reader_records[i]),
+            name=f"audit-reader-{i}",
+        )
+        for i in range(readers)
+    ]
+    submit_record = {}
+    threads.append(threading.Thread(
+        target=_submitter_loop,
+        args=(cluster, cycle, deadline, batch_size, pause, submit_record),
+        name="audit-submitter",
+    ))
+    fault_record = {"events": {}, "problems": []}
+    if kill or corrupt:
+        threads.append(threading.Thread(
+            target=_fault_controller,
+            args=(cluster, deadline, duration, kill, corrupt, fault_record),
+            name="audit-fault-controller",
+        ))
+
+    problems = []
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        run_ended = time.time()
+        cluster.sync(timeout=30.0)
+        if not auditor.drain(timeout=drain_timeout):
+            problems.append(
+                f"auditor failed to drain within {drain_timeout} s "
+                f"(pending {auditor.stats()['pending']})"
+            )
+        elapsed = run_ended - run_started
+        sampler_stats = sampler.stats()
+        auditor_stats = auditor.stats()
+        try:
+            auditor.close()
+        except ServeError as exc:
+            problems.append(f"auditor died: {exc}")
+    except BaseException:
+        try:
+            auditor.close()
+        except ServeError:
+            pass
+        try:
+            cluster.close()
+        except ClusterError:
+            pass
+        if own_dir:
+            shutil.rmtree(state_dir, ignore_errors=True)
+        raise
+    try:
+        cluster.close()
+    except ClusterError as exc:
+        problems.append(f"shutdown failure: {exc}")
+    if own_dir:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+    for rec in reader_records:
+        problems.extend(rec.get("problems", []))
+    problems.extend(submit_record.get("problems", []))
+    problems.extend(fault_record.get("problems", []))
+
+    report = auditor.report
+    severities = report.severities_seen()
+    expected = EXPECTED_SEVERITY.get(corrupt)
+    if "first_divergence_at" in detection:
+        detection["detected_during_run"] = (
+            detection["first_divergence_at"] <= run_ended
+        )
+        detection["detection_after_s"] = round(
+            detection.pop("first_divergence_at") - run_started, 3
+        )
+    if strict:
+        if auditor_stats["audited"] == 0:
+            problems.append(
+                "auditor audited zero samples — the run proves nothing "
+                "(raise duration, sample_rate or reservoir)"
+            )
+        if corrupt is None and report.total:
+            problems.append(
+                f"clean run reported {report.total} divergence(s): "
+                f"{report.divergences[0].describe()}"
+            )
+        if corrupt is not None:
+            if not report.total:
+                problems.append(
+                    f"corrupted run ({corrupt}) went undetected across "
+                    f"{auditor_stats['audited']} audited answers"
+                )
+            elif severities != [expected]:
+                problems.append(
+                    f"corrupted run ({corrupt}) expected exactly the "
+                    f"{expected!r} class, got {severities}"
+                )
+
+    latencies = sorted(
+        lat for rec in reader_records for lat in rec.get("latencies", [])
+    )
+    reads = sum(rec.get("reads", 0) for rec in reader_records)
+    result = {
+        "backend": backend,
+        "replicas": replicas,
+        "readers": readers,
+        "policy": policy,
+        "duration_s": round(elapsed, 3),
+        "graph": {"n": n, "m": m},
+        "reads": reads,
+        "read_qps": round(reads / elapsed) if elapsed else 0,
+        "read_latency_ms": {
+            "p50": round(_percentile(latencies, 50) * 1e3, 4),
+            "p99": round(_percentile(latencies, 99) * 1e3, 4),
+        },
+        "updates_submitted": submit_record.get("submitted", 0),
+        "sample_rate": sample_rate,
+        "sampler": sampler_stats,
+        "auditor": auditor_stats,
+        "corrupt_mode": corrupt,
+        "expected_severity": expected,
+        "severities_seen": severities,
+        "detection": detection,
+        "fault_injection": fault_record["events"],
+        "audit_problems": problems,
+    }
+    if strict and problems:
+        preview = "; ".join(str(p) for p in problems[:5])
+        first = report.divergences[0] if report.divergences else None
+        raise AuditDivergenceError(
+            f"audit loadgen observed {len(problems)} problem(s) "
+            f"({backend} backend): {preview}",
+            seq=first.seq if first else None,
+            divergences=report.divergences,
+        )
+    return result

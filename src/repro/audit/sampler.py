@@ -1,0 +1,171 @@
+"""AuditSampler: a bounded-overhead tap on live serving traffic.
+
+The sampler *is* the answer-tap callable — install it directly::
+
+    sampler = AuditSampler(rate=0.1, capacity=256, seed=0)
+    service.set_answer_tap(sampler)        # or router.set_answer_tap
+
+Every served ``((s, t), answer)`` passes a cheap probability gate first
+(a geometric skip counter: the gap to the next admitted answer is drawn
+once per *admitted* sample, so the fast path the read threads pay for is
+one integer compare-and-subtract — no RNG draw, no lock), then enters a
+classic reservoir: the first ``capacity`` admitted samples fill the
+buffer, after which each admitted sample replaces a uniformly random
+slot with probability ``capacity / admitted`` — so the reservoir is
+always a uniform sample of everything admitted since the last
+:meth:`take`, and memory stays bounded no matter how hot the read path
+runs.  The auditor thread periodically :meth:`take`\\ s the buffer, which
+swaps it for an empty one under the lock.
+"""
+
+import math
+import random
+import threading
+from typing import NamedTuple
+
+
+class AuditSample(NamedTuple):
+    """One sampled (query, answer, consistency-point) triple.
+
+    A NamedTuple rather than a dataclass: samples are constructed on the
+    read threads' hot path, and tuple construction is several times
+    cheaper than a frozen dataclass ``__init__``.
+    """
+
+    s: object
+    t: object
+    answer: object
+    seq: int
+    target: str
+    epoch: int
+
+
+class AuditSampler:
+    """Reservoir-sample served answers at a configurable rate.
+
+    Parameters
+    ----------
+    rate:
+        Probability that any one served answer enters the reservoir
+        (``1.0`` admits everything; ``0.0`` disables sampling but keeps
+        the seen-counter running).
+    capacity:
+        Reservoir size — the hard memory bound between two takes.
+    seed:
+        Seeds the gate/eviction RNG, so a seeded run samples the same
+        traffic positions every time.
+    """
+
+    __slots__ = (
+        "rate", "capacity", "_rng", "_lock", "_buffer", "_admitted",
+        "seen", "sampled", "evicted", "taken", "_log_q", "_skip",
+    )
+
+    def __init__(self, rate=0.1, capacity=256, seed=0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be within [0, 1], got {rate!r}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.rate = rate
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._buffer = []
+        self._admitted = 0   # since the last take
+        self.seen = 0        # answers observed, lifetime
+        self.sampled = 0     # answers admitted past the gate, lifetime
+        self.evicted = 0     # reservoir replacements + overflow drops
+        self.taken = 0       # samples handed to the auditor
+        # ln(1 - rate): the geometric-gap base (None at the boundary
+        # rates, which never draw).
+        self._log_q = math.log1p(-rate) if 0.0 < rate < 1.0 else None
+        # Answers still to pass over before the next admitted one; -1
+        # permanently disables the gate (rate 0).
+        self._skip = self._draw_gap() if rate else -1
+
+    def _draw_gap(self):
+        """How many answers to skip before the next admitted one.
+
+        Bernoulli(rate) per answer is equivalent to skipping a
+        Geometric(rate)-distributed gap between admitted answers — one
+        RNG draw per *sample* instead of per answer, which is what keeps
+        the tap's fast path down to an integer compare-and-subtract.
+        """
+        if self._log_q is None:
+            return 0  # rate 1.0: admit every answer
+        return int(math.log(1.0 - self._rng.random()) / self._log_q)
+
+    def __call__(self, answered, seq, target, epoch):
+        """The answer-tap hook (see ``SPCService.set_answer_tap``).
+
+        The skip-counter gate runs *before* the lock, so the read
+        threads almost never contend and almost never draw RNG; the
+        counters (and the skip counter itself) are GIL-approximate under
+        concurrent readers, like every monitoring counter in the serving
+        layer — a lost update shifts *which* answers are sampled, never
+        correctness.
+        """
+        n = len(answered)
+        self.seen += n
+        skip = self._skip
+        if skip >= n:
+            self._skip = skip - n
+            return
+        if skip < 0:
+            return  # sampling disabled (rate 0)
+        # Raw (item, seq, target, epoch) tuples, not AuditSamples: the
+        # NamedTuple is built lazily in take(), on the auditor's thread.
+        admitted = []
+        while skip < n:
+            admitted.append((answered[skip], seq, target, epoch))
+            skip += 1 + self._draw_gap()
+        self._skip = skip - n
+        rng = self._rng
+        with self._lock:
+            for sample in admitted:
+                self.sampled += 1
+                self._admitted += 1
+                if len(self._buffer) < self.capacity:
+                    self._buffer.append(sample)
+                else:
+                    slot = rng.randrange(self._admitted)
+                    self.evicted += 1
+                    if slot < self.capacity:
+                        self._buffer[slot] = sample
+
+    def take(self):
+        """Swap the reservoir out; returns the accumulated samples."""
+        with self._lock:
+            batch = self._buffer
+            self._buffer = []
+            self._admitted = 0
+        self.taken += len(batch)
+        return [
+            AuditSample(pair[0], pair[1], answer, seq, target, epoch)
+            for (pair, answer), seq, target, epoch in batch
+        ]
+
+    def pending(self):
+        """How many samples currently sit in the reservoir."""
+        with self._lock:
+            return len(self._buffer)
+
+    def stats(self):
+        """JSON-safe counters (monitoring only)."""
+        with self._lock:
+            buffered = len(self._buffer)
+        return {
+            "rate": self.rate,
+            "capacity": self.capacity,
+            "seen": self.seen,
+            "sampled": self.sampled,
+            "evicted": self.evicted,
+            "taken": self.taken,
+            "buffered": buffered,
+        }
+
+    def __repr__(self):
+        return (
+            f"AuditSampler(rate={self.rate}, capacity={self.capacity}, "
+            f"seen={self.seen}, sampled={self.sampled})"
+        )

@@ -1,0 +1,279 @@
+"""ShadowAuditor: the trusted-baseline thread behind differential audits.
+
+The auditor owns a :class:`~repro.audit.replay.GraphReplayer` bootstrapped
+from the audited service's checkpoint and kept current by tailing its WAL
+— exactly like a :class:`~repro.cluster.Replica`, except it maintains no
+label index at all: every audited answer is recomputed by direct traversal
+(:func:`repro.engine.baseline_answer`), so the baseline cannot share a
+maintenance bug with the index under test.
+
+The loop: poll the WAL tail and advance the replayer; :meth:`~repro.audit.
+AuditSampler.take` the reservoir; replay each sampled ``(query, answer,
+seq)`` triple at exactly its claimed sequence number (the rewind window
+makes recent seqs reachable even after the stream moved on); classify any
+disagreement through the shared comparator and file it in the
+:class:`~repro.audit.DivergenceReport`.  Samples ahead of the stream wait
+in a heap until the WAL catches up; samples older than the rewind window
+are counted ``skipped_stale`` — an audit coverage gap, never a divergence.
+
+A replication-stream gap (the primary compacted its WAL) re-bootstraps
+from the fresh checkpoint, like a replica; pending samples that fell
+below the new base are skipped.
+"""
+
+import heapq
+import os
+import threading
+import time
+
+from repro.audit.comparator import Divergence, DivergenceReport, classify_divergence
+from repro.audit.replay import GraphReplayer
+from repro.engine import baseline_answer, get_backend
+from repro.exceptions import ServeError
+from repro.serve.persist import graph_from_payload, load_checkpoint
+from repro.serve.service import SNAPSHOT_FILENAME, WAL_FILENAME
+from repro.serve.wal import WalTailer
+
+
+class ShadowAuditor:
+    """Differentially verify sampled answers against a traversal baseline.
+
+    Parameters
+    ----------
+    sampler:
+        The :class:`~repro.audit.AuditSampler` installed as the audited
+        service/router's answer tap; the auditor drains it.
+    state_dir:
+        The audited primary's ``durability_dir`` (checkpoint + WAL).
+    report:
+        A :class:`~repro.audit.DivergenceReport`; defaults to a silent
+        collecting one.  A ``"raise"`` sink makes the auditor fail fast:
+        the first divergence kills the thread and :meth:`close` re-raises.
+    poll_interval:
+        Seconds the loop sleeps when fully idle.
+    history:
+        Rewind-window depth of the underlying replayer.
+    """
+
+    #: consecutive no-progress re-bootstraps before the auditor gives up
+    #: (same contract as Replica.MAX_STALLED_BOOTSTRAPS).
+    MAX_STALLED_BOOTSTRAPS = 3
+
+    def __init__(self, sampler, state_dir, report=None, poll_interval=0.005,
+                 history=256):
+        self.sampler = sampler
+        self.report = report if report is not None else DivergenceReport()
+        self._dir = state_dir
+        self._poll_interval = poll_interval
+        self._history = history
+        self._pending = []   # heap of (seq, tiebreak, sample)
+        self._tiebreak = 0
+        self._fatal = None
+        self._alive = True
+        self._idle_ticks = 0
+        self.audited = 0
+        self.skipped_stale = 0
+        self.batches_applied = 0
+        self.bootstraps = 0
+        self._stop = threading.Event()
+        self._bootstrap()  # fails loudly on a bad checkpoint
+        self._thread = threading.Thread(
+            target=self._audit_loop, name="spc-shadow-auditor", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def healthy(self):
+        """True while the audit thread runs without a fatal error."""
+        return self._alive and self._fatal is None
+
+    @property
+    def fatal(self):
+        """The exception that killed the audit thread, or ``None``."""
+        return self._fatal
+
+    @property
+    def seq(self):
+        """The WAL sequence number the shadow graph currently reflects."""
+        return self._replayer.seq
+
+    def stats(self):
+        """JSON-safe counters plus the divergence summary."""
+        return {
+            "backend": self._backend_name,
+            "seq": self._replayer.seq,
+            "audited": self.audited,
+            "skipped_stale": self.skipped_stale,
+            "pending": len(self._pending),
+            "batches_applied": self.batches_applied,
+            "bootstraps": self.bootstraps,
+            "healthy": self.healthy,
+            "divergences": self.report.summary(),
+        }
+
+    def drain(self, timeout=15.0):
+        """Block until every sample taken so far has been audited.
+
+        Quiescence = the sampler's reservoir is empty, no sample waits in
+        the pending heap, and the loop has observed two consecutive fully
+        idle ticks (so the WAL tail is consumed too).  Call after the
+        audited workload stopped submitting.  Returns True on quiescence,
+        False on timeout; raises if the audit thread died.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not self.healthy:
+                self._raise_fatal()
+            if (
+                self._idle_ticks >= 2
+                and not self._pending
+                and self.sampler.pending() == 0
+            ):
+                return True
+            time.sleep(self._poll_interval)
+        return False
+
+    def close(self):
+        """Stop the audit thread; re-raises a fatal error if it died."""
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+        self._alive = False
+        if self._fatal is not None:
+            self._raise_fatal()
+
+    def _raise_fatal(self):
+        if isinstance(self._fatal, ServeError):
+            raise self._fatal
+        raise ServeError(
+            f"shadow auditor died: {self._fatal!r}"
+        ) from self._fatal
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"ShadowAuditor(backend={self._backend_name!r}, "
+            f"seq={self._replayer.seq}, audited={self.audited}, "
+            f"divergences={self.report.total}, healthy={self.healthy})"
+        )
+
+    # ------------------------------------------------------------------
+    # Audit thread
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self):
+        """(Re)build the shadow graph from the primary's checkpoint."""
+        payload = load_checkpoint(os.path.join(self._dir, SNAPSHOT_FILENAME))
+        backend_cls = get_backend(payload["backend"])
+        self._backend_name = backend_cls.name
+        self._directed = backend_cls.directed
+        self._weighted = backend_cls.weighted
+        self._counts = backend_cls.counts
+        graph = graph_from_payload(payload["graph"], backend_cls.graph_type)
+        base_seq = payload.get("applied_seq", 0)
+        self._replayer = GraphReplayer(graph, base_seq, history=self._history)
+        self._tailer = WalTailer(
+            os.path.join(self._dir, WAL_FILENAME),
+            after_seq=base_seq,
+            expect_backend=payload["backend"],
+        )
+        self.bootstraps += 1
+        # Pending samples below the fresh base are no longer reachable.
+        kept = [p for p in self._pending if p[0] >= base_seq]
+        self.skipped_stale += len(self._pending) - len(kept)
+        heapq.heapify(kept)
+        self._pending = kept
+
+    def _audit_loop(self):
+        stalled = 0
+        try:
+            while not self._stop.is_set():
+                progressed = False
+                records, gap = self._tailer.poll()
+                for seq, updates in records:
+                    self._replayer.apply_batch(seq, updates)
+                    self.batches_applied += 1
+                    progressed = True
+                if gap:
+                    before = self._replayer.seq
+                    self._bootstrap()
+                    if records or self._replayer.seq > before:
+                        stalled = 0
+                    else:
+                        stalled += 1
+                        if stalled >= self.MAX_STALLED_BOOTSTRAPS:
+                            raise ServeError(
+                                f"shadow auditor cannot advance past a "
+                                f"stream gap at seq {self._replayer.seq}: "
+                                f"{stalled} consecutive re-bootstraps made "
+                                f"no progress"
+                            )
+                        self._stop.wait(self._poll_interval)
+                        continue
+                else:
+                    stalled = 0
+                for sample in self.sampler.take():
+                    self._enqueue(sample)
+                    progressed = True
+                progressed |= self._process_pending()
+                if progressed:
+                    self._idle_ticks = 0
+                else:
+                    self._idle_ticks += 1
+                    self._stop.wait(self._poll_interval)
+        except BaseException as exc:  # noqa: BLE001 — surfaced via healthy/fatal
+            self._fatal = exc
+        finally:
+            self._alive = False
+
+    def _enqueue(self, sample):
+        self._tiebreak += 1
+        heapq.heappush(self._pending, (sample.seq, self._tiebreak, sample))
+
+    def _process_pending(self):
+        """Audit every pending sample the stream has reached; True if any."""
+        audited_any = False
+        while self._pending and self._pending[0][0] <= self._replayer.seq:
+            _, _, sample = heapq.heappop(self._pending)
+            self._audit_one(sample)
+            audited_any = True
+        return audited_any
+
+    def _audit_one(self, sample):
+        try:
+            expected = self._replayer.answer_at(
+                sample.seq,
+                lambda graph: baseline_answer(
+                    graph, sample.s, sample.t,
+                    directed=self._directed,
+                    weighted=self._weighted,
+                    counts=self._counts,
+                ),
+            )
+        except LookupError:
+            # Older than the rewind window: an audit coverage gap (tune
+            # `history` or the sampling rate), never a divergence.
+            self.skipped_stale += 1
+            return
+        self.audited += 1
+        severity = classify_divergence(expected, sample.answer)
+        if severity is not None:
+            self.report.record(Divergence(
+                query=(sample.s, sample.t),
+                seq=sample.seq,
+                expected=expected,
+                got=sample.answer,
+                backend=self._backend_name,
+                epoch=sample.epoch,
+                severity=severity,
+                target=sample.target,
+            ))

@@ -1,0 +1,202 @@
+"""repro.bench.audit — the differential-audit stack measured end to end.
+
+Three questions, answered in one experiment:
+
+* **What does the tap cost?**  A tight single-threaded query loop against
+  an :class:`~repro.serve.SPCService`, timed with and without an
+  :class:`~repro.audit.AuditSampler` installed (min over repeats, so
+  scheduler noise cannot manufacture overhead) — the acceptance bound is
+  that sampling stays within a few percent of the untapped read path.
+* **Does a clean fleet stay silent?**  One kill-only
+  :func:`~repro.audit.run_audit_loadgen` per backend family, strict: any
+  divergence on an honest run fails the experiment.
+* **Is corruption caught, and classified right?**  One kill-and-corrupt
+  run per configured corruption mode (core backend): the ShadowAuditor
+  must report at least one divergence of exactly the mode's severity
+  class, and the report records how far into the run the first tripwire
+  fired.
+
+Consistency is always judged (a missed detection or a false positive
+raises :class:`~repro.exceptions.AuditDivergenceError` out of the
+loadgen); timing numbers are recorded, never judged.  Results land in
+``bench_results/audit.json`` via ``repro-bench audit --save-dir
+bench_results``.
+"""
+
+import random
+import time
+
+from repro.audit.loadgen import EXPECTED_SEVERITY, run_audit_loadgen
+from repro.audit.sampler import AuditSampler
+from repro.bench.tables import ExperimentResult, Table
+from repro.engine import EngineConfig, SPCEngine
+from repro.graph.generators import erdos_renyi
+from repro.serve.service import ServeConfig, SPCService
+
+
+def _measure_tap_overhead(n, m, queries, repeats, sample_rate, seed=0):
+    """Time the same single-threaded query loop untapped vs tapped.
+
+    The two configurations are *interleaved* in many short windows
+    (plain, tapped, plain, tapped, ...); the reported overhead is the
+    **median of per-pair ratios** — each plain/tapped pair runs
+    back-to-back within milliseconds, so machine-speed drift over the
+    measurement cannot masquerade as tap overhead, and the median drops
+    the pairs a scheduler hiccup landed on.  ``queries`` is the total
+    per side, split across ``repeats * 8`` alternating windows.
+    """
+    graph = erdos_renyi(n, m, seed=seed)
+    engine = SPCEngine(graph, config=EngineConfig(backend="core"))
+    service = SPCService(engine, config=ServeConfig())
+    rng = random.Random(seed + 1)
+    vertices = sorted(graph.vertices())
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(256)
+    ]
+    npairs = len(pairs)
+    sampler = AuditSampler(rate=sample_rate, capacity=512, seed=seed + 2)
+    windows = max(2, repeats * 8)
+    per_window = max(200, queries // windows)
+
+    def window_seconds():
+        start = time.perf_counter()
+        for i in range(per_window):
+            s, t = pairs[i % npairs]
+            service.query(s, t)
+        return time.perf_counter() - start
+
+    plain = tapped = float("inf")
+    ratios = []
+    try:
+        for _ in range(windows):
+            # Warm each code path before its timed window so neither
+            # side pays first-call costs.
+            service.set_answer_tap(None)
+            service.query(*pairs[0])
+            plain_w = window_seconds()
+            service.set_answer_tap(sampler)
+            service.query(*pairs[0])
+            tapped_w = window_seconds()
+            sampler.take()  # keep reservoir churn comparable per window
+            plain = min(plain, plain_w)
+            tapped = min(tapped, tapped_w)
+            ratios.append(tapped_w / plain_w)
+    finally:
+        service.close()
+    ratios.sort()
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        median_ratio = ratios[mid]
+    else:
+        median_ratio = (ratios[mid - 1] + ratios[mid]) / 2
+    return {
+        "queries": per_window * windows,
+        "windows": windows,
+        "sample_rate": sample_rate,
+        "plain_us_per_query": round(plain / per_window * 1e6, 4),
+        "tapped_us_per_query": round(tapped / per_window * 1e6, 4),
+        "overhead_pct": round((median_ratio - 1.0) * 100, 2),
+    }
+
+
+def run(config):
+    """Run the audit benchmarks; returns an ExperimentResult."""
+    result = ExperimentResult(
+        name="audit",
+        description="shadow-replica differential verification: tap "
+                    "overhead, clean-fleet silence per backend, and "
+                    "kill-and-corrupt detection per corruption mode",
+    )
+    n, m = config.audit_graph
+
+    on, om = config.audit_overhead_graph
+    overhead = _measure_tap_overhead(
+        on, om,
+        queries=config.audit_overhead_queries,
+        repeats=config.audit_overhead_repeats,
+        sample_rate=config.audit_sample_rate,
+        seed=config.seed,
+    )
+    result.extra["overhead"] = overhead
+    overhead_table = Table(
+        f"answer-tap overhead: single-threaded query loop, "
+        f"{overhead['queries']} queries over {overhead['windows']} "
+        f"interleaved windows (min), sample rate "
+        f"{config.audit_sample_rate}",
+        ["plain_us", "tapped_us", "overhead_pct"],
+    )
+    overhead_table.add_row(
+        overhead["plain_us_per_query"],
+        overhead["tapped_us_per_query"],
+        overhead["overhead_pct"],
+    )
+    result.tables.append(overhead_table)
+
+    clean_table = Table(
+        f"clean audited fleet (kill replica-0 mid-run): "
+        f"{config.audit_replicas} replicas, {config.audit_readers} readers, "
+        f"{config.audit_duration}s, ER({n}, {m})",
+        ["backend", "read_qps", "p50_ms", "p99_ms", "sampled", "audited",
+         "stale", "divergences"],
+    )
+    result.extra["runs"] = {}
+    for backend in config.audit_backends:
+        report = run_audit_loadgen(
+            backend=backend,
+            replicas=config.audit_replicas,
+            readers=config.audit_readers,
+            duration=config.audit_duration,
+            n=n,
+            m=m,
+            churn=config.audit_churn,
+            sample_rate=config.audit_sample_rate,
+            seed=config.seed,
+            corrupt=None,
+            kill=True,
+        )
+        clean_table.add_row(
+            backend,
+            report["read_qps"],
+            report["read_latency_ms"]["p50"],
+            report["read_latency_ms"]["p99"],
+            report["sampler"]["sampled"],
+            report["auditor"]["audited"],
+            report["auditor"]["skipped_stale"],
+            report["auditor"]["divergences"]["total"],
+        )
+        result.extra["runs"][backend] = report
+
+    detect_table = Table(
+        "kill-and-corrupt detection (core backend): one byzantine replica "
+        "per mode, exactly one severity class expected",
+        ["mode", "expected", "seen", "divergences", "mid_run",
+         "detect_after_s"],
+    )
+    result.extra["detection"] = {}
+    for mode in config.audit_corrupt_modes:
+        report = run_audit_loadgen(
+            backend="core",
+            replicas=config.audit_replicas,
+            readers=config.audit_readers,
+            duration=config.audit_duration,
+            n=n,
+            m=m,
+            churn=config.audit_churn,
+            sample_rate=config.audit_sample_rate,
+            seed=config.seed,
+            corrupt=mode,
+            kill=True,
+        )
+        detection = report["detection"]
+        detect_table.add_row(
+            mode,
+            EXPECTED_SEVERITY[mode],
+            ",".join(report["severities_seen"]),
+            report["auditor"]["divergences"]["total"],
+            detection.get("detected_during_run", False),
+            detection.get("detection_after_s", ""),
+        )
+        result.extra["detection"][mode] = report
+    result.tables.append(clean_table)
+    result.tables.append(detect_table)
+    return result

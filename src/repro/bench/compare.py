@@ -67,12 +67,43 @@ def _cluster_metrics(extra):
     return metrics
 
 
+def _audit_metrics(extra):
+    """Tracked metrics for repro.bench.audit: tap overhead and audited
+    throughput down/up respectively; detection latency is a clean-run
+    no-op so only the overhead and coverage numbers are tracked."""
+    metrics = {}
+    overhead = extra.get("overhead", {})
+    if "overhead_pct" in overhead:
+        metrics["overhead_pct"] = (overhead["overhead_pct"], _LOWER)
+    for backend, report in extra.get("runs", {}).items():
+        metrics[f"{backend}.read_qps"] = (report["read_qps"], _HIGHER)
+        audited = report.get("auditor", {}).get("audited")
+        if audited is not None:
+            metrics[f"{backend}.answers_audited"] = (audited, _HIGHER)
+    return metrics
+
+
 #: experiment name -> extra-payload metric extractor.
 METRIC_EXTRACTORS = {
     "micro": _micro_metrics,
     "serve": _serve_metrics,
     "cluster": _cluster_metrics,
+    "audit": _audit_metrics,
 }
+
+
+def extract_metrics(result_name, extra):
+    """Extract ``{metric: (value, direction)}`` for one experiment.
+
+    The single extraction seam shared by the opt-in ``--compare`` gate
+    and the recorded perf trajectory (:mod:`repro.audit.trajectory`), so
+    the two regression mechanisms can never track different numbers.
+    Returns ``None`` for experiments with no tracked metrics.
+    """
+    extractor = METRIC_EXTRACTORS.get(result_name)
+    if extractor is None:
+        return None
+    return extractor(extra)
 
 
 def compare_result(result, baseline_path, tolerance):
@@ -92,16 +123,14 @@ def compare_result(result, baseline_path, tolerance):
             f"{baseline.get('name')!r}, not {result.name!r}; skipping"
         )
         return [], lines
-    extractor = METRIC_EXTRACTORS.get(result.name)
-    if extractor is None:
+    current = extract_metrics(result.name, result.extra)
+    if current is None:
         lines.append(
             f"[compare] no tracked metrics for {result.name!r} "
             f"(comparable: {sorted(METRIC_EXTRACTORS)}); skipping"
         )
         return [], lines
-
-    current = extractor(result.extra)
-    base = extractor(baseline.get("extra", {}))
+    base = extract_metrics(result.name, baseline.get("extra", {}))
     regressions = []
     for name in sorted(current):
         if name not in base:

@@ -60,6 +60,22 @@ class BenchConfig:
     cluster_graph: tuple = (240, 720)   # (n, m) of the synthetic graph
     cluster_churn: int = 30
     cluster_staleness_delta: int = 16   # Δ of the bounded-staleness policy
+    # repro.bench.audit knobs — the shadow-audit stack: tap overhead, a
+    # clean audited fleet per backend, and kill-and-corrupt detection per
+    # corruption mode (see repro.audit.loadgen).
+    audit_backends: tuple = ("core", "directed", "weighted", "sd")
+    audit_replicas: int = 2
+    audit_readers: int = 3
+    audit_duration: float = 1.2     # seconds of audited load per run
+    audit_graph: tuple = (240, 720)   # (n, m) of the synthetic graph
+    audit_churn: int = 30
+    audit_sample_rate: float = 0.1  # fraction of answers reservoir-sampled
+    audit_corrupt_modes: tuple = ("count", "dist", "refusal")
+    # The overhead loop uses a serving-sized graph: tap overhead is
+    # relative, and a toy graph's microsecond queries would overstate it.
+    audit_overhead_graph: tuple = (2000, 6000)
+    audit_overhead_queries: int = 20000  # per overhead-loop repeat
+    audit_overhead_repeats: int = 5
 
     def deletions_for(self, name):
         """Deletion batch size for a dataset (capped on the largest)."""
@@ -98,6 +114,16 @@ class BenchConfig:
             cluster_duration=0.6,
             cluster_graph=(100, 300),
             cluster_churn=16,
+            audit_backends=("core", "sd"),
+            audit_readers=2,
+            audit_duration=0.7,
+            audit_graph=(100, 300),
+            audit_churn=16,
+            audit_sample_rate=0.15,
+            audit_corrupt_modes=("count",),
+            audit_overhead_graph=(800, 2400),
+            audit_overhead_queries=4000,
+            audit_overhead_repeats=3,
         )
 
     @classmethod

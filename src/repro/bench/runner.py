@@ -4,9 +4,16 @@ import argparse
 import os
 import sys
 
+from repro.bench import audit as audit_bench
 from repro.bench import cluster as cluster_bench
 from repro.bench import micro
 from repro.bench import serve as serve_bench
+from repro.audit.trajectory import (
+    HISTORY_FILENAME,
+    drift_report,
+    load_history,
+    record_run,
+)
 from repro.bench.compare import compare_result
 from repro.bench.config import get_profile
 from repro.bench.experiments import (
@@ -37,9 +44,38 @@ EXPERIMENTS = {
     "micro": micro.run,
     "serve": serve_bench.run,
     "cluster": cluster_bench.run,
+    "audit": audit_bench.run,
 }
 
 PAPER_SET = ["table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]
+
+
+def _run_drift(args):
+    """The 'drift' pseudo-experiment: report perf drift, run nothing.
+
+    Returns the number of failures to add (1 when any metric regressed
+    beyond the tolerance, else 0).
+    """
+    entries, skipped = load_history(args.history)
+    if skipped:
+        print(
+            f"[drift] skipped {skipped} malformed history line(s) in "
+            f"{args.history}",
+            file=sys.stderr,
+        )
+    regressions, lines = drift_report(
+        entries, window=args.window, tolerance=args.tolerance
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"[drift] {len(regressions)} metric(s) drifted beyond "
+            f"{args.tolerance:.0%} of their rolling baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def run_experiment(name, config):
@@ -64,11 +100,18 @@ def main(argv=None):
         nargs="*",
         default=[],
         help=f"experiments to run (default: all paper experiments); "
-             f"choices: {', '.join(EXPERIMENTS)} or 'all' / 'paper' / 'ablations'",
+             f"choices: {', '.join(EXPERIMENTS)} or 'all' / 'paper' / "
+             f"'ablations', plus 'drift' (report perf drift against the "
+             f"recorded history instead of running anything)",
     )
     parser.add_argument(
         "--profile", default="full", choices=["quick", "full"],
         help="workload profile (default: full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the profile's RNG seed (flows into every workload "
+             "builder and loadgen, so a run is reproducible end to end)",
     )
     parser.add_argument(
         "--save-dir", default=None,
@@ -82,8 +125,25 @@ def main(argv=None):
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.5,
-        help="allowed fractional regression before --compare fails "
-             "(default: 0.5 = 50%%)",
+        help="allowed fractional regression before --compare or drift "
+             "fails (default: 0.5 = 50%%)",
+    )
+    parser.add_argument(
+        "--record", nargs="?", const=HISTORY_FILENAME, default=None,
+        metavar="HISTORY_JSONL",
+        help=f"append each experiment's tracked metrics to the perf-"
+             f"trajectory history (default file: {HISTORY_FILENAME})",
+    )
+    parser.add_argument(
+        "--history", default=HISTORY_FILENAME, metavar="HISTORY_JSONL",
+        help=f"history file the 'drift' report reads "
+             f"(default: {HISTORY_FILENAME})",
+    )
+    parser.add_argument(
+        "--window", type=int, default=5,
+        help="rolling baseline window for 'drift': the latest run is "
+             "compared against the mean of up to this many previous runs "
+             "(default: 5)",
     )
     args = parser.parse_args(argv)
 
@@ -100,8 +160,13 @@ def main(argv=None):
             expanded.append(name)
 
     config = get_profile(args.profile)
+    if args.seed is not None:
+        config.seed = args.seed
     failures = 0
     for name in expanded:
+        if name == "drift":
+            failures += _run_drift(args)
+            continue
         try:
             result = run_experiment(name, config)
         except KeyError as exc:
@@ -110,6 +175,19 @@ def main(argv=None):
             continue
         print(result.render())
         print()
+        if args.record:
+            entry = record_run(
+                args.record, result, profile=args.profile, seed=config.seed
+            )
+            if entry is None:
+                print(
+                    f"[record] {name}: no tracked metrics, nothing recorded"
+                )
+            else:
+                print(
+                    f"[record] {name}: {len(entry['metrics'])} metric(s) "
+                    f"appended to {args.record}"
+                )
         if args.compare:
             regressions, report = compare_result(
                 result, args.compare, args.tolerance

@@ -170,36 +170,58 @@ def _fault_controller(cluster, deadline, duration, record):
     record["problems"] = problems
 
 
-def _verify_against_replay(state_dir, initial_payload, served, problems):
+def _verify_against_replay(state_dir, initial_payload, served, problems,
+                           backend):
     """The replay oracle: every served (seq, pair, answer) must equal the
-    reference engine's answer after replaying exactly ``seq`` batches."""
+    reference engine's answer after replaying exactly ``seq`` batches.
+
+    Mismatches are classified and filed through the shared audit
+    comparator (:func:`repro.audit.classify_divergence`) — the same
+    vocabulary the live :class:`~repro.audit.ShadowAuditor` uses — and
+    returned as a :class:`~repro.audit.DivergenceReport` so the caller
+    can raise :class:`~repro.exceptions.AuditDivergenceError` with the
+    offending WAL seq attached.
+    """
+    from repro.audit.comparator import (
+        Divergence,
+        DivergenceReport,
+        classify_divergence,
+    )
+
+    report = DivergenceReport()
+
+    def audit(seq, queries, reference):
+        for s, t, answer in queries:
+            expected = reference.index.query(s, t)
+            severity = classify_divergence(expected, answer)
+            if severity is not None:
+                divergence = Divergence(
+                    query=(s, t), seq=seq, expected=expected, got=answer,
+                    backend=backend, epoch=-1, severity=severity,
+                )
+                report.record(divergence)
+                problems.append(
+                    f"replay oracle: {divergence.describe()}"
+                )
+
     by_seq = {}
     for seq, s, t, answer in served:
         by_seq.setdefault(seq, []).append((s, t, answer))
     reference = engine_from_payload(initial_payload)
-    replayed = {initial_payload.get("applied_seq", 0)}
-    for s, t, answer in by_seq.get(initial_payload.get("applied_seq", 0), []):
-        if reference.index.query(s, t) != answer:
-            problems.append(
-                f"answer {answer!r} for ({s},{t}) at seq 0 does not match "
-                f"the initial checkpoint"
-            )
+    base_seq = initial_payload.get("applied_seq", 0)
+    replayed = {base_seq}
+    audit(base_seq, by_seq.get(base_seq, []), reference)
     wal_path = os.path.join(state_dir, WAL_FILENAME)
     for seq, updates in read_wal(wal_path):
         reference.apply_stream(updates)
         replayed.add(seq)
-        for s, t, answer in by_seq.get(seq, []):
-            expected = reference.index.query(s, t)
-            if expected != answer:
-                problems.append(
-                    f"answer {answer!r} for ({s},{t}) at seq {seq} matches "
-                    f"no replayable prefix (replay says {expected!r})"
-                )
+        audit(seq, by_seq.get(seq, []), reference)
     unreplayable = sorted(set(by_seq) - replayed)
     if unreplayable:
         problems.append(
             f"answers claimed seqs with no WAL prefix: {unreplayable[:5]}"
         )
+    return report
 
 
 def run_cluster_loadgen(backend="core", replicas=2, readers=4, duration=1.2,
@@ -322,7 +344,9 @@ def run_cluster_loadgen(backend="core", replicas=2, readers=4, duration=1.2,
         item for rec in reader_records for item in rec.get("served", [])
     ]
     try:
-        _verify_against_replay(state_dir, initial_payload, served, problems)
+        replay_report = _verify_against_replay(
+            state_dir, initial_payload, served, problems, backend
+        )
     finally:
         if own_dir:
             shutil.rmtree(state_dir, ignore_errors=True)
@@ -365,8 +389,19 @@ def run_cluster_loadgen(backend="core", replicas=2, readers=4, duration=1.2,
     }
     if strict and problems:
         preview = "; ".join(str(p) for p in problems[:5])
-        raise ClusterError(
+        message = (
             f"cluster loadgen observed {len(problems)} inconsistencies "
             f"({backend} backend): {preview}"
         )
+        if replay_report.total:
+            # Replay-oracle divergences carry their offending WAL seq;
+            # surface them through the audit stack's typed error.
+            from repro.exceptions import AuditDivergenceError
+
+            first = replay_report.divergences[0]
+            raise AuditDivergenceError(
+                message, seq=first.seq,
+                divergences=replay_report.divergences,
+            )
+        raise ClusterError(message)
     return report

@@ -71,6 +71,8 @@ class Replica:
         self.backend_override = backend
         self._poll_interval = poll_interval
         self._snapshot = None
+        self._honest_snapshot = None
+        self._snapshot_wrapper = None
         self._engine = None
         self._tailer = None
         self._applied_seq = 0
@@ -92,6 +94,30 @@ class Replica:
     def snapshot(self):
         """The current :class:`SnapshotView` (pin it for a consistent batch)."""
         return self._snapshot
+
+    def set_snapshot_wrapper(self, wrapper):
+        """Install (or clear, with ``None``) a publication wrapper.
+
+        ``wrapper(snapshot)`` receives every :class:`SnapshotView` this
+        replica is about to publish and returns what readers will see —
+        a fault-injection seam (see :mod:`repro.audit.faults`): wrapping
+        the published view in a corrupting proxy simulates a replica whose
+        *serving* state was tampered with after an honest bootstrap, while
+        the engine, WAL tail and checkpoints stay clean.  The current
+        snapshot is re-published immediately so the tamper takes effect
+        without waiting for the next applied batch.
+
+        The re-publish re-wraps the last *honest* published view rather
+        than rebuilding one from the engine: this method runs on the
+        caller's thread, and snapshotting the engine here would race the
+        applier mid-batch — a torn view pairing a half-applied index
+        with the pre-batch seq.  Worst case the re-publish briefly
+        shadows a newer snapshot the applier raced in; that is ordinary
+        staleness, repaired at the next applied batch.
+        """
+        self._snapshot_wrapper = wrapper
+        honest = self._honest_snapshot
+        self._snapshot = wrapper(honest) if wrapper is not None else honest
 
     def query(self, s, t):
         """Answer (sd, spc) from the freshest replicated snapshot."""
@@ -244,13 +270,17 @@ class Replica:
 
     def _publish(self):
         backend = self._engine.backend
-        self._snapshot = SnapshotView(
+        snapshot = SnapshotView(
             backend.snapshot_index(),
             backend.name,
             self._engine.epoch,
             self._applied_seq,
             time.time(),
         )
+        self._honest_snapshot = snapshot
+        if self._snapshot_wrapper is not None:
+            snapshot = self._snapshot_wrapper(snapshot)
+        self._snapshot = snapshot
 
     #: consecutive no-progress re-bootstraps before the applier gives up —
     #: a gap that a fresh checkpoint cannot advance past (corruption in

@@ -105,6 +105,7 @@ class ClusterRouter:
         self._rr = 0
         self._fallbacks = 0
         self._waits = 0
+        self._answer_tap = None
 
     # ------------------------------------------------------------------
     # Fleet management
@@ -158,10 +159,30 @@ class ClusterRouter:
                 self._waits += 1
             time.sleep(0.001)
 
+    def set_answer_tap(self, tap):
+        """Install (or clear, with ``None``) the answer-tap hook.
+
+        Same contract as :meth:`repro.serve.SPCService.set_answer_tap`:
+        ``tap(answered, seq, target, epoch)`` fires after every routed
+        read — point, tagged and batch paths alike — with the leased
+        snapshot's sequence number and the serving target's name, so an
+        :class:`~repro.audit.AuditSampler` observes answers from every
+        replica the policy touches.
+        """
+        self._answer_tap = tap
+
+    def _tapped(self, lease, answered):
+        tap = self._answer_tap
+        if tap is not None:
+            snap = lease.snapshot
+            tap(answered, snap.seq, lease.name, snap.epoch)
+
     def query(self, s, t, min_seq=0):
         """Answer one pair through the policy; returns (sd, spc)."""
         with self.acquire(min_seq) as lease:
-            return lease.snapshot.query(s, t)
+            answer = lease.snapshot.query(s, t)
+            self._tapped(lease, [((s, t), answer)])
+            return answer
 
     def query_tagged(self, s, t, min_seq=0):
         """Answer one pair; returns ``(answer, seq, target_name)``.
@@ -171,21 +192,25 @@ class ClusterRouter:
         replay at exactly that sequence number.
         """
         with self.acquire(min_seq) as lease:
-            return lease.snapshot.query(s, t), lease.snapshot.seq, lease.name
+            answer = lease.snapshot.query(s, t)
+            self._tapped(lease, [((s, t), answer)])
+            return answer, lease.snapshot.seq, lease.name
 
     def query_many(self, pairs, min_seq=0):
         """Answer a batch of pairs against one leased snapshot."""
+        pairs = list(pairs)
         with self.acquire(min_seq) as lease:
-            return lease.snapshot.query_many(pairs)
+            answers = lease.snapshot.query_many(pairs)
+            self._tapped(lease, list(zip(pairs, answers)))
+            return answers
 
     def query_many_tagged(self, pairs, min_seq=0):
         """Batch variant of :meth:`query_tagged`: (answers, seq, name)."""
+        pairs = list(pairs)
         with self.acquire(min_seq) as lease:
-            return (
-                lease.snapshot.query_many(pairs),
-                lease.snapshot.seq,
-                lease.name,
-            )
+            answers = lease.snapshot.query_many(pairs)
+            self._tapped(lease, list(zip(pairs, answers)))
+            return answers, lease.snapshot.seq, lease.name
 
     # ------------------------------------------------------------------
     # Introspection

@@ -24,7 +24,7 @@ from repro.engine.backends import (
 )
 from repro.engine.cache import QueryCache
 from repro.engine.config import EngineConfig
-from repro.engine.engine import SPCEngine
+from repro.engine.engine import SPCEngine, baseline_answer
 from repro.engine.engine import open as open_engine
 
 # Importing the adapters registers the three built-in backends.
@@ -35,6 +35,7 @@ __all__ = [
     "EngineConfig",
     "SPCBackend",
     "QueryCache",
+    "baseline_answer",
     "open_engine",
     "register_backend",
     "get_backend",

@@ -173,6 +173,7 @@ class SDBackend(SPCBackend):
 
     name = "sd"
     graph_type = Graph
+    counts = False
 
     def __init__(self, graph, index, config):
         super().__init__(graph, index, config)

@@ -42,6 +42,10 @@ class SPCBackend(abc.ABC):
     index_type = None
     directed = False
     weighted = False
+    #: whether queries answer exact path counts; distance-only families
+    #: (the sd backend) serve ``(sd, None)``, and auditors must compare
+    #: only the distance half of their answers.
+    counts = True
 
     def __init__(self, graph, index, config):
         self.graph = graph

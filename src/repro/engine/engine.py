@@ -48,6 +48,37 @@ def source_probe_or_merge(index, s, group_size):
     return lambda t: index.query(s, t)
 
 
+def baseline_answer(graph, s, t, directed=False, weighted=False, counts=True):
+    """Recompute (sd, spc) for one pair by direct traversal — no index.
+
+    The trusted-baseline primitive of the audit subsystem
+    (:mod:`repro.audit`): answers come from the reference traversals in
+    :mod:`repro.traversal`, so they are correct by construction whatever
+    state the maintained labels are in.  ``counts=False`` mirrors the
+    distance-only families and answers ``(sd, None)``.
+
+    Endpoints absent from the graph answer ``(inf, 0)`` — the same
+    convention the indexes use for unreachable pairs.
+    """
+    from repro.traversal import (
+        bfs_counting_pair,
+        dijkstra_counting_pair,
+        directed_bfs_counting_pair,
+    )
+
+    if not (graph.has_vertex(s) and graph.has_vertex(t)):
+        d, c = float("inf"), 0
+    elif directed:
+        d, c = directed_bfs_counting_pair(graph, s, t)
+    elif weighted:
+        d, c = dijkstra_counting_pair(graph, s, t)
+    else:
+        d, c = bfs_counting_pair(graph, s, t)
+    if not counts:
+        return d, None
+    return d, c
+
+
 def batch_answers(index, pairs):
     """Answer (s, t) pairs against one index state, cache-free.
 
@@ -213,6 +244,23 @@ class SPCEngine:
     def count(self, s, t):
         """Return spc(s, t)."""
         return self.query(s, t)[1]
+
+    def recompute(self, s, t):
+        """Recompute (sd, spc) by direct traversal, bypassing the index.
+
+        The audit subsystem's baseline hook: a :func:`baseline_answer`
+        over the live graph, shaped like :meth:`query` (distance-only
+        backends answer ``(sd, None)``), but never touching the maintained
+        labels or the cache — so it stays trustworthy even when the index
+        is corrupt.
+        """
+        backend = self._backend
+        return baseline_answer(
+            backend.graph, s, t,
+            directed=backend.directed,
+            weighted=backend.weighted,
+            counts=backend.counts,
+        )
 
     def cache_info(self):
         """Query-cache counters, or ``None`` when caching is disabled."""

@@ -97,6 +97,22 @@ class CheckpointMismatchError(ServeError):
     best and silently diverge at worst, so restore refuses up front."""
 
 
+class AuditDivergenceError(ServeError):
+    """Raised when differential verification catches a served answer that
+    does not match the trusted baseline (see :mod:`repro.audit`).
+
+    Carries the offending WAL sequence number and the structured
+    :class:`~repro.audit.Divergence` records, so a fail-fast sink or a
+    strict harness can report exactly which consistency point went wrong
+    instead of a bare assert.
+    """
+
+    def __init__(self, message, seq=None, divergences=()):
+        self.seq = seq
+        self.divergences = list(divergences)
+        super().__init__(message)
+
+
 class ClusterError(ReproError):
     """Raised for cluster-layer misuse or failure: routing when no target
     satisfies the staleness bound, querying a dead replica, a replica that

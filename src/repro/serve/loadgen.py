@@ -37,8 +37,6 @@ from repro.graph.generators import erdos_renyi, random_directed, random_weighted
 from repro.serve.service import ServeConfig, SPCService
 from repro.workloads.updates import random_insertions
 
-INF = float("inf")
-
 #: how a loadgen graph is synthesized per backend name.
 _GRAPH_MAKERS = {
     "core": erdos_renyi,
@@ -89,18 +87,18 @@ def make_workload(backend, n, m, seed=0, churn=40):
 def _check_answer(seq, s, t, answer, problems):
     """Flag a structurally impossible (distance, count) answer.
 
-    Shared with the cluster harness (:mod:`repro.cluster.loadgen`) so the
-    two loadgens can never diverge in what counts as malformed.
+    Shared with the cluster harness (:mod:`repro.cluster.loadgen`); the
+    actual shape rule lives in :func:`repro.audit.comparator
+    .check_answer_shape` — the audit stack's single definition of
+    "malformed" — imported lazily because :mod:`repro.audit.loadgen`
+    imports this module for its workload builder.
     """
-    d, c = answer
-    if d == INF:
-        if c not in (0, None):
-            problems.append(
-                f"disconnected ({s},{t}) answered count {c!r} at seq {seq}"
-            )
-    elif d < 0 or (c is not None and c < 1):
+    from repro.audit.comparator import check_answer_shape
+
+    reason = check_answer_shape(answer)
+    if reason is not None:
         problems.append(
-            f"malformed answer {answer!r} for ({s},{t}) at seq {seq}"
+            f"malformed answer for ({s},{t}) at seq {seq}: {reason}"
         )
 
 

@@ -201,6 +201,7 @@ class SPCService:
         self._engine = engine
         self._config = config
         self._queue = queue.Queue(maxsize=config.queue_capacity)
+        self._answer_tap = None
         self._closed = False
         self._fatal = None
         self._inflight = None  # dequeued-but-unhandled control token
@@ -265,21 +266,48 @@ class SPCService:
         """The current :class:`SnapshotView` (pin it for a consistent batch)."""
         return self._snapshot
 
+    def set_answer_tap(self, tap):
+        """Install (or clear, with ``None``) the answer-tap hook.
+
+        ``tap(answered, seq, target, epoch)`` is called after every
+        :meth:`query` / :meth:`query_many` (and the distance/count
+        convenience wrappers, which route through :meth:`query`) with
+        ``answered = [((s, t), answer), ...]``, the snapshot's sequence
+        number, the serving target's name (``"service"`` here; replica
+        names under the cluster router) and the snapshot epoch.  This is
+        the :class:`~repro.audit.AuditSampler` attachment point; the hook
+        runs on the reader's thread, so it must be cheap and must never
+        raise — a raising tap is the caller's bug, surfaced as the read
+        failing.
+        """
+        self._answer_tap = tap
+
     def query(self, s, t):
         """Answer (sd, spc) from the freshest published snapshot."""
-        return self._snapshot.query(s, t)
+        snap = self._snapshot
+        answer = snap.query(s, t)
+        tap = self._answer_tap
+        if tap is not None:
+            tap([((s, t), answer)], snap.seq, "service", snap.epoch)
+        return answer
 
     def query_many(self, pairs):
         """Answer a batch of pairs against one single snapshot."""
-        return self._snapshot.query_many(pairs)
+        snap = self._snapshot
+        pairs = list(pairs)
+        answers = snap.query_many(pairs)
+        tap = self._answer_tap
+        if tap is not None:
+            tap(list(zip(pairs, answers)), snap.seq, "service", snap.epoch)
+        return answers
 
     def distance(self, s, t):
         """sd(s, t) from the freshest published snapshot."""
-        return self._snapshot.query(s, t)[0]
+        return self.query(s, t)[0]
 
     def count(self, s, t):
         """spc(s, t) from the freshest published snapshot."""
-        return self._snapshot.query(s, t)[1]
+        return self.query(s, t)[1]
 
     # ------------------------------------------------------------------
     # Write path (any thread submits; one writer thread applies)

@@ -6,6 +6,7 @@ from repro.traversal.bfs import (
     bfs_counting_pair,
     bfs_counting_sssp,
     bfs_distance_sssp,
+    directed_bfs_counting_pair,
     directed_bfs_counting_sssp,
     restricted_bfs_counting,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "bfs_counting_pair",
     "all_pairs_counting",
     "restricted_bfs_counting",
+    "directed_bfs_counting_pair",
     "directed_bfs_counting_sssp",
     "bibfs_counting",
     "dijkstra_counting_sssp",

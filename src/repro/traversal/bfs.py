@@ -122,6 +122,38 @@ def restricted_bfs_counting(graph, source, allowed):
     return dist, count
 
 
+def directed_bfs_counting_pair(graph, source, target):
+    """Return (sd, spc) between a pair on a :class:`DiGraph`.
+
+    Level-synchronized along out-arcs, like :func:`bfs_counting_pair`:
+    counts at a level are final only once the previous level is fully
+    expanded, so the search stops after closing the level where ``target``
+    first appears.
+    """
+    if source == target:
+        return 0, 1
+    dist = {source: 0}
+    count = {source: 1}
+    frontier = [source]
+    d = 0
+    while frontier:
+        nxt = []
+        for v in frontier:
+            cv = count[v]
+            for w in graph.successors(v):
+                if w not in dist:
+                    dist[w] = d + 1
+                    count[w] = cv
+                    nxt.append(w)
+                elif dist[w] == d + 1:
+                    count[w] += cv
+        d += 1
+        if target in dist and dist[target] == d:
+            return d, count[target]
+        frontier = nxt
+    return INF, 0
+
+
 def directed_bfs_counting_sssp(graph, source, reverse=False):
     """Counting BFS on a :class:`DiGraph`.
 

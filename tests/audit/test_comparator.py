@@ -1,0 +1,139 @@
+"""The shared divergence vocabulary: shapes, classification, the report."""
+
+import pytest
+
+from repro.audit import (
+    COUNT_MISMATCH,
+    DIST_MISMATCH,
+    REFUSAL,
+    SEVERITIES,
+    Divergence,
+    DivergenceReport,
+    check_answer_shape,
+    classify_divergence,
+)
+from repro.exceptions import AuditDivergenceError, ServeError
+
+INF = float("inf")
+
+
+def make_divergence(severity=COUNT_MISMATCH, seq=7):
+    return Divergence(
+        query=(1, 2), seq=seq, expected=(2, 3), got=(2, 4),
+        backend="core", epoch=5, severity=severity, target="replica-1",
+    )
+
+
+class TestAnswerShape:
+    @pytest.mark.parametrize("answer", [
+        (0, 1), (3, 2), (INF, 0), (INF, None), (4, None), (0.5, 1),
+    ])
+    def test_sound_shapes(self, answer):
+        assert check_answer_shape(answer) is None
+
+    @pytest.mark.parametrize("answer", [
+        None, 42, (1,), (1, 2, 3), "no",
+        (INF, 1),          # unreachable with a path count
+        (-1, 1),           # negative distance
+        (None, 1),         # no distance at all
+        (3, 0), (3, -2),   # finite distance with no paths
+    ])
+    def test_malformed_shapes(self, answer):
+        assert check_answer_shape(answer) is not None
+
+
+class TestClassification:
+    def test_agreement_is_none(self):
+        assert classify_divergence((2, 3), (2, 3)) is None
+        assert classify_divergence((INF, 0), (INF, 0)) is None
+
+    def test_distance_mismatch_beats_count(self):
+        assert classify_divergence((2, 3), (3, 3)) == DIST_MISMATCH
+        # Distance wrong AND count wrong still classifies by distance.
+        assert classify_divergence((2, 3), (3, 9)) == DIST_MISMATCH
+
+    def test_count_mismatch(self):
+        assert classify_divergence((2, 3), (2, 4)) == COUNT_MISMATCH
+
+    def test_malformed_served_answer_is_refusal(self):
+        assert classify_divergence((2, 3), (2, 0)) == REFUSAL
+        assert classify_divergence((2, 3), None) == REFUSAL
+        assert classify_divergence((INF, 0), (INF, 5)) == REFUSAL
+
+    def test_none_count_restricts_to_distances(self):
+        # A distance-only side can never produce a count mismatch...
+        assert classify_divergence((2, None), (2, 3)) is None
+        assert classify_divergence((2, 3), (2, None)) is None
+        # ...but distance mismatches still classify.
+        assert classify_divergence((2, None), (4, None)) == DIST_MISMATCH
+
+    def test_malformed_baseline_raises(self):
+        with pytest.raises(AuditDivergenceError):
+            classify_divergence((3, 0), (3, 1))
+
+    def test_severity_order_most_severe_first(self):
+        assert SEVERITIES == (REFUSAL, DIST_MISMATCH, COUNT_MISMATCH)
+
+
+class TestDivergenceReport:
+    def test_collects_and_summarizes(self):
+        report = DivergenceReport()
+        report.record(make_divergence(COUNT_MISMATCH))
+        report.record(make_divergence(REFUSAL))
+        assert len(report) == 2
+        assert report.severities_seen() == [REFUSAL, COUNT_MISMATCH]
+        summary = report.summary()
+        assert summary["total"] == 2
+        assert summary["by_severity"][REFUSAL] == 1
+        assert len(summary["divergences"]) == 2
+
+    def test_keep_caps_records_not_counters(self):
+        report = DivergenceReport(keep=2)
+        for _ in range(5):
+            report.record(make_divergence())
+        assert report.total == 5
+        assert len(report.divergences) == 2
+
+    def test_callable_sink(self):
+        seen = []
+        report = DivergenceReport(sink=seen.append)
+        d = make_divergence()
+        report.record(d)
+        assert seen == [d]
+
+    def test_raise_sink_fails_fast_with_seq(self):
+        report = DivergenceReport(sink="raise")
+        with pytest.raises(AuditDivergenceError) as excinfo:
+            report.record(make_divergence(seq=42))
+        assert excinfo.value.seq == 42
+        assert len(excinfo.value.divergences) == 1
+
+    def test_unknown_sink_rejected(self):
+        with pytest.raises(AuditDivergenceError):
+            DivergenceReport(sink="bogus")
+
+    def test_raise_if_any(self):
+        report = DivergenceReport()
+        report.raise_if_any()  # empty: no-op
+        report.record(make_divergence(seq=9))
+        with pytest.raises(AuditDivergenceError) as excinfo:
+            report.raise_if_any()
+        assert excinfo.value.seq == 9
+
+    def test_describe_names_the_essentials(self):
+        line = make_divergence().describe()
+        assert "(1, 2)" in line and "seq 7" in line
+        assert "replica-1" in line and COUNT_MISMATCH in line
+
+
+class TestAuditDivergenceError:
+    def test_is_a_serve_error_with_payload(self):
+        exc = AuditDivergenceError("boom", seq=3, divergences=["d"])
+        assert isinstance(exc, ServeError)
+        assert exc.seq == 3
+        assert exc.divergences == ["d"]
+
+    def test_defaults(self):
+        exc = AuditDivergenceError("boom")
+        assert exc.seq is None
+        assert exc.divergences == []

@@ -166,8 +166,11 @@ class TestFaultInjectionStress:
     def test_strict_mode_raises_on_injected_inconsistency(self, monkeypatch):
         from repro.cluster import loadgen as cl
 
-        def poisoned(state_dir, initial_payload, served, problems):
+        def poisoned(state_dir, initial_payload, served, problems, backend):
             problems.append("poisoned audit result")
+            from repro.audit import DivergenceReport
+
+            return DivergenceReport()
 
         monkeypatch.setattr(cl, "_verify_against_replay", poisoned)
         with pytest.raises(ClusterError, match="poisoned"):
@@ -179,8 +182,11 @@ class TestFaultInjectionStress:
     def test_non_strict_returns_problems(self, monkeypatch):
         from repro.cluster import loadgen as cl
 
-        def poisoned(state_dir, initial_payload, served, problems):
+        def poisoned(state_dir, initial_payload, served, problems, backend):
             problems.append("poisoned audit result")
+            from repro.audit import DivergenceReport
+
+            return DivergenceReport()
 
         monkeypatch.setattr(cl, "_verify_against_replay", poisoned)
         report = run_cluster_loadgen(

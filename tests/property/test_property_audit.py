@@ -1,0 +1,137 @@
+"""Property-based audit tests: the shadow auditor flags every seeded
+fault with the right severity class and never flags a clean run, across
+all four backend families and arbitrary small graphs."""
+
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.audit import (
+    EXPECTED_SEVERITY,
+    MODES,
+    AuditSampler,
+    ShadowAuditor,
+    tamper_backend,
+)
+from repro.engine import EngineConfig, SPCEngine
+from repro.serve.service import ServeConfig, SPCService
+from repro.workloads import InsertEdge
+from tests.property.strategies import (
+    small_digraphs,
+    small_graphs,
+    small_weighted_graphs,
+)
+
+INF = float("inf")
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: backend family -> the graph strategy it serves.
+BACKEND_STRATEGIES = {
+    "core": small_graphs,
+    "directed": small_digraphs,
+    "weighted": small_weighted_graphs,
+    "sd": small_graphs,
+}
+
+
+def _insertions(graph, backend, picks):
+    """Up to len(picks) valid edge insertions chosen by index."""
+    directed = backend == "directed"
+    weighted = backend == "weighted"
+    updates = []
+    for pick in picks:
+        vs = sorted(graph.vertices())
+        if directed:
+            candidates = [(u, v) for u in vs for v in vs
+                          if u != v and not graph.has_edge(u, v)]
+        else:
+            candidates = [(u, v) for i, u in enumerate(vs) for v in vs[i + 1:]
+                          if not graph.has_edge(u, v)]
+        if not candidates:
+            break
+        u, v = candidates[pick % len(candidates)]
+        weight = 1 + pick % 3 if weighted else None
+        graph.add_edge(u, v, weight) if weighted else graph.add_edge(u, v)
+        updates.append(InsertEdge(u, v, weight=weight))
+    return updates
+
+
+def run_audited(backend, graph, mode, picks):
+    """One audited service run; returns (auditor stats + report, served)."""
+    engine = SPCEngine(graph.copy(), config=EngineConfig(backend=backend))
+    if mode is not None:
+        # Pre-service tamper: every snapshot ever published lies, while
+        # the checkpoint the shadow bootstraps from stays honest.
+        tamper_backend(engine.backend, mode)
+    with tempfile.TemporaryDirectory(prefix="repro-audit-prop-") as state_dir:
+        service = SPCService(
+            engine,
+            config=ServeConfig(publish_every=1, durability_dir=state_dir),
+            overwrite=True,
+        )
+        sampler = AuditSampler(rate=1.0, capacity=8192, seed=0)
+        service.set_answer_tap(sampler)
+        auditor = ShadowAuditor(sampler, state_dir)
+        served = []
+        try:
+            vs = sorted(graph.vertices())
+            pairs = [(u, v) for u in vs for v in vs if u != v][:30]
+            for s, t in pairs:
+                served.append(service.query(s, t))
+            for update in _insertions(graph.copy(), backend, picks):
+                service.submit(update)
+                service.flush()
+                for s, t in pairs[:6]:
+                    served.append(service.query(s, t))
+            assert auditor.drain(timeout=30.0), auditor.stats()
+            assert auditor.healthy
+            report = auditor.report
+            assert auditor.audited == len(served)
+            return report, served
+        finally:
+            auditor.close()
+            service.close()
+
+
+def corruptible(served, mode):
+    """Whether the corruption mode could alter any served answer: modes
+    pass through unreachable pairs, and count/refusal need a count."""
+    return any(
+        d != INF and (mode == "dist" or c is not None)
+        for d, c in served
+    )
+
+
+@pytest.mark.parametrize("backend", sorted(BACKEND_STRATEGIES))
+class TestAuditorProperty:
+    @settings(max_examples=10, **COMMON)
+    @given(data=st.data(), picks=st.lists(st.integers(0, 10_000), max_size=3))
+    def test_clean_runs_are_never_flagged(self, backend, data, picks):
+        graph = data.draw(BACKEND_STRATEGIES[backend]())
+        report, served = run_audited(backend, graph, None, picks)
+        assert report.total == 0
+        assert len(served) > 0
+
+    @settings(max_examples=8, **COMMON)
+    @given(
+        data=st.data(),
+        mode=st.sampled_from(MODES),
+        picks=st.lists(st.integers(0, 10_000), max_size=3),
+    )
+    def test_seeded_faults_are_always_flagged_with_the_right_class(
+        self, backend, data, mode, picks
+    ):
+        graph = data.draw(BACKEND_STRATEGIES[backend]())
+        report, served = run_audited(backend, graph, mode, picks)
+        if corruptible(served, mode):
+            assert report.total > 0
+            assert report.severities_seen() == [EXPECTED_SEVERITY[mode]]
+        else:
+            # Nothing the mode could corrupt (all pairs unreachable, or a
+            # distance-only stream under a count corruption): the proxy
+            # passed every answer through honestly, so a flag here would
+            # be a false positive.
+            assert report.total == 0
