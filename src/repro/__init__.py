@@ -57,6 +57,7 @@ from repro.graph import DiGraph, Graph, WeightedGraph
 from repro import serve  # noqa: F401  (repro.serve.restore & friends)
 from repro import cluster  # noqa: F401  (repro.cluster.SPCCluster & friends)
 from repro import audit  # noqa: F401  (repro.audit.ShadowAuditor & friends)
+from repro import shard  # noqa: F401  (repro.shard.ShardedCluster & friends)
 from repro.order import VertexOrder, degree_order, make_order
 from repro.traversal import bfs_counting_pair, bfs_counting_sssp, bibfs_counting
 from repro.verify import check_invariants, indexes_equivalent, verify_espc
@@ -71,6 +72,7 @@ __all__ = [
     "serve",
     "cluster",
     "audit",
+    "shard",
     "SPCEngine",
     "EngineConfig",
     "SPCBackend",

@@ -22,12 +22,14 @@ only in tests:
 from repro.audit.comparator import (
     COUNT_MISMATCH,
     DIST_MISMATCH,
+    IDENTITY_PARTIAL,
     REFUSAL,
     SEVERITIES,
     Divergence,
     DivergenceReport,
     check_answer_shape,
     classify_divergence,
+    merge_partial_answers,
 )
 from repro.audit.faults import (
     MODES,
@@ -39,7 +41,7 @@ from repro.audit.faults import (
 )
 from repro.audit.loadgen import EXPECTED_SEVERITY, run_audit_loadgen
 from repro.audit.replay import GraphReplayer, apply_graph_update
-from repro.audit.sampler import AuditSample, AuditSampler
+from repro.audit.sampler import AuditRateController, AuditSample, AuditSampler
 from repro.audit.shadow import ShadowAuditor
 from repro.audit.trajectory import (
     HISTORY_FILENAME,
@@ -51,12 +53,14 @@ from repro.audit.trajectory import (
 __all__ = [
     "COUNT_MISMATCH",
     "DIST_MISMATCH",
+    "IDENTITY_PARTIAL",
     "REFUSAL",
     "SEVERITIES",
     "Divergence",
     "DivergenceReport",
     "check_answer_shape",
     "classify_divergence",
+    "merge_partial_answers",
     "MODES",
     "CorruptingIndex",
     "CorruptingSnapshot",
@@ -67,6 +71,7 @@ __all__ = [
     "run_audit_loadgen",
     "GraphReplayer",
     "apply_graph_update",
+    "AuditRateController",
     "AuditSample",
     "AuditSampler",
     "ShadowAuditor",

@@ -37,6 +37,34 @@ COUNT_MISMATCH = "count-mismatch"
 SEVERITIES = (REFUSAL, DIST_MISMATCH, COUNT_MISMATCH)
 
 
+#: the neutral element of :func:`merge_partial_answers` — "no hubs in my
+#: slice": unreachable, zero paths.
+IDENTITY_PARTIAL = (INF, 0)
+
+
+def merge_partial_answers(a, b):
+    """Combine two partial ``(distance, count)`` answers into one.
+
+    The single associative, commutative combiner behind every answer
+    merge in the repo: the shard router folds per-shard partials with it
+    (each shard probes only the hubs in its slice, and the slices
+    partition the hub space, so equal-distance counts *add* and never
+    double-count), and the audit comparator's callers use it to build
+    expected merged answers.  A ``None`` count on either side (the
+    distance-only SD family) is absorbing: the merged answer can only
+    promise a distance.  :data:`IDENTITY_PARTIAL` is the identity.
+    """
+    da, ca = a
+    db, cb = b
+    if da < db:
+        return a
+    if db < da:
+        return b
+    if ca is None or cb is None:
+        return (da, None)
+    return (da, ca + cb)
+
+
 def check_answer_shape(answer):
     """Why ``answer`` is structurally impossible, or ``None`` when sound.
 

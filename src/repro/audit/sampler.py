@@ -133,6 +133,21 @@ class AuditSampler:
                     if slot < self.capacity:
                         self._buffer[slot] = sample
 
+    def set_rate(self, rate):
+        """Retune the admission rate in place (the auto-tuning seam).
+
+        Takes effect from the next tap call: the geometric skip gap is
+        redrawn under the new rate, so a long gap drawn at a low rate
+        does not keep muting a sampler that was just turned up.  Safe to
+        call from any thread; the reservoir and counters are untouched.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be within [0, 1], got {rate!r}")
+        with self._lock:
+            self.rate = rate
+            self._log_q = math.log1p(-rate) if 0.0 < rate < 1.0 else None
+            self._skip = self._draw_gap() if rate else -1
+
     def take(self):
         """Swap the reservoir out; returns the accumulated samples."""
         with self._lock:
@@ -168,4 +183,95 @@ class AuditSampler:
         return (
             f"AuditSampler(rate={self.rate}, capacity={self.capacity}, "
             f"seen={self.seen}, sampled={self.sampled})"
+        )
+
+
+class AuditRateController:
+    """Hold the shadow audit's lag at a target by retuning the sampler.
+
+    *Lag* is the number of admitted-but-not-yet-audited samples (the
+    sampler's reservoir plus the auditor's pending heap) — the bounded
+    queue depth between serving and verification.  The control law is
+    deliberately crude: **halve** the rate when lag overshoots
+    ``target_lag``, **double** it when lag falls below half the target.
+    The rate is a probability, so multiplicative steps recover from any
+    mis-tuning in O(log) adjustments, and the hysteresis band
+    ``[target/2, target]`` keeps the rate still under steady load
+    instead of oscillating.  ``cooldown`` observations must pass between
+    adjustments so one burst cannot slam the rate to the floor before
+    the auditor has had a chance to drain.
+
+    Wire it up either by passing it as ``controller=`` to
+    :class:`~repro.audit.ShadowAuditor` (the audit loop then feeds it
+    every tick) or by calling :meth:`poll`/:meth:`observe` from your own
+    monitoring loop.
+    """
+
+    def __init__(self, sampler, target_lag=256, min_rate=0.001,
+                 max_rate=1.0, cooldown=16):
+        if target_lag < 1:
+            raise ValueError(f"target_lag must be >= 1, got {target_lag!r}")
+        if not 0.0 < min_rate <= max_rate <= 1.0:
+            raise ValueError(
+                f"need 0 < min_rate <= max_rate <= 1, got "
+                f"min_rate={min_rate!r}, max_rate={max_rate!r}"
+            )
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown!r}")
+        self.sampler = sampler
+        self.target_lag = target_lag
+        self.min_rate = min_rate
+        self.max_rate = max_rate
+        self.cooldown = cooldown
+        self._since_adjust = cooldown  # first observation may adjust
+        self.observations = 0
+        self.raised = 0
+        self.lowered = 0
+
+    def observe(self, lag):
+        """Feed one lag observation; returns the (possibly new) rate."""
+        self.observations += 1
+        self._since_adjust += 1
+        rate = self.sampler.rate
+        if self._since_adjust < self.cooldown:
+            return rate
+        if lag > self.target_lag:
+            new = max(self.min_rate, rate / 2.0)
+        elif lag < self.target_lag / 2:
+            new = min(self.max_rate, max(self.min_rate, rate * 2.0))
+        else:
+            return rate
+        if new == rate:
+            return rate
+        self.sampler.set_rate(new)
+        self._since_adjust = 0
+        if new > rate:
+            self.raised += 1
+        else:
+            self.lowered += 1
+        return new
+
+    def poll(self, auditor):
+        """Observe the live lag of a :class:`ShadowAuditor` + sampler."""
+        lag = auditor.stats()["pending"] + self.sampler.pending()
+        return self.observe(lag)
+
+    def stats(self):
+        """JSON-safe counters (monitoring only)."""
+        return {
+            "target_lag": self.target_lag,
+            "rate": self.sampler.rate,
+            "min_rate": self.min_rate,
+            "max_rate": self.max_rate,
+            "cooldown": self.cooldown,
+            "observations": self.observations,
+            "raised": self.raised,
+            "lowered": self.lowered,
+        }
+
+    def __repr__(self):
+        return (
+            f"AuditRateController(target_lag={self.target_lag}, "
+            f"rate={self.sampler.rate}, raised={self.raised}, "
+            f"lowered={self.lowered})"
         )

@@ -53,6 +53,11 @@ class ShadowAuditor:
         Seconds the loop sleeps when fully idle.
     history:
         Rewind-window depth of the underlying replayer.
+    controller:
+        Optional :class:`~repro.audit.AuditRateController`; the audit
+        loop feeds it the live lag (pending heap + reservoir) every
+        tick, letting it hold the audit queue depth at its target by
+        retuning the sampler's rate.
     """
 
     #: consecutive no-progress re-bootstraps before the auditor gives up
@@ -60,8 +65,9 @@ class ShadowAuditor:
     MAX_STALLED_BOOTSTRAPS = 3
 
     def __init__(self, sampler, state_dir, report=None, poll_interval=0.005,
-                 history=256):
+                 history=256, controller=None):
         self.sampler = sampler
+        self.controller = controller
         self.report = report if report is not None else DivergenceReport()
         self._dir = state_dir
         self._poll_interval = poll_interval
@@ -225,6 +231,10 @@ class ShadowAuditor:
                     self._enqueue(sample)
                     progressed = True
                 progressed |= self._process_pending()
+                if self.controller is not None:
+                    self.controller.observe(
+                        len(self._pending) + self.sampler.pending()
+                    )
                 if progressed:
                     self._idle_ticks = 0
                 else:

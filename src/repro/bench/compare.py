@@ -83,12 +83,32 @@ def _audit_metrics(extra):
     return metrics
 
 
+def _shard_metrics(extra):
+    """Tracked metrics for repro.bench.shard: scatter-gather throughput
+    up, merge latency down, and the per-shard peak memory ratio down —
+    the last is the 1/K criterion's headroom, so growth there means the
+    slices are fattening relative to the unsharded index."""
+    metrics = {}
+    for backend, report in extra.get("runs", {}).items():
+        metrics[f"{backend}.read_qps"] = (report["read_qps"], _HIGHER)
+        metrics[f"{backend}.read_latency_p99_ms"] = (
+            report["read_latency_ms"]["p99"], _LOWER,
+        )
+        ratios = report.get("memory", {}).get("peak_ratio", {})
+        if ratios:
+            metrics[f"{backend}.max_peak_ratio"] = (
+                max(ratios.values()), _LOWER,
+            )
+    return metrics
+
+
 #: experiment name -> extra-payload metric extractor.
 METRIC_EXTRACTORS = {
     "micro": _micro_metrics,
     "serve": _serve_metrics,
     "cluster": _cluster_metrics,
     "audit": _audit_metrics,
+    "shard": _shard_metrics,
 }
 
 

@@ -76,6 +76,19 @@ class BenchConfig:
     audit_overhead_graph: tuple = (2000, 6000)
     audit_overhead_queries: int = 20000  # per overhead-loop repeat
     audit_overhead_repeats: int = 5
+    # repro.bench.shard knobs — the hub-partitioned fleet: audited
+    # scatter-gather load per backend, the per-shard 1/K memory
+    # criterion, and a kill-mid-run refusal/recovery run (see
+    # repro.shard.loadgen).
+    shard_backends: tuple = ("core", "directed", "weighted", "sd")
+    shard_shards: int = 4
+    shard_partitioner: str = "balanced"
+    shard_readers: int = 3
+    shard_duration: float = 1.2     # seconds of scatter-gather load per run
+    shard_graph: tuple = (240, 720)   # (n, m) of the synthetic graph
+    shard_churn: int = 30
+    shard_sample_rate: float = 0.2  # fraction of merged answers audited
+    shard_epsilon: float = 0.35     # slack of the per-shard (1+eps)/K bound
 
     def deletions_for(self, name):
         """Deletion batch size for a dataset (capped on the largest)."""
@@ -124,6 +137,12 @@ class BenchConfig:
             audit_overhead_graph=(800, 2400),
             audit_overhead_queries=4000,
             audit_overhead_repeats=3,
+            shard_backends=("core", "sd"),
+            shard_shards=4,
+            shard_readers=2,
+            shard_duration=0.8,
+            shard_graph=(150, 420),
+            shard_churn=16,
         )
 
     @classmethod

@@ -8,6 +8,7 @@ from repro.bench import audit as audit_bench
 from repro.bench import cluster as cluster_bench
 from repro.bench import micro
 from repro.bench import serve as serve_bench
+from repro.bench import shard as shard_bench
 from repro.audit.trajectory import (
     HISTORY_FILENAME,
     drift_report,
@@ -45,6 +46,7 @@ EXPERIMENTS = {
     "serve": serve_bench.run,
     "cluster": cluster_bench.run,
     "audit": audit_bench.run,
+    "shard": shard_bench.run,
 }
 
 PAPER_SET = ["table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]

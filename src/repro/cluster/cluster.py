@@ -50,6 +50,10 @@ class ClusterConfig:
     wait_timeout:
         How long a routed read may wait for a fresh-enough target before
         raising :class:`~repro.exceptions.ClusterError`.
+    parallel_threshold:
+        ``query_many`` batches at least this long are split across the
+        healthy replicas (each sub-batch under its own lease) instead of
+        running on a single snapshot.
     """
 
     replicas: int = 2
@@ -58,6 +62,7 @@ class ClusterConfig:
     poll_interval: float = 0.002
     replica_backends: tuple = None
     wait_timeout: float = 5.0
+    parallel_threshold: int = 64
 
     def __post_init__(self):
         if self.replicas < 1:
@@ -127,6 +132,7 @@ class SPCCluster:
                 policy=config.policy,
                 staleness_delta=config.staleness_delta,
                 wait_timeout=config.wait_timeout,
+                parallel_threshold=config.parallel_threshold,
             )
         except BaseException:
             # A replica that failed to bootstrap must not leak the ones

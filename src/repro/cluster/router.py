@@ -87,7 +87,7 @@ class ClusterRouter:
     """Route reads across one primary and its replicas under a policy."""
 
     def __init__(self, primary, replicas, policy="round_robin",
-                 staleness_delta=8, wait_timeout=5.0):
+                 staleness_delta=8, wait_timeout=5.0, parallel_threshold=64):
         if policy not in POLICIES:
             raise ClusterError(
                 f"unknown routing policy {policy!r}; choose from {POLICIES}"
@@ -96,9 +96,14 @@ class ClusterRouter:
             raise ClusterError(
                 f"staleness_delta must be >= 0, got {staleness_delta!r}"
             )
+        if parallel_threshold < 2:
+            raise ClusterError(
+                f"parallel_threshold must be >= 2, got {parallel_threshold!r}"
+            )
         self.policy = policy
         self.staleness_delta = staleness_delta
         self.wait_timeout = wait_timeout
+        self.parallel_threshold = parallel_threshold
         self._primary = _Target("primary", primary)
         self._replicas = [_Target(r.name, r) for r in replicas]
         self._lock = threading.Lock()
@@ -197,15 +202,53 @@ class ClusterRouter:
             return answer, lease.snapshot.seq, lease.name
 
     def query_many(self, pairs, min_seq=0):
-        """Answer a batch of pairs against one leased snapshot."""
+        """Answer a batch of pairs, spreading large batches over the fleet.
+
+        Batches shorter than ``parallel_threshold`` — or when fewer than
+        two healthy replicas are up — take the classic path: one lease,
+        one snapshot, one pass.  Larger batches are split into contiguous
+        sub-batches (:func:`repro.shard.planner.split_batch`), each
+        answered under its *own* lease on whatever target the policy
+        picks, and reassembled in submission order.  Each sub-batch fires
+        the answer tap with its own (seq, target), so every answer is
+        still attributed to the exact snapshot that served it — sub-
+        batches may land on different seqs, which is why
+        :meth:`query_many_tagged` (one claimed seq for the whole batch)
+        never splits.
+        """
         pairs = list(pairs)
+        if len(pairs) >= self.parallel_threshold:
+            # Deferred import: repro.shard's package init reaches back
+            # into repro.cluster through the audit harness, so a top-
+            # level import here would be circular.
+            from repro.shard.planner import gather_chunks, split_batch
+
+            with self._lock:
+                ways = sum(1 for t in self._replicas if t.healthy())
+            if ways >= 2:
+                chunks = split_batch(
+                    pairs, ways, min_chunk=self.parallel_threshold // 2
+                )
+                if len(chunks) >= 2:
+                    def worker(_offset, chunk):
+                        with self.acquire(min_seq) as lease:
+                            answers = lease.snapshot.query_many(chunk)
+                            self._tapped(lease, list(zip(chunk, answers)))
+                            return answers
+
+                    return gather_chunks(chunks, worker, parallel=True)
         with self.acquire(min_seq) as lease:
             answers = lease.snapshot.query_many(pairs)
             self._tapped(lease, list(zip(pairs, answers)))
             return answers
 
     def query_many_tagged(self, pairs, min_seq=0):
-        """Batch variant of :meth:`query_tagged`: (answers, seq, name)."""
+        """Batch variant of :meth:`query_tagged`: (answers, seq, name).
+
+        Always a single lease: the returned seq is a claim about *every*
+        answer in the batch, so the batch is never split across
+        snapshots (use :meth:`query_many` for replica-spread batches).
+        """
         pairs = list(pairs)
         with self.acquire(min_seq) as lease:
             answers = lease.snapshot.query_many(pairs)

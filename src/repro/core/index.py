@@ -40,7 +40,7 @@ class SPCIndex:
     with only self-labels, correct for an edgeless graph.
     """
 
-    __slots__ = ("_order", "_labels", "_holders")
+    __slots__ = ("_order", "_labels", "_holders", "_dirty")
 
     def __init__(self, order, with_self_labels=True):
         if not isinstance(order, VertexOrder):
@@ -48,6 +48,7 @@ class SPCIndex:
         self._order = order
         self._labels = {}
         self._holders = {}
+        self._dirty = None
         rank = order.rank_map()
         for v in order:
             ls = LabelSet()
@@ -149,14 +150,27 @@ class SPCIndex:
         """Return spc(s, t) (0 when disconnected)."""
         return self.query(s, t)[1]
 
-    def source_probe(self, s):
+    def source_probe(self, s, hub_filter=None):
         """Return ``probe(t) -> (sd, spc)`` sharing one scan of L(s).
 
         See :func:`repro.core.labels.counting_probe` — equivalent to
         :meth:`query` for every t, profitable whenever several queries
-        share a source.
+        share a source.  ``hub_filter`` restricts the merge to a hub-rank
+        subset and yields shard-mergeable *partial* answers.
         """
-        return counting_probe(self.label_set(s), self.label_set)
+        return counting_probe(self.label_set(s), self.label_set, hub_filter)
+
+    def set_dirty_sink(self, sink):
+        """Install (or clear, with ``None``) a dirty-vertex sink.
+
+        ``sink`` is a set; every subsequent label mutation adds the owning
+        vertex to it.  The serving layer drains it per applied batch to
+        journal label deltas for hub-partitioned shards; ``copy`` /
+        ``from_dict`` clones never inherit the sink.
+        """
+        self._dirty = sink
+        for ls in self._labels.values():
+            ls._sink = sink
 
     # ------------------------------------------------------------------
     # Dynamic-maintenance support
@@ -172,6 +186,7 @@ class SPCIndex:
         r = self._order.append(v)
         ls = LabelSet()
         ls.bind(self._holders, v)
+        ls._sink = self._dirty
         ls.set(r, 0, 1)
         self._labels[v] = ls
         return r

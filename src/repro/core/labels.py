@@ -26,6 +26,12 @@ shared map in sync, so the maintenance algorithms never have to thread
 holder bookkeeping through their hot loops.  The reverse map is what makes
 "who holds hub h?" an O(1) lookup instead of an O(n) sweep over every
 label set (see DESIGN.md §9).
+
+The same reporting seam optionally feeds a *dirty-vertex sink*: a set the
+owning index installs (``set_dirty_sink``) that collects the owner vertex
+of every mutated label set.  The serving layer drains it after each
+applied batch to journal per-vertex label deltas for hub-partitioned
+shards (DESIGN.md §13) without the maintenance algorithms knowing.
 """
 
 from bisect import bisect_left
@@ -78,7 +84,7 @@ class LabelSet:
     index's reverse hub map; mutations then maintain the map transparently.
     """
 
-    __slots__ = ("hubs", "dists", "counts", "_holders", "_owner")
+    __slots__ = ("hubs", "dists", "counts", "_holders", "_owner", "_sink")
 
     def __init__(self):
         self.hubs = []
@@ -86,6 +92,7 @@ class LabelSet:
         self.counts = []
         self._holders = None
         self._owner = None
+        self._sink = None
 
     def bind(self, holders, owner):
         """Attach this set to a shared reverse hub map.
@@ -129,6 +136,9 @@ class LabelSet:
         Returns ``"inserted"`` or ``"replaced"`` so callers can maintain the
         paper's RenewC / RenewD / Insert statistics without a second lookup.
         """
+        sink = self._sink
+        if sink is not None:
+            sink.add(self._owner)
         hubs = self.hubs
         i = bisect_left(hubs, hub)
         if i < len(hubs) and hubs[i] == hub:
@@ -152,6 +162,9 @@ class LabelSet:
         hubs = self.hubs
         i = bisect_left(hubs, hub)
         if i < len(hubs) and hubs[i] == hub:
+            sink = self._sink
+            if sink is not None:
+                sink.add(self._owner)
             del hubs[i]
             del self.dists[i]
             del self.counts[i]
@@ -166,7 +179,14 @@ class LabelSet:
         return False
 
     def clear(self):
-        """Remove every entry."""
+        """Remove every entry.
+
+        Marks the owner dirty even when already empty: a vertex drop must
+        reach the delta journal so shards forget the vertex too.
+        """
+        sink = self._sink
+        if sink is not None:
+            sink.add(self._owner)
         holders = self._holders
         if holders is not None:
             owner = self._owner
@@ -205,7 +225,7 @@ class LabelSet:
         return f"LabelSet[{entries}]"
 
 
-def counting_probe(source_labels, target_label_of):
+def counting_probe(source_labels, target_label_of, hub_filter=None):
     """Return ``probe(t) -> (sd, spc)`` sharing one scan of the source labels.
 
     The PSPC-style batch-serving primitive behind ``source_probe`` on every
@@ -215,10 +235,22 @@ def counting_probe(source_labels, target_label_of):
     scan over ``target_label_of(t)``'s label arrays — the same array-probe
     trick SrrSEARCH uses.  Equivalent to the two-pointer merge query for
     every t; profitable whenever several queries share a source.
+
+    ``hub_filter`` (a ``rank -> bool`` predicate) restricts the merge to a
+    hub subset, yielding a *partial* answer: the (dist, count) contribution
+    of just those hubs.  Partials over a partition of the hub space combine
+    back to the full answer with
+    :func:`repro.audit.comparator.merge_partial_answers` — the algebra the
+    scatter-gather shard router is built on (DESIGN.md §13).
     """
     s_entry = {}
-    for h, d, c in source_labels:
-        s_entry[h] = (d, c)
+    if hub_filter is None:
+        for h, d, c in source_labels:
+            s_entry[h] = (d, c)
+    else:
+        for h, d, c in source_labels:
+            if hub_filter(h):
+                s_entry[h] = (d, c)
 
     def probe(t):
         lt = target_label_of(t)

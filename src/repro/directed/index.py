@@ -23,7 +23,8 @@ class DirectedSPCIndex:
     (DESIGN.md §9).
     """
 
-    __slots__ = ("_order", "_lin", "_lout", "_in_holders", "_out_holders")
+    __slots__ = ("_order", "_lin", "_lout", "_in_holders", "_out_holders",
+                 "_dirty")
 
     def __init__(self, order, with_self_labels=True):
         if not isinstance(order, VertexOrder):
@@ -33,6 +34,7 @@ class DirectedSPCIndex:
         self._lout = {}
         self._in_holders = {}
         self._out_holders = {}
+        self._dirty = None
         rank = order.rank_map()
         for v in order:
             lin, lout = LabelSet(), LabelSet()
@@ -128,13 +130,24 @@ class DirectedSPCIndex:
         """Return spc(s→t)."""
         return self.query(s, t)[1]
 
-    def source_probe(self, s):
+    def source_probe(self, s, hub_filter=None):
         """Return ``probe(t) -> (sd(s→t), spc(s→t))`` sharing one L_out(s) scan.
 
         Directed twin of :func:`repro.core.labels.counting_probe`: the
         source dict comes from L_out(s) and each probe scans L_in(t).
+        ``hub_filter`` restricts the merge to a hub-rank subset, yielding
+        shard-mergeable partial answers.
         """
-        return counting_probe(self.out_label_set(s), self.in_label_set)
+        return counting_probe(self.out_label_set(s), self.in_label_set,
+                              hub_filter)
+
+    def set_dirty_sink(self, sink):
+        """Install (or clear) a dirty-vertex sink over both label families."""
+        self._dirty = sink
+        for ls in self._lin.values():
+            ls._sink = sink
+        for ls in self._lout.values():
+            ls._sink = sink
 
     # ------------------------------------------------------------------
     # Dynamic-maintenance support / accounting
@@ -146,6 +159,8 @@ class DirectedSPCIndex:
         lin, lout = LabelSet(), LabelSet()
         lin.bind(self._in_holders, v)
         lout.bind(self._out_holders, v)
+        lin._sink = self._dirty
+        lout._sink = self._dirty
         lin.set(r, 0, 1)
         lout.set(r, 0, 1)
         self._lin[v] = lin

@@ -90,6 +90,25 @@ class DirectedBackend(SPCBackend):
             (u, v) for u in self.graph.predecessors(v)
         ]
 
+    def label_payload(self, v):
+        # Both families travel together: the shard query path needs
+        # L_out(s) and L_in(t) of the *same* vertex state.
+        if v not in self.index:
+            return None
+        return {
+            "in": [[h, d, c] for h, d, c in self.index.in_label_set(v)],
+            "out": [[h, d, c] for h, d, c in self.index.out_label_set(v)],
+        }
+
+    @classmethod
+    def iter_label_payloads(cls, index_payload, vertex_type=int):
+        out_labels = index_payload["out_labels"]
+        for key, entries in index_payload["in_labels"].items():
+            yield vertex_type(key), {
+                "in": entries,
+                "out": out_labels.get(key, []),
+            }
+
     def verify(self, sample_pairs=None, seed=0):
         from repro.verify import verify_espc_directed
 
@@ -248,6 +267,15 @@ class SDBackend(SPCBackend):
             self._rebuild_pending = True
         else:
             self.index = self.build_index()
+
+    def label_payload(self, v):
+        from repro.exceptions import VertexNotFound
+
+        try:
+            hubs, dists = self.index.label_arrays(v)
+        except VertexNotFound:
+            return None
+        return [[h, d] for h, d in zip(hubs, dists)]
 
     def verify(self, sample_pairs=None, seed=0):
         from repro.verify import verify_sd

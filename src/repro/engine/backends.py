@@ -84,6 +84,46 @@ class SPCBackend(abc.ABC):
         """JSON-serializable payload of the live index (checkpointing)."""
         return self.index.to_dict()
 
+    # ------------------------------------------------------------------
+    # Label-delta hooks (the repro.shard seam)
+    # ------------------------------------------------------------------
+
+    def install_label_sink(self, sink):
+        """Arm dirty-vertex tracking on the *current* index.
+
+        ``sink`` is a set collecting every vertex whose labels mutate; the
+        serving layer drains it per applied batch to journal label deltas
+        for hub-partitioned shards.  Must be re-installed after any index
+        replacement (rebuild, SD rebuild-on-delete) — the service detects
+        replacement by identity and emits a full-dump reset record.
+        """
+        self.index.set_dirty_sink(sink)
+
+    def label_payload(self, v):
+        """JSON-safe label state of one vertex, or ``None`` if it is gone.
+
+        The default suits any index mirroring ``SPCIndex`` (one label set
+        per vertex, hub ranks): a ``[[hub_rank, dist, count], ...]`` list.
+        Directed/SD-shaped indexes override with their own shape; shards
+        rehydrate through :meth:`iter_label_payloads`-compatible filters.
+        """
+        from repro.exceptions import VertexNotFound
+
+        try:
+            ls = self.index.label_set(v)
+        except VertexNotFound:
+            return None
+        return [[h, d, c] for h, d, c in ls]
+
+    @classmethod
+    def iter_label_payloads(cls, index_payload, vertex_type=int):
+        """Yield ``(vertex, label_payload)`` for every vertex in a
+        checkpointed index payload — the slice-restricted-restore seam:
+        shards filter each payload to their hub range instead of
+        materializing the full index."""
+        for key, entries in index_payload["labels"].items():
+            yield vertex_type(key), entries
+
     @classmethod
     def index_from_dict(cls, payload):
         """Rehydrate an index of this backend's family from a checkpoint."""

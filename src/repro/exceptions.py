@@ -118,3 +118,11 @@ class ClusterError(ReproError):
     satisfies the staleness bound, querying a dead replica, a replica that
     failed to bootstrap or diverged from the replication stream, or a
     fault-injection harness observing an inconsistency."""
+
+
+class ShardError(ClusterError):
+    """Raised by the hub-partitioned sharding layer (:mod:`repro.shard`):
+    a partitioner that does not cover the hub space, a scatter-gather read
+    that cannot assemble a consistent cross-shard cut, or a query routed
+    while a shard is down — the router *refuses* rather than serving a
+    partial (hence silently wrong) merged answer."""

@@ -53,6 +53,7 @@ def _resume_bfs(graph, index, h, va, vb):
     rhubs, rdists = index.label_arrays(hub_vertex)
     root_dist = dict(zip(rhubs, rdists))
 
+    sink = index._dirty
     dist = {vb: d0 + 1}
     queue = deque([vb])
     while queue:
@@ -70,6 +71,8 @@ def _resume_bfs(graph, index, h, va, vb):
         if dl <= dv:
             continue
         _upsert(vhubs, vdists, h, dv)
+        if sink is not None:
+            sink.add(v)
         dnext = dv + 1
         for w in graph.neighbors(v):
             if w not in dist and h <= rank[w]:

@@ -27,13 +27,14 @@ INF = float("inf")
 class SDIndex:
     """Distance-only 2-hop labeling (hub, distance) per vertex."""
 
-    __slots__ = ("_order", "_labels")
+    __slots__ = ("_order", "_labels", "_dirty")
 
     def __init__(self, order):
         if not isinstance(order, VertexOrder):
             order = VertexOrder(order)
         self._order = order
         self._labels = {v: ([], []) for v in order}  # hubs, dists
+        self._dirty = None
 
     @property
     def order(self):
@@ -86,10 +87,17 @@ class SDIndex:
         """
         return self.distance(s, t), None
 
-    def source_probe(self, s):
-        """Return ``probe(t) -> (sd, None)`` sharing one scan of L(s)."""
+    def source_probe(self, s, hub_filter=None):
+        """Return ``probe(t) -> (sd, None)`` sharing one scan of L(s).
+
+        ``hub_filter`` restricts the merge to a hub-rank subset, yielding
+        shard-mergeable partial answers (distance-only).
+        """
         hubs_s, dists_s = self.label_arrays(s)
-        s_entry = dict(zip(hubs_s, dists_s))
+        if hub_filter is None:
+            s_entry = dict(zip(hubs_s, dists_s))
+        else:
+            s_entry = {h: d for h, d in zip(hubs_s, dists_s) if hub_filter(h)}
         label_of = self.label_arrays
 
         def probe(t):
@@ -106,10 +114,21 @@ class SDIndex:
 
         return probe
 
+    def set_dirty_sink(self, sink):
+        """Install (or clear) a dirty-vertex sink.
+
+        The SD-Index has no :class:`LabelSet` seam, so the mutation points
+        (``add_vertex``, ``drop_vertex_labels``, ``inc_sd``'s upserts)
+        report into the sink directly.
+        """
+        self._dirty = sink
+
     def add_vertex(self, v):
         """Register a new (isolated) vertex with the lowest rank."""
         r = self._order.append(v)
         self._labels[v] = ([r], [0])
+        if self._dirty is not None:
+            self._dirty.add(v)
         return r
 
     def drop_vertex_labels(self, v):
@@ -124,12 +143,17 @@ class SDIndex:
         if v not in self._labels:
             raise VertexNotFound(v)
         rv = self._order.rank(v)
+        sink = self._dirty
+        if sink is not None:
+            sink.add(v)
         del self._labels[v]
-        for hubs, dists in self._labels.values():
+        for u, (hubs, dists) in self._labels.items():
             i = bisect_left(hubs, rv)
             if i < len(hubs) and hubs[i] == rv:
                 del hubs[i]
                 del dists[i]
+                if sink is not None:
+                    sink.add(u)
         self._order.remove(v)
 
     @property

@@ -112,6 +112,41 @@ def engine_from_payload(payload):
     return engine
 
 
+def filter_label_payload(lp, keep):
+    """Restrict one vertex's label payload to hubs passing ``keep``.
+
+    Handles every family's payload shape: entry lists (core / weighted /
+    sd — the hub rank is always ``entry[0]``) and the directed backend's
+    ``{"in": [...], "out": [...]}`` pair.  ``None`` (vertex gone) passes
+    through, so journal ``lb`` ops can be filtered with the same function.
+    """
+    if lp is None:
+        return None
+    if isinstance(lp, dict):
+        return {
+            fam: [e for e in entries if keep(e[0])]
+            for fam, entries in lp.items()
+        }
+    return [e for e in lp if keep(e[0])]
+
+
+def checkpoint_label_slice(payload, keep):
+    """Hub-sliced label states from a checkpoint: ``{vertex: payload}``.
+
+    The slice-restricted restore seam for :mod:`repro.shard`: instead of
+    rehydrating the full index (:func:`engine_from_payload`), a shard walks
+    the checkpoint's label payloads and keeps only entries whose hub rank
+    passes ``keep``.  Every vertex stays present (possibly with an empty
+    slice) — shards must know the vertex set to distinguish "no in-range
+    labels" from "unknown vertex".
+    """
+    backend_cls = get_backend(payload["backend"])
+    return {
+        v: filter_label_payload(lp, keep)
+        for v, lp in backend_cls.iter_label_payloads(payload["index"])
+    }
+
+
 def save_checkpoint(path, engine, applied_seq=0):
     """Atomically write a checkpoint of ``engine`` to ``path``."""
     payload = engine_to_payload(engine, applied_seq=applied_seq)

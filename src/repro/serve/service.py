@@ -45,6 +45,9 @@ from repro.serve.wal import WriteAheadLog, is_loggable, read_wal
 #: filenames inside a durability directory.
 SNAPSHOT_FILENAME = "snapshot.json"
 WAL_FILENAME = "wal.jsonl"
+#: the label-delta journal (written only under ServeConfig.label_journal) —
+#: the replication stream hub-partitioned shards tail (repro.shard).
+JOURNAL_FILENAME = "labels.jsonl"
 
 
 @dataclass(frozen=True)
@@ -90,6 +93,18 @@ class ServeConfig:
         Automatic WAL compaction, size half: compact as above once the
         WAL exceeds this many bytes.  ``0`` disables; requires a
         ``durability_dir``.  Either trigger alone suffices.
+    label_journal:
+        Additionally journal per-batch *label deltas* to ``labels.jsonl``
+        alongside the WAL: after each applied batch the writer records the
+        post-batch label state of every vertex whose labels changed (via
+        the index's dirty-vertex sink), or a full-dump reset record when
+        the index object was replaced (a rebuild).  Hub-partitioned shards
+        (:mod:`repro.shard`) tail this journal and materialize only their
+        hub-range slice — the paper's maintenance algorithms need the full
+        index for their pruning probes, so slices are replicated as
+        materialized views instead of maintained locally (DESIGN.md §13).
+        Requires a ``durability_dir``; compaction truncates the journal in
+        lockstep with the WAL.
     """
 
     publish_every: int = 32
@@ -100,6 +115,7 @@ class ServeConfig:
     wal_fsync: bool = False
     auto_checkpoint_every_k_batches: int = 0
     wal_max_bytes: int = 0
+    label_journal: bool = False
 
     def __post_init__(self):
         if self.publish_every < 1:
@@ -198,6 +214,11 @@ class SPCService:
                 "auto_checkpoint_every_k_batches / wal_max_bytes compact "
                 "the WAL, which requires a durability_dir"
             )
+        if config.label_journal and config.durability_dir is None:
+            raise ServeError(
+                "label_journal writes labels.jsonl next to the WAL, "
+                "which requires a durability_dir"
+            )
         self._engine = engine
         self._config = config
         self._queue = queue.Queue(maxsize=config.queue_capacity)
@@ -224,6 +245,9 @@ class SPCService:
         self._auto_bytes_floor = 0  # raised after a failed compaction
 
         self._wal = None
+        self._journal = None
+        self._label_sink = set()
+        self._journaled_index = None
         if config.durability_dir is not None:
             os.makedirs(config.durability_dir, exist_ok=True)
             snap_path = self._durable_snapshot_path()
@@ -244,11 +268,26 @@ class SPCService:
                     wal_path, fsync=config.wal_fsync, backend=engine.backend_name
                 )
                 self._wal.truncate()
+                if config.label_journal:
+                    self._journal = self._open_journal()
+                    self._journal.truncate()
                 save_checkpoint(snap_path, engine, applied_seq=0)
             else:
                 self._wal = WriteAheadLog(
                     wal_path, fsync=config.wal_fsync, backend=engine.backend_name
                 )
+                if config.label_journal:
+                    self._journal = self._open_journal()
+                    # The WAL tail replayed during restore ran without a
+                    # dirty sink (and a crash can lose the journal record
+                    # of the last WAL batch), so the journal may be behind
+                    # the engine.  A reset record at the resume seq
+                    # re-anchors every shard on the restored state.
+                    if self._seq:
+                        self._journal_reset()
+            if self._journal is not None:
+                self._engine.backend.install_label_sink(self._label_sink)
+                self._journaled_index = self._engine.backend.index
 
         self._snapshot = self._make_snapshot()
         self._published += 1
@@ -421,6 +460,8 @@ class SPCService:
         self._closed = True
         if self._wal is not None:
             self._wal.close()
+        if self._journal is not None:
+            self._journal.close()
         self._raise_if_dead()
 
     def __enter__(self):
@@ -616,6 +657,8 @@ class SPCService:
             self._seq += 1
             if self._wal is not None:
                 self._wal.append(self._seq, applied)
+            if self._journal is not None:
+                self._journal_append()
             self._applied_updates += len(applied)
             self._dirty += len(applied)
             if self._dirty_since is None:
@@ -705,6 +748,54 @@ class SPCService:
         finally:
             self._last_checkpoint_seq = self._seq
 
+    def _open_journal(self):
+        # Label ops are already JSON-safe op-tagged lists, so the journal
+        # reuses the WAL writer with an identity codec — same framing,
+        # torn-tail trimming and compaction-marker semantics.
+        return WriteAheadLog(
+            os.path.join(self._config.durability_dir, JOURNAL_FILENAME),
+            fsync=self._config.wal_fsync,
+            backend=self._engine.backend_name,
+            encode=lambda op: op,
+        )
+
+    def _journal_append(self):
+        """Journal the label deltas of the batch just applied (same seq).
+
+        Rebuilds (engine rebuild policy, SD rebuild-on-delete) replace the
+        index object — and may reshuffle hub ranks — so identity change
+        forces a full-dump reset record and re-arms the sink on the new
+        index.  Otherwise one ``lb`` op per dirty vertex carries its
+        post-batch label state (``None`` = vertex dropped); replacement
+        semantics make records idempotent and order-independent within a
+        batch.  A batch whose updates moved no labels still journals a
+        ``nop`` op: seq contiguity is what tailing shards key on, and an
+        *empty* ops list is reserved for the compaction marker.
+        """
+        backend = self._engine.backend
+        if backend.index is not self._journaled_index:
+            self._label_sink.clear()
+            self._journal_reset()
+            return
+        sink = self._label_sink
+        ops = [["lb", v, backend.label_payload(v)] for v in sink]
+        sink.clear()
+        if not ops:
+            ops = [["nop"]]
+        self._journal.append(self._seq, ops)
+
+    def _journal_reset(self):
+        """Append a full-dump reset record at the current seq and re-arm
+        dirty tracking on the (possibly replaced) live index."""
+        backend = self._engine.backend
+        dump = [
+            [v, lp]
+            for v, lp in backend.iter_label_payloads(backend.index_to_dict())
+        ]
+        self._journal.append(self._seq, [["reset", dump]])
+        backend.install_label_sink(self._label_sink)
+        self._journaled_index = backend.index
+
     def _truncate_wal_with_marker(self):
         """Truncate the WAL, then stamp its head with the truncation point.
 
@@ -721,6 +812,12 @@ class SPCService:
         self._wal.truncate()
         if self._seq:
             self._wal.append(self._seq, [])
+        if self._journal is not None:
+            # The journal compacts in lockstep: the fresh checkpoint is the
+            # shards' re-bootstrap source, exactly as for WAL tailers.
+            self._journal.truncate()
+            if self._seq:
+                self._journal.append(self._seq, [])
 
     def _durable_snapshot_path(self):
         return os.path.join(self._config.durability_dir, SNAPSHOT_FILENAME)

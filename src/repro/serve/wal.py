@@ -199,19 +199,25 @@ class WriteAheadLog:
     applied it, so readers can refuse a checkpoint/WAL family mismatch.
     ``size`` tracks the log's current byte length (the input to the
     ``wal_max_bytes`` auto-compaction policy).
+
+    ``encode`` converts one list element to its JSON-safe op-tagged form;
+    the default serializes workload updates.  The label-delta journal
+    (:mod:`repro.shard`) reuses this class with its own codec — same
+    record framing, torn-tail handling and compaction markers.
     """
 
-    def __init__(self, path, fsync=False, backend=None):
+    def __init__(self, path, fsync=False, backend=None, encode=encode_update):
         self.path = path
         self.fsync = fsync
         self.backend = backend
+        self._encode = encode
         _trim_torn_tail(path)
         self._file = open(path, "a")
         self.size = os.path.getsize(path)
 
     def append(self, seq, updates):
         """Durably record one applied batch under sequence number ``seq``."""
-        record = {"seq": seq, "updates": [encode_update(u) for u in updates]}
+        record = {"seq": seq, "updates": [self._encode(u) for u in updates]}
         if self.backend is not None:
             record["backend"] = self.backend
         line = json.dumps(record) + "\n"
@@ -281,12 +287,18 @@ class WalTailer:
     already contains them).  Like :func:`read_wal`, a stamped record from
     a foreign backend family raises
     :class:`~repro.exceptions.CheckpointMismatchError`.
+
+    ``decode`` converts each op-tagged list element back into an object;
+    the default decodes workload updates.  Shards tail the label-delta
+    journal with their own codec (:func:`repro.shard.decode_label_op`).
     """
 
-    def __init__(self, path, after_seq=0, expect_backend=None):
+    def __init__(self, path, after_seq=0, expect_backend=None,
+                 decode=decode_update):
         self.path = path
         self.last_seq = after_seq
         self.expect_backend = expect_backend
+        self._decode = decode
         self._offset = 0
 
     def poll(self):
@@ -323,7 +335,7 @@ class WalTailer:
                 )
                 encoded = payload["updates"]
                 updates = (
-                    [decode_update(rec) for rec in encoded]
+                    [self._decode(rec) for rec in encoded]
                     if seq > self.last_seq else []
                 )
             except CheckpointMismatchError:

@@ -1,0 +1,44 @@
+"""The label-delta journal's op vocabulary and codec.
+
+The primary (:class:`~repro.serve.SPCService` with
+``ServeConfig.label_journal``) writes one journal record per applied WAL
+batch — same framing, same seq numbers, same compaction markers as the
+WAL itself, which is why shards tail it with the stock
+:class:`~repro.serve.wal.WalTailer` and this module only supplies the
+per-op decoder.  Three op kinds:
+
+* ``["lb", v, payload]`` — vertex ``v``'s complete post-batch label
+  state (``None`` = the vertex is gone).  *Replacement* semantics: ops
+  are idempotent and order-independent within a record.
+* ``["reset", [[v, payload], ...]]`` — a full label dump; emitted when
+  the primary replaced its index object (engine rebuild policy, the SD
+  family's rebuild-on-delete) or re-anchored after a restore, since a
+  rebuild may reshuffle every label without touching most vertices.
+* ``["nop"]`` — the batch applied but moved no labels; keeps the seq
+  stream contiguous (an *empty* ops list is the compaction marker).
+"""
+
+from repro.exceptions import ShardError
+
+OP_LABEL = "lb"
+OP_RESET = "reset"
+OP_NOP = "nop"
+
+_KINDS = (OP_LABEL, OP_RESET, OP_NOP)
+
+
+def decode_label_op(op):
+    """Validate one journal op (the WalTailer ``decode`` hook).
+
+    Light-weight on purpose — the hot path is a tag check; payload shapes
+    are the backends' business.  Raising :class:`ShardError` here turns a
+    corrupt journal into a visible shard death (routers then refuse)
+    instead of a silently wrong slice.
+    """
+    if not isinstance(op, list) or not op or op[0] not in _KINDS:
+        raise ShardError(f"malformed label-journal op: {op!r}")
+    if op[0] == OP_LABEL and len(op) != 3:
+        raise ShardError(f"malformed label op (want ['lb', v, payload]): {op!r}")
+    if op[0] == OP_RESET and (len(op) != 2 or not isinstance(op[1], list)):
+        raise ShardError(f"malformed reset op (want ['reset', dump]): {op!r}")
+    return op

@@ -1,0 +1,236 @@
+"""ShardRouter: scatter-gather reads over hub-partitioned shards.
+
+Every read needs *all* healthy shards (each owns part of the hub space),
+at *one* journal sequence number (mixing seqs would merge partials that
+never coexisted — an answer matching no prefix of the update log, which
+the shadow auditor would rightly flag).  The router therefore acquires a
+:class:`ShardCut` per read: the freshest seq for which every shard still
+has a published view in its ring, waiting briefly for laggards.  Per-
+shard partial answers are folded with the audit comparator's shared
+combiner (:func:`repro.audit.merge_partial_answers`) — hub slices
+partition the index's hub set, so the fold *is* the full two-pointer
+merge, counts and all.
+
+Failure semantics are deliberately asymmetric to replication: a cluster
+of full replicas degrades gracefully (any survivor can answer), while a
+shard fleet missing one slice cannot answer *anything* without risking a
+wrong distance or count — so any unhealthy shard, or an unattainable
+cut, raises :class:`~repro.exceptions.ShardError`.  Refusal over wrong
+answers.
+"""
+
+import threading
+import time
+from functools import reduce
+
+from repro.audit.comparator import merge_partial_answers
+from repro.exceptions import ShardError
+from repro.shard.planner import gather_chunks, split_batch
+
+
+class ShardCut:
+    """One consistent cross-shard read point: a seq + per-shard views."""
+
+    __slots__ = ("seq", "views", "shards")
+
+    def __init__(self, seq, shards, views):
+        self.seq = seq
+        self.shards = shards
+        self.views = views
+
+    def partials(self, s, t):
+        """Every shard's partial answer for (s, t) at this cut."""
+        return [
+            shard.partial(s, t, view)
+            for shard, view in zip(self.shards, self.views)
+        ]
+
+
+class ShardRouter:
+    """Fan queries to every shard and merge the partial answers.
+
+    Parameters
+    ----------
+    shards:
+        The :class:`~repro.shard.Shard` fleet (one per partition slot).
+    wait_timeout:
+        How long a read may wait for a consistent cut before refusing.
+    parallel_threshold:
+        ``query_many`` batches at least this long are split into
+        concurrent sub-batches (see :mod:`repro.shard.planner`).
+    """
+
+    def __init__(self, shards, wait_timeout=5.0, parallel_threshold=64):
+        shards = list(shards)
+        if not shards:
+            raise ShardError("a shard router needs at least one shard")
+        backends = {s.backend_name for s in shards}
+        if len(backends) > 1:
+            raise ShardError(
+                f"shards must share one backend family, got {sorted(backends)}"
+            )
+        self._shards = shards
+        self.wait_timeout = wait_timeout
+        self.parallel_threshold = parallel_threshold
+        self._counts = shards[0].counts
+        self._lock = threading.Lock()
+        self._answer_tap = None
+        self._routed = 0
+        self._refusals = 0
+        self._cut_waits = 0
+
+    # ------------------------------------------------------------------
+    # Fleet management
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self):
+        return len(self._shards)
+
+    @property
+    def shards(self):
+        """The shard fleet, in partition-slot order (do not mutate)."""
+        return list(self._shards)
+
+    def set_shard(self, shard_id, shard):
+        """Swap the shard in slot ``shard_id`` (a restarted shard)."""
+        for i, existing in enumerate(self._shards):
+            if existing.shard_id == shard_id:
+                self._shards[i] = shard
+                return
+        raise ShardError(f"router knows no shard with id {shard_id!r}")
+
+    # ------------------------------------------------------------------
+    # Consistent cuts
+    # ------------------------------------------------------------------
+
+    def acquire(self, min_seq=0):
+        """Pin a consistent cross-shard cut at ``seq >= min_seq``.
+
+        Picks the freshest seq every shard has published, waiting for
+        laggards up to ``wait_timeout``.  Refuses immediately — without
+        waiting — when any shard is unhealthy: a dead shard's slice
+        cannot catch up, and serving without it would be wrong, not
+        stale.
+        """
+        deadline = time.monotonic() + self.wait_timeout
+        while True:
+            shards = self._shards
+            down = [s.name for s in shards if not s.healthy]
+            if down:
+                with self._lock:
+                    self._refusals += 1
+                raise ShardError(
+                    f"shard(s) {down} are down; refusing cross-shard reads "
+                    f"(a missing hub slice cannot be merged around)"
+                )
+            hi = min(s.latest_seq for s in shards)
+            lo = max(s.min_seq for s in shards)
+            if hi >= max(lo, min_seq):
+                views = [s.view_at(hi) for s in shards]
+                if all(v is not None for v in views):
+                    return ShardCut(hi, list(shards), views)
+            if time.monotonic() >= deadline:
+                with self._lock:
+                    self._refusals += 1
+                raise ShardError(
+                    f"no consistent cross-shard cut at seq >= {min_seq} "
+                    f"within {self.wait_timeout} s (shards at "
+                    f"{[s.applied_seq for s in shards]}); refusing"
+                )
+            with self._lock:
+                self._cut_waits += 1
+            time.sleep(0.001)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def set_answer_tap(self, tap):
+        """Install (or clear, with ``None``) the answer-tap hook.
+
+        Same contract as ``SPCService.set_answer_tap`` / the cluster
+        router: ``tap(answered, seq, target, epoch)`` fires after every
+        *merged* read with the cut's journal seq — so an
+        :class:`~repro.audit.AuditSampler` + shadow auditor replaying the
+        primary's WAL to that seq differentially verifies the cross-shard
+        merge itself.
+        """
+        self._answer_tap = tap
+
+    def _tapped(self, cut, answered):
+        tap = self._answer_tap
+        if tap is not None:
+            tap(answered, cut.seq, "shard-router", 0)
+
+    def _merge(self, partials):
+        answer = reduce(merge_partial_answers, partials)
+        if not self._counts:
+            # Distance-only families answer (inf, None), not (inf, 0).
+            return (answer[0], None)
+        return answer
+
+    def query(self, s, t, min_seq=0):
+        """Merged (dist, count) for one pair at one consistent cut."""
+        cut = self.acquire(min_seq)
+        answer = self._merge(cut.partials(s, t))
+        with self._lock:
+            self._routed += 1
+        self._tapped(cut, [((s, t), answer)])
+        return answer
+
+    def query_tagged(self, s, t, min_seq=0):
+        """Merged answer plus its consistency tag: (answer, seq)."""
+        cut = self.acquire(min_seq)
+        answer = self._merge(cut.partials(s, t))
+        with self._lock:
+            self._routed += 1
+        self._tapped(cut, [((s, t), answer)])
+        return answer, cut.seq
+
+    def query_many(self, pairs, min_seq=0):
+        """Answer a batch of pairs against one consistent cut.
+
+        One cut serves the whole batch (every answer carries the same
+        seq); large batches are split into concurrent sub-batches and
+        reassembled in submission order (:mod:`repro.shard.planner`).
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        cut = self.acquire(min_seq)
+        chunks = split_batch(
+            pairs, ways=len(self._shards),
+            min_chunk=max(1, self.parallel_threshold // 2),
+        )
+        parallel = len(pairs) >= self.parallel_threshold
+
+        def worker(_offset, chunk):
+            return [self._merge(cut.partials(s, t)) for s, t in chunk]
+
+        answers = gather_chunks(chunks, worker, parallel=parallel)
+        with self._lock:
+            self._routed += len(pairs)
+        self._tapped(cut, list(zip(pairs, answers)))
+        return answers
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        """Router counters plus per-shard stats (JSON-safe)."""
+        with self._lock:
+            counters = {
+                "routed": self._routed,
+                "refusals": self._refusals,
+                "cut_waits": self._cut_waits,
+            }
+        counters["shards"] = [s.stats() for s in self._shards]
+        return counters
+
+    def __repr__(self):
+        return (
+            f"ShardRouter(shards={[s.name for s in self._shards]}, "
+            f"routed={self._routed}, refusals={self._refusals})"
+        )

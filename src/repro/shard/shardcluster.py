@@ -1,0 +1,330 @@
+"""ShardedCluster: one primary, K hub-partitioned shards, one router.
+
+The sharded counterpart of :class:`~repro.cluster.SPCCluster`: a single
+writer (:class:`~repro.serve.SPCService` with ``label_journal`` forced
+on) runs the paper's full maintenance and journals per-batch label
+deltas; each :class:`~repro.shard.Shard` materializes one hub slice of
+that index from the checkpoint + journal; a
+:class:`~repro.shard.ShardRouter` scatter-gathers reads over the fleet.
+
+Fault injection mirrors the cluster layer — :meth:`kill_shard` /
+:meth:`restart_shard` — but the degraded mode differs by design: a
+cluster with a dead replica keeps serving from the survivors, while a
+sharded fleet with a dead shard *refuses* reads until the slice is back
+(a merged answer missing one hub range would be wrong, not stale).
+"""
+
+import dataclasses
+import os
+from dataclasses import dataclass
+
+from repro.engine import SPCEngine
+from repro.exceptions import ShardError
+from repro.serve.persist import load_checkpoint
+from repro.serve.service import SNAPSHOT_FILENAME, ServeConfig, SPCService
+from repro.shard.partitioner import make_partitioner
+from repro.shard.scatter import ShardRouter
+from repro.shard.shard import Shard
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """All tunables of a :class:`ShardedCluster`.
+
+    Parameters
+    ----------
+    shards:
+        How many hub slices to run (ignored when an explicit partitioner
+        instance is passed to the cluster — its slot count wins).
+    partitioner:
+        Strategy name: ``"balanced"`` (holder-weighted contiguous ranges
+        — the default, since equal-width ranges collapse under the
+        top-heavy hub distribution), ``"range"`` (equal-width) or
+        ``"hash"``.
+    poll_interval:
+        Seconds a shard applier sleeps between empty journal polls.
+    ring_size:
+        Per-shard depth of the published-view ring (bounds how far the
+        router can look back for a consistent cut).
+    wait_timeout:
+        How long a read may wait for a consistent cut before refusing.
+    parallel_threshold:
+        Batch length at which ``query_many`` goes concurrent.
+    seed:
+        Seed for the hash partitioner's mixing.
+    """
+
+    shards: int = 4
+    partitioner: str = "balanced"
+    poll_interval: float = 0.002
+    ring_size: int = 64
+    wait_timeout: float = 5.0
+    parallel_threshold: int = 64
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ShardError(
+                f"a sharded cluster needs at least one shard, "
+                f"got {self.shards!r}"
+            )
+        if self.ring_size < 2:
+            raise ShardError(
+                f"ring_size must be >= 2 to leave any cut overlap, "
+                f"got {self.ring_size!r}"
+            )
+
+    def replace(self, **changes):
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+class ShardedCluster:
+    """A hub-partitioned serving fleet over one engine's label journal.
+
+    Example
+    -------
+    >>> import repro, tempfile
+    >>> from repro.shard import ShardedCluster
+    >>> from repro.workloads import InsertEdge
+    >>> engine = repro.open(repro.Graph.from_edges([(0, 1), (1, 2)]))
+    >>> with ShardedCluster(engine, tempfile.mkdtemp(), shards=2) as sc:
+    ...     sc.submit(InsertEdge(0, 2))
+    ...     _ = sc.sync()
+    ...     sc.query(0, 2)
+    (1, 1)
+    """
+
+    def __init__(self, engine, state_dir, config=None, serve_config=None,
+                 partitioner=None, overwrite=False, **overrides):
+        if isinstance(partitioner, str):
+            # Strategy *name*: fold it into the config; an explicit
+            # HubPartitioner instance bypasses the config entirely.
+            overrides["partitioner"] = partitioner
+            partitioner = None
+        if config is None:
+            config = ShardConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self._config = config
+        if serve_config is None:
+            serve_config = ServeConfig()
+        # The journal is not optional here — it *is* the replication feed.
+        serve_config = serve_config.replace(
+            durability_dir=state_dir, label_journal=True
+        )
+        self._state_dir = state_dir
+        self._closed = False
+        self.primary = SPCService(
+            engine, config=serve_config, overwrite=overwrite
+        )
+        self._shards = {}
+        try:
+            payload = load_checkpoint(
+                os.path.join(state_dir, SNAPSHOT_FILENAME)
+            )
+            if partitioner is None:
+                partitioner = make_partitioner(
+                    config.partitioner, config.shards,
+                    payload=payload, seed=config.seed,
+                )
+            self.partitioner = partitioner
+            for shard_id in range(partitioner.num_shards):
+                self._shards[shard_id] = Shard(
+                    state_dir, shard_id, partitioner,
+                    poll_interval=config.poll_interval,
+                    ring_size=config.ring_size,
+                )
+            self.router = ShardRouter(
+                [self._shards[i] for i in sorted(self._shards)],
+                wait_timeout=config.wait_timeout,
+                parallel_threshold=config.parallel_threshold,
+            )
+        except BaseException:
+            # A shard that failed to bootstrap must not leak the ones
+            # that did, nor the primary's writer thread.
+            self._teardown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Write path (primary only)
+    # ------------------------------------------------------------------
+
+    def submit(self, update):
+        """Enqueue one update on the primary."""
+        self.primary.submit(update)
+
+    def submit_many(self, updates):
+        """Enqueue a batch (kept whole) on the primary."""
+        self.primary.submit_many(updates)
+
+    def flush(self, timeout=30.0):
+        """Apply + journal everything submitted on the primary so far."""
+        return self.primary.flush(timeout=timeout)
+
+    def checkpoint(self, truncate_wal=False, timeout=30.0):
+        """Durable checkpoint on the primary (shards re-bootstrap if the
+        journal is compacted beneath their tail)."""
+        return self.primary.checkpoint(
+            truncate_wal=truncate_wal, timeout=timeout
+        )
+
+    # ------------------------------------------------------------------
+    # Read path (scatter-gather)
+    # ------------------------------------------------------------------
+
+    def query(self, s, t):
+        """Merged (dist, count) assembled from every shard's hub slice."""
+        return self.router.query(s, t)
+
+    def query_tagged(self, s, t):
+        """Merged answer plus its consistency tag: (answer, seq)."""
+        return self.router.query_tagged(s, t)
+
+    def query_many(self, pairs):
+        """Answer a batch of pairs against one consistent cut."""
+        return self.router.query_many(pairs)
+
+    def set_answer_tap(self, tap):
+        """Tap merged answers (shadow audit of the cross-shard merge)."""
+        self.router.set_answer_tap(tap)
+
+    # ------------------------------------------------------------------
+    # Fleet operations
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self):
+        """Mapping shard_id -> :class:`Shard` (live view, do not mutate)."""
+        return self._shards
+
+    @property
+    def config(self):
+        """The cluster's :class:`ShardConfig` (frozen)."""
+        return self._config
+
+    @property
+    def state_dir(self):
+        """The primary's durability directory (= the replication feed)."""
+        return self._state_dir
+
+    def sync(self, timeout=30.0):
+        """Flush the primary, then block until every healthy shard has
+        applied up to the primary's seq.  Returns that seq.
+
+        Raises :class:`ShardError` when a shard cannot catch up in time —
+        with sharding a lagging follower blocks fresh cuts, so the caller
+        must see it.
+        """
+        self.primary.flush(timeout=timeout)
+        target = self.primary.applied_seq
+        for shard_id, shard in self._shards.items():
+            if not shard.healthy:
+                continue
+            if not shard.catch_up(target, timeout=timeout):
+                raise ShardError(
+                    f"shard {shard_id} is stuck at seq {shard.applied_seq}, "
+                    f"primary at {target}"
+                )
+        return target
+
+    def kill_shard(self, shard_id):
+        """Hard-stop one shard mid-stream (fault injection).
+
+        Until :meth:`restart_shard` replaces it the router *refuses* all
+        reads — a missing hub slice degrades to refusal, never to wrong
+        answers.
+        """
+        self._shard(shard_id).kill()
+
+    def restart_shard(self, shard_id):
+        """Crash-recover a shard: bootstrap a fresh slice under the same
+        partition slot from the *current* checkpoint + journal tail and
+        swap it into the router.  Returns the new :class:`Shard`.
+        """
+        old = self._shard(shard_id)
+        old.kill()
+        shard = Shard(
+            self._state_dir, shard_id, self.partitioner,
+            poll_interval=self._config.poll_interval,
+            ring_size=self._config.ring_size,
+        )
+        self._shards[shard_id] = shard
+        self.router.set_shard(shard_id, shard)
+        return shard
+
+    def stats(self):
+        """One dict tying together primary, shard and router counters."""
+        return {
+            "primary": self.primary.stats(),
+            "partitioner": self.partitioner.describe(),
+            "router": self.router.stats(),
+        }
+
+    def close(self, timeout=30.0):
+        """Stop every shard and the primary.  Idempotent.
+
+        Shard applier failures surface as :class:`ShardError` after
+        everything has been torn down.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        failures = self._teardown(timeout=timeout)
+        if failures:
+            raise ShardError(
+                f"sharded-cluster shutdown found {len(failures)} failed "
+                f"component(s): " + "; ".join(failures)
+            )
+
+    def _teardown(self, timeout=30.0):
+        failures = []
+        for shard_id, shard in self._shards.items():
+            try:
+                shard.close()
+            except ShardError as exc:
+                failures.append(str(exc))
+        try:
+            self.primary.close(timeout=timeout)
+        except Exception as exc:  # noqa: BLE001 — reported, not masked
+            failures.append(f"primary: {exc!r}")
+        return failures
+
+    def _shard(self, shard_id):
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise ShardError(
+                f"no shard with id {shard_id!r}; have {sorted(self._shards)}"
+            ) from None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"ShardedCluster(shards={sorted(self._shards)}, "
+            f"partitioner={self.partitioner.describe()['kind']!r}, "
+            f"primary_seq={self.primary.applied_seq})"
+        )
+
+
+def shard_cluster(graph_or_engine, state_dir, config=None, serve_config=None,
+                  engine_config=None, partitioner=None, overwrite=False,
+                  **overrides):
+    """Open a :class:`ShardedCluster` over a graph or an existing engine.
+
+    Convenience entry point mirroring :func:`repro.cluster.cluster`.
+    """
+    if isinstance(graph_or_engine, SPCEngine):
+        engine = graph_or_engine
+    else:
+        engine = SPCEngine(graph_or_engine, config=engine_config)
+    return ShardedCluster(
+        engine, state_dir, config=config, serve_config=serve_config,
+        partitioner=partitioner, overwrite=overwrite, **overrides
+    )

@@ -20,7 +20,7 @@ _NO_HOLDERS = frozenset()
 class WeightedSPCIndex:
     """Hub labeling for shortest-path counting on weighted graphs."""
 
-    __slots__ = ("_order", "_labels", "_holders")
+    __slots__ = ("_order", "_labels", "_holders", "_dirty")
 
     def __init__(self, order, with_self_labels=True):
         if not isinstance(order, VertexOrder):
@@ -28,6 +28,7 @@ class WeightedSPCIndex:
         self._order = order
         self._labels = {}
         self._holders = {}
+        self._dirty = None
         rank = order.rank_map()
         for v in order:
             ls = LabelSet()
@@ -88,19 +89,27 @@ class WeightedSPCIndex:
         """Return spc(s, t)."""
         return self.query(s, t)[1]
 
-    def source_probe(self, s):
+    def source_probe(self, s, hub_filter=None):
         """Return ``probe(t) -> (sd, spc)`` sharing one scan of L(s).
 
         See :func:`repro.core.labels.counting_probe`; identical under
-        weighted distances.
+        weighted distances.  ``hub_filter`` restricts the merge to a
+        hub-rank subset, yielding shard-mergeable partial answers.
         """
-        return counting_probe(self.label_set(s), self.label_set)
+        return counting_probe(self.label_set(s), self.label_set, hub_filter)
+
+    def set_dirty_sink(self, sink):
+        """Install (or clear) a dirty-vertex sink (see SPCIndex)."""
+        self._dirty = sink
+        for ls in self._labels.values():
+            ls._sink = sink
 
     def add_vertex(self, v):
         """Register a new isolated vertex with the lowest rank."""
         r = self._order.append(v)
         ls = LabelSet()
         ls.bind(self._holders, v)
+        ls._sink = self._dirty
         ls.set(r, 0, 1)
         self._labels[v] = ls
         return r

@@ -1,0 +1,92 @@
+"""AuditRateController: holding the audit queue depth by retuning the rate."""
+
+import pytest
+
+from repro.audit import AuditRateController, AuditSampler
+
+
+def controller(rate=0.5, **kw):
+    sampler = AuditSampler(rate=rate, capacity=64, seed=0)
+    kw.setdefault("cooldown", 1)
+    return AuditRateController(sampler, **kw), sampler
+
+
+class TestValidation:
+    def test_target_lag(self):
+        with pytest.raises(ValueError, match="target_lag"):
+            controller(target_lag=0)
+
+    def test_rate_band(self):
+        with pytest.raises(ValueError, match="min_rate"):
+            controller(min_rate=0.0)
+        with pytest.raises(ValueError, match="min_rate"):
+            controller(min_rate=0.5, max_rate=0.25)
+
+    def test_cooldown(self):
+        with pytest.raises(ValueError, match="cooldown"):
+            controller(cooldown=0)
+
+
+class TestControlLaw:
+    def test_overshoot_halves(self):
+        ctl, sampler = controller(rate=0.8, target_lag=10)
+        assert ctl.observe(11) == pytest.approx(0.4)
+        assert sampler.rate == pytest.approx(0.4)
+        assert ctl.lowered == 1
+
+    def test_undershoot_doubles(self):
+        ctl, sampler = controller(rate=0.1, target_lag=10)
+        assert ctl.observe(4) == pytest.approx(0.2)
+        assert ctl.raised == 1
+
+    def test_hysteresis_band_holds(self):
+        ctl, sampler = controller(rate=0.5, target_lag=10)
+        for lag in (5, 7, 10):
+            assert ctl.observe(lag) == 0.5
+        assert ctl.raised == ctl.lowered == 0
+
+    def test_rate_clamped_to_band(self):
+        ctl, sampler = controller(rate=0.002, target_lag=10,
+                                  min_rate=0.001, max_rate=0.5)
+        assert ctl.observe(100) == 0.001
+        assert ctl.observe(100) == 0.001  # already at the floor: no churn
+        assert ctl.lowered == 1
+        for _ in range(20):
+            ctl.observe(0)
+        assert sampler.rate == 0.5
+
+    def test_cooldown_spaces_adjustments(self):
+        ctl, sampler = controller(rate=0.8, target_lag=10, cooldown=3)
+        assert ctl.observe(100) == pytest.approx(0.4)  # first may adjust
+        assert ctl.observe(100) == pytest.approx(0.4)  # held
+        assert ctl.observe(100) == pytest.approx(0.4)  # held
+        assert ctl.observe(100) == pytest.approx(0.2)
+
+    def test_recovers_from_any_mistuning_in_log_steps(self):
+        ctl, sampler = controller(rate=1.0, target_lag=8, min_rate=0.001)
+        steps = 0
+        while ctl.observe(1000) > 0.002:
+            steps += 1
+            assert steps < 16  # multiplicative: O(log) adjustments
+
+    def test_set_rate_redraws_gate(self):
+        # A sampler muted by rate 0.01 must start admitting promptly
+        # after being turned up — the old geometric gap may be huge.
+        sampler = AuditSampler(rate=0.01, capacity=64, seed=1)
+        sampler.set_rate(1.0)
+        sampler([((0, 1), (1, 1))], 1, "t", 0)
+        assert sampler.pending() == 1
+
+    def test_set_rate_validates(self):
+        sampler = AuditSampler(rate=0.5)
+        with pytest.raises(ValueError, match="rate"):
+            sampler.set_rate(1.5)
+
+
+class TestStats:
+    def test_stats_shape(self):
+        ctl, _ = controller(rate=0.5, target_lag=10)
+        ctl.observe(100)
+        stats = ctl.stats()
+        assert stats["lowered"] == 1 and stats["observations"] == 1
+        assert stats["rate"] == 0.25

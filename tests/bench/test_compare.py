@@ -148,3 +148,25 @@ class TestCLI:
         from repro.bench.runner import EXPERIMENTS
 
         assert "cluster" in EXPERIMENTS
+
+    def test_shard_experiment_registered(self):
+        from repro.bench.runner import EXPERIMENTS
+
+        assert "shard" in EXPERIMENTS
+
+    def test_shard_extractor_tracks_qps_latency_and_memory(self):
+        extra = {
+            "runs": {
+                "core": {
+                    "read_qps": 5000,
+                    "read_latency_ms": {"p50": 0.1, "p99": 0.4},
+                    "memory": {
+                        "peak_ratio": {"shard-0": 0.26, "shard-1": 0.31},
+                    },
+                },
+            },
+        }
+        metrics = METRIC_EXTRACTORS["shard"](extra)
+        assert metrics["core.read_qps"] == (5000, "higher")
+        assert metrics["core.read_latency_p99_ms"] == (0.4, "lower")
+        assert metrics["core.max_peak_ratio"] == (0.31, "lower")

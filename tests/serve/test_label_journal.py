@@ -1,0 +1,271 @@
+"""Label-delta journal tests (``ServeConfig.label_journal``).
+
+The journal is the replication feed for hub-partitioned shards
+(:mod:`repro.shard`): one record per applied batch carrying the post-batch
+label state of every dirty vertex.  The core guarantee tested here is that
+*bootstrapping from the checkpoint and replaying the journal reproduces the
+primary's label state exactly*, on every backend and across rebuilds,
+restores and compactions.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.graph.directed import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.undirected import Graph
+from repro.graph.weighted import WeightedGraph
+from repro.serve import ServeConfig, SPCService, restore
+from repro.serve.persist import (
+    checkpoint_label_slice,
+    filter_label_payload,
+    load_checkpoint,
+)
+from repro.serve.service import JOURNAL_FILENAME, SNAPSHOT_FILENAME
+from repro.serve.wal import WalTailer
+from repro.exceptions import ServeError
+from repro.workloads import DeleteEdge, DeleteVertex, InsertEdge, SetWeight
+
+
+def journal_records(dirpath):
+    """Raw (seq, ops) pairs from the journal file."""
+    out = []
+    with open(os.path.join(dirpath, JOURNAL_FILENAME)) as f:
+        for line in f:
+            rec = json.loads(line)
+            out.append((rec["seq"], rec["updates"]))
+    return out
+
+
+def replay_into(store, ops):
+    """Apply one journal record's ops to a {vertex: payload} dict."""
+    for op in ops:
+        kind = op[0]
+        if kind == "nop":
+            continue
+        if kind == "reset":
+            store.clear()
+            store.update({v: lp for v, lp in op[1]})
+            continue
+        assert kind == "lb"
+        _, v, lp = op
+        if lp is None:
+            store.pop(v, None)
+        else:
+            store[v] = lp
+
+
+def materialized_state(dirpath, after_seq=0):
+    """Bootstrap from the checkpoint, replay the journal: {vertex: payload}."""
+    payload = load_checkpoint(os.path.join(dirpath, SNAPSHOT_FILENAME))
+    store = checkpoint_label_slice(payload, keep=lambda h: True)
+    tailer = WalTailer(
+        os.path.join(dirpath, JOURNAL_FILENAME),
+        after_seq=payload["applied_seq"],
+        decode=lambda rec: rec,
+    )
+    records, gap = tailer.poll()
+    assert not gap
+    for _seq, ops in records:
+        replay_into(store, ops)
+    return store, tailer.last_seq
+
+
+def primary_state(service):
+    """{vertex: label payload} straight off the live backend."""
+    backend = service.engine.backend
+    return {
+        v: backend.label_payload(v) for v in service.engine.graph.vertices()
+    }
+
+
+def service_over(graph, tmp_path, backend=None, **cfg):
+    config = ServeConfig(
+        durability_dir=str(tmp_path), label_journal=True, **cfg
+    )
+    engine = repro.open(graph, backend=backend) if backend else repro.open(graph)
+    return SPCService(engine, config)
+
+
+class TestJournalWriter:
+    def test_requires_durability_dir(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ServeError, match="label_journal"):
+            SPCService(repro.open(g), ServeConfig(label_journal=True))
+
+    def test_one_record_per_batch_lb_ops(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)], vertices=[0, 1, 2, 3, 4])
+        with service_over(g, tmp_path) as svc:
+            svc.submit(InsertEdge(3, 4))
+            svc.flush()
+            svc.submit(DeleteEdge(1, 2))
+            svc.flush()
+        recs = journal_records(tmp_path)
+        assert [seq for seq, _ in recs] == [1, 2]
+        for _seq, ops in recs:
+            assert ops and all(op[0] == "lb" for op in ops)
+
+    def test_noop_batch_journals_nop_not_marker(self, tmp_path):
+        # A successfully applied batch that moves no labels must still
+        # advance the journal seq — an *empty* ops list is reserved for
+        # the compaction marker and would read as one.
+        g = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 1.0)])
+        with service_over(g, tmp_path) as svc:
+            # a far-too-heavy edge changes the graph but no shortest path,
+            # so the batch applies (WAL seq 1) with zero dirty vertices
+            svc.submit(InsertEdge(0, 2, 100.0))
+            svc.flush()
+        recs = journal_records(tmp_path)
+        assert recs == [(1, [["nop"]])]
+
+    def test_vertex_drop_journals_none_payload(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2)], vertices=[0, 1, 2])
+        with service_over(g, tmp_path) as svc:
+            svc.submit(DeleteVertex(2))
+            svc.flush()
+        (_seq, ops), = journal_records(tmp_path)
+        dropped = [op for op in ops if op[0] == "lb" and op[1] == 2]
+        assert dropped and dropped[0][2] is None
+
+    def test_compaction_truncates_journal_in_lockstep(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2)], vertices=[0, 1, 2, 3])
+        with service_over(g, tmp_path) as svc:
+            svc.submit(InsertEdge(2, 3))
+            svc.flush()
+            svc.checkpoint(truncate_wal=True)
+            svc.submit(InsertEdge(0, 3))
+            svc.flush()
+        recs = journal_records(tmp_path)
+        # marker at the checkpoint seq, then the post-checkpoint batch
+        assert recs[0] == (1, [])
+        assert recs[1][0] == 2 and recs[1][1]
+        # a tailer resuming past the marker sees no gap
+        tailer = WalTailer(
+            os.path.join(tmp_path, JOURNAL_FILENAME),
+            after_seq=1, decode=lambda rec: rec,
+        )
+        records, gap = tailer.poll()
+        assert not gap and [s for s, _ in records] == [2]
+
+    def test_resume_appends_reset_record(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2)], vertices=[0, 1, 2])
+        with service_over(g, tmp_path) as svc:
+            svc.submit(InsertEdge(0, 2))
+            svc.flush()
+        cfg = ServeConfig(durability_dir=str(tmp_path), label_journal=True)
+        restore(str(tmp_path), cfg).close()
+        recs = journal_records(tmp_path)
+        assert recs[-1][0] == 1  # duplicate seq: tailers past it skip it
+        assert recs[-1][1][0][0] == "reset"
+
+    def test_sd_rebuild_on_delete_emits_reset(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        with service_over(g, tmp_path, backend="sd") as svc:
+            svc.submit(InsertEdge(0, 3))
+            svc.flush()
+            svc.submit(DeleteEdge(1, 2))  # SD deletes rebuild the index
+            svc.flush()
+        recs = journal_records(tmp_path)
+        assert [op[0] for op in recs[1][1]] == ["reset"]
+
+
+class TestReplayFidelity:
+    """Checkpoint + journal replay == live backend labels, per backend."""
+
+    def churn(self, svc, updates):
+        for u in updates:
+            svc.submit(u)
+            svc.flush()
+
+    def assert_replay_matches(self, svc, tmp_path):
+        store, last = materialized_state(tmp_path)
+        assert last == svc.applied_seq
+        live = primary_state(svc)
+        # replay drops vanished vertices; the live map keeps None for them
+        assert store == {v: lp for v, lp in live.items() if lp is not None}
+
+    def test_core(self, tmp_path):
+        g = erdos_renyi(18, 36, seed=5)
+        svc = service_over(g, tmp_path)
+        self.churn(svc, [
+            InsertEdge(0, 9), InsertEdge(1, 12), DeleteEdge(0, 9),
+            DeleteVertex(17), InsertEdge(2, 14),
+        ])
+        self.assert_replay_matches(svc, tmp_path)
+        svc.close()
+
+    def test_directed(self, tmp_path):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+        svc = service_over(g, tmp_path)
+        self.churn(svc, [InsertEdge(0, 2), DeleteEdge(1, 2), InsertEdge(2, 1)])
+        self.assert_replay_matches(svc, tmp_path)
+        svc.close()
+
+    def test_weighted(self, tmp_path):
+        g = WeightedGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 5.0)]
+        )
+        svc = service_over(g, tmp_path)
+        self.churn(svc, [
+            SetWeight(0, 3, 2.0), InsertEdge(1, 3, 1.0), DeleteEdge(1, 2),
+        ])
+        self.assert_replay_matches(svc, tmp_path)
+        svc.close()
+
+    def test_sd(self, tmp_path):
+        g = erdos_renyi(14, 26, seed=9)
+        svc = service_over(g, tmp_path, backend="sd")
+        self.churn(svc, [InsertEdge(0, 7), DeleteEdge(0, 1), InsertEdge(3, 11)])
+        self.assert_replay_matches(svc, tmp_path)
+        svc.close()
+
+    def test_replay_across_engine_rebuild(self, tmp_path):
+        # rebuild_every replaces the index object mid-stream; the journal
+        # must bridge it with a reset record, not stale deltas.
+        g = erdos_renyi(16, 30, seed=3)
+        svc = SPCService(
+            repro.open(g, rebuild_every=2),
+            ServeConfig(durability_dir=str(tmp_path), label_journal=True),
+        )
+        self.churn(svc, [
+            InsertEdge(0, 9), InsertEdge(1, 11), InsertEdge(2, 13),
+            InsertEdge(3, 15), DeleteEdge(0, 9),
+        ])
+        recs = journal_records(tmp_path)
+        assert any(
+            op[0] == "reset" for _seq, ops in recs for op in ops
+        )
+        self.assert_replay_matches(svc, tmp_path)
+        svc.close()
+
+
+class TestSliceHelpers:
+    def test_filter_list_payload(self):
+        lp = [[0, 1, 1], [3, 2, 4], [7, 1, 2]]
+        assert filter_label_payload(lp, lambda h: h >= 3) == [
+            [3, 2, 4], [7, 1, 2]
+        ]
+
+    def test_filter_directed_payload(self):
+        lp = {"in": [[0, 1, 1], [2, 2, 1]], "out": [[1, 1, 1]]}
+        assert filter_label_payload(lp, lambda h: h < 2) == {
+            "in": [[0, 1, 1]], "out": [[1, 1, 1]],
+        }
+
+    def test_filter_none_passes_through(self):
+        assert filter_label_payload(None, lambda h: True) is None
+
+    def test_checkpoint_slice_keeps_all_vertices(self, tmp_path):
+        g = erdos_renyi(12, 22, seed=1)
+        with service_over(g, tmp_path) as svc:
+            svc.flush()
+        payload = load_checkpoint(os.path.join(tmp_path, SNAPSHOT_FILENAME))
+        full = checkpoint_label_slice(payload, keep=lambda h: True)
+        lo = checkpoint_label_slice(payload, keep=lambda h: h < 3)
+        hi = checkpoint_label_slice(payload, keep=lambda h: h >= 3)
+        assert set(full) == set(lo) == set(hi) == set(g.vertices())
+        for v in full:
+            assert sorted(lo[v] + hi[v]) == sorted(full[v])

@@ -1,0 +1,32 @@
+"""The label-journal op decoder: corrupt feeds die loudly, valid ops pass."""
+
+import pytest
+
+from repro.exceptions import ShardError
+from repro.shard import OP_LABEL, OP_NOP, OP_RESET, decode_label_op
+
+
+class TestDecodeLabelOp:
+    @pytest.mark.parametrize("op", [
+        [OP_LABEL, 3, [[0, 1, 1]]],
+        [OP_LABEL, "v", None],
+        [OP_RESET, [[0, [[0, 0, 1]]], [1, []]]],
+        [OP_RESET, []],
+        [OP_NOP],
+    ])
+    def test_valid_ops_pass_through(self, op):
+        assert decode_label_op(op) is op
+
+    @pytest.mark.parametrize("op", [
+        [],                      # the compaction marker is not an op
+        ["mystery", 1],          # unknown tag
+        "lb",                    # not a list
+        None,
+        [OP_LABEL, 3],           # lb without payload
+        [OP_LABEL, 3, None, 4],  # lb with trailing junk
+        [OP_RESET],              # reset without dump
+        [OP_RESET, {"0": []}],   # reset dump must be a list
+    ])
+    def test_malformed_ops_raise(self, op):
+        with pytest.raises(ShardError, match="malformed"):
+            decode_label_op(op)

@@ -1,0 +1,154 @@
+"""Hub partitioners: totality, disjointness and balance of the slices."""
+
+import pytest
+
+import repro
+from repro.exceptions import ShardError
+from repro.graph.generators import erdos_renyi
+from repro.serve import ServeConfig, SPCService
+from repro.serve.persist import load_checkpoint
+from repro.serve.service import SNAPSHOT_FILENAME
+from repro.shard import (
+    HashPartitioner,
+    RangePartitioner,
+    balanced_boundaries,
+    hub_weights_from_payload,
+    make_partitioner,
+)
+
+#: ranks beyond any boundary — new vertices keep appending fresh ranks,
+#: so every partitioner must stay total out here.
+TAIL_RANKS = range(0, 2000, 17)
+
+
+def assert_partition(p):
+    """Every rank lands on exactly one shard; keep() agrees with shard_of."""
+    keeps = [p.keep(i) for i in range(p.num_shards)]
+    for rank in TAIL_RANKS:
+        owner = p.shard_of(rank)
+        assert 0 <= owner < p.num_shards
+        owners = [i for i, keep in enumerate(keeps) if keep(rank)]
+        assert owners == [owner]
+
+
+class TestRangePartitioner:
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ShardError, match="strictly increasing"):
+            RangePartitioner([5, 5, 9])
+
+    def test_first_boundary_must_be_positive(self):
+        with pytest.raises(ShardError, match="> 0"):
+            RangePartitioner([0, 4])
+
+    def test_shard_of_maps_ranges(self):
+        p = RangePartitioner([3, 7])
+        assert [p.shard_of(r) for r in (0, 2, 3, 6, 7, 100)] == [
+            0, 0, 1, 1, 2, 2,
+        ]
+
+    def test_last_range_open_ended(self):
+        p = RangePartitioner([3, 7])
+        assert p.shard_of(10 ** 9) == 2
+        assert p.keep(2)(10 ** 9)
+
+    def test_partition_property(self):
+        assert_partition(RangePartitioner([13, 30, 54]))
+
+    def test_equal_width(self):
+        p = RangePartitioner.equal_width(100, 4)
+        assert p.boundaries == [25, 50, 75]
+        assert p.num_shards == 4
+
+    def test_keep_rejects_bad_shard_id(self):
+        with pytest.raises(ShardError, match="out of range"):
+            RangePartitioner([3]).keep(2)
+
+    def test_describe(self):
+        assert RangePartitioner([3, 7]).describe() == {
+            "kind": "range", "boundaries": [3, 7],
+        }
+
+
+class TestHashPartitioner:
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ShardError, match=">= 1 shard"):
+            HashPartitioner(0)
+
+    def test_deterministic_per_seed(self):
+        a, b = HashPartitioner(4, seed=9), HashPartitioner(4, seed=9)
+        assert all(a.shard_of(r) == b.shard_of(r) for r in TAIL_RANKS)
+
+    def test_partition_property(self):
+        assert_partition(HashPartitioner(5, seed=2))
+
+    def test_spreads_the_head(self):
+        # The top-heavy head of the rank space must not pile on one shard.
+        p = HashPartitioner(4)
+        loads = [0] * 4
+        for rank in range(64):
+            loads[p.shard_of(rank)] += 1
+        assert max(loads) <= 2 * (64 // 4)
+
+
+class TestBalancedBoundaries:
+    def test_cuts_at_entry_quantiles(self):
+        # rank 0 holds half the mass: it must sit alone in shard 0.
+        weights = {0: 50, 1: 10, 2: 10, 3: 10, 4: 20}
+        cuts = balanced_boundaries(weights, 2)
+        assert cuts == [1]
+
+    def test_strictly_increasing_even_when_degenerate(self):
+        cuts = balanced_boundaries({0: 7}, 4)
+        assert cuts == sorted(set(cuts)) and len(cuts) == 3
+
+    def test_empty_weights(self):
+        assert balanced_boundaries({}, 3) == [1, 2]
+
+    def test_single_shard_needs_no_cuts(self):
+        assert balanced_boundaries({0: 5, 1: 5}, 1) == []
+
+
+class TestMakePartitioner:
+    @pytest.fixture()
+    def payload(self, tmp_path):
+        g = erdos_renyi(24, 50, seed=4)
+        svc = SPCService(
+            repro.open(g), ServeConfig(durability_dir=str(tmp_path))
+        )
+        svc.close()
+        return load_checkpoint(str(tmp_path / SNAPSHOT_FILENAME))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ShardError, match="unknown partitioner"):
+            make_partitioner("mystery", 4)
+
+    def test_range_and_balanced_need_payload(self):
+        with pytest.raises(ShardError, match="checkpoint payload"):
+            make_partitioner("balanced", 4)
+
+    def test_hash_needs_no_payload(self):
+        assert make_partitioner("hash", 4).num_shards == 4
+
+    @pytest.mark.parametrize("kind", ["range", "balanced", "hash"])
+    def test_strategies_partition_real_checkpoints(self, kind, payload):
+        p = make_partitioner(kind, 3, payload=payload)
+        assert p.num_shards == 3
+        assert_partition(p)
+
+    def test_balanced_beats_equal_width_on_skew(self, payload):
+        weights = hub_weights_from_payload(payload)
+        total = sum(weights.values())
+
+        def spread(p):
+            loads = [0] * p.num_shards
+            for rank, w in weights.items():
+                loads[p.shard_of(rank)] += w
+            return max(loads) / total
+
+        balanced = make_partitioner("balanced", 3, payload=payload)
+        width = make_partitioner("range", 3, payload=payload)
+        # Hub labelings are top-heavy; holder-weighted cuts must not be
+        # *worse* than equal-width ones, and should hold every shard well
+        # under the whole index.
+        assert spread(balanced) <= spread(width)
+        assert spread(balanced) < 0.67

@@ -1,0 +1,88 @@
+"""ShardStore accounting and the sliced two-pointer partial merge."""
+
+from repro.audit import IDENTITY_PARTIAL, merge_partial_answers
+from repro.shard import ShardStore, partial_answer
+
+INF = float("inf")
+
+
+class TestPartialAnswer:
+    def test_empty_slice_is_identity(self):
+        assert partial_answer([], [[0, 1, 1]]) == IDENTITY_PARTIAL
+
+    def test_single_common_hub(self):
+        assert partial_answer([[2, 1, 1]], [[2, 2, 3]]) == (3, 3)
+
+    def test_counts_multiply_per_hub_and_sum_over_ties(self):
+        s = [[0, 1, 2], [3, 2, 1]]
+        t = [[0, 2, 3], [3, 1, 4]]
+        # both hubs give distance 3: 2*3 + 1*4
+        assert partial_answer(s, t) == (3, 10)
+
+    def test_longer_paths_ignored(self):
+        s = [[0, 1, 1], [5, 4, 9]]
+        t = [[0, 1, 1], [5, 1, 9]]
+        assert partial_answer(s, t) == (2, 1)
+
+    def test_distance_only_family(self):
+        assert partial_answer([[1, 2, 0]], [[1, 3, 0]], counts=False) == \
+            (5, None)
+        assert partial_answer([], [], counts=False) == (INF, None)
+
+    def test_merging_disjoint_slices_recovers_full_answer(self):
+        # Slicing the hub space and folding partials must equal the
+        # unsliced merge — the router's core correctness claim in small.
+        s = [[0, 1, 1], [2, 2, 2], [5, 1, 1]]
+        t = [[0, 2, 1], [2, 1, 1], [5, 2, 3]]
+        full = partial_answer(s, t)
+        lo = partial_answer(
+            [e for e in s if e[0] < 3], [e for e in t if e[0] < 3]
+        )
+        hi = partial_answer(
+            [e for e in s if e[0] >= 3], [e for e in t if e[0] >= 3]
+        )
+        assert merge_partial_answers(lo, hi) == full
+
+
+class TestShardStore:
+    def test_put_and_replace_account_entries(self):
+        store = ShardStore()
+        store.put(0, [[0, 0, 1], [1, 1, 1]])
+        store.put(1, [[1, 0, 1]])
+        assert store.num_entries == 3
+        store.put(0, [[0, 0, 1]])  # replacement, not accumulation
+        assert store.num_entries == 2
+        assert store.peak_entries == 3
+
+    def test_drop_unknown_vertex_is_noop(self):
+        store = ShardStore()
+        store.put(0, [[0, 0, 1]])
+        store.drop(7)
+        store.drop(0)
+        store.drop(0)
+        assert store.num_entries == 0 and len(store) == 0
+
+    def test_directed_counts_both_families(self):
+        store = ShardStore(directed=True)
+        store.put(0, {"in": [[0, 0, 1]], "out": [[0, 0, 1], [1, 1, 1]]})
+        assert store.num_entries == 3
+
+    def test_reset_carries_peak(self):
+        store = ShardStore()
+        store.put(0, [[0, 0, 1], [1, 1, 1], [2, 1, 1]])
+        store.reset([(0, [[0, 0, 1]])])
+        assert store.num_entries == 1
+        assert store.peak_entries == 3
+
+    def test_view_is_stable_snapshot(self):
+        store = ShardStore()
+        store.put(0, [[0, 0, 1]])
+        view = store.view()
+        store.drop(0)
+        store.put(1, [[1, 0, 1]])
+        assert 0 in view and 1 not in view
+
+    def test_empty_slice_still_records_existence(self):
+        store = ShardStore()
+        store.put(5, [])
+        assert 5 in store and store.num_entries == 0
