@@ -28,6 +28,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.cluster` — WAL-replicated multi-replica serving + query router;
 * :mod:`repro.audit` — shadow-replica differential verification + perf
   trajectory;
+* :mod:`repro.resilience` — self-healing supervision, circuit breakers
+  and the disk-fault chaos harness;
 * :mod:`repro.sd` — distance-only PLL (SD-Index) for comparison;
 * :mod:`repro.baselines` — BFS / BiBFS / reconstruction baselines;
 * :mod:`repro.workloads`, :mod:`repro.datasets` — experiment inputs;
@@ -58,6 +60,7 @@ from repro import serve  # noqa: F401  (repro.serve.restore & friends)
 from repro import cluster  # noqa: F401  (repro.cluster.SPCCluster & friends)
 from repro import audit  # noqa: F401  (repro.audit.ShadowAuditor & friends)
 from repro import shard  # noqa: F401  (repro.shard.ShardedCluster & friends)
+from repro import resilience  # noqa: F401  (repro.resilience.Supervisor &c.)
 from repro.order import VertexOrder, degree_order, make_order
 from repro.traversal import bfs_counting_pair, bfs_counting_sssp, bibfs_counting
 from repro.verify import check_invariants, indexes_equivalent, verify_espc
@@ -73,6 +76,7 @@ __all__ = [
     "cluster",
     "audit",
     "shard",
+    "resilience",
     "SPCEngine",
     "EngineConfig",
     "SPCBackend",

@@ -58,6 +58,12 @@ class ShadowAuditor:
         loop feeds it the live lag (pending heap + reservoir) every
         tick, letting it hold the audit queue depth at its target by
         retuning the sampler's rate.
+    stall_budget:
+        Consecutive no-progress re-bootstraps before the auditor gives
+        up (``None`` uses :attr:`MAX_STALLED_BOOTSTRAPS`).  The chaos
+        harness *raises* it so the auditor outlives a corrupted-stream
+        window: it keeps re-bootstrapping until the supervisor's repair
+        rewrites the log, then verifies the healed fleet's answers.
     """
 
     #: consecutive no-progress re-bootstraps before the auditor gives up
@@ -65,8 +71,11 @@ class ShadowAuditor:
     MAX_STALLED_BOOTSTRAPS = 3
 
     def __init__(self, sampler, state_dir, report=None, poll_interval=0.005,
-                 history=256, controller=None):
+                 history=256, controller=None, stall_budget=None):
         self.sampler = sampler
+        self._stall_budget = (
+            self.MAX_STALLED_BOOTSTRAPS if stall_budget is None else stall_budget
+        )
         self.controller = controller
         self.report = report if report is not None else DivergenceReport()
         self._dir = state_dir
@@ -216,7 +225,7 @@ class ShadowAuditor:
                         stalled = 0
                     else:
                         stalled += 1
-                        if stalled >= self.MAX_STALLED_BOOTSTRAPS:
+                        if stalled >= self._stall_budget:
                             raise ServeError(
                                 f"shadow auditor cannot advance past a "
                                 f"stream gap at seq {self._replayer.seq}: "

@@ -102,6 +102,22 @@ def _shard_metrics(extra):
     return metrics
 
 
+def _chaos_metrics(extra):
+    """Tracked metrics for repro.bench.chaos: worst-case MTTR down and
+    under-chaos read throughput up.  Detection/heal counts are judged
+    strictly inside the loadgen (a miss fails the experiment outright),
+    so only the recovery-speed trajectory is tracked here."""
+    metrics = {}
+    for key, report in extra.get("runs", {}).items():
+        mttr_max = report.get("mttr_s", {}).get("max")
+        if mttr_max is not None:
+            metrics[f"{key}.mttr_max_ms"] = (
+                round(mttr_max * 1e3, 1), _LOWER,
+            )
+        metrics[f"{key}.read_qps"] = (report["read_qps"], _HIGHER)
+    return metrics
+
+
 #: experiment name -> extra-payload metric extractor.
 METRIC_EXTRACTORS = {
     "micro": _micro_metrics,
@@ -109,6 +125,7 @@ METRIC_EXTRACTORS = {
     "cluster": _cluster_metrics,
     "audit": _audit_metrics,
     "shard": _shard_metrics,
+    "chaos": _chaos_metrics,
 }
 
 

@@ -5,6 +5,7 @@ import os
 import sys
 
 from repro.bench import audit as audit_bench
+from repro.bench import chaos as chaos_bench
 from repro.bench import cluster as cluster_bench
 from repro.bench import micro
 from repro.bench import serve as serve_bench
@@ -47,6 +48,7 @@ EXPERIMENTS = {
     "cluster": cluster_bench.run,
     "audit": audit_bench.run,
     "shard": shard_bench.run,
+    "chaos": chaos_bench.run,
 }
 
 PAPER_SET = ["table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]

@@ -54,6 +54,19 @@ class ClusterConfig:
         ``query_many`` batches at least this long are split across the
         healthy replicas (each sub-batch under its own lease) instead of
         running on a single snapshot.
+    degraded:
+        Router behavior at the read deadline: ``"refuse"`` (default —
+        raise :class:`~repro.exceptions.ClusterError`) or ``"stale"``
+        (serve the freshest available snapshot, tagged degraded, when it
+        is within ``degraded_max_lag`` of the primary).
+    degraded_max_lag:
+        Staleness bound (in batches) a degraded-mode answer must meet.
+    breaker_threshold / breaker_cooldown:
+        Per-replica circuit breaker: consecutive lease failures that trip
+        it open, and seconds before a half-open recovery probe.
+    stall_budget:
+        Re-bootstraps without progress a replica tolerates before dying
+        (``None`` = the replica's own default).
     """
 
     replicas: int = 2
@@ -63,6 +76,11 @@ class ClusterConfig:
     replica_backends: tuple = None
     wait_timeout: float = 5.0
     parallel_threshold: int = 64
+    degraded: str = "refuse"
+    degraded_max_lag: int = 64
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 0.25
+    stall_budget: int = None
 
     def __post_init__(self):
         if self.replicas < 1:
@@ -125,6 +143,7 @@ class SPCCluster:
                     name=name,
                     backend=backend,
                     poll_interval=config.poll_interval,
+                    stall_budget=config.stall_budget,
                 )
             self.router = ClusterRouter(
                 self.primary,
@@ -133,7 +152,16 @@ class SPCCluster:
                 staleness_delta=config.staleness_delta,
                 wait_timeout=config.wait_timeout,
                 parallel_threshold=config.parallel_threshold,
+                degraded=config.degraded,
+                degraded_max_lag=config.degraded_max_lag,
+                breaker_threshold=config.breaker_threshold,
+                breaker_cooldown=config.breaker_cooldown,
             )
+            # Publish events wake blocked routed reads instead of letting
+            # them sleep out their wait slice.
+            self.primary.set_publish_listener(self.router.notify_event)
+            for replica in self._replicas.values():
+                replica.set_publish_listener(self.router.notify_event)
         except BaseException:
             # A replica that failed to bootstrap must not leak the ones
             # that did, nor the primary's writer thread.
@@ -242,7 +270,9 @@ class SPCCluster:
             name=name,
             backend=old.backend_override,
             poll_interval=self._config.poll_interval,
+            stall_budget=self._config.stall_budget,
         )
+        replica.set_publish_listener(self.router.notify_event)
         self._replicas[name] = replica
         self.router.set_replica(name, replica)
         return replica

@@ -32,6 +32,7 @@ its engine is reached only through published snapshots.
 import os
 import threading
 import time
+import warnings
 
 from repro.engine import EngineConfig, SPCEngine, get_backend
 from repro.exceptions import CheckpointMismatchError, ClusterError
@@ -62,19 +63,29 @@ class Replica:
         share the checkpoint's graph type.
     poll_interval:
         Seconds the applier sleeps between empty polls of the WAL.
+    stall_budget:
+        Consecutive no-progress re-bootstraps before the applier dies
+        (``None`` uses :attr:`MAX_STALLED_BOOTSTRAPS`).  The chaos
+        harness shortens it so a corrupted stream is declared dead — and
+        the supervisor's repair kicks in — within the fault window.
     """
 
     def __init__(self, primary_dir, name="replica", backend=None,
-                 poll_interval=0.002):
+                 poll_interval=0.002, stall_budget=None):
         self.name = name
         self._dir = primary_dir
         self.backend_override = backend
         self._poll_interval = poll_interval
+        self._stall_budget = (
+            self.MAX_STALLED_BOOTSTRAPS if stall_budget is None else stall_budget
+        )
         self._snapshot = None
         self._honest_snapshot = None
         self._snapshot_wrapper = None
+        self._publish_listener = None
         self._engine = None
         self._tailer = None
+        self._corruptions_base = 0
         self._applied_seq = 0
         self._fatal = None
         self._alive = True
@@ -119,6 +130,15 @@ class Replica:
         honest = self._honest_snapshot
         self._snapshot = wrapper(honest) if wrapper is not None else honest
 
+    def set_publish_listener(self, listener):
+        """Install (or clear, with ``None``) a publication hook.
+
+        ``listener()`` runs on the applier thread after every published
+        snapshot — the router's condition-variable wakeup seam.  Must be
+        cheap and must never raise (a raising listener kills the applier).
+        """
+        self._publish_listener = listener
+
     def query(self, s, t):
         """Answer (sd, spc) from the freshest replicated snapshot."""
         return self._snapshot.query(s, t)
@@ -150,6 +170,17 @@ class Replica:
     def bootstraps(self):
         """How many times this replica (re-)bootstrapped from a checkpoint."""
         return self._bootstraps
+
+    @property
+    def stream_corruptions(self):
+        """Typed corruption events the replication stream raised so far
+        (accumulated across re-bootstraps — each fresh tailer re-reads the
+        log from the head, so a poisoned interior record keeps counting
+        until the supervisor's repair rewrites the stream)."""
+        tailer = self._tailer
+        return self._corruptions_base + (
+            tailer.corruptions if tailer is not None else 0
+        )
 
     @property
     def backend_name(self):
@@ -189,6 +220,7 @@ class Replica:
             "snapshot_seq": snap.seq if snap is not None else None,
             "batches_applied": self._batches_applied,
             "bootstraps": self._bootstraps,
+            "stream_corruptions": self.stream_corruptions,
             "healthy": self.healthy,
         }
 
@@ -197,10 +229,23 @@ class Replica:
 
         The last published snapshot stays readable, but the replica stops
         following the primary and reports unhealthy so routers skip it.
-        Idempotent; does not raise on an already-dead replica.
+        Idempotent; does not raise on an already-dead replica.  A join
+        that times out (the applier is wedged inside a poll or apply) is
+        *detected*: the replica is marked fatal and a warning is issued —
+        a silently leaked live thread would keep mutating the engine
+        under whatever replaces this member.
         """
         self._stop.set()
         self._thread.join(timeout=10.0)
+        if self._thread.is_alive():
+            stuck = ClusterError(
+                f"replica {self.name!r} applier thread failed to stop "
+                f"within 10.0 s; the thread has leaked and the member "
+                f"must not be reused"
+            )
+            if self._fatal is None:
+                self._fatal = stuck
+            warnings.warn(str(stuck), RuntimeWarning, stacklevel=2)
         self._alive = False
 
     def close(self):
@@ -242,6 +287,8 @@ class Replica:
         # The replication stream must match the *primary's* family (the
         # WAL is stamped by the writer), not this replica's — a core WAL
         # drives an sd replica just fine.
+        if self._tailer is not None:
+            self._corruptions_base += self._tailer.corruptions
         self._tailer = WalTailer(
             os.path.join(self._dir, WAL_FILENAME),
             after_seq=self._applied_seq,
@@ -281,6 +328,9 @@ class Replica:
         if self._snapshot_wrapper is not None:
             snapshot = self._snapshot_wrapper(snapshot)
         self._snapshot = snapshot
+        listener = self._publish_listener
+        if listener is not None:
+            listener()
 
     #: consecutive no-progress re-bootstraps before the applier gives up —
     #: a gap that a fresh checkpoint cannot advance past (corruption in
@@ -290,6 +340,13 @@ class Replica:
 
     def _apply_loop(self):
         stalled = 0
+        # Progress is measured against the furthest seq ever reached, not
+        # against "did this poll return records": after a corruption-forced
+        # re-bootstrap the fresh tailer re-reads the log head and re-applies
+        # the same prefix every round — ground re-covered is not progress,
+        # and counting it as such would hot-loop a poisoned stream forever
+        # while the replica still reported healthy.
+        high_water = self._applied_seq
         try:
             while not self._stop.is_set():
                 records, gap = self._tailer.poll()
@@ -299,22 +356,25 @@ class Replica:
                     )
                     self._batches_applied += len(records)
                     self._publish()
-                    stalled = 0
+                    if self._applied_seq > high_water:
+                        high_water = self._applied_seq
+                        stalled = 0
                 if gap:
                     # The primary compacted the WAL beneath us: the missing
                     # records live only in the new checkpoint now.
-                    before = self._applied_seq
                     self._bootstrap()
-                    if records or self._applied_seq > before:
+                    if self._applied_seq > high_water:
+                        high_water = self._applied_seq
                         stalled = 0
                         continue
-                    # The fresh checkpoint did not move us past the gap:
-                    # the stream is stuck (corrupt record, incompatible
-                    # rewrite), not compacting.  Back off, and after a few
-                    # fruitless rounds die visibly instead of spinning
-                    # while routers keep trusting an ever-staler replica.
+                    # Neither the tail nor the fresh checkpoint moved us
+                    # past where we have already been: the stream is stuck
+                    # (corrupt record, incompatible rewrite), not
+                    # compacting.  Back off, and after a few fruitless
+                    # rounds die visibly instead of spinning while routers
+                    # keep trusting an ever-staler replica.
                     stalled += 1
-                    if stalled >= self.MAX_STALLED_BOOTSTRAPS:
+                    if stalled >= self._stall_budget:
                         raise ClusterError(
                             f"replica {self.name!r} cannot advance past a "
                             f"replication-stream gap at seq "

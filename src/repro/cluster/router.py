@@ -1,4 +1,4 @@
-"""ClusterRouter: policy-driven read routing across a replica fleet.
+"""ClusterRouter: policy-driven, failure-aware read routing over replicas.
 
 The router fronts one primary :class:`~repro.serve.SPCService` and K
 :class:`~repro.cluster.replica.Replica` followers.  Every read acquires a
@@ -23,30 +23,66 @@ Every policy also honours a per-read ``min_seq`` floor — the hook sticky
 sessions use for read-your-writes (see
 :class:`~repro.cluster.session.ClusterSession`).  When no replica
 qualifies the router falls back to the primary's own snapshot if *it*
-qualifies, and otherwise briefly waits for the fleet to catch up before
-raising :class:`~repro.exceptions.ClusterError` — returning a stale
-answer instead would silently break the policy's promise.
+qualifies, and otherwise waits for the fleet to catch up before raising
+:class:`~repro.exceptions.ClusterError` — returning a stale answer
+instead would silently break the policy's promise.
+
+Resilience (all per-target, selection-time):
+
+* **Retry-with-failover under a deadline** — an acquire is a loop over
+  selection attempts until ``wait_timeout``; a target that fails the
+  health/snapshot probe is simply skipped this attempt, so the read
+  fails over to whichever sibling qualifies instead of erroring on the
+  first dead replica.
+* **Circuit breakers** — each replica carries a
+  :class:`~repro.resilience.CircuitBreaker`: consecutive lease failures
+  (dead handle, no published snapshot) trip it open and the router stops
+  probing that member until the cooldown admits a half-open probe.  A
+  supervisor restart resets the breaker.  Staleness misses are *not*
+  failures — a lagging replica is healthy, just behind.
+* **Condition-variable waits** — instead of a 1 ms hot spin, waiters
+  block on a condition notified by every publish (the cluster wires
+  ``set_publish_listener`` to :meth:`notify_event`) and every health
+  transition, with a 50 ms poll cap as a safety net.
+* **Opt-in degraded mode** — with ``degraded="stale"``, a read that
+  would time out (and carries no ``min_seq`` floor — read-your-writes
+  never degrades) is served from the freshest snapshot any registered
+  target ever published, dead or alive, provided it is within
+  ``degraded_max_lag`` of the primary's applied seq.  The lease is
+  tagged ``degraded=True`` and the answer tap sees the target as
+  ``"<name>+degraded"``, so the staleness is visible end to end.  A
+  snapshot is immutable and consistent *at its own seq* — degraded
+  answers are bounded-stale, never wrong, which is why the shadow
+  auditor verifies them unchanged.  The default stays ``"refuse"``.
 """
 
 import threading
 import time
 
 from repro.exceptions import ClusterError
+from repro.resilience.breaker import CircuitBreaker
 
 #: policy registry — name -> nothing but validation; selection is shared.
 POLICIES = ("round_robin", "least_loaded", "bounded_staleness")
+
+#: degraded-mode vocabulary: refuse (default) or serve bounded-stale.
+DEGRADED_MODES = ("refuse", "stale")
+
+#: cap on each blocking wait slice — the safety net under lost wakeups.
+_WAIT_SLICE = 0.05
 
 
 class _Target:
     """Router-side bookkeeping for one queryable backend (replica/primary)."""
 
-    __slots__ = ("name", "handle", "inflight", "routed")
+    __slots__ = ("name", "handle", "inflight", "routed", "breaker")
 
-    def __init__(self, name, handle):
+    def __init__(self, name, handle, breaker=None):
         self.name = name
         self.handle = handle
         self.inflight = 0
         self.routed = 0
+        self.breaker = breaker
 
     def healthy(self):
         return getattr(self.handle, "healthy", True)
@@ -57,14 +93,17 @@ class RoutedRead:
 
     ``snapshot`` is immutable, so the lease may be held for a whole batch
     of queries; releasing only returns the in-flight slot used by the
-    ``least_loaded`` policy.
+    ``least_loaded`` policy.  ``degraded`` marks a bounded-stale lease
+    served under the router's opt-in degraded mode.
     """
 
-    __slots__ = ("name", "snapshot", "_router", "_target", "_released")
+    __slots__ = ("name", "snapshot", "degraded", "_router", "_target",
+                 "_released")
 
-    def __init__(self, router, target, snapshot):
+    def __init__(self, router, target, snapshot, degraded=False):
         self.name = target.name
         self.snapshot = snapshot
+        self.degraded = degraded
         self._router = router
         self._target = target
         self._released = False
@@ -87,7 +126,9 @@ class ClusterRouter:
     """Route reads across one primary and its replicas under a policy."""
 
     def __init__(self, primary, replicas, policy="round_robin",
-                 staleness_delta=8, wait_timeout=5.0, parallel_threshold=64):
+                 staleness_delta=8, wait_timeout=5.0, parallel_threshold=64,
+                 degraded="refuse", degraded_max_lag=64,
+                 breaker_threshold=3, breaker_cooldown=0.25):
         if policy not in POLICIES:
             raise ClusterError(
                 f"unknown routing policy {policy!r}; choose from {POLICIES}"
@@ -100,17 +141,41 @@ class ClusterRouter:
             raise ClusterError(
                 f"parallel_threshold must be >= 2, got {parallel_threshold!r}"
             )
+        if degraded not in DEGRADED_MODES:
+            raise ClusterError(
+                f"unknown degraded mode {degraded!r}; "
+                f"choose from {DEGRADED_MODES}"
+            )
+        if degraded_max_lag < 0:
+            raise ClusterError(
+                f"degraded_max_lag must be >= 0, got {degraded_max_lag!r}"
+            )
         self.policy = policy
         self.staleness_delta = staleness_delta
         self.wait_timeout = wait_timeout
         self.parallel_threshold = parallel_threshold
+        self.degraded = degraded
+        self.degraded_max_lag = degraded_max_lag
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
         self._primary = _Target("primary", primary)
-        self._replicas = [_Target(r.name, r) for r in replicas]
+        self._replicas = [
+            _Target(r.name, r, self._new_breaker()) for r in replicas
+        ]
         self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
         self._rr = 0
         self._fallbacks = 0
         self._waits = 0
+        self._breaker_skips = 0
+        self._degraded_serves = 0
         self._answer_tap = None
+
+    def _new_breaker(self):
+        return CircuitBreaker(
+            failure_threshold=self._breaker_threshold,
+            cooldown=self._breaker_cooldown,
+        )
 
     # ------------------------------------------------------------------
     # Fleet management
@@ -119,21 +184,43 @@ class ClusterRouter:
     def add_replica(self, replica):
         """Register a new follower with the router."""
         with self._lock:
-            self._replicas.append(_Target(replica.name, replica))
+            self._replicas.append(
+                _Target(replica.name, replica, self._new_breaker())
+            )
+        self.notify_event()
 
     def set_replica(self, name, replica):
-        """Swap the handle behind ``name`` (a restarted replica)."""
+        """Swap the handle behind ``name`` (a restarted replica).
+
+        The target's circuit breaker is reset — the new member deserves
+        a clean slate — and lease waiters are woken to re-examine it.
+        """
         with self._lock:
             for t in self._replicas:
                 if t.name == name:
                     t.handle = replica
-                    return
-        raise ClusterError(f"router knows no replica named {name!r}")
+                    if t.breaker is not None:
+                        t.breaker.reset()
+                    break
+            else:
+                raise ClusterError(f"router knows no replica named {name!r}")
+        self.notify_event()
 
     def replica_names(self):
         """The registered replica names, in registration order."""
         with self._lock:
             return [t.name for t in self._replicas]
+
+    def notify_event(self, *_args, **_kwargs):
+        """Wake blocked lease waiters (publish / health-change seam).
+
+        Wired to every member's ``set_publish_listener`` and to the
+        supervisor's :class:`~repro.resilience.HealthMonitor` listener —
+        extra positional arguments (the monitor passes its event) are
+        accepted and ignored so one callable fits both seams.
+        """
+        with self._wakeup:
+            self._wakeup.notify_all()
 
     # ------------------------------------------------------------------
     # Read path
@@ -145,24 +232,33 @@ class ClusterRouter:
         Guarantees: the leased snapshot is from a healthy target,
         ``snapshot.seq >= min_seq``, and — under ``bounded_staleness`` —
         ``snapshot.seq >= primary_applied_seq - staleness_delta`` as of
-        selection.  Raises :class:`ClusterError` when nothing qualifies
-        within ``wait_timeout`` seconds.
+        selection.  When nothing qualifies within ``wait_timeout``
+        seconds: raises :class:`ClusterError` (the default), or — under
+        ``degraded="stale"`` and only for floorless reads — serves the
+        freshest bounded-stale snapshot any target published, tagged
+        ``degraded=True``.
         """
         deadline = time.monotonic() + self.wait_timeout
         while True:
             lease = self._try_acquire(min_seq)
             if lease is not None:
                 return lease
-            if time.monotonic() >= deadline:
-                raise ClusterError(
-                    f"no routing target reached seq >= {min_seq} within "
-                    f"{self.wait_timeout} s (policy {self.policy!r}, "
-                    f"delta {self.staleness_delta}, primary at seq "
-                    f"{self._primary_seq()}); the fleet is lagging or down"
-                )
-            with self._lock:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            with self._wakeup:
                 self._waits += 1
-            time.sleep(0.001)
+                self._wakeup.wait(min(_WAIT_SLICE, remaining))
+        if self.degraded == "stale" and min_seq == 0:
+            lease = self._degraded_acquire()
+            if lease is not None:
+                return lease
+        raise ClusterError(
+            f"no routing target reached seq >= {min_seq} within "
+            f"{self.wait_timeout} s (policy {self.policy!r}, "
+            f"delta {self.staleness_delta}, primary at seq "
+            f"{self._primary_seq()}); the fleet is lagging or down"
+        )
 
     def set_answer_tap(self, tap):
         """Install (or clear, with ``None``) the answer-tap hook.
@@ -172,7 +268,8 @@ class ClusterRouter:
         read — point, tagged and batch paths alike — with the leased
         snapshot's sequence number and the serving target's name, so an
         :class:`~repro.audit.AuditSampler` observes answers from every
-        replica the policy touches.
+        replica the policy touches.  Degraded leases report their target
+        as ``"<name>+degraded"``.
         """
         self._answer_tap = tap
 
@@ -180,7 +277,8 @@ class ClusterRouter:
         tap = self._answer_tap
         if tap is not None:
             snap = lease.snapshot
-            tap(answered, snap.seq, lease.name, snap.epoch)
+            name = f"{lease.name}+degraded" if lease.degraded else lease.name
+            tap(answered, snap.seq, name, snap.epoch)
 
     def query(self, s, t, min_seq=0):
         """Answer one pair through the policy; returns (sd, spc)."""
@@ -199,7 +297,8 @@ class ClusterRouter:
         with self.acquire(min_seq) as lease:
             answer = lease.snapshot.query(s, t)
             self._tapped(lease, [((s, t), answer)])
-            return answer, lease.snapshot.seq, lease.name
+            name = f"{lease.name}+degraded" if lease.degraded else lease.name
+            return answer, lease.snapshot.seq, name
 
     def query_many(self, pairs, min_seq=0):
         """Answer a batch of pairs, spreading large batches over the fleet.
@@ -253,7 +352,8 @@ class ClusterRouter:
         with self.acquire(min_seq) as lease:
             answers = lease.snapshot.query_many(pairs)
             self._tapped(lease, list(zip(pairs, answers)))
-            return answers, lease.snapshot.seq, lease.name
+            name = f"{lease.name}+degraded" if lease.degraded else lease.name
+            return answers, lease.snapshot.seq, name
 
     # ------------------------------------------------------------------
     # Introspection
@@ -265,17 +365,24 @@ class ClusterRouter:
             return {
                 "policy": self.policy,
                 "staleness_delta": self.staleness_delta,
+                "degraded_mode": self.degraded,
                 "routed": {t.name: t.routed for t in self._replicas},
                 "primary_reads": self._primary.routed,
                 "fallbacks": self._fallbacks,
                 "waits": self._waits,
+                "breaker_skips": self._breaker_skips,
+                "degraded_serves": self._degraded_serves,
+                "breakers": {
+                    t.name: t.breaker.stats()
+                    for t in self._replicas if t.breaker is not None
+                },
             }
 
     def __repr__(self):
         return (
             f"ClusterRouter(policy={self.policy!r}, "
             f"replicas={[t.name for t in self._replicas]}, "
-            f"delta={self.staleness_delta})"
+            f"delta={self.staleness_delta}, degraded={self.degraded!r})"
         )
 
     # ------------------------------------------------------------------
@@ -292,17 +399,41 @@ class ClusterRouter:
         else:
             floor = None
         candidates = []  # (target, pinned snapshot)
+        skips = 0
         with self._lock:
             replicas = list(self._replicas)
         for target in replicas:
+            breaker = target.breaker
             if not target.healthy():
+                # A dead handle is a lease failure the breaker counts —
+                # once open, the router skips the member without even
+                # reading it until a half-open probe is due.
+                if breaker is not None and breaker.allow():
+                    breaker.record_failure()
+                else:
+                    skips += 1
+                continue
+            if breaker is not None and not breaker.allow():
+                skips += 1
                 continue
             snap = target.handle.snapshot()
-            if snap is None or snap.seq < min_seq:
+            if snap is None:
+                if breaker is not None:
+                    breaker.record_failure()
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            # Staleness misses are not target failures: the member is
+            # healthy, merely behind — the supervisor's lag tracking owns
+            # that signal, not the breaker.
+            if snap.seq < min_seq:
                 continue
             if floor is not None and snap.seq < floor:
                 continue
             candidates.append((target, snap))
+        if skips:
+            with self._lock:
+                self._breaker_skips += skips
         if candidates:
             return self._lease(*self._pick(candidates))
         # No replica qualifies: the primary's own snapshot is the fallback,
@@ -317,6 +448,35 @@ class ClusterRouter:
             return self._lease(self._primary, snap)
         return None
 
+    def _degraded_acquire(self):
+        """Serve the freshest bounded-stale snapshot from *any* target.
+
+        Health, breakers and the staleness policy are deliberately
+        ignored — a dead replica's last published snapshot is still an
+        immutable, internally consistent view at its own seq.  The only
+        bar is ``degraded_max_lag`` against the primary's applied seq:
+        past it, bounded staleness can no longer be claimed and the
+        refusal stands.
+        """
+        floor = self._primary_seq() - self.degraded_max_lag
+        with self._lock:
+            targets = [self._primary] + list(self._replicas)
+        best = None
+        for target in targets:
+            try:
+                snap = target.handle.snapshot()
+            except Exception:  # noqa: BLE001 — a torn-down handle yields
+                continue       # nothing; degraded mode scavenges, not insists
+            if snap is None or snap.seq < floor:
+                continue
+            if best is None or snap.seq > best[1].seq:
+                best = (target, snap)
+        if best is None:
+            return None
+        with self._lock:
+            self._degraded_serves += 1
+        return self._lease(*best, degraded=True)
+
     def _pick(self, candidates):
         """Choose among eligible (target, snapshot) pairs under the policy."""
         with self._lock:
@@ -328,11 +488,11 @@ class ClusterRouter:
             self._rr += 1
             return candidates[self._rr % len(candidates)]
 
-    def _lease(self, target, snapshot):
+    def _lease(self, target, snapshot, degraded=False):
         with self._lock:
             target.inflight += 1
             target.routed += 1
-        return RoutedRead(self, target, snapshot)
+        return RoutedRead(self, target, snapshot, degraded=degraded)
 
     def _release(self, target):
         with self._lock:

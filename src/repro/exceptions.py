@@ -97,6 +97,21 @@ class CheckpointMismatchError(ServeError):
     best and silently diverge at worst, so restore refuses up front."""
 
 
+class WalCorruptionError(ServeError):
+    """Raised when a durably acknowledged storage record fails validation:
+    a WAL or label-journal line whose CRC32 stamp does not match its
+    content (a bit flip, a torn write glued onto a later append), a
+    newline-terminated line that no longer parses, or a checkpoint whose
+    checksum disagrees with its payload.
+
+    The typed signal the resilience layer keys on: a tailing follower
+    treats it as a stream gap and re-bootstraps, and the
+    :class:`~repro.resilience.Supervisor` repairs the stream (fresh
+    checkpoint + truncated log) before restarting members that died on
+    it — corrupted bytes are *detected and refused*, never served.
+    """
+
+
 class AuditDivergenceError(ServeError):
     """Raised when differential verification catches a served answer that
     does not match the trusted baseline (see :mod:`repro.audit`).

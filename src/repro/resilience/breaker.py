@@ -1,0 +1,134 @@
+"""CircuitBreaker: stop hammering a target that keeps failing leases.
+
+The classic three-state breaker, sized for the routers' per-target
+accounting:
+
+* **closed** — requests flow; consecutive failures are counted and
+  ``failure_threshold`` of them trip the breaker open (any success
+  resets the count).
+* **open** — requests are rejected instantly (:meth:`allow` is False),
+  so a router stops burning its wait budget probing a member the
+  supervisor is still healing.  After ``cooldown`` seconds the next
+  :meth:`allow` admits exactly one probe and moves to half-open.
+* **half-open** — one probe is in flight; its success closes the
+  breaker, its failure re-opens it (and restarts the cooldown).  Other
+  requests keep being rejected meanwhile.
+
+The breaker is advisory: routers consult :meth:`allow` when *selecting*
+targets, and refusal semantics stay theirs — an open breaker never
+weakens correctness, it only converts slow repeated failure into fast
+failover.  A supervisor restart can short-circuit the cooldown via
+:meth:`reset`.
+"""
+
+import threading
+import time
+
+from repro.exceptions import ReproError
+
+
+class CircuitBreaker:
+    """Per-target failure gate with a half-open recovery probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip a closed breaker open.
+    cooldown:
+        Seconds an open breaker rejects before admitting one probe.
+    clock:
+        Injectable monotonic clock for deterministic tests.
+    """
+
+    def __init__(self, failure_threshold=3, cooldown=0.25,
+                 clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}"
+            )
+        if cooldown < 0:
+            raise ReproError(f"cooldown must be >= 0, got {cooldown!r}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._trips = 0
+
+    @property
+    def state(self):
+        """``"closed"``, ``"open"``, or ``"half_open"`` (may advance
+        open → half_open as a side effect of looking, so the reported
+        state matches what :meth:`allow` would act on)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def trips(self):
+        """How many times the breaker transitioned closed/half-open → open."""
+        with self._lock:
+            return self._trips
+
+    def allow(self):
+        """May a request be sent to this target right now?
+
+        Closed: always.  Open: only once the cooldown elapsed — that
+        call is the half-open probe, and until it reports via
+        :meth:`record_success` / :meth:`record_failure` every other call
+        is rejected.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.cooldown:
+                    self._state = "half_open"
+                    return True  # this caller carries the probe
+                return False
+            return False  # half_open: a probe is already in flight
+
+    def record_success(self):
+        """A request to this target succeeded — close (and reset) it."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+
+    def record_failure(self):
+        """A request to this target failed; may trip the breaker open."""
+        with self._lock:
+            now = self._clock()
+            if self._state == "half_open":
+                self._state = "open"
+                self._opened_at = now
+                self._trips += 1
+                return
+            self._failures += 1
+            if self._state == "closed" and (
+                self._failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = now
+                self._trips += 1
+
+    def reset(self):
+        """Force-close (a supervisor just replaced the target)."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+
+    def stats(self):
+        """JSON-safe counters (monitoring only)."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "trips": self._trips,
+            }
+
+    def __repr__(self):
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"threshold={self.failure_threshold}, cooldown={self.cooldown})"
+        )

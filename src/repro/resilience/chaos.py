@@ -1,0 +1,178 @@
+"""Disk-fault injectors for the WAL / label-journal / checkpoint layer.
+
+Three fault families, matching the failure model (DESIGN.md §14):
+
+* :func:`flip_bit_in_record` — in-place bit flip inside an *interior*,
+  newline-terminated record of a WAL or journal file: the acknowledged-
+  then-corrupted case.  Whatever byte the flip lands on, the record
+  either stops parsing or fails its CRC32 stamp — both surface as the
+  typed :class:`~repro.exceptions.WalCorruptionError`.
+* :func:`torn_write` — an unterminated fragment appended at the tail:
+  the crash-mid-append case.  On its own it is *benign* (readers ignore
+  a torn tail; an appender trims it) — the dangerous variant this
+  injector exists for is a fragment glued onto by a later ``O_APPEND``
+  write from a still-running writer, which welds fragment + record into
+  one checksummed-invalid line.
+* :func:`corrupt_checkpoint` / :class:`DiskFullFault` — checkpoint-file
+  bit flips (caught by the checkpoint's ``"crc"`` stamp or its JSON
+  parse) and injected ``ENOSPC`` at the service's disk-fault seam
+  (:meth:`repro.serve.SPCService.set_disk_fault`).
+
+All injectors are deterministic (seeded byte selection), return a small
+JSON-safe dict describing exactly what they damaged — the chaos
+harness's ledger for its "every injected corruption detected" verdict —
+and refuse to touch files too small to corrupt meaningfully rather than
+silently doing nothing.
+"""
+
+import errno
+import os
+import random
+
+from repro.exceptions import ReproError
+
+
+def _complete_lines(data):
+    """Byte offsets of the newline-terminated lines in ``data``:
+    a list of (start, end) with ``data[end - 1] == \\n``."""
+    spans = []
+    start = 0
+    while True:
+        end = data.find(b"\n", start)
+        if end < 0:
+            break
+        spans.append((start, end + 1))
+        start = end + 1
+    return spans
+
+
+def flip_bit_in_record(path, record=None, seed=0):
+    """Flip one bit inside an interior record line of a log file.
+
+    ``record`` picks the target line (negative indexes from the end;
+    default: the middle complete line).  The flipped byte is chosen
+    pseudo-randomly (seeded) *inside* the line, never its newline — the
+    framing survives, the content lies, which is precisely the case only
+    a checksum can catch.  Returns ``{"path", "record", "offset",
+    "before", "after"}``.
+    """
+    with open(path, "rb") as f:
+        data = f.read()
+    spans = _complete_lines(data)
+    if not spans:
+        raise ReproError(
+            f"cannot flip a bit in {path}: no complete record lines"
+        )
+    index = len(spans) // 2 if record is None else record
+    try:
+        start, end = spans[index]
+    except IndexError:
+        raise ReproError(
+            f"cannot flip record {index} of {path}: only "
+            f"{len(spans)} complete lines"
+        ) from None
+    body = range(start, end - 1)  # exclude the newline
+    if not body:
+        raise ReproError(f"record {index} of {path} is empty")
+    offset = random.Random(seed).choice(body)
+    before = data[offset]
+    after = before ^ 0x01
+    with open(path, "rb+") as f:
+        f.seek(offset)
+        f.write(bytes([after]))
+        f.flush()
+        os.fsync(f.fileno())
+    return {
+        "path": path,
+        "record": index if index >= 0 else len(spans) + index,
+        "offset": offset,
+        "before": before,
+        "after": after,
+    }
+
+
+def torn_write(path, fragment=b'{"seq": 999999999, "updates": [["ie", 1'):
+    """Append an unterminated record fragment (a crash mid-append).
+
+    Returns ``{"path", "offset", "bytes"}``.  Against a *stopped* writer
+    this is the benign torn tail every reader already tolerates; against
+    a *running* writer the next ``O_APPEND`` record glues onto the
+    fragment and the welded line fails parse/CRC as a typed corruption.
+    """
+    if isinstance(fragment, str):
+        fragment = fragment.encode("utf-8")
+    if fragment.endswith(b"\n"):
+        raise ReproError(
+            "a torn fragment must not end in a newline (that would be a "
+            "complete record, not a torn write)"
+        )
+    offset = os.path.getsize(path) if os.path.exists(path) else 0
+    with open(path, "ab") as f:
+        f.write(fragment)
+        f.flush()
+        os.fsync(f.fileno())
+    return {"path": path, "offset": offset, "bytes": len(fragment)}
+
+
+def corrupt_checkpoint(path, seed=0):
+    """Flip one bit inside a checkpoint document's interior.
+
+    The landing byte decides the detection path — JSON no longer parses
+    (``ServeError``) or parses with a failed ``"crc"`` stamp
+    (:class:`~repro.exceptions.WalCorruptionError`) — and both refuse the
+    restore.  Returns ``{"path", "offset", "before", "after"}``.
+    """
+    size = os.path.getsize(path)
+    if size < 8:
+        raise ReproError(f"checkpoint {path} too small to corrupt ({size} B)")
+    # Keep away from the braces at both ends: an interior flip exercises
+    # the content integrity check, not trivial document truncation.
+    offset = random.Random(seed).randrange(2, size - 2)
+    with open(path, "rb+") as f:
+        f.seek(offset)
+        before = f.read(1)[0]
+        after = before ^ 0x01
+        f.seek(offset)
+        f.write(bytes([after]))
+        f.flush()
+        os.fsync(f.fileno())
+    return {"path": path, "offset": offset, "before": before, "after": after}
+
+
+class DiskFullFault:
+    """An armable ``ENOSPC`` injector for the service's disk-fault seam.
+
+    Install with :meth:`repro.serve.SPCService.set_disk_fault`; while
+    :meth:`arm`\\ ed, every matching operation raises
+    ``OSError(ENOSPC)`` *before* any bytes land (the storage layer is
+    fail-stop by construction).  ``ops`` restricts which operations
+    fault — ``("checkpoint",)`` models a disk with room for small
+    appends but not a full snapshot, the classic compaction-time ENOSPC.
+    """
+
+    def __init__(self, ops=("append", "checkpoint")):
+        self.ops = frozenset(ops)
+        self.armed = False
+        self.raised = 0
+
+    def arm(self):
+        """Start failing matching operations."""
+        self.armed = True
+
+    def disarm(self):
+        """The disk has space again."""
+        self.armed = False
+
+    def __call__(self, op, path):
+        if self.armed and op in self.ops:
+            self.raised += 1
+            raise OSError(
+                errno.ENOSPC,
+                f"injected disk-full: no space for {op} of {path}",
+            )
+
+    def __repr__(self):
+        return (
+            f"DiskFullFault(ops={sorted(self.ops)}, armed={self.armed}, "
+            f"raised={self.raised})"
+        )

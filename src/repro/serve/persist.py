@@ -10,15 +10,27 @@ restore loads the checkpoint, then replays only WAL records with a higher
 sequence number.
 
 Writes go through a temp file + ``os.replace`` so a crash mid-checkpoint
-leaves the previous checkpoint intact, never a half-written one.
+leaves the previous checkpoint intact, never a half-written one.  The
+written document additionally carries a top-level ``"crc"`` stamp — a
+CRC32 over the canonical dump of the rest of the payload — verified by
+:func:`load_checkpoint`, so in-place corruption of a checkpoint that
+stays json-parseable (a bit flip inside a count, say) raises the typed
+:class:`~repro.exceptions.WalCorruptionError` instead of restoring
+silently wrong state.  Checkpoints written before stamping existed carry
+no ``crc`` and still load.
 """
 
 import dataclasses
 import json
 import os
+import zlib
 
 from repro.engine import EngineConfig, SPCEngine, get_backend
-from repro.exceptions import CheckpointMismatchError, ServeError
+from repro.exceptions import (
+    CheckpointMismatchError,
+    ServeError,
+    WalCorruptionError,
+)
 
 #: bump when the payload layout changes incompatibly.
 CHECKPOINT_FORMAT = 1
@@ -147,12 +159,33 @@ def checkpoint_label_slice(payload, keep):
     }
 
 
+def checkpoint_crc(payload):
+    """CRC32 over a checkpoint payload's canonical JSON dump.
+
+    The payload is round-tripped through JSON first: in-memory payloads
+    key index dicts by int vertex id, but ``json.dump`` writes — and
+    :func:`load_checkpoint` returns — string keys, and the stamp must
+    hash what a reader will re-hash.  Any ``"crc"`` key already present
+    is excluded (the stamp never covers itself).
+    """
+    body = {k: v for k, v in payload.items() if k != "crc"}
+    normalized = json.loads(json.dumps(body))
+    canon = json.dumps(normalized, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canon.encode("utf-8"))
+
+
 def save_checkpoint(path, engine, applied_seq=0):
-    """Atomically write a checkpoint of ``engine`` to ``path``."""
+    """Atomically write a checksummed checkpoint of ``engine`` to ``path``.
+
+    Returns the in-memory payload (unstamped, int-keyed) — callers that
+    want exactly what a reader will see should :func:`load_checkpoint`.
+    """
     payload = engine_to_payload(engine, applied_seq=applied_seq)
+    stamped = dict(payload)
+    stamped["crc"] = checkpoint_crc(payload)
     tmp = f"{path}.tmp"
     with open(tmp, "w") as f:
-        json.dump(payload, f)
+        json.dump(stamped, f)
         f.flush()
         os.fsync(f.fileno())
     os.replace(tmp, path)
@@ -160,11 +193,25 @@ def save_checkpoint(path, engine, applied_seq=0):
 
 
 def load_checkpoint(path):
-    """Read a checkpoint payload; raises ServeError when unreadable."""
+    """Read and verify a checkpoint payload.
+
+    Raises :class:`~repro.exceptions.ServeError` when missing or
+    unparseable and the typed :class:`~repro.exceptions.WalCorruptionError`
+    when the document parses but fails its ``"crc"`` stamp (unstamped
+    legacy checkpoints skip verification).  The stamp is left in the
+    returned payload; :func:`engine_from_payload` ignores unknown keys.
+    """
     try:
         with open(path) as f:
-            return json.load(f)
+            payload = json.load(f)
     except FileNotFoundError:
         raise ServeError(f"no checkpoint at {path}") from None
     except ValueError as exc:
         raise ServeError(f"corrupt checkpoint at {path}: {exc}") from exc
+    stamp = payload.get("crc") if isinstance(payload, dict) else None
+    if stamp is not None and stamp != checkpoint_crc(payload):
+        raise WalCorruptionError(
+            f"checkpoint at {path} fails its checksum (stamped crc={stamp})"
+            f": durable bytes were corrupted in place; refusing to restore"
+        )
+    return payload

@@ -223,6 +223,8 @@ class SPCService:
         self._config = config
         self._queue = queue.Queue(maxsize=config.queue_capacity)
         self._answer_tap = None
+        self._publish_listener = None
+        self._disk_fault = None
         self._closed = False
         self._fatal = None
         self._inflight = None  # dequeued-but-unhandled control token
@@ -320,6 +322,35 @@ class SPCService:
         failing.
         """
         self._answer_tap = tap
+
+    def set_publish_listener(self, listener):
+        """Install (or clear, with ``None``) a snapshot-publish hook.
+
+        ``listener()`` is called on the writer thread immediately after
+        every snapshot publication — the wakeup seam the resilient
+        routers use to wake lease waiters on fresh data instead of
+        polling.  Like the answer tap it must be cheap and must never
+        raise (a raising listener kills the writer).
+        """
+        self._publish_listener = listener
+
+    def set_disk_fault(self, fault):
+        """Install (or clear, with ``None``) a disk-fault injection hook.
+
+        ``fault(op, path)`` is consulted before every WAL/journal append
+        (``op="append"``) and every checkpoint save (``op="checkpoint"``)
+        and may raise ``OSError`` to simulate a failing disk — the chaos
+        harness's ENOSPC seam.  Checkpoint faults surface through the
+        normal checkpoint error paths (a failed ``checkpoint()`` call, an
+        ``errors`` entry for auto-compaction) with the service still
+        healthy; an append fault is fail-stop, raising *before* any bytes
+        land so the log never holds a half-acknowledged record.
+        """
+        self._disk_fault = fault
+        if self._wal is not None:
+            self._wal.fault = fault
+        if self._journal is not None:
+            self._journal.fault = fault
 
     def query(self, s, t):
         """Answer (sd, spc) from the freshest published snapshot."""
@@ -680,6 +711,9 @@ class SPCService:
         self._published += 1
         self._dirty = 0
         self._dirty_since = None
+        listener = self._publish_listener
+        if listener is not None:
+            listener()
 
     def _make_snapshot(self, backend=None):
         backend = backend if backend is not None else self._engine.backend
@@ -693,6 +727,8 @@ class SPCService:
 
     def _do_checkpoint(self, token):
         try:
+            if self._disk_fault is not None:
+                self._disk_fault("checkpoint", token.path)
             save_checkpoint(token.path, self._engine, applied_seq=self._seq)
             if token.truncate_wal and self._wal is not None:
                 self._truncate_wal_with_marker()
@@ -733,6 +769,8 @@ class SPCService:
         if not (batches_due or bytes_due):
             return
         try:
+            if self._disk_fault is not None:
+                self._disk_fault("checkpoint", self._durable_snapshot_path())
             save_checkpoint(
                 self._durable_snapshot_path(), self._engine,
                 applied_seq=self._seq,

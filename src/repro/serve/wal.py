@@ -9,14 +9,20 @@ updates the writer actually applied (post-coalescing), so replay applies
 them verbatim, in order, with no re-coalescing.
 
 Format: one JSON object per line, ``{"seq": n, "updates": [[op, ...]]}``,
-with updates encoded as compact op-tagged lists (see :func:`encode_update`)
-and an optional ``"backend"`` field naming the backend family that applied
+with updates encoded as compact op-tagged lists (see :func:`encode_update`),
+an optional ``"backend"`` field naming the backend family that applied
 the batch (readers use it to refuse replaying a log against a checkpoint
-of a different family — see :exc:`~repro.exceptions.CheckpointMismatchError`).
-Appends are flushed per record; ``fsync`` is opt-in (ServeConfig.wal_fsync)
-because the loadgen measures throughput and a laptop fsync per batch is a
-different experiment.  A torn final line — the crash case — is ignored on
-read.
+of a different family — see :exc:`~repro.exceptions.CheckpointMismatchError`),
+and a ``"crc"`` field stamping a CRC32 over the record's canonical content
+(see :func:`record_crc`).  Readers verify the stamp on every line —
+interior corruption (a bit flip, a torn write glued onto a later append)
+raises the typed :exc:`~repro.exceptions.WalCorruptionError` instead of
+being silently truncated away or, worse, decoded into divergent state.
+Records written before stamping existed carry no ``crc`` and are still
+accepted.  Appends are flushed per record; ``fsync`` is opt-in
+(ServeConfig.wal_fsync) because the loadgen measures throughput and a
+laptop fsync per batch is a different experiment.  A torn final line —
+the crash case — is ignored on read.
 
 Besides the batch reader (:func:`read_wal`, restore's replay path) the
 module ships :class:`WalTailer` — the replication stream: an incremental
@@ -28,8 +34,13 @@ fresh checkpoint.
 
 import json
 import os
+import zlib
 
-from repro.exceptions import CheckpointMismatchError, ServeError
+from repro.exceptions import (
+    CheckpointMismatchError,
+    ServeError,
+    WalCorruptionError,
+)
 from repro.workloads.updates import (
     DeleteEdge,
     DeleteVertex,
@@ -102,12 +113,71 @@ def check_record_backend(payload, expect_backend, where):
     )
 
 
+def record_crc(seq, updates, backend=None):
+    """CRC32 over one record's canonical content.
+
+    Hashes the compact, key-sorted JSON dump of ``[seq, updates, backend]``
+    rather than the line bytes themselves, so the stamp is stable across
+    the write-time objects (tuples, int keys) and their json round-trip —
+    the writer and every reader compute the same value from the same
+    logical record regardless of dict ordering or whitespace.
+    """
+    canon = json.dumps(
+        [seq, updates, backend], sort_keys=True, separators=(",", ":")
+    )
+    return zlib.crc32(canon.encode("utf-8"))
+
+
+def verify_record_crc(payload, where):
+    """Check a parsed record against its CRC32 stamp.
+
+    Records written before stamping existed carry no ``crc`` field and
+    pass (their only integrity signal remains json-parseability); a
+    stamped record whose content hashes differently raises
+    :class:`~repro.exceptions.WalCorruptionError` — the bytes changed
+    *after* the append was acknowledged (a bit flip, a torn write glued
+    onto a later append), and decoding them would diverge silently.
+    """
+    stamp = payload.get("crc")
+    if stamp is None:
+        return
+    actual = record_crc(
+        payload.get("seq"), payload.get("updates"), payload.get("backend")
+    )
+    if actual != stamp:
+        raise WalCorruptionError(
+            f"record at {where} fails its checksum (stamped crc={stamp}, "
+            f"content hashes to {actual}): durable bytes were corrupted "
+            f"after acknowledgement"
+        )
+
+
+def _check_stamp_continuity(payload, saw_stamped, where):
+    """Refuse an unstamped record that follows stamped ones.
+
+    Legacy pre-stamping records are accepted, but an append-only log can
+    only hold them as a *prefix*: the upgraded writer stamps every record
+    it appends, so once one stamped record has been read, a later record
+    with no ``crc`` field means the stamp was stripped from durable bytes
+    — e.g. a bit flip landing on the ``"crc"`` key itself, which would
+    otherwise demote the record to "legacy" and bypass its checksum.
+    """
+    if saw_stamped and "crc" not in payload:
+        raise WalCorruptionError(
+            f"record at {where} carries no crc stamp but follows stamped "
+            f"records: the stamp was stripped from durable bytes after "
+            f"acknowledgement"
+        )
+
+
 def read_wal(path, after_seq=0, expect_backend=None):
     """Yield (seq, [updates]) records with ``seq > after_seq``, in order.
 
     A missing file yields nothing (an empty log).  A torn final line is
     tolerated (the record was never acknowledged); corruption anywhere
-    else raises :class:`~repro.exceptions.ServeError`.  With
+    else — a checksum mismatch or an unparseable interior line — raises
+    the typed :class:`~repro.exceptions.WalCorruptionError` (a
+    :class:`~repro.exceptions.ServeError` subclass).  With
     ``expect_backend`` set, a record stamped by a different backend family
     raises :class:`~repro.exceptions.CheckpointMismatchError` (see
     :func:`check_record_backend`).
@@ -122,6 +192,7 @@ def read_wal(path, after_seq=0, expect_backend=None):
     if not os.path.exists(path):
         return
     last_seq = None
+    saw_stamped = False
     with open(path) as f:
         for lineno, raw in enumerate(f):
             if not raw.endswith("\n"):
@@ -134,17 +205,25 @@ def read_wal(path, after_seq=0, expect_backend=None):
                 seq = payload["seq"]
                 if not isinstance(seq, int):
                     raise ServeError(f"non-integer seq {seq!r}")
+                _check_stamp_continuity(
+                    payload, saw_stamped, f"{path}:{lineno + 1}"
+                )
+                saw_stamped = saw_stamped or "crc" in payload
+                # Checksum before the backend-family check: a record whose
+                # "backend" field was damaged in place fails its crc and
+                # must surface as corruption, not as a foreign-family log.
+                verify_record_crc(payload, f"{path}:{lineno + 1}")
                 check_record_backend(
                     payload, expect_backend, f"{path}:{lineno + 1}"
                 )
                 updates = [decode_update(rec) for rec in payload["updates"]]
-            except CheckpointMismatchError:
+            except (CheckpointMismatchError, WalCorruptionError):
                 raise
             except (ValueError, KeyError, TypeError, ServeError) as exc:
                 # A newline-terminated line was fully flushed and
                 # acknowledged — a parse failure here is real corruption
                 # of durable state, never a crash artifact.
-                raise ServeError(
+                raise WalCorruptionError(
                     f"corrupt WAL record at {path}:{lineno + 1}: {line[:80]!r}"
                 ) from exc
             if last_seq is not None and seq <= last_seq:
@@ -204,12 +283,19 @@ class WriteAheadLog:
     the default serializes workload updates.  The label-delta journal
     (:mod:`repro.shard`) reuses this class with its own codec — same
     record framing, torn-tail handling and compaction markers.
+
+    ``fault``, when set, is a callable ``fault(op, path)`` invoked before
+    every append — the disk-fault seam the chaos harness uses to raise
+    ``OSError(ENOSPC)`` at the exact write boundary.  The log is
+    fail-stop: a fault surfaces to the writer loop before any bytes land,
+    so the record is never half-acknowledged.
     """
 
     def __init__(self, path, fsync=False, backend=None, encode=encode_update):
         self.path = path
         self.fsync = fsync
         self.backend = backend
+        self.fault = None
         self._encode = encode
         _trim_torn_tail(path)
         self._file = open(path, "a")
@@ -217,9 +303,13 @@ class WriteAheadLog:
 
     def append(self, seq, updates):
         """Durably record one applied batch under sequence number ``seq``."""
-        record = {"seq": seq, "updates": [self._encode(u) for u in updates]}
+        if self.fault is not None:
+            self.fault("append", self.path)
+        encoded = [self._encode(u) for u in updates]
+        record = {"seq": seq, "updates": encoded}
         if self.backend is not None:
             record["backend"] = self.backend
+        record["crc"] = record_crc(seq, encoded, self.backend)
         line = json.dumps(record) + "\n"
         self._file.write(line)
         self._file.flush()
@@ -235,8 +325,20 @@ class WriteAheadLog:
         its records and a usable handle — a failed compaction must
         degrade to "no compaction", never to a writer whose next append
         dies on a closed file.
+
+        The replacement opens in append mode (``O_APPEND``) and is then
+        explicitly truncated, *not* opened with ``"w"``: a plain write
+        handle tracks its own file position, so any bytes another handle
+        appended at EOF (a crashed process's torn fragment, an injected
+        fault) would be silently overwritten by the next record instead
+        of surfacing to readers as the corruption they are.
         """
-        replacement = open(self.path, "w")
+        replacement = open(self.path, "a")
+        try:
+            replacement.truncate(0)
+        except BaseException:
+            replacement.close()
+            raise
         self._file.close()
         self._file = replacement
         self.size = 0
@@ -288,6 +390,19 @@ class WalTailer:
     a foreign backend family raises
     :class:`~repro.exceptions.CheckpointMismatchError`.
 
+    Every parsed line is checked against its CRC32 stamp — including
+    already-applied records on a from-the-head rescan, so a corrupted
+    interior record can never be skipped past by re-bootstrapping alone;
+    the stream stays poisoned until something rewrites it (the
+    supervisor's repair: a fresh checkpoint + truncation).  A checksum
+    mismatch or an unparseable complete line is *corruption*, counted in
+    ``corruptions`` with the typed error kept in ``last_corruption``, and
+    reported as a gap.  The one exception: a parse failure on the very
+    first line of a mid-file read, where our remembered offset itself may
+    simply no longer point at a record boundary (truncation raced
+    regrowth past our position) — that is a plain resync gap, not
+    corruption.
+
     ``decode`` converts each op-tagged list element back into an object;
     the default decodes workload updates.  Shards tail the label-delta
     journal with their own codec (:func:`repro.shard.decode_label_op`).
@@ -300,6 +415,9 @@ class WalTailer:
         self.expect_backend = expect_backend
         self._decode = decode
         self._offset = 0
+        self._saw_stamped = False
+        self.corruptions = 0
+        self.last_corruption = None
 
     def poll(self):
         """Return ``(new_records, gap)`` — see the class docstring."""
@@ -325,14 +443,17 @@ class WalTailer:
         complete = data[:end + 1]
         records = []
         consumed = 0
+        first_line = True
         for raw in complete.splitlines(keepends=True):
+            where = f"{self.path} (tail offset {self._offset + consumed})"
             try:
                 payload = json.loads(raw)
                 seq = payload["seq"]
-                check_record_backend(
-                    payload, self.expect_backend,
-                    f"{self.path} (tail offset {self._offset + consumed})",
-                )
+                _check_stamp_continuity(payload, self._saw_stamped, where)
+                self._saw_stamped = self._saw_stamped or "crc" in payload
+                # Checksum before the backend-family check — see read_wal.
+                verify_record_crc(payload, where)
+                check_record_backend(payload, self.expect_backend, where)
                 encoded = payload["updates"]
                 updates = (
                     [self._decode(rec) for rec in encoded]
@@ -340,11 +461,27 @@ class WalTailer:
                 )
             except CheckpointMismatchError:
                 raise
-            except (ValueError, KeyError, TypeError, ServeError):
-                # A parse failure mid-stream means our offset no longer
-                # points at a record boundary (truncation raced regrowth
-                # past our position) — resynchronize via re-bootstrap.
+            except WalCorruptionError as exc:
+                self.corruptions += 1
+                self.last_corruption = exc
                 return records, True
+            except (ValueError, KeyError, TypeError, ServeError) as exc:
+                if first_line and self._offset > 0:
+                    # Our remembered offset may simply no longer point at
+                    # a record boundary (truncation raced regrowth past
+                    # our position) — a plain resync via re-bootstrap,
+                    # not evidence of corrupted durable bytes.
+                    return records, True
+                # A complete newline-terminated line at a true boundary
+                # failed to parse: durable bytes were damaged in place.
+                corruption = WalCorruptionError(
+                    f"corrupt record at {where}: {raw[:80]!r}"
+                )
+                corruption.__cause__ = exc
+                self.corruptions += 1
+                self.last_corruption = corruption
+                return records, True
+            first_line = False
             if seq > self.last_seq and not encoded:
                 # A compaction marker past our position: the real records
                 # up to ``seq`` exist only in the checkpoint now.  Never

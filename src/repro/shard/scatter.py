@@ -17,6 +17,28 @@ shard fleet missing one slice cannot answer *anything* without risking a
 wrong distance or count — so any unhealthy shard, or an unattainable
 cut, raises :class:`~repro.exceptions.ShardError`.  Refusal over wrong
 answers.
+
+Resilience hooks (same vocabulary as the cluster router):
+
+* **Condition-variable waits** — cut waiters block on a condition
+  notified by every shard publish (``ShardedCluster`` wires each shard's
+  ``set_publish_listener`` to :meth:`notify_event`) instead of spinning
+  at 1 ms, with a 50 ms poll cap as a safety net.
+* **Per-shard circuit breakers** — a shard that keeps causing refusals
+  (down, or the laggard at a cut timeout) trips its breaker, after which
+  acquires refuse *instantly* instead of burning the full
+  ``wait_timeout`` per request; the cooldown admits one probing acquire,
+  and a successful cut closes every breaker.  Refusal semantics are
+  unchanged — the breaker only makes refusal cheap while the supervisor
+  heals the fleet.
+* **Opt-in degraded mode** — with ``degraded="stale"``, a read that
+  would refuse (and has no ``min_seq`` floor) is served from the newest
+  *common historical cut*: the freshest seq at which every shard — dead
+  or alive — still holds a ring view, bounded by ``degraded_max_lag``
+  against the freshest shard.  Ring views are immutable and seq-aligned,
+  so the merged answer is exactly the fleet's answer at that (stale)
+  cut — bounded-stale, never wrong; the tap sees the target as
+  ``"shard-router+degraded"``.  The default stays ``"refuse"``.
 """
 
 import threading
@@ -25,18 +47,26 @@ from functools import reduce
 
 from repro.audit.comparator import merge_partial_answers
 from repro.exceptions import ShardError
+from repro.resilience.breaker import CircuitBreaker
 from repro.shard.planner import gather_chunks, split_batch
+
+#: degraded-mode vocabulary: refuse (default) or serve bounded-stale.
+DEGRADED_MODES = ("refuse", "stale")
+
+#: cap on each blocking wait slice — the safety net under lost wakeups.
+_WAIT_SLICE = 0.05
 
 
 class ShardCut:
     """One consistent cross-shard read point: a seq + per-shard views."""
 
-    __slots__ = ("seq", "views", "shards")
+    __slots__ = ("seq", "views", "shards", "degraded")
 
-    def __init__(self, seq, shards, views):
+    def __init__(self, seq, shards, views, degraded=False):
         self.seq = seq
         self.shards = shards
         self.views = views
+        self.degraded = degraded
 
     def partials(self, s, t):
         """Every shard's partial answer for (s, t) at this cut."""
@@ -58,9 +88,20 @@ class ShardRouter:
     parallel_threshold:
         ``query_many`` batches at least this long are split into
         concurrent sub-batches (see :mod:`repro.shard.planner`).
+    degraded:
+        ``"refuse"`` (default) or ``"stale"`` — see the module docstring.
+    degraded_max_lag:
+        Bound (in journal seqs, against the freshest shard) on how stale
+        a degraded cut may be.
+    breaker_threshold / breaker_cooldown:
+        Per-shard :class:`~repro.resilience.CircuitBreaker` tuning —
+        consecutive refusal-causing failures before acquires start
+        refusing instantly, and how long until a probe is admitted.
     """
 
-    def __init__(self, shards, wait_timeout=5.0, parallel_threshold=64):
+    def __init__(self, shards, wait_timeout=5.0, parallel_threshold=64,
+                 degraded="refuse", degraded_max_lag=64,
+                 breaker_threshold=3, breaker_cooldown=0.25):
         shards = list(shards)
         if not shards:
             raise ShardError("a shard router needs at least one shard")
@@ -69,14 +110,35 @@ class ShardRouter:
             raise ShardError(
                 f"shards must share one backend family, got {sorted(backends)}"
             )
+        if degraded not in DEGRADED_MODES:
+            raise ShardError(
+                f"unknown degraded mode {degraded!r}; "
+                f"choose from {DEGRADED_MODES}"
+            )
+        if degraded_max_lag < 0:
+            raise ShardError(
+                f"degraded_max_lag must be >= 0, got {degraded_max_lag!r}"
+            )
         self._shards = shards
         self.wait_timeout = wait_timeout
         self.parallel_threshold = parallel_threshold
+        self.degraded = degraded
+        self.degraded_max_lag = degraded_max_lag
         self._counts = shards[0].counts
         self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._breakers = {
+            s.shard_id: CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+            )
+            for s in shards
+        }
         self._answer_tap = None
         self._routed = 0
         self._refusals = 0
+        self._fast_refusals = 0
+        self._degraded_serves = 0
         self._cut_waits = 0
 
     # ------------------------------------------------------------------
@@ -93,12 +155,30 @@ class ShardRouter:
         return list(self._shards)
 
     def set_shard(self, shard_id, shard):
-        """Swap the shard in slot ``shard_id`` (a restarted shard)."""
+        """Swap the shard in slot ``shard_id`` (a restarted shard).
+
+        Resets the slot's circuit breaker and wakes cut waiters so the
+        fresh member is examined immediately.
+        """
         for i, existing in enumerate(self._shards):
             if existing.shard_id == shard_id:
                 self._shards[i] = shard
+                breaker = self._breakers.get(shard_id)
+                if breaker is not None:
+                    breaker.reset()
+                self.notify_event()
                 return
         raise ShardError(f"router knows no shard with id {shard_id!r}")
+
+    def notify_event(self, *_args, **_kwargs):
+        """Wake blocked cut waiters (publish / health-change seam).
+
+        Wired to every shard's ``set_publish_listener`` and usable as a
+        :class:`~repro.resilience.HealthMonitor` listener (extra
+        arguments are accepted and ignored).
+        """
+        with self._wakeup:
+            self._wakeup.notify_all()
 
     # ------------------------------------------------------------------
     # Consistent cuts
@@ -109,38 +189,95 @@ class ShardRouter:
 
         Picks the freshest seq every shard has published, waiting for
         laggards up to ``wait_timeout``.  Refuses immediately — without
-        waiting — when any shard is unhealthy: a dead shard's slice
+        waiting — when any shard is unhealthy (a dead shard's slice
         cannot catch up, and serving without it would be wrong, not
-        stale.
+        stale) or when a tripped breaker says the last refusals are
+        still being healed.  Under ``degraded="stale"`` a floorless
+        refusal is converted into a bounded-stale historical cut when
+        one exists (see the module docstring).
         """
+        # The breaker gate runs once per acquire: an open breaker means
+        # recent acquires kept refusing on this shard, so refuse fast
+        # instead of burning wait_timeout; an admitted probe makes this
+        # acquire the one that re-tests the fleet.
+        blocked = [
+            shard.name
+            for shard in self._shards
+            if not self._breakers[shard.shard_id].allow()
+        ]
+        if blocked:
+            with self._lock:
+                self._fast_refusals += 1
+                self._refusals += 1
+            return self._refuse_or_degrade(min_seq, ShardError(
+                f"circuit open for shard(s) {blocked}: recent reads kept "
+                f"refusing there; failing fast while the fleet heals"
+            ))
         deadline = time.monotonic() + self.wait_timeout
         while True:
             shards = self._shards
             down = [s.name for s in shards if not s.healthy]
             if down:
+                for s in shards:
+                    if not s.healthy:
+                        self._breakers[s.shard_id].record_failure()
                 with self._lock:
                     self._refusals += 1
-                raise ShardError(
+                return self._refuse_or_degrade(min_seq, ShardError(
                     f"shard(s) {down} are down; refusing cross-shard reads "
                     f"(a missing hub slice cannot be merged around)"
-                )
+                ))
             hi = min(s.latest_seq for s in shards)
             lo = max(s.min_seq for s in shards)
             if hi >= max(lo, min_seq):
                 views = [s.view_at(hi) for s in shards]
                 if all(v is not None for v in views):
+                    for breaker in self._breakers.values():
+                        breaker.record_success()
                     return ShardCut(hi, list(shards), views)
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # Blame the laggard(s): the shard(s) pinning `hi` down.
+                for s in shards:
+                    if s.latest_seq <= hi:
+                        self._breakers[s.shard_id].record_failure()
                 with self._lock:
                     self._refusals += 1
-                raise ShardError(
+                return self._refuse_or_degrade(min_seq, ShardError(
                     f"no consistent cross-shard cut at seq >= {min_seq} "
                     f"within {self.wait_timeout} s (shards at "
                     f"{[s.applied_seq for s in shards]}); refusing"
-                )
-            with self._lock:
+                ))
+            with self._wakeup:
                 self._cut_waits += 1
-            time.sleep(0.001)
+                self._wakeup.wait(min(_WAIT_SLICE, remaining))
+
+    def _refuse_or_degrade(self, min_seq, error):
+        """Raise ``error`` — or, under opt-in degraded mode, serve the
+        newest bounded-stale common cut instead (floorless reads only:
+        read-your-writes never degrades)."""
+        if self.degraded == "stale" and min_seq == 0:
+            cut = self._degraded_cut()
+            if cut is not None:
+                with self._lock:
+                    self._degraded_serves += 1
+                return cut
+        raise error
+
+    def _degraded_cut(self):
+        """The newest seq at which *every* shard still holds a ring view,
+        health ignored, bounded by ``degraded_max_lag`` vs the freshest
+        shard; ``None`` when the rings no longer intersect in bound."""
+        shards = self._shards
+        hi = min(s.latest_seq for s in shards)
+        lo = max(s.min_seq for s in shards)
+        freshest = max(s.latest_seq for s in shards)
+        lo = max(lo, freshest - self.degraded_max_lag)
+        for seq in range(hi, lo - 1, -1):
+            views = [s.view_at(seq) for s in shards]
+            if all(v is not None for v in views):
+                return ShardCut(seq, list(shards), views, degraded=True)
+        return None
 
     # ------------------------------------------------------------------
     # Read path
@@ -154,14 +291,15 @@ class ShardRouter:
         *merged* read with the cut's journal seq — so an
         :class:`~repro.audit.AuditSampler` + shadow auditor replaying the
         primary's WAL to that seq differentially verifies the cross-shard
-        merge itself.
+        merge itself.  Degraded cuts report ``"shard-router+degraded"``.
         """
         self._answer_tap = tap
 
     def _tapped(self, cut, answered):
         tap = self._answer_tap
         if tap is not None:
-            tap(answered, cut.seq, "shard-router", 0)
+            name = "shard-router+degraded" if cut.degraded else "shard-router"
+            tap(answered, cut.seq, name, 0)
 
     def _merge(self, partials):
         answer = reduce(merge_partial_answers, partials)
@@ -180,13 +318,21 @@ class ShardRouter:
         return answer
 
     def query_tagged(self, s, t, min_seq=0):
-        """Merged answer plus its consistency tag: (answer, seq)."""
+        """Merged answer plus its provenance: (answer, seq, target).
+
+        ``target`` matches what the answer tap sees — ``"shard-router"``
+        for a healthy cut, ``"shard-router+degraded"`` for a
+        bounded-stale one — so callers can observe degraded serves
+        without registering a tap (same contract as the cluster
+        router's ``query_tagged``).
+        """
         cut = self.acquire(min_seq)
         answer = self._merge(cut.partials(s, t))
         with self._lock:
             self._routed += 1
         self._tapped(cut, [((s, t), answer)])
-        return answer, cut.seq
+        name = "shard-router+degraded" if cut.degraded else "shard-router"
+        return answer, cut.seq, name
 
     def query_many(self, pairs, min_seq=0):
         """Answer a batch of pairs against one consistent cut.
@@ -224,8 +370,15 @@ class ShardRouter:
             counters = {
                 "routed": self._routed,
                 "refusals": self._refusals,
+                "fast_refusals": self._fast_refusals,
+                "degraded_serves": self._degraded_serves,
+                "degraded_mode": self.degraded,
                 "cut_waits": self._cut_waits,
             }
+        counters["breakers"] = {
+            str(shard_id): breaker.stats()
+            for shard_id, breaker in self._breakers.items()
+        }
         counters["shards"] = [s.stats() for s in self._shards]
         return counters
 

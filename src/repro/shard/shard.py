@@ -23,6 +23,7 @@ cut — instead of coordinating the appliers.
 import os
 import threading
 import time
+import warnings
 from collections import OrderedDict
 
 from repro.engine import get_backend
@@ -162,6 +163,10 @@ class Shard:
         with ``partitioner.shard_of(h) == shard_id``.
     ring_size:
         How many recent per-seq views to retain for consistent cuts.
+    stall_budget:
+        Consecutive no-progress re-bootstraps before the applier dies
+        (``None`` uses :attr:`MAX_STALLED_BOOTSTRAPS`); the chaos harness
+        shortens it so a corrupted journal is declared dead quickly.
     """
 
     #: consecutive no-progress re-bootstraps before the applier gives up
@@ -169,17 +174,22 @@ class Shard:
     MAX_STALLED_BOOTSTRAPS = 3
 
     def __init__(self, primary_dir, shard_id, partitioner, name=None,
-                 poll_interval=0.002, ring_size=64):
+                 poll_interval=0.002, ring_size=64, stall_budget=None):
         self.shard_id = shard_id
         self.name = name or f"shard-{shard_id}"
         self._dir = primary_dir
         self._keep = partitioner.keep(shard_id)
         self._poll_interval = poll_interval
+        self._stall_budget = (
+            self.MAX_STALLED_BOOTSTRAPS if stall_budget is None else stall_budget
+        )
         self._ring_size = max(2, ring_size)
         self._views = OrderedDict()   # seq -> published view, oldest first
         self._lock = threading.Lock()
+        self._publish_listener = None
         self._store = None
         self._tailer = None
+        self._corruptions_base = 0
         self._applied_seq = 0
         self._fatal = None
         self._alive = True
@@ -259,6 +269,25 @@ class Shard:
         """How many times this shard (re-)bootstrapped from a checkpoint."""
         return self._bootstraps
 
+    @property
+    def stream_corruptions(self):
+        """Typed corruption events the journal stream raised so far
+        (accumulated across re-bootstraps, same contract as
+        :attr:`repro.cluster.Replica.stream_corruptions`)."""
+        tailer = self._tailer
+        return self._corruptions_base + (
+            tailer.corruptions if tailer is not None else 0
+        )
+
+    def set_publish_listener(self, listener):
+        """Install (or clear, with ``None``) a publication hook.
+
+        ``listener()`` runs on the applier thread after every published
+        view — the router's condition-variable wakeup seam.  Must be
+        cheap and must never raise (a raising listener kills the applier).
+        """
+        self._publish_listener = listener
+
     def catch_up(self, target_seq, timeout=10.0):
         """Block until ``applied_seq >= target_seq``; True on success."""
         deadline = time.monotonic() + timeout
@@ -289,6 +318,7 @@ class Shard:
             "ring": ring,
             "records_applied": self._records_applied,
             "bootstraps": self._bootstraps,
+            "stream_corruptions": self.stream_corruptions,
             "healthy": self.healthy,
         }
 
@@ -298,10 +328,21 @@ class Shard:
         Published views stay readable, but the shard stops following the
         journal and reports unhealthy — which makes the router *refuse*
         queries, since a missing hub slice cannot be merged around.
-        Idempotent.
+        Idempotent.  A join that times out (the applier is wedged) marks
+        the shard fatal and issues a warning instead of silently leaking
+        a live thread under whatever replaces this member.
         """
         self._stop.set()
         self._thread.join(timeout=10.0)
+        if self._thread.is_alive():
+            stuck = ShardError(
+                f"shard {self.name!r} applier thread failed to stop "
+                f"within 10.0 s; the thread has leaked and the member "
+                f"must not be reused"
+            )
+            if self._fatal is None:
+                self._fatal = stuck
+            warnings.warn(str(stuck), RuntimeWarning, stacklevel=2)
         self._alive = False
 
     def close(self):
@@ -346,6 +387,8 @@ class Shard:
             )
         self._store = store
         self._applied_seq = payload.get("applied_seq", 0)
+        if self._tailer is not None:
+            self._corruptions_base += self._tailer.corruptions
         self._tailer = WalTailer(
             os.path.join(self._dir, JOURNAL_FILENAME),
             after_seq=self._applied_seq,
@@ -363,6 +406,9 @@ class Shard:
             self._views[seq] = view
             while len(self._views) > self._ring_size:
                 self._views.popitem(last=False)
+        listener = self._publish_listener
+        if listener is not None:
+            listener()
 
     def _apply_ops(self, ops):
         store = self._store
@@ -384,6 +430,12 @@ class Shard:
 
     def _apply_loop(self):
         stalled = 0
+        # Progress means advancing past the furthest seq ever reached —
+        # a corruption-forced re-bootstrap re-reads the journal head and
+        # re-applies the same prefix every round, and counting that as
+        # progress would hot-loop a poisoned stream forever (see the
+        # replica applier for the full rationale).
+        high_water = self._applied_seq
         try:
             while not self._stop.is_set():
                 records, gap = self._tailer.poll()
@@ -394,18 +446,19 @@ class Shard:
                     # One view per seq: the aligned rings are what give
                     # the router its consistent cross-shard cuts.
                     self._publish(seq)
-                if records:
+                if records and self._applied_seq > high_water:
+                    high_water = self._applied_seq
                     stalled = 0
                 if gap:
                     # The primary compacted the journal beneath us: the
                     # missing deltas live only in the new checkpoint now.
-                    before = self._applied_seq
                     self._bootstrap()
-                    if records or self._applied_seq > before:
+                    if self._applied_seq > high_water:
+                        high_water = self._applied_seq
                         stalled = 0
                         continue
                     stalled += 1
-                    if stalled >= self.MAX_STALLED_BOOTSTRAPS:
+                    if stalled >= self._stall_budget:
                         raise ShardError(
                             f"shard {self.name!r} cannot advance past a "
                             f"label-journal gap at seq {self._applied_seq}: "

@@ -52,6 +52,19 @@ class ShardConfig:
         Batch length at which ``query_many`` goes concurrent.
     seed:
         Seed for the hash partitioner's mixing.
+    degraded:
+        Router behavior at the cut deadline: ``"refuse"`` (default) or
+        ``"stale"`` (serve the newest *historical* consistent cut still
+        covered by every shard's ring, tagged degraded, when it is
+        within ``degraded_max_lag`` of the freshest shard).
+    degraded_max_lag:
+        Staleness bound (in batches) a degraded-mode cut must meet.
+    breaker_threshold / breaker_cooldown:
+        Per-shard circuit breaker: consecutive cut failures that trip it
+        open, and seconds before a half-open recovery probe.
+    stall_budget:
+        Re-bootstraps without progress a shard tolerates before dying
+        (``None`` = the shard's own default).
     """
 
     shards: int = 4
@@ -61,6 +74,11 @@ class ShardConfig:
     wait_timeout: float = 5.0
     parallel_threshold: int = 64
     seed: int = 0
+    degraded: str = "refuse"
+    degraded_max_lag: int = 64
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 0.25
+    stall_budget: int = None
 
     def __post_init__(self):
         if self.shards < 1:
@@ -134,12 +152,21 @@ class ShardedCluster:
                     state_dir, shard_id, partitioner,
                     poll_interval=config.poll_interval,
                     ring_size=config.ring_size,
+                    stall_budget=config.stall_budget,
                 )
             self.router = ShardRouter(
                 [self._shards[i] for i in sorted(self._shards)],
                 wait_timeout=config.wait_timeout,
                 parallel_threshold=config.parallel_threshold,
+                degraded=config.degraded,
+                degraded_max_lag=config.degraded_max_lag,
+                breaker_threshold=config.breaker_threshold,
+                breaker_cooldown=config.breaker_cooldown,
             )
+            # Publish events wake blocked cut acquires instead of letting
+            # them sleep out their wait slice.
+            for shard in self._shards.values():
+                shard.set_publish_listener(self.router.notify_event)
         except BaseException:
             # A shard that failed to bootstrap must not leak the ones
             # that did, nor the primary's writer thread.
@@ -178,7 +205,7 @@ class ShardedCluster:
         return self.router.query(s, t)
 
     def query_tagged(self, s, t):
-        """Merged answer plus its consistency tag: (answer, seq)."""
+        """Merged answer plus its provenance: (answer, seq, target)."""
         return self.router.query_tagged(s, t)
 
     def query_many(self, pairs):
@@ -248,7 +275,9 @@ class ShardedCluster:
             self._state_dir, shard_id, self.partitioner,
             poll_interval=self._config.poll_interval,
             ring_size=self._config.ring_size,
+            stall_budget=self._config.stall_budget,
         )
+        shard.set_publish_listener(self.router.notify_event)
         self._shards[shard_id] = shard
         self.router.set_shard(shard_id, shard)
         return shard

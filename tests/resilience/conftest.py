@@ -1,0 +1,29 @@
+"""Shared fixtures for the resilience suite: small supervised fleets."""
+
+import time
+
+import pytest
+
+from repro.engine import EngineConfig, SPCEngine
+from repro.graph.generators import erdos_renyi
+
+
+def _await_true(predicate, timeout=10.0, interval=0.01):
+    """Poll ``predicate`` until true or ``timeout``; returns the verdict."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def await_true():
+    return _await_true
+
+
+@pytest.fixture
+def engine():
+    graph = erdos_renyi(40, 90, seed=3)
+    return SPCEngine(graph, config=EngineConfig(backend="core"))

@@ -1,0 +1,111 @@
+"""CircuitBreaker: closed / open / half-open and the probe protocol."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.resilience import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown=1.0, clock=clock)
+
+
+class TestClosed:
+    def test_closed_always_allows(self, breaker):
+        for _ in range(10):
+            assert breaker.allow()
+        assert breaker.state == "closed"
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"   # never reached 3 consecutive
+
+    def test_threshold_consecutive_failures_trip_open(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+
+class TestOpenAndHalfOpen:
+    def _trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+
+    def test_open_rejects_until_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(0.99)
+        assert not breaker.allow()
+        clock.advance(0.02)
+        assert breaker.allow()   # this caller carries the probe
+
+    def test_only_one_probe_admitted(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(1.5)
+        assert breaker.allow()
+        assert not breaker.allow()   # probe already in flight
+        assert breaker.state == "half_open"
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        clock.advance(1.01)
+        assert breaker.allow()
+
+    def test_reset_force_closes_without_cooldown(self, breaker):
+        self._trip(breaker)
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+
+class TestValidationAndStats:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ReproError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_cooldown_must_be_nonnegative(self):
+        with pytest.raises(ReproError):
+            CircuitBreaker(cooldown=-0.1)
+
+    def test_stats_shape(self, breaker):
+        breaker.record_failure()
+        stats = breaker.stats()
+        assert stats == {
+            "state": "closed", "consecutive_failures": 1, "trips": 0,
+        }

@@ -1,0 +1,65 @@
+"""End-to-end smoke of the chaos harness: full schedule, tiny fleet.
+
+Each variant runs the complete disk-fault schedule (kill, journal
+bit-flip, checkpoint corruption, torn write, ENOSPC, crash loop)
+against a small fleet under live readers and churn, in strict mode —
+so any undetected phase, unhealed member, untyped corruption, or shadow
+divergence fails the run itself before the assertions even look.
+"""
+
+from repro.resilience.loadgen import run_chaos_loadgen
+
+SMALL = dict(
+    n=40, m=90, churn=8, readers=1, batch_size=2,
+    duration=30.0, heal_timeout=12.0, seed=0, strict=True,
+)
+
+
+def _check(report):
+    phases = report["phases"]
+    assert phases, "the schedule ran no phases"
+    assert report["phases_detected"] == len(phases)
+    assert report["phases_healed"] == len(phases)
+    assert report["chaos_problems"] == []
+    if report["fleet"] == "cluster":
+        # The crash-loop finale *deliberately* drives one member through
+        # the restart budget; its contained "failed" verdict is the pass.
+        assert report["failed_members"] == [
+            phases[-1]["injected"]["member"]
+        ]
+    else:
+        assert report["failed_members"] == []
+    assert report["auditor"]["audited"] > 0
+    assert report["auditor"]["divergences"]["total"] == 0
+    assert report["reads"] > 0
+    assert report["mttr_s"]["max"] is not None
+    for phase in phases:
+        assert phase["mttr_s"] is not None and phase["mttr_s"] >= 0
+
+
+class TestChaosSchedule:
+    def test_cluster_fleet_survives_the_schedule(self, tmp_path):
+        report = run_chaos_loadgen(
+            backend="core", fleet="cluster", replicas=2,
+            state_dir=str(tmp_path), **SMALL,
+        )
+        _check(report)
+
+    def test_shard_fleet_survives_the_schedule(self, tmp_path):
+        report = run_chaos_loadgen(
+            backend="core", fleet="shard", shards=3,
+            state_dir=str(tmp_path), **SMALL,
+        )
+        _check(report)
+
+    def test_shard_fleet_degraded_mode_serves_and_stays_clean(self, tmp_path):
+        report = run_chaos_loadgen(
+            backend="core", fleet="shard", shards=3,
+            degraded="stale", degraded_max_lag=1024, ring_size=1024,
+            state_dir=str(tmp_path), **SMALL,
+        )
+        _check(report)
+        # Opt-in degradation actually engaged — and the auditor, which
+        # rewinds to each read's true cut, still found zero divergences.
+        assert report["degraded_mode"] == "stale"
+        assert report["degraded_reads"] > 0

@@ -1,0 +1,163 @@
+"""HealthMonitor: the fleet-wide state machine and its event log."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.resilience import (
+    MEMBER_STATES,
+    SERVING_STATES,
+    HealthEvent,
+    HealthMonitor,
+)
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def monitor(clock):
+    return HealthMonitor(lag_threshold=8, clock=clock)
+
+
+class TestDerivedStates:
+    def test_registered_member_starts_up(self, monitor):
+        monitor.register("r0")
+        assert monitor.state("r0") == "up"
+        assert monitor.serving("r0")
+
+    def test_register_is_idempotent(self, monitor):
+        monitor.register("r0")
+        monitor.observe("r0", False)
+        monitor.register("r0")   # must not reset the known state
+        assert monitor.state("r0") == "down"
+
+    def test_lag_crossing_threshold_marks_lagging(self, monitor):
+        monitor.register("r0")
+        assert monitor.observe("r0", True, lag=7) == "up"
+        assert monitor.observe("r0", True, lag=8) == "lagging"
+        assert not monitor.serving("r0") or "lagging" in SERVING_STATES
+        assert monitor.serving("r0")   # lagging members still serve
+        assert monitor.observe("r0", True, lag=0) == "up"
+
+    def test_unhealthy_observation_marks_down(self, monitor):
+        monitor.register("r0")
+        assert monitor.observe("r0", False, detail="killed") == "down"
+        assert not monitor.serving("r0")
+
+    def test_observe_autoregisters_unknown_members(self, monitor):
+        assert monitor.observe("surprise", True) == "up"
+        assert "surprise" in monitor.states()
+
+    def test_lag_is_queryable(self, monitor):
+        monitor.observe("r0", True, lag=5)
+        assert monitor.lag("r0") == 5
+        assert monitor.lag("unknown") == 0
+
+
+class TestImposedStates:
+    def test_failed_is_sticky_under_observations(self, monitor):
+        monitor.register("r0")
+        monitor.set_state("r0", "failed", detail="budget exhausted")
+        assert monitor.observe("r0", True) == "failed"
+        assert monitor.observe("r0", False) == "failed"
+        assert not monitor.serving("r0")
+
+    def test_restarting_is_sticky_under_observations(self, monitor):
+        monitor.register("r0")
+        monitor.set_state("r0", "restarting")
+        # A freshly swapped-in member must not flap to up before the
+        # supervisor finishes its bookkeeping.
+        assert monitor.observe("r0", True) == "restarting"
+
+    def test_set_state_revives_a_failed_member(self, monitor):
+        monitor.set_state("r0", "failed")
+        monitor.set_state("r0", "up", detail="operator revival")
+        assert monitor.observe("r0", True) == "up"
+
+    def test_unknown_state_rejected(self, monitor):
+        with pytest.raises(ReproError):
+            monitor.set_state("r0", "zombie")
+        with pytest.raises(ReproError):
+            monitor.register("r0", state="zombie")
+
+    def test_all_vocabulary_states_are_settable(self, monitor):
+        for state in MEMBER_STATES:
+            monitor.set_state("r0", state)
+            assert monitor.state("r0") == state
+
+
+class TestEventLog:
+    def test_transitions_append_ordered_events(self, monitor, clock):
+        monitor.register("r0")
+        clock.advance(1.0)
+        monitor.observe("r0", False, detail="killed")
+        clock.advance(2.0)
+        monitor.set_state("r0", "restarting", detail="attempt 1")
+        events = monitor.events_for("r0")
+        assert [(e.prev, e.state) for e in events] == [
+            ("up", "down"), ("down", "restarting"),
+        ]
+        assert events[0].at == 101.0
+        assert events[1].at == 103.0
+        assert events[0].detail == "killed"
+
+    def test_no_event_without_a_transition(self, monitor):
+        monitor.register("r0")
+        monitor.observe("r0", True)
+        monitor.observe("r0", True)
+        assert monitor.events == []
+
+    def test_events_survive_forget(self, monitor):
+        monitor.register("r0")
+        monitor.observe("r0", False)
+        monitor.forget("r0")
+        assert monitor.state("r0") is None
+        assert len(monitor.events_for("r0")) == 1
+
+    def test_listener_fires_per_transition(self, monitor):
+        seen = []
+        monitor.add_listener(seen.append)
+        monitor.register("r0")
+        monitor.observe("r0", False)
+        monitor.observe("r0", True)
+        assert [(e.member, e.state) for e in seen] == [
+            ("r0", "down"), ("r0", "up"),
+        ]
+        assert all(isinstance(e, HealthEvent) for e in seen)
+
+    def test_event_as_dict_is_json_safe(self, monitor):
+        monitor.register("r0")
+        monitor.observe("r0", False, detail="x")
+        d = monitor.events[0].as_dict()
+        assert d["member"] == "r0"
+        assert d["prev"] == "up"
+        assert d["state"] == "down"
+        assert d["detail"] == "x"
+
+
+class TestValidationAndStats:
+    def test_lag_threshold_must_be_positive(self):
+        with pytest.raises(ReproError):
+            HealthMonitor(lag_threshold=0)
+
+    def test_stats_shape(self, monitor):
+        monitor.register("r0")
+        monitor.observe("r0", True, lag=3)
+        stats = monitor.stats()
+        assert stats["lag_threshold"] == 8
+        assert stats["members"]["r0"]["state"] == "up"
+        assert stats["members"]["r0"]["lag"] == 3
+        assert stats["events"] == 0

@@ -1,0 +1,135 @@
+"""Checksummed storage: the CRC stamp rules the chaos harness relies on.
+
+The basic stamp round-trip lives in ``tests/serve/test_wal.py``; this
+module pins the *hardening* semantics this layer grew for the chaos
+schedule: the legacy-prefix rule (unstamped records accepted only before
+any stamped one), the stamp-continuity refusal (a stripped ``"crc"`` key
+cannot demote a record back to legacy), and the verify order (a damaged
+``"backend"`` value surfaces as corruption, not as a foreign-family log).
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import CheckpointMismatchError, WalCorruptionError
+from repro.serve.wal import WalTailer, read_wal, record_crc
+
+
+def _record(seq, updates, backend=None, stamp=True, **extra):
+    payload = {"seq": seq, "updates": updates}
+    if backend is not None:
+        payload["backend"] = backend
+    if stamp:
+        payload["crc"] = record_crc(seq, updates, backend)
+    payload.update(extra)
+    return json.dumps(payload) + "\n"
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "wal.jsonl")
+
+
+class TestStampRoundTrip:
+    def test_stamped_records_read_back(self, wal_path):
+        with open(wal_path, "w") as f:
+            f.write(_record(1, [["ie", 0, 1, None]], backend="core"))
+            f.write(_record(2, [["de", 0, 1, None]], backend="core"))
+        assert [seq for seq, _ in read_wal(wal_path)] == [1, 2]
+
+    def test_content_mismatch_raises_typed_error(self, wal_path):
+        line = _record(1, [["ie", 0, 1, None]], backend="core")
+        doctored = line.replace('"seq": 1', '"seq": 3')
+        with open(wal_path, "w") as f:
+            f.write(doctored)
+        with pytest.raises(WalCorruptionError, match="checksum"):
+            list(read_wal(wal_path))
+
+    def test_all_legacy_records_accepted(self, wal_path):
+        # A log written entirely before stamping existed still replays.
+        with open(wal_path, "w") as f:
+            f.write(_record(1, [["ie", 0, 1, None]], stamp=False))
+            f.write(_record(2, [["ie", 1, 2, None]], stamp=False))
+        assert [seq for seq, _ in read_wal(wal_path)] == [1, 2]
+
+
+class TestStampContinuity:
+    def test_legacy_prefix_then_stamped_tail_accepted(self, wal_path):
+        # The upgrade case: an old log appended to by a stamping writer.
+        with open(wal_path, "w") as f:
+            f.write(_record(1, [["ie", 0, 1, None]], stamp=False))
+            f.write(_record(2, [["ie", 1, 2, None]]))
+        assert [seq for seq, _ in read_wal(wal_path)] == [1, 2]
+
+    def test_unstamped_after_stamped_raises(self, wal_path):
+        # A stripped "crc" key must not demote a record to legacy: once
+        # one stamped record has been read, every later record must
+        # carry a stamp.
+        with open(wal_path, "w") as f:
+            f.write(_record(1, [["ie", 0, 1, None]]))
+            f.write(_record(2, [["ie", 1, 2, None]], stamp=False))
+        with pytest.raises(WalCorruptionError, match="stripped"):
+            list(read_wal(wal_path))
+
+    def test_crc_key_rename_via_bit_flip_is_caught(self, wal_path):
+        # The exact failure this rule exists for: a 0x01 bit flip landing
+        # on the "c" of "crc" renames the key and would otherwise bypass
+        # the checksum entirely.
+        with open(wal_path, "w") as f:
+            f.write(_record(1, [["ie", 5, 6, None]], backend="core"))
+            bad = _record(2, [["ie", 0, 1, None]], backend="core")
+            f.write(bad.replace('"crc"', '"brc"'))
+        with pytest.raises(WalCorruptionError):
+            list(read_wal(wal_path))
+
+    def test_tailer_enforces_continuity_across_polls(self, wal_path):
+        with open(wal_path, "w") as f:
+            f.write(_record(1, [["ie", 0, 1, None]]))
+        tailer = WalTailer(wal_path)
+        records, gap = tailer.poll()
+        assert [seq for seq, _ in records] == [1]
+        assert not gap
+        with open(wal_path, "a") as f:
+            f.write(_record(2, [["ie", 1, 2, None]], stamp=False))
+        records, gap = tailer.poll()
+        assert gap
+        assert tailer.corruptions == 1
+        assert isinstance(tailer.last_corruption, WalCorruptionError)
+        assert "stripped" in str(tailer.last_corruption)
+
+
+class TestVerifyOrder:
+    def test_damaged_backend_value_is_corruption_not_mismatch(self, wal_path):
+        # The stamp was computed over backend="weighted"; flipping a byte
+        # of the value afterwards must fail the CRC — not raise the
+        # foreign-family CheckpointMismatchError, which would misclassify
+        # in-place damage as an operator wiring error.
+        line = _record(1, [["ie", 0, 1, None]], backend="weighted")
+        with open(wal_path, "w") as f:
+            f.write(line.replace('"weighted"', '"weightee"'))
+        with pytest.raises(WalCorruptionError):
+            list(read_wal(wal_path, expect_backend="weighted"))
+
+    def test_genuine_foreign_family_still_raises_mismatch(self, wal_path):
+        # A record that *verifies* under its own stamp but names another
+        # family really is a wiring error.
+        with open(wal_path, "w") as f:
+            f.write(_record(1, [["ie", 0, 1, None]], backend="directed"))
+        with pytest.raises(CheckpointMismatchError):
+            list(read_wal(wal_path, expect_backend="core"))
+
+
+class TestDecodeFreeScan:
+    def test_tailer_scan_flags_interior_corruption(self, wal_path):
+        # The chaos harness's independent scan: a tailer past any real
+        # seq with no expected backend CRC-checks every line without
+        # decoding one — the same pass works on WALs and label journals.
+        with open(wal_path, "w") as f:
+            f.write(_record(1, [["ie", 0, 1, None]], backend="core"))
+            bad = _record(2, [["ie", 1, 2, None]], backend="core")
+            f.write(bad.replace('"seq": 2', '"seq": 4'))
+        tailer = WalTailer(wal_path, after_seq=1 << 62, expect_backend=None)
+        _records, gap = tailer.poll()
+        assert gap
+        assert isinstance(tailer.last_corruption, WalCorruptionError)

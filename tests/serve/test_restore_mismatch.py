@@ -71,8 +71,8 @@ def test_mixed_family_restore_refused(tmp_path, ckpt_backend, wal_backend):
 
 
 def test_unstamped_foreign_wal_still_refused(tmp_path):
-    # Logs written before backend stamping existed carry no family field;
-    # the replay-time wrapper must still name the mismatch clearly.
+    # Logs written before backend/crc stamping existed carry neither
+    # field; the replay-time wrapper must still name the mismatch clearly.
     core_dir = _populated_dir(tmp_path, "core")
     weighted_dir = _populated_dir(tmp_path, "weighted")
     wal_path = os.path.join(core_dir, WAL_FILENAME)
@@ -80,6 +80,7 @@ def test_unstamped_foreign_wal_still_refused(tmp_path):
         records = [json.loads(line) for line in f if line.strip()]
     for record in records:
         record.pop("backend", None)
+        record.pop("crc", None)
     with open(wal_path, "w") as f:
         for record in records:
             f.write(json.dumps(record) + "\n")
@@ -117,6 +118,9 @@ def test_tampered_index_payload_refused(tmp_path):
         os.path.join(directed_dir, SNAPSHOT_FILENAME)
     )
     core_payload["index"] = directed_payload["index"]
+    # drop the checksum: this test pins the *semantic* backend-vs-index
+    # guard, which must hold even for unstamped (legacy) checkpoints
+    core_payload.pop("crc", None)
     with open(os.path.join(core_dir, SNAPSHOT_FILENAME), "w") as f:
         json.dump(core_payload, f)
     with pytest.raises(CheckpointMismatchError, match="index payload"):

@@ -12,6 +12,7 @@ from repro.serve.wal import (
     encode_update,
     last_wal_seq,
     read_wal,
+    record_crc,
 )
 from repro.workloads import (
     DeleteEdge,
@@ -249,11 +250,12 @@ class TestTailer:
         log.append(1, [InsertEdge(0, 1)])
         tailer = WalTailer(path)
         assert [s for (s, _) in tailer.poll()[0]] == [1]
+        crc = record_crc(2, [["ie", 5, 6, None]])
         with open(path, "a") as f:
             f.write('{"seq": 2, "updates": [["ie", 5')  # mid-append
         assert tailer.poll() == ([], False)
         with open(path, "a") as f:
-            f.write(', 6, null]]}\n')  # the append completes
+            f.write(', 6, null]], "crc": %d}\n' % crc)  # the append completes
         records, gap = tailer.poll()
         assert not gap
         assert records == [(2, [InsertEdge(5, 6)])]

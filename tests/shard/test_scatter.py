@@ -89,8 +89,9 @@ class TestShardRouter:
         sc, _engine = sharded
         sc.submit(InsertEdge(0, 29))
         seq = sc.sync()
-        _answer, tag = sc.query_tagged(0, 29)
+        _answer, tag, target = sc.query_tagged(0, 29)
         assert tag == seq
+        assert target == "shard-router"
 
     def test_query_many_single_cut_in_order(self, sharded):
         sc, engine = sharded
