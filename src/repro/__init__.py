@@ -61,6 +61,7 @@ from repro import cluster  # noqa: F401  (repro.cluster.SPCCluster & friends)
 from repro import audit  # noqa: F401  (repro.audit.ShadowAuditor & friends)
 from repro import shard  # noqa: F401  (repro.shard.ShardedCluster & friends)
 from repro import resilience  # noqa: F401  (repro.resilience.Supervisor &c.)
+from repro import replay  # noqa: F401  (repro.replay.run_replay_scenario &c.)
 from repro.order import VertexOrder, degree_order, make_order
 from repro.traversal import bfs_counting_pair, bfs_counting_sssp, bibfs_counting
 from repro.verify import check_invariants, indexes_equivalent, verify_espc

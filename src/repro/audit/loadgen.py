@@ -44,7 +44,12 @@ from repro.audit.shadow import ShadowAuditor
 from repro.cluster.cluster import ClusterConfig, SPCCluster
 from repro.engine import EngineConfig, SPCEngine
 from repro.exceptions import AuditDivergenceError, ClusterError, ServeError
-from repro.serve.loadgen import _percentile, make_workload
+from repro.serve.loadgen import (
+    _next_pair,
+    _percentile,
+    make_pair_picker,
+    make_workload,
+)
 from repro.serve.service import ServeConfig
 
 #: corruption mode -> the one severity class a strict run must report.
@@ -55,7 +60,7 @@ EXPECTED_SEVERITY = {
 }
 
 
-def _reader_loop(cluster, pairs, deadline, seed, record):
+def _reader_loop(cluster, pairs, deadline, seed, record, picker=None):
     """Routed point + batch reads until the deadline (the sampler sees
     every answer through the router's tap — no per-read bookkeeping)."""
     rng = random.Random(seed)
@@ -64,13 +69,13 @@ def _reader_loop(cluster, pairs, deadline, seed, record):
     reads = 0
     try:
         while time.time() < deadline:
-            s, t = pairs[rng.randrange(len(pairs))]
+            s, t = _next_pair(pairs, rng, picker)
             start = time.perf_counter()
             cluster.query_tagged(s, t)
             latencies.append(time.perf_counter() - start)
             reads += 1
             if reads % 64 == 0:
-                batch = [pairs[rng.randrange(len(pairs))] for _ in range(8)]
+                batch = [_next_pair(pairs, rng, picker) for _ in range(8)]
                 cluster.router.query_many_tagged(batch)
                 reads += len(batch)
     except Exception as exc:  # noqa: BLE001 — a dead reader fails the run
@@ -156,6 +161,7 @@ def run_audit_loadgen(backend="core", replicas=2, readers=3, duration=1.2,
                       publish_every=8, max_staleness=0.01,
                       sample_rate=0.2, reservoir=512, history=1024,
                       corrupt=None, kill=True, drain_timeout=30.0,
+                      source_picker=None, picker_kwargs=None,
                       state_dir=None, strict=True):
     """Run one audited, fault-injected cluster load; returns a report dict.
 
@@ -169,6 +175,7 @@ def run_audit_loadgen(backend="core", replicas=2, readers=3, duration=1.2,
             f"choose from {sorted(EXPECTED_SEVERITY)}"
         )
     graph, cycle, pairs = make_workload(backend, n, m, seed=seed, churn=churn)
+    vertices = sorted(graph.vertices())
     engine = SPCEngine(graph, config=EngineConfig(backend=backend))
     own_dir = state_dir is None
     state_dir = state_dir or tempfile.mkdtemp(prefix="repro-audit-")
@@ -230,7 +237,9 @@ def run_audit_loadgen(backend="core", replicas=2, readers=3, duration=1.2,
     threads = [
         threading.Thread(
             target=_reader_loop,
-            args=(cluster, pairs, deadline, seed + 30 + i, reader_records[i]),
+            args=(cluster, pairs, deadline, seed + 30 + i, reader_records[i],
+                  make_pair_picker(source_picker, vertices, seed + 30 + i,
+                                   picker_kwargs)),
             name=f"audit-reader-{i}",
         )
         for i in range(readers)

@@ -118,6 +118,23 @@ def _chaos_metrics(extra):
     return metrics
 
 
+def _replay_metrics(extra):
+    """Tracked metrics for repro.bench.replay: per-scenario answered
+    throughput up, tail read latency down, audit coverage up.  Event and
+    query counts are deterministic per seed and judged strictly inside
+    the loadgen, so only the serving-quality trajectory is tracked."""
+    metrics = {}
+    for name, report in extra.get("runs", {}).items():
+        metrics[f"{name}.read_qps"] = (report["read_qps"], _HIGHER)
+        metrics[f"{name}.read_latency_p99_ms"] = (
+            report["read_latency_ms"]["p99"], _LOWER,
+        )
+        metrics[f"{name}.audited"] = (
+            report["auditor"]["audited"], _HIGHER,
+        )
+    return metrics
+
+
 #: experiment name -> extra-payload metric extractor.
 METRIC_EXTRACTORS = {
     "micro": _micro_metrics,
@@ -126,6 +143,7 @@ METRIC_EXTRACTORS = {
     "audit": _audit_metrics,
     "shard": _shard_metrics,
     "chaos": _chaos_metrics,
+    "replay": _replay_metrics,
 }
 
 

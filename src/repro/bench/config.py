@@ -111,6 +111,14 @@ class BenchConfig:
     # loadgen's 8-in-6s default) can slide forever on the full profile.
     chaos_restart_budget: int = 6
     chaos_budget_window: float = 20.0
+    # repro.bench.replay knobs — temporal scenario replay: each named
+    # scenario (see repro.replay.scenario) replays its corpus tail
+    # through its fleet under shaped traffic, shadow-audited, strict
+    # (zero divergences; see repro.replay.loadgen).
+    replay_scenarios: tuple = ("diurnal", "heavy-tail-sources",
+                               "burst-arrival", "churn-window")
+    replay_duration: float = 1.5    # wall seconds the virtual tail maps to
+    replay_corpus_events: int = 0   # 0 = the registry's full corpus size
     # The degraded="stale" variant runs on the shard fleet — the cluster
     # router falls back to a healthy primary so its degraded path stays
     # dormant, while a dead hub slice otherwise refuses every cross-shard
@@ -172,6 +180,11 @@ class BenchConfig:
             shard_duration=0.8,
             shard_graph=(150, 420),
             shard_churn=16,
+            # CI's replay-smoke: the two QUICK_SCENARIOS (one plain
+            # service, one faulted shard fleet) on trimmed corpora.
+            replay_scenarios=("diurnal", "churn-window"),
+            replay_duration=1.0,
+            replay_corpus_events=500,
             # The chaos smoke keeps all four backends even in the quick
             # profile — fault detection paths differ per record codec, so
             # dropping a backend drops coverage, not just runtime.  The

@@ -8,6 +8,7 @@ from repro.bench import audit as audit_bench
 from repro.bench import chaos as chaos_bench
 from repro.bench import cluster as cluster_bench
 from repro.bench import micro
+from repro.bench import replay as replay_bench
 from repro.bench import serve as serve_bench
 from repro.bench import shard as shard_bench
 from repro.audit.trajectory import (
@@ -49,6 +50,7 @@ EXPERIMENTS = {
     "audit": audit_bench.run,
     "shard": shard_bench.run,
     "chaos": chaos_bench.run,
+    "replay": replay_bench.run,
 }
 
 PAPER_SET = ["table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]

@@ -41,7 +41,13 @@ import time
 from repro.engine import EngineConfig, SPCEngine
 from repro.exceptions import ClusterError
 from repro.cluster.cluster import ClusterConfig, SPCCluster
-from repro.serve.loadgen import _check_answer, _percentile, make_workload
+from repro.serve.loadgen import (
+    _check_answer,
+    _next_pair,
+    _percentile,
+    make_pair_picker,
+    make_workload,
+)
 from repro.serve.persist import engine_from_payload, load_checkpoint
 from repro.serve.service import SNAPSHOT_FILENAME, WAL_FILENAME, ServeConfig
 from repro.serve.wal import read_wal
@@ -75,7 +81,8 @@ def _audit_read(target, seq, floor, answered, bounded, delta,
         _check_answer(seq, s, t, answer, problems)
 
 
-def _reader_loop(cluster, pairs, deadline, seed, delta, bounded, record):
+def _reader_loop(cluster, pairs, deadline, seed, delta, bounded, record,
+                 picker=None):
     """Issue routed reads until the deadline, recording every answer with
     its claimed seq so the replay oracle can audit all of them."""
     rng = random.Random(seed)
@@ -86,7 +93,7 @@ def _reader_loop(cluster, pairs, deadline, seed, delta, bounded, record):
     reads = 0
     try:
         while time.time() < deadline:
-            s, t = pairs[rng.randrange(len(pairs))]
+            s, t = _next_pair(pairs, rng, picker)
             floor = cluster.primary.applied_seq
             start = time.perf_counter()
             answer, seq, target = cluster.query_tagged(s, t)
@@ -95,7 +102,7 @@ def _reader_loop(cluster, pairs, deadline, seed, delta, bounded, record):
             _audit_read(target, seq, floor, [((s, t), answer)], bounded,
                         delta, last_seq_by_target, served, problems)
             if reads % 64 == 0:
-                batch = [pairs[rng.randrange(len(pairs))] for _ in range(8)]
+                batch = [_next_pair(pairs, rng, picker) for _ in range(8)]
                 floor = cluster.primary.applied_seq
                 answers, bseq, btarget = cluster.router.query_many_tagged(
                     batch
@@ -229,6 +236,7 @@ def run_cluster_loadgen(backend="core", replicas=2, readers=4, duration=1.2,
                         seed=0, policy="bounded_staleness",
                         staleness_delta=16, publish_every=8,
                         max_staleness=0.01, inject_fault=True,
+                        source_picker=None, picker_kwargs=None,
                         state_dir=None, strict=True):
     """Run one replicated, fault-injected load; returns a report dict.
 
@@ -239,6 +247,7 @@ def run_cluster_loadgen(backend="core", replicas=2, readers=4, duration=1.2,
     Timing numbers are recorded, never judged.
     """
     graph, cycle, pairs = make_workload(backend, n, m, seed=seed, churn=churn)
+    vertices = sorted(graph.vertices())
     engine = SPCEngine(graph, config=EngineConfig(backend=backend))
     own_dir = state_dir is None
     state_dir = state_dir or tempfile.mkdtemp(prefix="repro-cluster-")
@@ -283,7 +292,9 @@ def run_cluster_loadgen(backend="core", replicas=2, readers=4, duration=1.2,
         threading.Thread(
             target=_reader_loop,
             args=(cluster, pairs, deadline, seed + 20 + i, staleness_delta,
-                  bounded, reader_records[i]),
+                  bounded, reader_records[i],
+                  make_pair_picker(source_picker, vertices, seed + 20 + i,
+                                   picker_kwargs)),
             name=f"cluster-reader-{i}",
         )
         for i in range(readers)

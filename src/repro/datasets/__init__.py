@@ -1,23 +1,27 @@
-"""Synthetic analogues of the paper's ten evaluation graphs."""
+"""Synthetic analogues of the paper's evaluation graphs and temporal corpora."""
 
 from repro.datasets.registry import (
     DATASET_NAMES,
     SMALL_DATASET_NAMES,
     STREAMING_DATASET_NAMES,
+    TEMPORAL_DATASET_NAMES,
     clear_cache,
     dataset_info,
     dataset_names,
     dataset_statistics,
     load_dataset,
+    load_temporal_dataset,
 )
 
 __all__ = [
     "DATASET_NAMES",
     "SMALL_DATASET_NAMES",
     "STREAMING_DATASET_NAMES",
+    "TEMPORAL_DATASET_NAMES",
     "dataset_names",
     "dataset_info",
     "load_dataset",
+    "load_temporal_dataset",
     "dataset_statistics",
     "clear_cache",
 ]

@@ -1,0 +1,107 @@
+"""repro.replay: temporal-graph ingestion and scenario replay.
+
+The temporal-workload subsystem (DESIGN.md §15): real-world-shaped
+timestamped update streams and query traffic, driven end to end against
+any serving topology with the shadow audit attached.
+
+Five parts:
+
+* :mod:`repro.replay.events` — the canonical :class:`TemporalEventLog`
+  (sorted, normalized Insert/Delete/SetWeight events; ``cut(t)`` yields
+  the graph-at-time-t);
+* :mod:`repro.replay.ingest` — SNAP/Konect-style ``u v [w] ts`` parsers
+  (gzip-aware, comment/duplicate-tolerant, typed errors on malformed
+  lines) and the canonical writer;
+* :mod:`repro.replay.generators` — deterministic offline temporal
+  corpora (``temporal_contact`` / ``temporal_cascade`` / ``churn_storm``),
+  registered in :mod:`repro.datasets.registry` as ENR / DIG / WBO;
+* :mod:`repro.replay.traffic` — seeded :class:`ArrivalProcess` (Poisson,
+  bursty MMPP, diurnal) and :class:`SourcePicker` (uniform, Zipf,
+  hot-set) traffic models;
+* :mod:`repro.replay.scenario` + :mod:`repro.replay.loadgen` — the
+  declarative :class:`ReplayScenario` library and the replay engine
+  pacing a precomputed :class:`~repro.replay.plan.ReplayPlan` against a
+  live fleet (``repro-bench replay``).
+"""
+
+from repro.replay.events import (
+    DELETE,
+    INSERT,
+    KINDS,
+    SET_WEIGHT,
+    TemporalEvent,
+    TemporalEventLog,
+    events_to_updates,
+    make_event,
+)
+from repro.replay.generators import (
+    TEMPORAL_FAMILIES,
+    churn_storm,
+    temporal_cascade,
+    temporal_contact,
+)
+from repro.replay.ingest import (
+    parse_temporal_edge_list,
+    write_temporal_edge_list,
+)
+from repro.replay.loadgen import run_replay_scenario
+from repro.replay.plan import ReplayPlan
+from repro.replay.scenario import (
+    QUICK_SCENARIOS,
+    SCENARIOS,
+    FaultSpec,
+    ReplayScenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.replay.traffic import (
+    ARRIVAL_PROCESSES,
+    SOURCE_PICKERS,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    HotSetPicker,
+    PoissonArrivals,
+    SourcePicker,
+    UniformPicker,
+    ZipfPicker,
+    make_arrival_process,
+    make_source_picker,
+)
+
+__all__ = [
+    "INSERT",
+    "DELETE",
+    "SET_WEIGHT",
+    "KINDS",
+    "TemporalEvent",
+    "TemporalEventLog",
+    "make_event",
+    "events_to_updates",
+    "parse_temporal_edge_list",
+    "write_temporal_edge_list",
+    "temporal_contact",
+    "temporal_cascade",
+    "churn_storm",
+    "TEMPORAL_FAMILIES",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "SourcePicker",
+    "UniformPicker",
+    "ZipfPicker",
+    "HotSetPicker",
+    "ARRIVAL_PROCESSES",
+    "SOURCE_PICKERS",
+    "make_arrival_process",
+    "make_source_picker",
+    "ReplayPlan",
+    "ReplayScenario",
+    "FaultSpec",
+    "SCENARIOS",
+    "QUICK_SCENARIOS",
+    "scenario_names",
+    "get_scenario",
+    "run_replay_scenario",
+]

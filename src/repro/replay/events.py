@@ -1,0 +1,334 @@
+"""The canonical temporal-event model: timestamped edge updates.
+
+Everything the replay subsystem consumes — parsed real-world dumps
+(:mod:`repro.replay.ingest`), bundled synthetic corpora
+(:mod:`repro.replay.generators`) — normalizes into one shape: a
+:class:`TemporalEventLog`, an immutable, time-sorted sequence of
+:class:`TemporalEvent` records (``insert`` / ``delete`` / ``set_weight``)
+over integer vertex ids.
+
+Normalization (:meth:`TemporalEventLog.from_raw`) makes the log
+*applicable*: replayed in order against an initially empty graph, every
+insert adds a fresh edge, every delete removes a live one, and every
+set_weight touches a live one.  Raw streams violating that — duplicate
+inserts, deletes or weight changes of edges that are not live (including
+delete-before-insert), self-loops — are tolerated by dropping the
+offending event and counting it in :attr:`TemporalEventLog.dropped`;
+*malformed* input (unknown kinds, non-numeric fields) is the parser's
+problem and raises :class:`~repro.exceptions.DatasetError` there.
+
+The cut operation (:meth:`TemporalEventLog.cut`) materializes the
+graph-at-time-``t``: all vertices the log ever names, plus exactly the
+edges live after applying every event with ``ts <= t``.  By construction
+``cut(t)`` equals replaying the prefix of events through ``t`` — the
+property test in ``tests/property/test_property_replay.py`` pins this.
+"""
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError
+from repro.graph.undirected import Graph
+from repro.graph.weighted import WeightedGraph
+
+#: the three loggable event kinds, matching the WAL-serializable updates.
+INSERT = "insert"
+DELETE = "delete"
+SET_WEIGHT = "set_weight"
+KINDS = (INSERT, DELETE, SET_WEIGHT)
+
+
+@dataclass(frozen=True)
+class TemporalEvent:
+    """One timestamped edge update: ``kind`` at virtual time ``ts``.
+
+    Endpoints are stored normalized (``u <= v``) so duplicate detection
+    and replay agree on edge identity regardless of input orientation.
+    """
+
+    ts: float
+    kind: str
+    u: int
+    v: int
+    weight: float = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise DatasetError(
+                f"unknown temporal event kind {self.kind!r}; "
+                f"known: {', '.join(KINDS)}"
+            )
+        if self.u == self.v:
+            raise DatasetError(
+                f"self-loop event ({self.u}, {self.v}) at ts {self.ts}"
+            )
+        if self.u > self.v:
+            u, v = self.u, self.v
+            object.__setattr__(self, "u", v)
+            object.__setattr__(self, "v", u)
+
+    @property
+    def edge(self):
+        """The normalized (u, v) endpoint pair (``u < v`` always holds)."""
+        return (self.u, self.v)
+
+    def line(self):
+        """Canonical one-line serialization: ``u v [w] ts`` with a signed
+        weight column encoding the kind (Konect convention: ``-1`` is a
+        delete).  Byte-stable, so logs can be fingerprinted and diffed."""
+        u, v = self.edge
+        if self.kind == DELETE:
+            return f"{u} {v} -1 {self.ts:.6f}"
+        w = 1.0 if self.weight is None else float(self.weight)
+        return f"{u} {v} {w:g} {self.ts:.6f}"
+
+
+def make_event(ts, kind, u, v, weight=None):
+    """Build a :class:`TemporalEvent` with normalized endpoints."""
+    if u > v:
+        u, v = v, u
+    return TemporalEvent(float(ts), kind, u, v, weight)
+
+
+class TemporalEventLog:
+    """An immutable, time-sorted, applicable temporal update stream.
+
+    Build via :meth:`from_raw` (normalizing) or pass pre-normalized
+    events (trusted, e.g. a slice of an existing log).
+    """
+
+    def __init__(self, events, name=None, weighted=False, dropped=None):
+        self._events = tuple(events)
+        self.name = name
+        self.weighted = bool(weighted)
+        #: counts of raw events normalization refused to keep.
+        self.dropped = dict(dropped or {})
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_raw(cls, raw_events, name=None, weighted=False):
+        """Normalize a raw event iterable into an applicable log.
+
+        Events are stably sorted by timestamp (equal timestamps keep
+        their input order — real dumps batch many events on one second),
+        then swept once tracking edge liveness:
+
+        * an ``insert`` of a live edge is dropped (``duplicate_insert``)
+          — unless the log is weighted and the weight differs, in which
+          case it becomes a ``set_weight`` (``rewritten_set_weight``);
+        * a ``delete`` of a dead edge — including delete-before-insert —
+          is dropped (``dangling_delete``);
+        * a ``set_weight`` of a dead edge is dropped
+          (``dangling_set_weight``); on unweighted logs every
+          ``set_weight`` is dropped (``unweighted_set_weight``).
+
+        Kept timestamps are quantized to the canonical serialization's
+        microsecond precision, so ``to_lines`` round-trips losslessly
+        (sorting happens on the raw stamps first — quantization can
+        merge ties but never reorder).
+        """
+        ordered = sorted(raw_events, key=lambda e: e.ts)
+        live = {}
+        kept = []
+        dropped = {}
+
+        def drop(reason):
+            dropped[reason] = dropped.get(reason, 0) + 1
+
+        for event in ordered:
+            edge = event.edge
+            ts = round(event.ts, 6)
+            if event.kind == INSERT:
+                if edge in live:
+                    if weighted and event.weight is not None \
+                            and live[edge] != event.weight:
+                        kept.append(make_event(
+                            ts, SET_WEIGHT, *edge, weight=event.weight
+                        ))
+                        live[edge] = event.weight
+                        drop("rewritten_set_weight")
+                    else:
+                        drop("duplicate_insert")
+                    continue
+                # Weighted logs default missing weights to 1.0 so the
+                # canonical serialization round-trips event-identically.
+                if weighted:
+                    weight = 1.0 if event.weight is None else event.weight
+                else:
+                    weight = None
+                live[edge] = weight
+                kept.append(make_event(ts, INSERT, *edge, weight=weight))
+            elif event.kind == DELETE:
+                if edge not in live:
+                    drop("dangling_delete")
+                    continue
+                del live[edge]
+                kept.append(make_event(ts, DELETE, *edge))
+            else:  # SET_WEIGHT
+                if not weighted:
+                    drop("unweighted_set_weight")
+                    continue
+                if edge not in live:
+                    drop("dangling_set_weight")
+                    continue
+                live[edge] = event.weight
+                kept.append(make_event(
+                    ts, SET_WEIGHT, *edge, weight=event.weight
+                ))
+        return cls(kept, name=name, weighted=weighted, dropped=dropped)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self):
+        """The normalized events, time-sorted (a tuple — immutable)."""
+        return self._events
+
+    def __len__(self):
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __getitem__(self, i):
+        return self._events[i]
+
+    def __repr__(self):
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"TemporalEventLog({len(self._events)} events{label}, "
+            f"span={self.span():g})"
+        )
+
+    # ------------------------------------------------------------------
+    # Time axis
+    # ------------------------------------------------------------------
+
+    @property
+    def t0(self):
+        """Timestamp of the first event (0.0 for an empty log)."""
+        return self._events[0].ts if self._events else 0.0
+
+    @property
+    def t1(self):
+        """Timestamp of the last event (0.0 for an empty log)."""
+        return self._events[-1].ts if self._events else 0.0
+
+    def span(self):
+        """``t1 - t0``: the log's virtual duration."""
+        return self.t1 - self.t0
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def vertices(self):
+        """Every vertex id any event names, sorted."""
+        seen = set()
+        for e in self._events:
+            seen.add(e.u)
+            seen.add(e.v)
+        return sorted(seen)
+
+    def prefix(self, t):
+        """The events with ``ts <= t``, as a list."""
+        return [e for e in self._events if e.ts <= t]
+
+    def suffix(self, t):
+        """The events with ``ts > t``, as a list."""
+        return [e for e in self._events if e.ts > t]
+
+    def cut(self, t):
+        """The graph at virtual time ``t``.
+
+        Contains *every* vertex the log ever names (so a graph cut early
+        can absorb the whole remaining stream as pure edge updates) and
+        exactly the edges live after applying the prefix through ``t``.
+        Returns a :class:`~repro.graph.WeightedGraph` for weighted logs.
+        """
+        g = WeightedGraph() if self.weighted else Graph()
+        for v in self.vertices():
+            g.add_vertex(v)
+        for e in self.prefix(t):
+            if e.kind == INSERT:
+                if self.weighted:
+                    g.add_edge(e.u, e.v, 1.0 if e.weight is None else e.weight)
+                else:
+                    g.add_edge(e.u, e.v)
+            elif e.kind == DELETE:
+                g.remove_edge(e.u, e.v)
+            else:
+                g.set_weight(e.u, e.v, e.weight)
+        return g
+
+    def split(self, t):
+        """``(cut(t), suffix(t))``: a bootstrap graph plus the live tail."""
+        return self.cut(t), self.suffix(t)
+
+    # ------------------------------------------------------------------
+    # Serialization / identity
+    # ------------------------------------------------------------------
+
+    def to_lines(self):
+        """Canonical ``u v [w] ts`` serialization, one line per event."""
+        return [e.line() for e in self._events]
+
+    def fingerprint(self):
+        """SHA-256 over the canonical serialization.
+
+        Two logs with byte-identical event sequences — the reproducibility
+        contract of a seeded scenario — have equal fingerprints.
+        """
+        h = hashlib.sha256()
+        for line in self.to_lines():
+            h.update(line.encode("ascii"))
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def stats(self):
+        """Temporal summary: counts, span, churn rate, event rate."""
+        inserts = sum(1 for e in self._events if e.kind == INSERT)
+        deletes = sum(1 for e in self._events if e.kind == DELETE)
+        reweights = len(self._events) - inserts - deletes
+        span = self.span()
+        return {
+            "events": len(self._events),
+            "inserts": inserts,
+            "deletes": deletes,
+            "set_weights": reweights,
+            "vertices": len(self.vertices()),
+            "span": round(span, 6),
+            "weighted": self.weighted,
+            # churn: how delete-heavy the stream is (0 = insert-only).
+            "churn_rate": round(
+                deletes / len(self._events), 6
+            ) if self._events else 0.0,
+            "events_per_unit_time": round(
+                len(self._events) / span, 6
+            ) if span > 0 else float(len(self._events)),
+            "dropped": dict(self.dropped),
+        }
+
+
+def events_to_updates(events):
+    """Map temporal events onto the WAL-loggable workload updates.
+
+    Weights ride along only when present, so the same stream applies to
+    weighted and unweighted backends alike.
+    """
+    from repro.workloads.updates import DeleteEdge, InsertEdge, SetWeight
+
+    updates = []
+    for e in events:
+        if e.kind == INSERT:
+            updates.append(InsertEdge(e.u, e.v, weight=e.weight))
+        elif e.kind == DELETE:
+            updates.append(DeleteEdge(e.u, e.v))
+        else:
+            updates.append(SetWeight(e.u, e.v, e.weight))
+    return updates

@@ -1,0 +1,244 @@
+"""Deterministic offline temporal-graph generators.
+
+The paper's temporal candidates (Enron, Digg, Weibo-style interaction
+graphs — the dataset survey in SNIPPETS.md) are not available offline,
+so — exactly like :mod:`repro.datasets.registry` substitutes synthetic
+static analogues — this module generates *temporal* analogues with the
+shapes that matter for serving evaluation:
+
+* :func:`temporal_contact` — an Enron-style contact network: edges are
+  conversations that open (insert) and later close (delete) after an
+  exponentially-distributed lifetime, over a preferential-attachment
+  population, so the live graph stays roughly stationary while churning.
+* :func:`temporal_cascade` — a Digg-style cascade graph: interaction
+  edges arrive in self-exciting bursts (each event may spawn offspring
+  shortly after) attaching preferentially to recently-active vertices;
+  insert-dominated, temporally clustered.
+* :func:`churn_storm` — a Weibo-style storm pattern: a steady
+  insert/delete equilibrium punctuated by delete storms (a window where
+  a big slice of the live edges vanishes) followed by gradual
+  reinsertion — the shape that stresses decremental maintenance.
+
+All three build a connected bootstrap component during the first
+``warm_fraction`` of the span (so a replay can cut there and start from
+a meaningful graph), are fully deterministic given ``seed``, and return
+normalized :class:`~repro.replay.events.TemporalEventLog` objects.
+"""
+
+import random
+
+from repro.exceptions import DatasetError
+from repro.replay.events import (
+    DELETE,
+    INSERT,
+    TemporalEventLog,
+    make_event,
+)
+
+
+def _check(n, events, span):
+    if n < 4:
+        raise DatasetError(f"temporal generators need n >= 4, got {n}")
+    if events < n:
+        raise DatasetError(
+            f"need at least n={n} events to build the bootstrap component, "
+            f"got {events}"
+        )
+    if span <= 0:
+        raise DatasetError(f"span must be positive, got {span}")
+
+
+def _bootstrap(rng, n, t0, t1, raw, urn):
+    """Emit a connected preferential-attachment backbone on [t0, t1).
+
+    Every vertex 0..n-1 joins by attaching to an already-joined vertex
+    (degree-proportional via the urn), at evenly-jittered timestamps, so
+    the cut at ``t1`` is one connected component containing all ids.
+    """
+    step = (t1 - t0) / max(n, 1)
+    urn.extend([0, 1])
+    raw.append(make_event(t0, INSERT, 0, 1))
+    for v in range(2, n):
+        ts = t0 + step * v * (0.9 + 0.2 * rng.random())
+        t = rng.choice(urn)
+        while t == v:
+            t = rng.choice(urn)
+        raw.append(make_event(min(ts, t1), INSERT, v, t))
+        urn.append(v)
+        urn.append(t)
+
+
+def temporal_contact(n=120, events=900, span=100.0, mean_lifetime=None,
+                     warm_fraction=0.25, seed=0):
+    """Contact-network analogue: edges open and close over a stable core.
+
+    After the bootstrap phase, contact events arrive uniformly over the
+    remaining span; each opens a fresh edge between an urn-weighted pair
+    and schedules its close after an ``Exp(mean_lifetime)`` holding time
+    (defaulting to a quarter of the active span).  Roughly half the
+    events end up deletes, so the live graph orbits a stationary size.
+    """
+    _check(n, events, span)
+    rng = random.Random(seed)
+    raw = []
+    urn = []
+    warm_end = span * warm_fraction
+    _bootstrap(rng, n, 0.0, warm_end, raw, urn)
+    active_span = span - warm_end
+    if mean_lifetime is None:
+        mean_lifetime = active_span / 4.0
+    budget = events - len(raw)
+    opens = max(1, budget // 2)
+    live = {(e.u, e.v) for e in raw}
+    for _ in range(opens):
+        ts = warm_end + rng.random() * active_span
+        u = rng.choice(urn)
+        v = rng.choice(urn) if rng.random() < 0.7 else rng.randrange(n)
+        if u == v:
+            v = (u + 1 + rng.randrange(n - 1)) % n
+        edge = (min(u, v), max(u, v))
+        raw.append(make_event(ts, INSERT, *edge))
+        close_ts = ts + rng.expovariate(1.0 / mean_lifetime)
+        if close_ts <= span and edge not in live:
+            raw.append(make_event(close_ts, DELETE, *edge))
+        urn.append(u)
+        urn.append(v)
+    return TemporalEventLog.from_raw(raw, name="temporal_contact")
+
+
+def temporal_cascade(n=150, events=900, span=100.0, branching=0.7,
+                     burst_scale=0.004, warm_fraction=0.25, seed=0):
+    """Cascade analogue: self-exciting bursts of interaction edges.
+
+    A Hawkes-lite arrival process: immigrant events arrive uniformly;
+    each event spawns a Poisson(``branching``) brood of offspring a
+    short (exponential, ``burst_scale``·span) lag later, attaching to
+    the triggering event's endpoints — so bursts are temporally *and*
+    topologically clustered, like reply/vote cascades.  Insert-dominated
+    (old interactions decay only rarely).
+    """
+    _check(n, events, span)
+    if not 0 <= branching < 1:
+        raise DatasetError(
+            f"branching must be in [0, 1) for the cascade to stay finite, "
+            f"got {branching}"
+        )
+    rng = random.Random(seed)
+    raw = []
+    urn = []
+    warm_end = span * warm_fraction
+    _bootstrap(rng, n, 0.0, warm_end, raw, urn)
+    active_span = span - warm_end
+    budget = events - len(raw)
+    # Expected cascade size per immigrant is 1/(1-branching).
+    immigrants = max(1, int(budget * (1.0 - branching)))
+    frontier = []
+    for _ in range(immigrants):
+        frontier.append((warm_end + rng.random() * active_span, None))
+    emitted = 0
+    while frontier and emitted < budget:
+        frontier.sort(key=lambda item: item[0])
+        ts, parent = frontier.pop(0)
+        if ts > span:
+            continue
+        if parent is None:
+            u = rng.choice(urn)
+        else:
+            u = parent
+        v = rng.choice(urn) if rng.random() < 0.6 else rng.randrange(n)
+        if u == v:
+            v = (u + 1 + rng.randrange(n - 1)) % n
+        raw.append(make_event(ts, INSERT, min(u, v), max(u, v)))
+        urn.append(u)
+        urn.append(v)
+        emitted += 1
+        # Rare decay keeps a trickle of deletes in the stream.
+        if rng.random() < 0.08:
+            victim = raw[rng.randrange(len(raw))]
+            raw.append(make_event(
+                min(ts + 0.001, span), DELETE, victim.u, victim.v
+            ))
+        # Single-child Bernoulli(branching) offspring keeps the process
+        # subcritical (mean cascade size 1/(1-branching)); a >1 mean lets
+        # the earliest cascades eat the whole budget and collapses the
+        # log's span onto the first burst.
+        if rng.random() < branching:
+            lag = rng.expovariate(1.0 / (burst_scale * span))
+            frontier.append((ts + lag, v))
+    return TemporalEventLog.from_raw(raw, name="temporal_cascade")
+
+
+def churn_storm(n=120, events=1000, span=100.0, storms=2,
+                storm_fraction=0.35, warm_fraction=0.3, seed=0):
+    """Churn-storm analogue: equilibrium churn with delete-storm windows.
+
+    After bootstrap, background events alternate inserts and deletes at
+    a steady rate.  ``storms`` windows are carved out of the active span;
+    inside each, ``storm_fraction`` of the then-live edges are deleted in
+    a tight burst, then reinserted over the window's tail — the
+    delete-heavy shape that makes batched/deferred decremental repair
+    earn its keep.
+    """
+    _check(n, events, span)
+    rng = random.Random(seed)
+    raw = []
+    urn = []
+    warm_end = span * warm_fraction
+    _bootstrap(rng, n, 0.0, warm_end, raw, urn)
+    live = {(e.u, e.v) for e in raw}
+    active_span = span - warm_end
+    budget = events - len(raw)
+    storm_budget = int(budget * 0.5)
+    background = budget - storm_budget
+
+    # Background equilibrium churn.  Timestamps are drawn up front and
+    # visited in order so the liveness tracking here matches the sorted
+    # order normalization will replay in.
+    stamps = sorted(warm_end + rng.random() * active_span
+                    for _ in range(background))
+    for ts in stamps:
+        if live and rng.random() < 0.45:
+            edge = rng.choice(sorted(live))
+            raw.append(make_event(ts, DELETE, *edge))
+            live.discard(edge)
+        else:
+            u = rng.choice(urn)
+            v = rng.randrange(n)
+            if u == v:
+                v = (u + 1 + rng.randrange(n - 1)) % n
+            edge = (min(u, v), max(u, v))
+            if edge in live:
+                continue
+            raw.append(make_event(ts, INSERT, *edge))
+            live.add(edge)
+
+    # Storm windows: a delete burst, then reinsertion over the tail.
+    per_storm = storm_budget // max(storms, 1)
+    for s in range(storms):
+        window_start = warm_end + active_span * (s + 0.5) / (storms + 0.5)
+        window = active_span / (2.0 * (storms + 1))
+        victims = sorted(live)
+        rng.shuffle(victims)
+        victims = victims[: max(1, min(
+            per_storm // 2, int(len(victims) * storm_fraction)
+        ))]
+        for i, edge in enumerate(victims):
+            ts = window_start + window * 0.3 * (i / max(len(victims), 1))
+            raw.append(make_event(ts, DELETE, *edge))
+            live.discard(edge)
+        for i, edge in enumerate(victims):
+            ts = window_start + window * (0.4 + 0.6 * (i + 1)
+                                          / (len(victims) + 1))
+            if ts <= span and edge not in live:
+                raw.append(make_event(ts, INSERT, *edge))
+                live.add(edge)
+    return TemporalEventLog.from_raw(raw, name="churn_storm")
+
+
+#: generator-family registry, mirrored by the dataset registry's
+#: temporal corpora (same substitution policy as the static analogues).
+TEMPORAL_FAMILIES = {
+    "temporal_contact": temporal_contact,
+    "temporal_cascade": temporal_cascade,
+    "churn_storm": churn_storm,
+}

@@ -1,0 +1,133 @@
+"""Replay plans: everything deterministic, computed before the clock starts.
+
+The reproducibility contract of a replay run — same scenario + same seed
+⇒ byte-identical event sequences — is enforced structurally: *all*
+randomness is spent here, ahead of time, building a :class:`ReplayPlan`:
+
+* the corpus log is cut at the scenario's warmup point into a bootstrap
+  graph plus a live tail, and the tail is pre-chunked into submission
+  batches, each stamped with its virtual deadline;
+* the full read schedule is laid out by the scenario's arrival process
+  and every query's (s, t) pair is pre-drawn from its source picker.
+
+The replay engine then only *paces* the plan against the wall clock
+(virtual time → wall time via ``time_scale``); thread timing can change
+how late things run, never what runs.  :meth:`ReplayPlan.fingerprint`
+hashes the whole plan, so two runs can prove they replayed the same
+bytes.
+"""
+
+import hashlib
+
+from repro.exceptions import DatasetError
+from repro.replay.events import events_to_updates
+from repro.replay.traffic import make_arrival_process, make_source_picker
+
+
+class ReplayPlan:
+    """One scenario's precomputed schedule: batches to write, queries to ask.
+
+    Attributes
+    ----------
+    bootstrap:
+        The graph at the warmup cut (all corpus vertices present).
+    batches:
+        List of ``(virtual_ts, [update, ...])`` — the live tail, chunked
+        into :attr:`scenario.batch_size` submissions; ``virtual_ts`` is
+        the timestamp of the batch's last event (its virtual deadline).
+    queries:
+        List of ``(virtual_ts, s, t)`` — the full read schedule.
+    time_scale:
+        Virtual time units per wall-clock second; divides virtual
+        offsets into wall offsets.
+    """
+
+    def __init__(self, scenario, log, seed=0):
+        self.scenario = scenario
+        self.log = log
+        self.seed = seed
+        if len(log) == 0:
+            raise DatasetError(f"corpus {log.name!r} is empty")
+
+        self.warm_t = log.t0 + log.span() * scenario.warmup
+        self.bootstrap, tail = log.split(self.warm_t)
+        if not tail:
+            raise DatasetError(
+                f"warmup {scenario.warmup} swallows the whole corpus "
+                f"{log.name!r}; nothing left to replay"
+            )
+        self._tail_events = tail
+        self.t_end = tail[-1].ts
+        tail_span = self.t_end - self.warm_t
+        self.time_scale = (tail_span / scenario.duration
+                           if tail_span > 0 else 1.0)
+
+        # Write plan: chunk the tail preserving order, stamp each chunk
+        # with its last event's timestamp.
+        self.batches = []
+        size = max(1, scenario.batch_size)
+        for i in range(0, len(tail), size):
+            chunk = tail[i:i + size]
+            self.batches.append(
+                (chunk[-1].ts, events_to_updates(chunk))
+            )
+
+        # Read plan: arrivals over the live window, endpoints pre-drawn.
+        arrivals = make_arrival_process(
+            scenario.arrival, rate=scenario.query_rate, seed=seed + 101,
+            **scenario.arrival_kwargs
+        )
+        picker = make_source_picker(
+            scenario.picker, log.vertices(), seed=seed + 202,
+            **scenario.picker_kwargs
+        )
+        self.queries = []
+        for ts in arrivals.schedule(self.warm_t, self.t_end):
+            s, t = picker.pick_pair()
+            self.queries.append((ts, s, t))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def events_to_replay(self):
+        """How many tail events the write path will submit."""
+        return len(self._tail_events)
+
+    def wall_offset(self, virtual_ts):
+        """Wall-clock seconds after run start when ``virtual_ts`` is due."""
+        return (virtual_ts - self.warm_t) / self.time_scale
+
+    def reader_slices(self, readers):
+        """Partition the read schedule round-robin across ``readers``.
+
+        Round-robin (not contiguous blocks) so every reader spans the
+        whole window — fault windows are observed by all of them.
+        """
+        return [self.queries[i::readers] for i in range(max(1, readers))]
+
+    def fingerprint(self):
+        """SHA-256 over the corpus log *and* the full read schedule.
+
+        Equal fingerprints mean the two runs replayed byte-identical
+        event sequences and asked byte-identical query sequences.
+        """
+        h = hashlib.sha256()
+        h.update(self.log.fingerprint().encode("ascii"))
+        for ts, s, t in self.queries:
+            h.update(f"{ts:.6f} {s} {t}\n".encode("ascii"))
+        return h.hexdigest()
+
+    def describe(self):
+        """The deterministic facts of this plan (bench reports pin these)."""
+        return {
+            "corpus": self.log.name,
+            "corpus_events": len(self.log),
+            "bootstrap_edges": self.bootstrap.num_edges,
+            "bootstrap_vertices": self.bootstrap.num_vertices,
+            "events_to_replay": self.events_to_replay,
+            "batches": len(self.batches),
+            "queries_planned": len(self.queries),
+            "virtual_span": round(self.t_end - self.warm_t, 6),
+            "time_scale": round(self.time_scale, 6),
+            "fingerprint": self.fingerprint(),
+        }

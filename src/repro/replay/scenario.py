@@ -1,0 +1,184 @@
+"""Declarative replay scenarios: corpus × traffic × fleet × faults.
+
+A :class:`ReplayScenario` is a small frozen value object naming every
+knob of one replay run — which temporal corpus drives the write path,
+which arrival process and source picker shape the read traffic, which
+fleet topology serves (``service`` / ``cluster`` / ``shard``), and what
+faults are injected when.  Scenarios are pure data: the replay engine
+(:mod:`repro.replay.loadgen`) interprets them, so the same spec replays
+identically anywhere.
+
+The named library covers the workload shapes the static-loadgen
+harnesses never exercised:
+
+* ``diurnal`` — a daily rate curve over the contact corpus, single
+  service: the baseline "realistic day" shape.
+* ``heavy-tail-sources`` — Zipf-skewed sources over the cascade corpus
+  on a replicated cluster: hot-vertex read pressure.
+* ``burst-arrival`` — MMPP bursts over the contact corpus on a cluster
+  running the sd backend: clumped arrivals against batched maintenance.
+* ``churn-window`` — the churn-storm corpus on a sharded fleet with a
+  mid-run shard kill/restart: delete storms under degraded serving.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: ``action`` at ``at`` (fraction of the run).
+
+    Actions are interpreted by the replay engine against the scenario's
+    fleet; today that is ``kill_shard`` / ``restart_shard`` with
+    ``target`` naming the shard slot.
+    """
+
+    action: str
+    at: float
+    target: int = 0
+
+    def __post_init__(self):
+        if not 0.0 < self.at < 1.0:
+            raise DatasetError(
+                f"fault time must be a run fraction in (0, 1), got {self.at}"
+            )
+
+
+@dataclass(frozen=True)
+class ReplayScenario:
+    """Everything one replay run needs, as declarative data.
+
+    ``corpus`` names a temporal corpus in :mod:`repro.datasets.registry`;
+    ``warmup`` is the fraction of the log's span materialized as the
+    bootstrap graph (the rest replays live).  ``query_rate`` is in
+    queries per unit of *virtual* time; ``duration`` is the wall-clock
+    seconds the virtual tail is scaled into.
+    """
+
+    name: str
+    corpus: str
+    fleet: str = "service"  # service | cluster | shard
+    backend: str = "core"
+    arrival: str = "poisson"
+    arrival_kwargs: dict = field(default_factory=dict)
+    picker: str = "uniform"
+    picker_kwargs: dict = field(default_factory=dict)
+    warmup: float = 0.35
+    query_rate: float = 8.0
+    duration: float = 1.5
+    readers: int = 2
+    batch_size: int = 8
+    replicas: int = 2
+    shards: int = 3
+    sample_rate: float = 0.25
+    reservoir: int = 512
+    faults: tuple = ()
+
+    def __post_init__(self):
+        if self.fleet not in ("service", "cluster", "shard"):
+            raise DatasetError(
+                f"unknown fleet topology {self.fleet!r}; "
+                f"known: service, cluster, shard"
+            )
+        if not 0.0 < self.warmup < 1.0:
+            raise DatasetError(
+                f"warmup must be a span fraction in (0, 1), got {self.warmup}"
+            )
+        if self.query_rate <= 0 or self.duration <= 0:
+            raise DatasetError(
+                "query_rate and duration must be positive "
+                f"(got {self.query_rate}, {self.duration})"
+            )
+        if self.faults and self.fleet != "shard":
+            raise DatasetError(
+                f"fault schedules are interpreted against the shard fleet; "
+                f"scenario {self.name!r} declares fleet {self.fleet!r}"
+            )
+
+    def replace(self, **changes):
+        """A copy with ``changes`` applied (scenarios are immutable)."""
+        return replace(self, **changes)
+
+    def describe(self):
+        """Flat summary dict (what bench reports record per scenario)."""
+        return {
+            "name": self.name,
+            "corpus": self.corpus,
+            "fleet": self.fleet,
+            "backend": self.backend,
+            "arrival": self.arrival,
+            "picker": self.picker,
+            "warmup": self.warmup,
+            "query_rate": self.query_rate,
+            "faults": [
+                {"action": f.action, "at": f.at, "target": f.target}
+                for f in self.faults
+            ],
+        }
+
+
+#: the named scenario library (ISSUE 9's four shapes).
+SCENARIOS = {
+    "diurnal": ReplayScenario(
+        name="diurnal",
+        corpus="ENR",
+        fleet="service",
+        backend="core",
+        arrival="diurnal",
+        arrival_kwargs={"amplitude": 0.8, "cycles": 2.0},
+        picker="uniform",
+    ),
+    "heavy-tail-sources": ReplayScenario(
+        name="heavy-tail-sources",
+        corpus="DIG",
+        fleet="cluster",
+        backend="core",
+        arrival="poisson",
+        picker="zipf",
+        picker_kwargs={"alpha": 1.2},
+    ),
+    "burst-arrival": ReplayScenario(
+        name="burst-arrival",
+        corpus="ENR",
+        fleet="cluster",
+        backend="sd",
+        arrival="bursty",
+        arrival_kwargs={"burst_factor": 6.0, "mean_quiet": 8.0,
+                        "mean_burst": 2.0},
+        picker="uniform",
+    ),
+    "churn-window": ReplayScenario(
+        name="churn-window",
+        corpus="WBO",
+        fleet="shard",
+        backend="core",
+        arrival="poisson",
+        picker="hotset",
+        picker_kwargs={"hot_size": 10, "hot_weight": 0.75},
+        faults=(
+            FaultSpec("kill_shard", at=0.4, target=0),
+            FaultSpec("restart_shard", at=0.7, target=0),
+        ),
+    ),
+}
+
+#: the two cheap scenarios CI's replay-smoke job runs (quick profile).
+QUICK_SCENARIOS = ("diurnal", "churn-window")
+
+
+def scenario_names():
+    """All named scenarios, library order."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name):
+    """Resolve a named scenario (typed error on unknown names)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown replay scenario {name!r}; "
+            f"known: {', '.join(SCENARIOS)}"
+        ) from None

@@ -1,0 +1,302 @@
+"""Seeded traffic models: who asks (SourcePicker) and when (ArrivalProcess).
+
+Realistic serving workloads differ from the uniform loadgen traffic the
+existing harnesses emit in two orthogonal ways:
+
+* **source skew** — a few vertices account for most queries (Zipf), or
+  a rotating "hot set" dominates for a while before interest moves on;
+* **arrival shape** — queries cluster in bursts (MMPP) or follow a
+  daily rate curve (diurnal) instead of arriving at a constant rate.
+
+Both axes are modeled as small seeded objects so a scenario can be
+replayed byte-identically: a :class:`SourcePicker` maps an RNG onto a
+vertex population, and an :class:`ArrivalProcess` lays out a full
+deterministic schedule of arrival times over a virtual-time window.
+
+Factories (:func:`make_source_picker`, :func:`make_arrival_process`)
+resolve the declarative names used by :class:`repro.replay.scenario.ReplayScenario`.
+"""
+
+import math
+import random
+
+from repro.exceptions import DatasetError
+
+# ----------------------------------------------------------------------
+# Source pickers: which (s, t) pair does the next query ask about?
+# ----------------------------------------------------------------------
+
+
+class SourcePicker:
+    """Picks query endpoints from a vertex population, deterministically.
+
+    Subclasses implement :meth:`pick`; :meth:`pick_pair` draws two
+    distinct endpoints (source via the picker's skew, target uniform —
+    the asymmetry real query logs show: hot *sources*, spread targets).
+    """
+
+    name = "base"
+
+    def __init__(self, vertices, seed=0):
+        self.vertices = list(vertices)
+        if len(self.vertices) < 2:
+            raise DatasetError(
+                f"source picker needs >= 2 vertices, got {len(self.vertices)}"
+            )
+        self.rng = random.Random(seed)
+
+    def pick(self):
+        raise NotImplementedError
+
+    def pick_pair(self):
+        s = self.pick()
+        t = self.vertices[self.rng.randrange(len(self.vertices))]
+        while t == s:
+            t = self.vertices[self.rng.randrange(len(self.vertices))]
+        return s, t
+
+
+class UniformPicker(SourcePicker):
+    """Every vertex equally likely — the legacy loadgen behavior."""
+
+    name = "uniform"
+
+    def pick(self):
+        return self.vertices[self.rng.randrange(len(self.vertices))]
+
+
+class ZipfPicker(SourcePicker):
+    """Zipf-skewed sources: vertex ranked ``k`` drawn ∝ ``1/(k+1)^alpha``.
+
+    Rank order is a seeded shuffle of the population, so *which* vertices
+    are hot varies with the seed while the skew shape stays fixed.
+    """
+
+    name = "zipf"
+
+    def __init__(self, vertices, seed=0, alpha=1.1):
+        super().__init__(vertices, seed)
+        if alpha <= 0:
+            raise DatasetError(f"zipf alpha must be positive, got {alpha}")
+        self.alpha = float(alpha)
+        self.ranked = list(self.vertices)
+        self.rng.shuffle(self.ranked)
+        weights = [1.0 / (k + 1) ** self.alpha for k in range(len(self.ranked))]
+        total = sum(weights)
+        self._cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+
+    def pick(self):
+        x = self.rng.random()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.ranked[lo]
+
+
+class HotSetPicker(SourcePicker):
+    """Rotating hot set: a small working set absorbs most picks, and the
+    set itself is re-drawn every ``rotate_every`` picks — the "interest
+    moves on" pattern of trending-topic traffic.
+    """
+
+    name = "hotset"
+
+    def __init__(self, vertices, seed=0, hot_size=8, hot_weight=0.8,
+                 rotate_every=64):
+        super().__init__(vertices, seed)
+        if not 0 < hot_weight < 1:
+            raise DatasetError(
+                f"hot_weight must be in (0, 1), got {hot_weight}"
+            )
+        self.hot_size = max(1, min(int(hot_size), len(self.vertices) - 1))
+        self.hot_weight = float(hot_weight)
+        self.rotate_every = max(1, int(rotate_every))
+        self._picks = 0
+        self._hot = []
+        self._rotate()
+
+    def _rotate(self):
+        self._hot = self.rng.sample(self.vertices, self.hot_size)
+
+    def pick(self):
+        if self._picks and self._picks % self.rotate_every == 0:
+            self._rotate()
+        self._picks += 1
+        if self.rng.random() < self.hot_weight:
+            return self._hot[self.rng.randrange(len(self._hot))]
+        return self.vertices[self.rng.randrange(len(self.vertices))]
+
+
+SOURCE_PICKERS = {
+    "uniform": UniformPicker,
+    "zipf": ZipfPicker,
+    "hotset": HotSetPicker,
+}
+
+
+def make_source_picker(name, vertices, seed=0, **kwargs):
+    """Resolve a picker by declarative name (``uniform``/``zipf``/``hotset``)."""
+    try:
+        cls = SOURCE_PICKERS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown source picker {name!r}; "
+            f"known: {', '.join(sorted(SOURCE_PICKERS))}"
+        ) from None
+    return cls(vertices, seed=seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Arrival processes: at which virtual times do queries arrive?
+# ----------------------------------------------------------------------
+
+
+class ArrivalProcess:
+    """Lays out a deterministic schedule of arrival times on [t0, t1).
+
+    ``rate`` is in events per unit of *virtual* time.  :meth:`schedule`
+    returns the full sorted list of arrival timestamps — precomputing
+    the plan (rather than sampling online) is what makes a replay's
+    query sequence byte-identical across runs.
+    """
+
+    name = "base"
+
+    def __init__(self, rate, seed=0):
+        if rate <= 0:
+            raise DatasetError(f"arrival rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.seed = seed
+
+    def schedule(self, t0, t1):
+        raise NotImplementedError
+
+    def _thin(self, t0, t1, rate_fn, peak):
+        """Sample an inhomogeneous Poisson process by thinning at ``peak``."""
+        rng = random.Random(self.seed)
+        out = []
+        t = t0
+        while True:
+            t += rng.expovariate(peak)
+            if t >= t1:
+                break
+            if rng.random() <= rate_fn(t) / peak:
+                out.append(t)
+        return out
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson: exponential inter-arrivals at constant rate."""
+
+    name = "poisson"
+
+    def schedule(self, t0, t1):
+        rng = random.Random(self.seed)
+        out = []
+        t = t0
+        while True:
+            t += rng.expovariate(self.rate)
+            if t >= t1:
+                break
+            out.append(t)
+        return out
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Two-state MMPP: a quiet state and a burst state, each Poisson.
+
+    The modulating chain flips between a low-rate quiet state and a
+    high-rate burst state with exponential holding times, producing the
+    clumped arrival pattern of event-driven traffic.  ``rate`` is the
+    quiet-state rate; bursts run at ``burst_factor``× it.
+    """
+
+    name = "bursty"
+
+    def __init__(self, rate, seed=0, burst_factor=8.0, mean_quiet=10.0,
+                 mean_burst=2.0):
+        super().__init__(rate, seed)
+        if burst_factor <= 1:
+            raise DatasetError(
+                f"burst_factor must exceed 1, got {burst_factor}"
+            )
+        self.burst_factor = float(burst_factor)
+        self.mean_quiet = float(mean_quiet)
+        self.mean_burst = float(mean_burst)
+
+    def schedule(self, t0, t1):
+        rng = random.Random(self.seed)
+        out = []
+        t = t0
+        bursting = False
+        phase_end = t0 + rng.expovariate(1.0 / self.mean_quiet)
+        while t < t1:
+            rate = self.rate * (self.burst_factor if bursting else 1.0)
+            t += rng.expovariate(rate)
+            while t >= phase_end and phase_end < t1:
+                bursting = not bursting
+                mean = self.mean_burst if bursting else self.mean_quiet
+                phase_end += rng.expovariate(1.0 / mean)
+            if t < t1:
+                out.append(t)
+        return out
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal daily rate curve sampled by thinning.
+
+    The instantaneous rate is ``rate · (1 + amplitude · sin(...))`` with
+    ``cycles`` full periods across the window — a smooth peak/trough
+    load shape.  ``rate`` is the *mean* rate.
+    """
+
+    name = "diurnal"
+
+    def __init__(self, rate, seed=0, amplitude=0.8, cycles=2.0):
+        super().__init__(rate, seed)
+        if not 0 < amplitude <= 1:
+            raise DatasetError(
+                f"diurnal amplitude must be in (0, 1], got {amplitude}"
+            )
+        self.amplitude = float(amplitude)
+        self.cycles = float(cycles)
+
+    def schedule(self, t0, t1):
+        span = t1 - t0
+        if span <= 0:
+            return []
+        omega = 2.0 * math.pi * self.cycles / span
+
+        def rate_fn(t):
+            return self.rate * (1.0 + self.amplitude
+                                * math.sin(omega * (t - t0)))
+
+        peak = self.rate * (1.0 + self.amplitude)
+        return self._thin(t0, t1, rate_fn, peak)
+
+
+ARRIVAL_PROCESSES = {
+    "poisson": PoissonArrivals,
+    "bursty": BurstyArrivals,
+    "diurnal": DiurnalArrivals,
+}
+
+
+def make_arrival_process(name, rate, seed=0, **kwargs):
+    """Resolve an arrival process by name (``poisson``/``bursty``/``diurnal``)."""
+    try:
+        cls = ARRIVAL_PROCESSES[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown arrival process {name!r}; "
+            f"known: {', '.join(sorted(ARRIVAL_PROCESSES))}"
+        ) from None
+    return cls(rate, seed=seed, **kwargs)

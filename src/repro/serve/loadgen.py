@@ -84,6 +84,33 @@ def make_workload(backend, n, m, seed=0, churn=40):
     return graph, cycle, pairs
 
 
+def make_pair_picker(source_picker, vertices, seed, picker_kwargs=None):
+    """Resolve the shared :class:`~repro.replay.traffic.SourcePicker` seam.
+
+    Every loadgen reader (serve, cluster, audit) routes its pair choice
+    through this: ``None`` keeps the legacy uniform pairs-table draw
+    (default behavior unchanged), a picker name ("uniform" / "zipf" /
+    "hotset") builds a seeded picker over the workload's vertices so any
+    harness can run skew-shaped traffic.  Imported lazily —
+    :mod:`repro.replay` drives these harnesses, so the module-level
+    import would be circular.
+    """
+    if source_picker is None:
+        return None
+    from repro.replay.traffic import make_source_picker
+
+    return make_source_picker(
+        source_picker, vertices, seed=seed, **(picker_kwargs or {})
+    )
+
+
+def _next_pair(pairs, rng, picker):
+    """One (s, t) draw: the picker seam, or the legacy pairs table."""
+    if picker is not None:
+        return picker.pick_pair()
+    return pairs[rng.randrange(len(pairs))]
+
+
 def _check_answer(seq, s, t, answer, problems):
     """Flag a structurally impossible (distance, count) answer.
 
@@ -102,7 +129,7 @@ def _check_answer(seq, s, t, answer, problems):
         )
 
 
-def _reader_loop(service, pairs, deadline, seed, record):
+def _reader_loop(service, pairs, deadline, seed, record, picker=None):
     rng = random.Random(seed)
     latencies = []        # point-query timings only
     batch_latencies = []  # query_many-of-8 timings, reported separately
@@ -110,7 +137,7 @@ def _reader_loop(service, pairs, deadline, seed, record):
     reads = 0
     try:
         reads = _read_until(service, pairs, deadline, rng, latencies,
-                            batch_latencies, problems)
+                            batch_latencies, problems, picker)
     except Exception as exc:  # noqa: BLE001 — a dead reader must fail the
         # run, not silently shrink the sample (the smoke job's contract).
         problems.append(f"reader thread crashed: {exc!r}")
@@ -121,11 +148,11 @@ def _reader_loop(service, pairs, deadline, seed, record):
 
 
 def _read_until(service, pairs, deadline, rng, latencies, batch_latencies,
-                problems):
+                problems, picker=None):
     reads = 0
     last_seq = -1
     while time.time() < deadline:
-        s, t = pairs[rng.randrange(len(pairs))]
+        s, t = _next_pair(pairs, rng, picker)
         start = time.perf_counter()
         snap = service.snapshot()
         answer = snap.query(s, t)
@@ -147,7 +174,7 @@ def _read_until(service, pairs, deadline, rng, latencies, batch_latencies,
                     f"{answer!r} then {again!r}"
                 )
         if reads % 64 == 0:
-            batch = [pairs[rng.randrange(len(pairs))] for _ in range(8)]
+            batch = [_next_pair(pairs, rng, picker) for _ in range(8)]
             start = time.perf_counter()
             answers = snap.query_many(batch)
             batch_latencies.append(time.perf_counter() - start)
@@ -184,7 +211,7 @@ def _submitter_loop(service, cycle, deadline, batch_size, pause, record):
 def run_loadgen(backend="core", readers=4, duration=1.0, n=300, m=900,
                 churn=40, batch_size=8, pause=0.001, seed=0,
                 publish_every=16, max_staleness=0.02, durability_dir=None,
-                strict=True):
+                source_picker=None, picker_kwargs=None, strict=True):
     """Run one mixed read/update load against a fresh service.
 
     Returns a JSON-safe report dict; with ``strict`` (the default) any
@@ -192,6 +219,7 @@ def run_loadgen(backend="core", readers=4, duration=1.0, n=300, m=900,
     listing every problem — timing numbers never fail the run.
     """
     graph, cycle, pairs = make_workload(backend, n, m, seed=seed, churn=churn)
+    vertices = sorted(graph.vertices())
     engine = SPCEngine(graph, config=EngineConfig(backend=backend))
     config = ServeConfig(
         publish_every=publish_every,
@@ -206,7 +234,9 @@ def run_loadgen(backend="core", readers=4, duration=1.0, n=300, m=900,
     threads = [
         threading.Thread(
             target=_reader_loop,
-            args=(service, pairs, deadline, seed + 10 + i, reader_records[i]),
+            args=(service, pairs, deadline, seed + 10 + i, reader_records[i],
+                  make_pair_picker(source_picker, vertices, seed + 10 + i,
+                                   picker_kwargs)),
             name=f"loadgen-reader-{i}",
         )
         for i in range(readers)

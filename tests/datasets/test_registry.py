@@ -6,9 +6,11 @@ from repro.datasets import (
     DATASET_NAMES,
     SMALL_DATASET_NAMES,
     STREAMING_DATASET_NAMES,
+    TEMPORAL_DATASET_NAMES,
     dataset_info,
     dataset_statistics,
     load_dataset,
+    load_temporal_dataset,
 )
 from repro.exceptions import DatasetError
 from repro.graph import is_connected
@@ -63,3 +65,61 @@ class TestRegistry:
         sizes = {name: load_dataset(name, copy=False).num_edges
                  for name in SMALL_DATASET_NAMES + ["IND"]}
         assert sizes["IND"] == max(sizes.values())
+
+    def test_kwarg_variants_get_distinct_cache_entries(self):
+        base = load_dataset("EUA", copy=False)
+        small = load_dataset("EUA", copy=False, n=150)
+        assert small is not base
+        assert small.num_vertices != base.num_vertices
+        # The default-parameter entry must be untouched by the variant.
+        again = load_dataset("EUA", copy=False)
+        assert again is base
+        # And the variant itself is cached under its own key.
+        assert load_dataset("EUA", copy=False, n=150) is small
+
+
+class TestTemporalRegistry:
+    def test_temporal_names(self):
+        assert TEMPORAL_DATASET_NAMES == ["ENR", "DIG", "WBO"]
+        assert not set(TEMPORAL_DATASET_NAMES) & set(DATASET_NAMES)
+
+    def test_info_marks_temporal(self):
+        info = dataset_info("ENR")
+        assert info["temporal"] is True
+        assert info["paper_name"] == "enron-email"
+        assert dataset_info("EUA")["temporal"] is False
+
+    @pytest.mark.parametrize("name", TEMPORAL_DATASET_NAMES)
+    def test_temporal_corpora_load_and_cache(self, name):
+        a = load_temporal_dataset(name)
+        b = load_temporal_dataset(name)
+        assert a is b  # immutable logs are shared, not copied
+        assert a.name == name
+        assert len(a) > 500
+        assert a.span() > 0
+
+    def test_temporal_kwarg_variants(self):
+        full = load_temporal_dataset("ENR")
+        trimmed = load_temporal_dataset("ENR", events=400)
+        assert trimmed is not full
+        assert len(trimmed) < len(full)
+        assert load_temporal_dataset("ENR", events=400) is trimmed
+
+    def test_temporal_statistics_row(self):
+        row = dataset_statistics("WBO")
+        assert row["key"] == "WBO"
+        assert row["family"] == "churn_storm"
+        assert row["events"] > 0
+        assert row["span"] > 0
+        assert 0.0 <= row["churn_rate"] <= 1.0
+        assert row["events_per_unit_time"] > 0
+
+    def test_static_loader_refuses_temporal_names(self):
+        with pytest.raises(DatasetError, match="temporal"):
+            load_dataset("ENR")
+
+    def test_temporal_loader_refuses_static_and_unknown_names(self):
+        with pytest.raises(DatasetError):
+            load_temporal_dataset("EUA")
+        with pytest.raises(DatasetError):
+            load_temporal_dataset("NOPE")

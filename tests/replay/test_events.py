@@ -1,0 +1,172 @@
+"""TemporalEvent / TemporalEventLog: normalization, cuts, identity."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.weighted import WeightedGraph
+from repro.replay import (
+    DELETE,
+    INSERT,
+    SET_WEIGHT,
+    TemporalEvent,
+    TemporalEventLog,
+    events_to_updates,
+    make_event,
+)
+from repro.workloads import DeleteEdge, InsertEdge, SetWeight
+
+
+class TestTemporalEvent:
+    def test_endpoints_normalized(self):
+        e = TemporalEvent(1.0, INSERT, 5, 2)
+        assert (e.u, e.v) == (2, 5)
+        assert e.edge == (2, 5)
+        assert make_event(1.0, INSERT, 5, 2) == e
+
+    def test_unknown_kind_refused(self):
+        with pytest.raises(DatasetError, match="unknown temporal event kind"):
+            TemporalEvent(0.0, "upsert", 0, 1)
+
+    def test_self_loop_refused(self):
+        with pytest.raises(DatasetError, match="self-loop"):
+            TemporalEvent(0.0, INSERT, 3, 3)
+
+    def test_line_roundtrips_kind(self):
+        assert make_event(2.0, DELETE, 1, 0).line() == "0 1 -1 2.000000"
+        assert make_event(2.0, INSERT, 0, 1).line() == "0 1 1 2.000000"
+        assert make_event(2.0, INSERT, 0, 1, weight=2.5).line() \
+            == "0 1 2.5 2.000000"
+
+
+class TestFromRaw:
+    def test_sorts_by_timestamp_stably(self):
+        raw = [
+            make_event(5.0, INSERT, 0, 1),
+            make_event(1.0, INSERT, 2, 3),
+            make_event(5.0, INSERT, 4, 5),
+        ]
+        log = TemporalEventLog.from_raw(raw)
+        assert [e.ts for e in log] == [1.0, 5.0, 5.0]
+        # Equal timestamps keep their input order (stable sort).
+        assert log[1].edge == (0, 1) and log[2].edge == (4, 5)
+
+    def test_duplicate_insert_dropped(self):
+        raw = [make_event(1.0, INSERT, 0, 1), make_event(2.0, INSERT, 1, 0)]
+        log = TemporalEventLog.from_raw(raw)
+        assert len(log) == 1
+        assert log.dropped == {"duplicate_insert": 1}
+
+    def test_delete_before_insert_dropped(self):
+        raw = [make_event(1.0, DELETE, 0, 1), make_event(2.0, INSERT, 0, 1)]
+        log = TemporalEventLog.from_raw(raw)
+        assert [e.kind for e in log] == [INSERT]
+        assert log.dropped == {"dangling_delete": 1}
+
+    def test_insert_delete_insert_all_kept(self):
+        raw = [
+            make_event(1.0, INSERT, 0, 1),
+            make_event(2.0, DELETE, 0, 1),
+            make_event(3.0, INSERT, 0, 1),
+        ]
+        log = TemporalEventLog.from_raw(raw)
+        assert [e.kind for e in log] == [INSERT, DELETE, INSERT]
+        assert log.dropped == {}
+
+    def test_set_weight_dropped_on_unweighted(self):
+        raw = [
+            make_event(1.0, INSERT, 0, 1),
+            make_event(2.0, SET_WEIGHT, 0, 1, weight=3.0),
+        ]
+        log = TemporalEventLog.from_raw(raw)
+        assert [e.kind for e in log] == [INSERT]
+        assert log.dropped == {"unweighted_set_weight": 1}
+
+    def test_weighted_duplicate_insert_becomes_set_weight(self):
+        raw = [
+            make_event(1.0, INSERT, 0, 1, weight=1.0),
+            make_event(2.0, INSERT, 0, 1, weight=4.0),
+        ]
+        log = TemporalEventLog.from_raw(raw, weighted=True)
+        assert [e.kind for e in log] == [INSERT, SET_WEIGHT]
+        assert log[1].weight == 4.0
+        assert log.dropped == {"rewritten_set_weight": 1}
+
+    def test_weighted_missing_weight_defaults_to_one(self):
+        log = TemporalEventLog.from_raw(
+            [make_event(1.0, INSERT, 0, 1)], weighted=True
+        )
+        assert log[0].weight == 1.0
+
+    def test_dangling_set_weight_dropped(self):
+        raw = [make_event(1.0, SET_WEIGHT, 0, 1, weight=2.0)]
+        log = TemporalEventLog.from_raw(raw, weighted=True)
+        assert len(log) == 0
+        assert log.dropped == {"dangling_set_weight": 1}
+
+
+class TestCut:
+    def _log(self):
+        return TemporalEventLog.from_raw([
+            make_event(1.0, INSERT, 0, 1),
+            make_event(2.0, INSERT, 1, 2),
+            make_event(3.0, DELETE, 0, 1),
+            make_event(4.0, INSERT, 2, 3),
+        ])
+
+    def test_cut_contains_all_vertices_and_live_edges(self):
+        log = self._log()
+        g = log.cut(2.5)
+        # Every vertex the log ever names, even ones not yet touched.
+        assert sorted(g.vertices()) == [0, 1, 2, 3]
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+        assert not g.has_edge(2, 3)
+
+    def test_cut_after_delete(self):
+        g = self._log().cut(3.5)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_split_partitions_events(self):
+        log = self._log()
+        g, tail = log.split(2.0)
+        assert g.num_edges == 2
+        assert [e.ts for e in tail] == [3.0, 4.0]
+
+    def test_weighted_cut(self):
+        log = TemporalEventLog.from_raw([
+            make_event(1.0, INSERT, 0, 1, weight=2.0),
+            make_event(2.0, SET_WEIGHT, 0, 1, weight=5.0),
+        ], weighted=True)
+        g = log.cut(3.0)
+        assert isinstance(g, WeightedGraph)
+        assert g.weight(0, 1) == 5.0
+
+
+class TestIdentity:
+    def test_fingerprint_tracks_content(self):
+        a = TemporalEventLog.from_raw([make_event(1.0, INSERT, 0, 1)])
+        b = TemporalEventLog.from_raw([make_event(1.0, INSERT, 0, 1)])
+        c = TemporalEventLog.from_raw([make_event(1.5, INSERT, 0, 1)])
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_stats_shape(self):
+        log = TemporalEventLog.from_raw([
+            make_event(0.0, INSERT, 0, 1),
+            make_event(4.0, DELETE, 0, 1),
+        ])
+        s = log.stats()
+        assert s["events"] == 2 and s["inserts"] == 1 and s["deletes"] == 1
+        assert s["span"] == 4.0
+        assert s["churn_rate"] == 0.5
+        assert s["events_per_unit_time"] == 0.5
+
+    def test_events_to_updates(self):
+        updates = events_to_updates([
+            make_event(1.0, INSERT, 0, 1),
+            make_event(2.0, DELETE, 0, 1),
+            make_event(3.0, SET_WEIGHT, 0, 1, weight=2.0),
+        ])
+        assert updates == [
+            InsertEdge(0, 1), DeleteEdge(0, 1), SetWeight(0, 1, 2.0),
+        ]

@@ -1,0 +1,125 @@
+"""Temporal edge-list ingestion: formats, tolerance, typed refusals."""
+
+import gzip
+import io
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.replay import (
+    DELETE,
+    INSERT,
+    SET_WEIGHT,
+    parse_temporal_edge_list,
+    temporal_contact,
+    write_temporal_edge_list,
+)
+
+
+class TestParsing:
+    def test_three_column_inserts(self):
+        log = parse_temporal_edge_list(["0 1 10", "1 2 20"])
+        assert [e.kind for e in log] == [INSERT, INSERT]
+        assert [e.ts for e in log] == [10.0, 20.0]
+
+    def test_four_column_sign_convention(self):
+        log = parse_temporal_edge_list(["0 1 1 10", "0 1 -1 20"])
+        assert [e.kind for e in log] == [INSERT, DELETE]
+
+    def test_comments_and_blank_lines_skipped(self):
+        log = parse_temporal_edge_list([
+            "# SNAP-style header",
+            "% konect-style header",
+            "",
+            "   ",
+            "0 1 10",
+        ])
+        assert len(log) == 1
+
+    def test_out_of_order_timestamps_sorted(self):
+        log = parse_temporal_edge_list(["2 3 50", "0 1 10"])
+        assert [e.ts for e in log] == [10.0, 50.0]
+
+    def test_duplicate_and_dangling_tolerated(self):
+        log = parse_temporal_edge_list([
+            "0 1 10",
+            "1 0 20",      # duplicate (reversed orientation)
+            "2 3 -1 30",   # delete-before-insert
+        ])
+        assert len(log) == 1
+        assert log.dropped == {"duplicate_insert": 1, "dangling_delete": 1}
+
+    def test_weighted_keeps_magnitudes(self):
+        log = parse_temporal_edge_list(
+            ["0 1 2.5 10", "0 1 4.0 20"], weighted=True
+        )
+        assert log[0].weight == 2.5
+        assert log[1].kind == SET_WEIGHT and log[1].weight == 4.0
+
+    def test_unweighted_ignores_magnitudes(self):
+        log = parse_temporal_edge_list(["0 1 2.5 10"])
+        assert log[0].weight is None
+
+
+class TestRefusals:
+    def test_wrong_column_count(self):
+        with pytest.raises(DatasetError, match="expected 'u v ts'"):
+            parse_temporal_edge_list(["0 1"])
+        with pytest.raises(DatasetError, match="expected 'u v ts'"):
+            parse_temporal_edge_list(["0 1 1 10 99"])
+
+    def test_non_numeric_fields(self):
+        with pytest.raises(DatasetError, match="non-numeric"):
+            parse_temporal_edge_list(["a b 10"])
+        with pytest.raises(DatasetError, match="non-numeric"):
+            parse_temporal_edge_list(["0 1 x 10"])
+
+    def test_zero_sign_weight_ambiguous(self):
+        with pytest.raises(DatasetError, match="ambiguous"):
+            parse_temporal_edge_list(["0 1 0 10"])
+
+    def test_self_loop_refused(self):
+        with pytest.raises(DatasetError, match="self-loop"):
+            parse_temporal_edge_list(["3 3 10"])
+
+    def test_error_names_line(self):
+        with pytest.raises(DatasetError, match="<lines>:2"):
+            parse_temporal_edge_list(["0 1 10", "bad line here again"])
+
+
+class TestSources:
+    def test_file_object(self):
+        log = parse_temporal_edge_list(io.StringIO("0 1 10\n1 2 20\n"))
+        assert len(log) == 2
+
+    def test_plain_path(self, tmp_path):
+        p = tmp_path / "edges.txt"
+        p.write_text("0 1 10\n")
+        log = parse_temporal_edge_list(str(p))
+        assert len(log) == 1 and log.name == "edges.txt"
+
+    def test_gzip_path(self, tmp_path):
+        p = tmp_path / "edges.txt.gz"
+        with gzip.open(p, "wt") as f:
+            f.write("# header\n0 1 10\n1 2 -1 20\n")
+        log = parse_temporal_edge_list(str(p))
+        assert len(log) == 1  # dangling delete dropped
+        assert log.dropped == {"dangling_delete": 1}
+
+
+class TestRoundTrip:
+    def test_gzip_round_trip_is_event_identical(self, tmp_path):
+        log = temporal_contact(n=30, events=120, span=40.0, seed=3)
+        path = tmp_path / "contact.tsv.gz"
+        write_temporal_edge_list(log, str(path), header="contact corpus")
+        back = parse_temporal_edge_list(str(path), weighted=log.weighted)
+        assert back.fingerprint() == log.fingerprint()
+        assert list(back) == list(log)
+        assert back.dropped == {}
+
+    def test_plain_round_trip(self, tmp_path):
+        log = temporal_contact(n=20, events=80, span=20.0, seed=4)
+        path = tmp_path / "contact.tsv"
+        write_temporal_edge_list(log, str(path))
+        back = parse_temporal_edge_list(str(path))
+        assert back.fingerprint() == log.fingerprint()

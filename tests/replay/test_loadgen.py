@@ -1,0 +1,75 @@
+"""The replay engine end to end: every fleet topology, strict contract."""
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.replay import run_replay_scenario
+from repro.replay.scenario import FaultSpec, get_scenario
+
+# Small corpora + short wall windows keep each run in the ~1s range.
+TRIM = {"events": 350}
+
+
+class TestRunReplayScenario:
+    def test_service_scenario(self):
+        report = run_replay_scenario(
+            "diurnal", seed=0, duration=0.6, corpus_kwargs=TRIM
+        )
+        det = report["deterministic"]
+        assert report["events_submitted"] == det["events_to_replay"]
+        assert report["queries_issued"] == det["queries_planned"]
+        assert report["divergences"] == 0
+        assert report["refusals"] == 0
+        assert report["auditor"]["audited"] > 0
+
+    def test_same_seed_is_deterministic(self):
+        a = run_replay_scenario("diurnal", seed=3, duration=0.5,
+                                corpus_kwargs=TRIM)
+        b = run_replay_scenario("diurnal", seed=3, duration=0.5,
+                                corpus_kwargs=TRIM)
+        assert a["deterministic"] == b["deterministic"]
+        c = run_replay_scenario("diurnal", seed=4, duration=0.5,
+                                corpus_kwargs=TRIM)
+        assert c["deterministic"]["fingerprint"] \
+            != a["deterministic"]["fingerprint"]
+
+    def test_cluster_scenario(self):
+        report = run_replay_scenario(
+            "heavy-tail-sources", seed=0, duration=0.8, corpus_kwargs=TRIM
+        )
+        assert report["scenario"]["fleet"] == "cluster"
+        assert report["divergences"] == 0
+        assert report["queries_answered"] == report["queries_issued"]
+
+    def test_shard_scenario_with_faults(self):
+        report = run_replay_scenario(
+            "churn-window", seed=0, duration=1.4, corpus_kwargs=TRIM
+        )
+        assert report["scenario"]["fleet"] == "shard"
+        assert report["divergences"] == 0
+        # The kill window must have been observed as refusals, and the
+        # fleet must have recovered after the restart.
+        assert report["refusals"] > 0
+        assert report["recovered"] is True
+        actions = [e["action"] for e in report["fault_injection"]]
+        assert actions == ["kill_shard", "restart_shard"]
+
+    def test_accepts_scenario_object_with_overrides(self):
+        scenario = get_scenario("diurnal").replace(
+            name="diurnal-tweaked", query_rate=5.0, readers=1
+        )
+        report = run_replay_scenario(scenario, seed=0, duration=0.5,
+                                     corpus_kwargs=TRIM)
+        assert report["scenario"]["name"] == "diurnal-tweaked"
+
+    def test_rejects_non_scenario(self):
+        with pytest.raises(ServeError, match="scenario"):
+            run_replay_scenario(42)
+
+    def test_unexplained_fault_action_fails(self):
+        scenario = get_scenario("churn-window").replace(
+            faults=(FaultSpec("defragment", at=0.5),)
+        )
+        with pytest.raises(Exception, match="defragment|problem"):
+            run_replay_scenario(scenario, seed=0, duration=0.8,
+                                corpus_kwargs=TRIM)

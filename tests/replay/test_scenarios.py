@@ -1,0 +1,114 @@
+"""ReplayScenario specs, the named library, and ReplayPlan determinism."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.replay import (
+    QUICK_SCENARIOS,
+    SCENARIOS,
+    FaultSpec,
+    ReplayPlan,
+    ReplayScenario,
+    get_scenario,
+    scenario_names,
+    temporal_contact,
+)
+
+
+class TestScenarioSpec:
+    def test_library_names(self):
+        assert scenario_names() == [
+            "diurnal", "heavy-tail-sources", "burst-arrival", "churn-window",
+        ]
+        assert set(QUICK_SCENARIOS) <= set(SCENARIOS)
+
+    def test_library_covers_fleets_and_corpora(self):
+        fleets = {s.fleet for s in SCENARIOS.values()}
+        corpora = {s.corpus for s in SCENARIOS.values()}
+        assert "shard" in fleets and "service" in fleets
+        assert len(corpora) >= 2
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(DatasetError, match="unknown replay scenario"):
+            get_scenario("flashcrowd")
+
+    def test_fleet_validation(self):
+        with pytest.raises(DatasetError, match="unknown fleet"):
+            ReplayScenario(name="x", corpus="ENR", fleet="mesh")
+
+    def test_warmup_validation(self):
+        with pytest.raises(DatasetError, match="warmup"):
+            ReplayScenario(name="x", corpus="ENR", warmup=1.0)
+
+    def test_faults_need_shard_fleet(self):
+        with pytest.raises(DatasetError, match="shard"):
+            ReplayScenario(
+                name="x", corpus="ENR", fleet="service",
+                faults=(FaultSpec("kill_shard", at=0.5),),
+            )
+
+    def test_fault_time_validation(self):
+        with pytest.raises(DatasetError, match="fraction"):
+            FaultSpec("kill_shard", at=1.5)
+
+    def test_replace_and_describe(self):
+        s = get_scenario("diurnal").replace(duration=9.0)
+        assert s.duration == 9.0
+        assert get_scenario("diurnal").duration != 9.0
+        d = get_scenario("churn-window").describe()
+        assert d["fleet"] == "shard"
+        assert d["faults"][0]["action"] == "kill_shard"
+
+
+class TestReplayPlan:
+    def _plan(self, seed=0):
+        log = temporal_contact(n=30, events=200, span=50.0, seed=5)
+        scenario = ReplayScenario(
+            name="t", corpus="ENR", warmup=0.3, query_rate=6.0,
+            duration=1.0, batch_size=5,
+        )
+        return ReplayPlan(scenario, log, seed=seed)
+
+    def test_deterministic(self):
+        a, b = self._plan(), self._plan()
+        assert a.fingerprint() == b.fingerprint()
+        assert a.describe() == b.describe()
+        assert self._plan(seed=1).fingerprint() != a.fingerprint()
+
+    def test_batches_cover_the_tail_in_order(self):
+        plan = self._plan()
+        total = sum(len(updates) for _, updates in plan.batches)
+        assert total == plan.events_to_replay > 0
+        stamps = [ts for ts, _ in plan.batches]
+        assert stamps == sorted(stamps)
+        assert all(len(u) <= 5 for _, u in plan.batches)
+
+    def test_queries_inside_live_window(self):
+        plan = self._plan()
+        assert plan.queries
+        assert all(plan.warm_t <= ts < plan.t_end for ts, _, _ in plan.queries)
+
+    def test_reader_slices_partition_the_schedule(self):
+        plan = self._plan()
+        slices = plan.reader_slices(3)
+        assert sum(len(s) for s in slices) == len(plan.queries)
+        # Round-robin: every slice spans the window, not a block of it.
+        for sl in slices:
+            assert sl[0][0] < plan.warm_t + (plan.t_end - plan.warm_t) / 2
+
+    def test_wall_offset_maps_span_to_duration(self):
+        plan = self._plan()
+        assert plan.wall_offset(plan.warm_t) == 0.0
+        assert plan.wall_offset(plan.t_end) == pytest.approx(1.0)
+
+    def test_empty_tail_refused(self):
+        # A zero-span log (every event on one timestamp) leaves nothing
+        # after the warmup cut, whatever the warmup fraction.
+        from repro.replay import INSERT, TemporalEventLog, make_event
+
+        log = TemporalEventLog.from_raw(
+            [make_event(5.0, INSERT, i, i + 1) for i in range(4)]
+        )
+        scenario = ReplayScenario(name="t", corpus="ENR", warmup=0.5)
+        with pytest.raises(DatasetError, match="warmup"):
+            ReplayPlan(scenario, log)

@@ -1,0 +1,67 @@
+"""The bundled temporal corpora generators: determinism and shape."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph import is_connected
+from repro.replay import (
+    TEMPORAL_FAMILIES,
+    churn_storm,
+    temporal_cascade,
+    temporal_contact,
+)
+
+GENERATORS = [temporal_contact, temporal_cascade, churn_storm]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_deterministic_per_seed(self, gen):
+        a = gen(n=40, events=200, span=50.0, seed=9)
+        b = gen(n=40, events=200, span=50.0, seed=9)
+        c = gen(n=40, events=200, span=50.0, seed=10)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_warmup_cut_is_connected_and_complete(self, gen):
+        # The generators' contract: at the end of the bootstrap phase the
+        # graph is one connected component naming every vertex.
+        log = gen(n=40, events=200, span=50.0, warm_fraction=0.25, seed=1)
+        g = log.cut(50.0 * 0.25)
+        assert g.num_vertices == 40
+        assert is_connected(g)
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_log_is_applicable(self, gen):
+        # from_raw guarantees it, but the generators should not rely on
+        # normalization throwing most of their budget away.
+        log = gen(n=40, events=300, span=50.0, seed=2)
+        assert len(log) >= 150
+        assert log.t1 <= 50.0
+
+    def test_contact_is_churny(self):
+        s = temporal_contact(n=40, events=400, span=60.0, seed=0).stats()
+        assert 0.2 <= s["churn_rate"] <= 0.5
+
+    def test_cascade_is_insert_dominated(self):
+        s = temporal_cascade(n=40, events=400, span=60.0, seed=0).stats()
+        assert s["churn_rate"] < 0.2
+
+    def test_storm_is_delete_heavy(self):
+        s = churn_storm(n=40, events=400, span=60.0, seed=0).stats()
+        assert s["churn_rate"] >= 0.25
+
+    def test_families_registry(self):
+        assert set(TEMPORAL_FAMILIES) == {
+            "temporal_contact", "temporal_cascade", "churn_storm",
+        }
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_parameter_validation(self, gen):
+        with pytest.raises(DatasetError, match="n >= 4"):
+            gen(n=2)
+        with pytest.raises(DatasetError, match="at least n"):
+            gen(n=40, events=10)
+        with pytest.raises(DatasetError, match="span"):
+            gen(span=0.0)

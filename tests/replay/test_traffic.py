@@ -1,0 +1,112 @@
+"""Traffic models: seeded determinism, skew shapes, arrival schedules."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.replay import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    HotSetPicker,
+    PoissonArrivals,
+    UniformPicker,
+    ZipfPicker,
+    make_arrival_process,
+    make_source_picker,
+)
+
+VERTICES = list(range(60))
+
+
+def _source_counts(picker, n=600):
+    counts = {}
+    for _ in range(n):
+        s, t = picker.pick_pair()
+        assert s != t
+        counts[s] = counts.get(s, 0) + 1
+    return counts
+
+
+class TestSourcePickers:
+    @pytest.mark.parametrize("name", ["uniform", "zipf", "hotset"])
+    def test_deterministic_per_seed(self, name):
+        a = make_source_picker(name, VERTICES, seed=4)
+        b = make_source_picker(name, VERTICES, seed=4)
+        assert [a.pick_pair() for _ in range(100)] \
+            == [b.pick_pair() for _ in range(100)]
+
+    def test_zipf_is_skewed_relative_to_uniform(self):
+        uni = max(_source_counts(UniformPicker(VERTICES, seed=1)).values())
+        zipf = max(_source_counts(ZipfPicker(VERTICES, seed=1)).values())
+        assert zipf > 2 * uni
+
+    def test_hotset_concentrates_then_rotates(self):
+        p = HotSetPicker(VERTICES, seed=1, hot_size=4, hot_weight=0.9,
+                         rotate_every=50)
+        first_hot = set(p._hot)
+        _source_counts(p, n=300)
+        assert set(p._hot) != first_hot  # rotated at least once
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(DatasetError, match=">= 2"):
+            UniformPicker([7])
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown source picker"):
+            make_source_picker("pareto", VERTICES)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError, match="alpha"):
+            ZipfPicker(VERTICES, alpha=0)
+        with pytest.raises(DatasetError, match="hot_weight"):
+            HotSetPicker(VERTICES, hot_weight=1.5)
+
+
+class TestArrivalProcesses:
+    @pytest.mark.parametrize("name", ["poisson", "bursty", "diurnal"])
+    def test_deterministic_sorted_in_window(self, name):
+        a = make_arrival_process(name, rate=4.0, seed=2)
+        sched = a.schedule(10.0, 60.0)
+        assert sched == make_arrival_process(name, rate=4.0,
+                                             seed=2).schedule(10.0, 60.0)
+        assert sched == sorted(sched)
+        assert all(10.0 <= t < 60.0 for t in sched)
+        # Mean-rate sanity: within a loose factor of rate * span.
+        assert 50 <= len(sched) <= 800
+
+    def test_bursty_is_clumpier_than_poisson(self):
+        span = (0.0, 200.0)
+        poisson = PoissonArrivals(rate=3.0, seed=5).schedule(*span)
+        bursty = BurstyArrivals(rate=3.0, seed=5, burst_factor=10.0,
+                                mean_quiet=10.0, mean_burst=3.0).schedule(*span)
+
+        def clumpiness(sched):
+            gaps = [b - a for a, b in zip(sched, sched[1:])]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return var / (mean * mean)  # CV^2; 1 for Poisson, > 1 bursty
+
+        assert clumpiness(bursty) > clumpiness(poisson)
+
+    def test_diurnal_rate_varies_across_window(self):
+        sched = DiurnalArrivals(rate=6.0, seed=3, amplitude=0.9,
+                                cycles=1.0).schedule(0.0, 100.0)
+        # One sine cycle: the first half (rising rate) must out-arrive
+        # the second half (falling rate) noticeably.
+        first = sum(1 for t in sched if t < 50.0)
+        second = len(sched) - first
+        assert first > 1.2 * second
+
+    def test_empty_window(self):
+        assert DiurnalArrivals(rate=5.0).schedule(10.0, 10.0) == []
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown arrival process"):
+            make_arrival_process("hawkes", rate=1.0)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError, match="rate"):
+            PoissonArrivals(rate=0)
+        with pytest.raises(DatasetError, match="burst_factor"):
+            BurstyArrivals(rate=1.0, burst_factor=1.0)
+        with pytest.raises(DatasetError, match="amplitude"):
+            DiurnalArrivals(rate=1.0, amplitude=0.0)
