@@ -162,12 +162,15 @@ def run_audit_loadgen(backend="core", replicas=2, readers=3, duration=1.2,
                       sample_rate=0.2, reservoir=512, history=1024,
                       corrupt=None, kill=True, drain_timeout=30.0,
                       source_picker=None, picker_kwargs=None,
-                      state_dir=None, strict=True):
+                      state_dir=None, telemetry=None, strict=True):
     """Run one audited, fault-injected cluster load; returns a report dict.
 
     ``corrupt`` is ``None`` (clean run) or a :data:`~repro.audit.faults
     .MODES` name; ``kill`` adds the mid-run replica kill.  See the module
-    docstring for the strict-mode contract.
+    docstring for the strict-mode contract.  With ``telemetry`` set to a
+    directory, the fleet + audit stack are instrumented end to end and
+    the registry is written there as an
+    ``audit-<backend>[-<corrupt>].prom``/``.json`` pair.
     """
     if corrupt is not None and corrupt not in EXPECTED_SEVERITY:
         raise AuditDivergenceError(
@@ -216,6 +219,16 @@ def run_audit_loadgen(backend="core", replicas=2, readers=3, duration=1.2,
             report=DivergenceReport(sink=on_divergence),
             history=history,
         )
+        registry = tracer = None
+        if telemetry is not None:
+            from repro.obs import MetricsRegistry, Tracer
+
+            registry = MetricsRegistry()
+            tracer = Tracer()
+            cluster.set_metrics(registry, tracer=tracer)
+            engine.set_metrics(registry)
+            sampler.set_metrics(registry)
+            auditor.set_metrics(registry)
     except BaseException:
         if auditor is not None:
             try:
@@ -274,6 +287,13 @@ def run_audit_loadgen(backend="core", replicas=2, readers=3, duration=1.2,
         elapsed = run_ended - run_started
         sampler_stats = sampler.stats()
         auditor_stats = auditor.stats()
+        if registry is not None:
+            from repro.obs.export import write_files
+
+            stem = f"audit-{backend}" + (f"-{corrupt}" if corrupt else "")
+            telemetry_paths = write_files(
+                registry, telemetry, tracer=tracer, stem=stem,
+            )
         try:
             auditor.close()
         except ServeError as exc:
@@ -360,6 +380,7 @@ def run_audit_loadgen(backend="core", replicas=2, readers=3, duration=1.2,
         "expected_severity": expected,
         "severities_seen": severities,
         "detection": detection,
+        "telemetry": list(telemetry_paths) if registry is not None else None,
         "fault_injection": fault_record["events"],
         "audit_problems": problems,
     }

@@ -179,6 +179,17 @@ class AuditSampler:
             "buffered": buffered,
         }
 
+    def set_metrics(self, registry):
+        """Promote the sampler's counters into a shared registry as
+        callback gauges (``repro_audit_sampler_*`` — sample rate, seen /
+        sampled / evicted / buffered); clearing is a no-op since
+        callback gauges read the live sampler only at exposition time."""
+        if registry is None:
+            return
+        from repro.obs.bind import bind_sampler
+
+        bind_sampler(registry, self)
+
     def __repr__(self):
         return (
             f"AuditSampler(rate={self.rate}, capacity={self.capacity}, "

@@ -130,6 +130,16 @@ class ShadowAuditor:
             "divergences": self.report.summary(),
         }
 
+    def set_metrics(self, registry):
+        """Promote the auditor's counters into a shared registry as
+        callback gauges (``repro_audit_*`` — audited, pending = audit
+        lag, bootstraps, per-kind divergence counts, health)."""
+        if registry is None:
+            return
+        from repro.obs.bind import bind_auditor
+
+        bind_auditor(registry, self)
+
     def drain(self, timeout=15.0):
         """Block until every sample taken so far has been audited.
 

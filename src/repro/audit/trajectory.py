@@ -103,16 +103,24 @@ def drift_report(entries, window=5, tolerance=0.5, experiments=None):
     For every experiment in ``entries`` (optionally filtered), the most
     recent entry is measured against the per-metric *mean* of the up-to-
     ``window`` runs before it, direction-aware (a higher-is-better metric
-    regresses by falling).  Returns ``(regressions, lines)`` shaped like
-    :func:`repro.bench.compare.compare_result`: ``regressions`` lists one
-    dict per metric whose change exceeds ``tolerance``; ``lines`` is the
-    full human-readable account.
+    regresses by falling).  Returns ``(regressions, lines, skipped)``:
+    ``regressions`` lists one dict per metric whose change exceeds
+    ``tolerance``, shaped like
+    :func:`repro.bench.compare.compare_result`; ``lines`` is the full
+    human-readable account; ``skipped`` lists one
+    ``{"experiment", "metric", "reason"}`` dict per comparison the
+    report could NOT make — an empty history, a single-entry experiment
+    (its only run would be its own baseline), a metric with no prior
+    recording, or a zero baseline mean.  Callers that treat "no
+    regressions" as green must surface ``skipped`` so an un-checkable
+    history doesn't silently pass.
     """
     by_experiment = {}
     for entry in entries:
         by_experiment.setdefault(entry["experiment"], []).append(entry)
     regressions = []
     lines = []
+    skipped = []
     for name in sorted(by_experiment):
         if experiments and name not in experiments:
             continue
@@ -125,9 +133,14 @@ def drift_report(entries, window=5, tolerance=0.5, experiments=None):
         )
         if not baseline_runs:
             lines.append(
-                f"[drift] {name}: only one recorded run — no baseline "
-                f"window yet, record more runs"
+                f"[drift] {name}: SKIPPED — only one recorded run, no "
+                f"baseline window yet, record more runs"
             )
+            skipped.append({
+                "experiment": name,
+                "metric": None,
+                "reason": "only one recorded run — no baseline window",
+            })
             continue
         current = _metric_values(latest)
         history = [_metric_values(r) for r in baseline_runs]
@@ -135,11 +148,27 @@ def drift_report(entries, window=5, tolerance=0.5, experiments=None):
             cur_value, direction = current[metric]
             past = [h[metric][0] for h in history if metric in h]
             if not past:
-                lines.append(f"[drift] {name}.{metric}: new metric, no history")
+                lines.append(
+                    f"[drift] {name}.{metric}: SKIPPED — new metric, "
+                    f"no history"
+                )
+                skipped.append({
+                    "experiment": name,
+                    "metric": metric,
+                    "reason": "new metric — no baseline history",
+                })
                 continue
             base_value = sum(past) / len(past)
             if not base_value:
-                lines.append(f"[drift] {name}.{metric}: baseline mean is 0, skipped")
+                lines.append(
+                    f"[drift] {name}.{metric}: SKIPPED — baseline mean "
+                    f"is 0"
+                )
+                skipped.append({
+                    "experiment": name,
+                    "metric": metric,
+                    "reason": "baseline mean is 0",
+                })
                 continue
             if direction == _LOWER:
                 change = (cur_value - base_value) / base_value
@@ -168,5 +197,12 @@ def drift_report(entries, window=5, tolerance=0.5, experiments=None):
                 f"bound {tolerance:.0%}) {verdict}"
             )
     if not by_experiment:
-        lines.append("[drift] history is empty — run with --record first")
-    return regressions, lines
+        lines.append(
+            "[drift] SKIPPED — history is empty, run with --record first"
+        )
+        skipped.append({
+            "experiment": None,
+            "metric": None,
+            "reason": "history is empty — nothing to compare",
+        })
+    return regressions, lines, skipped

@@ -153,6 +153,7 @@ def run(config):
             seed=config.seed,
             corrupt=None,
             kill=True,
+            telemetry=config.telemetry,
         )
         clean_table.add_row(
             backend,
@@ -186,6 +187,7 @@ def run(config):
             seed=config.seed,
             corrupt=mode,
             kill=True,
+            telemetry=config.telemetry,
         )
         detection = report["detection"]
         detect_table.add_row(

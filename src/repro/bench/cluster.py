@@ -46,6 +46,7 @@ def run(config):
             churn=config.cluster_churn,
             staleness_delta=config.cluster_staleness_delta,
             seed=config.seed,
+            telemetry=config.telemetry,
         )
         replica_reads = sum(report["routed"].values())
         total = replica_reads + report["primary_reads"]

@@ -135,6 +135,28 @@ def _replay_metrics(extra):
     return metrics
 
 
+def _obs_metrics(extra):
+    """Tracked metrics for repro.bench.obs: instrumentation overhead and
+    the instrumented read path's tail latency down.  Stage-sum
+    reconciliation and counter determinism are judged strictly inside
+    the experiment (a violation fails the run outright), so only the
+    cost trajectory is tracked here."""
+    metrics = {}
+    overhead = extra.get("overhead", {})
+    if "overhead_pct" in overhead:
+        metrics["overhead_pct"] = (overhead["overhead_pct"], _LOWER)
+    if "instrumented_us_per_query" in overhead:
+        metrics["instrumented_us_per_query"] = (
+            overhead["instrumented_us_per_query"], _LOWER,
+        )
+    e2e = extra.get("e2e", {})
+    if e2e.get("p99") is not None:
+        metrics["read_latency_p99_ms"] = (
+            round(e2e["p99"] * 1e3, 4), _LOWER,
+        )
+    return metrics
+
+
 #: experiment name -> extra-payload metric extractor.
 METRIC_EXTRACTORS = {
     "micro": _micro_metrics,
@@ -144,6 +166,7 @@ METRIC_EXTRACTORS = {
     "shard": _shard_metrics,
     "chaos": _chaos_metrics,
     "replay": _replay_metrics,
+    "obs": _obs_metrics,
 }
 
 

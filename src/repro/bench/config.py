@@ -119,6 +119,27 @@ class BenchConfig:
                                "burst-arrival", "churn-window")
     replay_duration: float = 1.5    # wall seconds the virtual tail maps to
     replay_corpus_events: int = 0   # 0 = the registry's full corpus size
+    # repro.bench.obs knobs — the telemetry stack measured as a
+    # deliverable (see repro.obs.loadgen): a deterministic instrumented
+    # run whose per-stage breakdown must reconcile exactly with the
+    # end-to-end latency histogram and whose counter fingerprint must be
+    # identical across two same-seed runs, plus a paired-window
+    # instrumented-vs-bare overhead probe on the scatter-gather path.
+    obs_backend: str = "core"
+    obs_graph: tuple = (400, 1200)   # (n, m) of the synthetic graph
+    obs_shards: int = 3
+    obs_churn: int = 48              # updates per churn phase (one batch)
+    obs_phases: int = 4
+    obs_reads_per_phase: int = 160
+    obs_tap_rate: float = 0.25       # answer-tap admission probability
+    obs_overhead_batch: int = 256    # pairs per query_many in the probe
+    obs_overhead_loops: int = 20     # query_many calls per timed window
+    obs_overhead_repeats: int = 5    # windows = 4x this, median of ratios
+    obs_overhead_bound_pct: float = 5.0  # CI's assertion threshold
+    # ``repro-bench --telemetry DIR``: when set, every loadgen-driven
+    # experiment run writes a Prometheus-text + JSON snapshot pair of
+    # its fleet's registry into this directory (see repro.obs.export).
+    telemetry: str = None
     # The degraded="stale" variant runs on the shard fleet — the cluster
     # router falls back to a healthy primary so its degraded path stays
     # dormant, while a dead hub slice otherwise refuses every cross-shard
@@ -185,6 +206,12 @@ class BenchConfig:
             replay_scenarios=("diurnal", "churn-window"),
             replay_duration=1.0,
             replay_corpus_events=500,
+            obs_graph=(200, 600),
+            obs_phases=2,
+            obs_reads_per_phase=80,
+            obs_overhead_batch=192,
+            obs_overhead_loops=10,
+            obs_overhead_repeats=5,
             # The chaos smoke keeps all four backends even in the quick
             # profile — fault detection paths differ per record codec, so
             # dropping a backend drops coverage, not just runtime.  The

@@ -1,0 +1,220 @@
+"""repro.bench.obs — the telemetry stack measured as a deliverable.
+
+Three claims, each checked rather than narrated:
+
+* **The breakdown adds up.**  One deterministic instrumented run
+  (:func:`~repro.obs.loadgen.run_obs_loadgen`) populates the shard
+  router's per-stage histograms; the per-stage latency table's stage sum
+  must reconcile with the end-to-end latency histogram's sum — judged
+  strictly, because the explicit ``unattributed`` remainder makes the
+  identity exact by construction, so any drift is an instrumentation
+  bug, not noise.
+* **The counters are deterministic.**  The same seeded run executes
+  twice; the two registries' :meth:`~repro.obs.MetricsRegistry
+  .counter_values` fingerprints (counter values + histogram *counts*,
+  never timings) must be identical key for key — judged strictly.
+* **Always-on is cheap.**  A paired-window instrumented-vs-bare probe on the
+  scatter-gather read path records ``overhead_pct``; like every timing
+  number in this suite it is recorded here and *asserted* in CI (the
+  obs-smoke job bounds it at ``obs_overhead_bound_pct``), because shared
+  bench runners make local strictness on wall-clock numbers flaky.
+
+Results land in ``bench_results/obs.json`` via ``repro-bench obs
+--save-dir bench_results``.
+"""
+
+from repro.bench.tables import ExperimentResult, Table
+from repro.exceptions import ObsError
+from repro.obs.loadgen import STAGES, run_obs_loadgen, run_overhead_probe
+
+#: stage-sum vs end-to-end reconciliation bound; the identity is exact in
+#: real arithmetic, so the tolerance only absorbs float re-summation.
+REL_ERR_BOUND = 1e-6
+
+
+def _loadgen_kwargs(config, instrument, seed):
+    n, m = config.obs_graph
+    return dict(
+        backend=config.obs_backend,
+        n=n,
+        m=m,
+        shards=config.obs_shards,
+        churn=config.obs_churn,
+        phases=config.obs_phases,
+        reads_per_phase=config.obs_reads_per_phase,
+        tap_rate=config.obs_tap_rate,
+        seed=seed,
+        instrument=instrument,
+    )
+
+
+def stage_breakdown(registry):
+    """The per-stage latency table rows + reconciliation numbers.
+
+    Returns ``(rows, stage_sum_s, e2e_sum_s)`` where each row is
+    ``(stage, count, total_ms, share_pct, mean_us, p50_us, p99_us)``
+    pulled from ``repro_shard_stage_seconds{stage=...}``.
+    """
+    e2e = registry.get("repro_shard_read_latency_seconds")
+    if e2e is None or e2e.count == 0:
+        raise ObsError(
+            "no repro_shard_read_latency_seconds observations — the "
+            "instrumented run served no reads"
+        )
+    rows = []
+    stage_sum = 0.0
+    for stage in STAGES:
+        hist = registry.get("repro_shard_stage_seconds", stage=stage)
+        if hist is None:
+            raise ObsError(
+                f"stage histogram {stage!r} missing from the registry"
+            )
+        stage_sum += hist.total
+        snap = hist.snapshot()
+        rows.append((
+            stage,
+            snap["count"],
+            round(hist.total * 1e3, 3),
+            round(hist.total / e2e.total * 100.0, 1) if e2e.total else 0.0,
+            round((snap["mean"] or 0.0) * 1e6, 1),
+            round((snap["p50"] or 0.0) * 1e6, 1),
+            round((snap["p99"] or 0.0) * 1e6, 1),
+        ))
+    return rows, stage_sum, e2e.total
+
+
+def run(config):
+    """Run the observability benchmarks; returns an ExperimentResult."""
+    n, m = config.obs_graph
+    result = ExperimentResult(
+        name="obs",
+        description="telemetry stack end to end: per-stage latency "
+                    "breakdown reconciled against end-to-end latency, "
+                    "same-seed counter determinism, and the always-on "
+                    "instrumentation overhead probe",
+    )
+
+    # ------------------------------------------------------------- run 1
+    report = run_obs_loadgen(**_loadgen_kwargs(config, True, config.seed))
+    registry = report["registry"]
+    tracer = report["tracer"]
+
+    rows, stage_sum, e2e_sum = stage_breakdown(registry)
+    breakdown_table = Table(
+        f"per-stage read latency breakdown: {config.obs_shards} shards, "
+        f"{report['reads']} scatter-gather reads, ER({n}, {m}) "
+        f"[{config.obs_backend}]",
+        ["stage", "count", "total_ms", "share_pct", "mean_us",
+         "p50_us", "p99_us"],
+    )
+    for row in rows:
+        breakdown_table.add_row(*row)
+    rel_err = abs(stage_sum - e2e_sum) / e2e_sum if e2e_sum else 0.0
+    if rel_err > REL_ERR_BOUND:
+        raise ObsError(
+            f"per-stage breakdown does not reconcile with end-to-end "
+            f"latency: stages sum to {stage_sum:.9f}s, e2e histogram "
+            f"holds {e2e_sum:.9f}s (rel err {rel_err:.2e} > "
+            f"{REL_ERR_BOUND:.0e})"
+        )
+
+    # ------------------------------------- run 2: counter determinism
+    second = run_obs_loadgen(**_loadgen_kwargs(config, True, config.seed))
+    first_counters = report["counter_values"]
+    second_counters = second["counter_values"]
+    mismatched = sorted(
+        key
+        for key in set(first_counters) | set(second_counters)
+        if first_counters.get(key) != second_counters.get(key)
+    )
+    if mismatched:
+        detail = ", ".join(
+            f"{key}: {first_counters.get(key)} != {second_counters.get(key)}"
+            for key in mismatched[:8]
+        )
+        raise ObsError(
+            f"seeded runs disagree on {len(mismatched)} counter(s) — "
+            f"telemetry is nondeterministic: {detail}"
+        )
+
+    # ----------------------------------------------- overhead probe
+    overhead = run_overhead_probe(
+        backend=config.obs_backend,
+        n=n,
+        m=m,
+        shards=config.obs_shards,
+        batch=config.obs_overhead_batch,
+        loops=config.obs_overhead_loops,
+        repeats=config.obs_overhead_repeats,
+        seed=config.seed,
+    )
+
+    verdict_table = Table(
+        "telemetry contracts (consistency judged strictly, "
+        "overhead recorded; CI asserts the bound)",
+        ["stage_sum_ms", "e2e_sum_ms", "rel_err", "counters_identical",
+         "counters_compared", "overhead_pct", "bound_pct"],
+    )
+    verdict_table.add_row(
+        round(stage_sum * 1e3, 3),
+        round(e2e_sum * 1e3, 3),
+        f"{rel_err:.2e}",
+        True,
+        len(first_counters),
+        overhead["overhead_pct"],
+        config.obs_overhead_bound_pct,
+    )
+
+    trace_stats = tracer.stats()
+    writer_table = Table(
+        "writer-side + trace accounting for the instrumented run",
+        ["writer_batches", "publishes", "wal_bytes", "traces",
+         "slow_traces", "tap_sampled"],
+    )
+    counters = first_counters
+    writer_table.add_row(
+        counters.get("repro_serve_writer_batches", 0),
+        counters.get("repro_serve_publishes", 0),
+        counters.get("repro_serve_wal_appended_bytes", 0),
+        trace_stats["recorded"],
+        trace_stats["slow_recorded"],
+        report["sampler"]["sampled"],
+    )
+
+    result.tables.append(breakdown_table)
+    result.tables.append(verdict_table)
+    result.tables.append(writer_table)
+    result.extra = {
+        "run": {
+            "backend": report["backend"],
+            "shards": report["shards"],
+            "phases": report["phases"],
+            "reads": report["reads"],
+            "batch_reads": report["batch_reads"],
+            "submitted": report["submitted"],
+            "elapsed_s": report["elapsed_s"],
+            "sampler": report["sampler"],
+            "overhead_bound_pct": config.obs_overhead_bound_pct,
+        },
+        "stages": {
+            stage: registry.get(
+                "repro_shard_stage_seconds", stage=stage
+            ).snapshot()
+            for stage in STAGES
+        },
+        "e2e": registry.get("repro_shard_read_latency_seconds").snapshot(),
+        "consistency": {
+            "stage_sum_s": stage_sum,
+            "e2e_sum_s": e2e_sum,
+            "rel_err": rel_err,
+            "bound": REL_ERR_BOUND,
+        },
+        "determinism": {
+            "identical": True,
+            "counters_compared": len(first_counters),
+        },
+        "overhead": overhead,
+        "tracer": trace_stats,
+        "counter_values": first_counters,
+    }
+    return result

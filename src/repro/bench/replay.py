@@ -51,6 +51,7 @@ def run(config):
             seed=config.seed,
             duration=config.replay_duration,
             corpus_kwargs=corpus_kwargs,
+            telemetry=config.telemetry,
         )
         table.add_row(
             name,

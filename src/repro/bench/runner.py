@@ -8,6 +8,7 @@ from repro.bench import audit as audit_bench
 from repro.bench import chaos as chaos_bench
 from repro.bench import cluster as cluster_bench
 from repro.bench import micro
+from repro.bench import obs as obs_bench
 from repro.bench import replay as replay_bench
 from repro.bench import serve as serve_bench
 from repro.bench import shard as shard_bench
@@ -51,6 +52,7 @@ EXPERIMENTS = {
     "shard": shard_bench.run,
     "chaos": chaos_bench.run,
     "replay": replay_bench.run,
+    "obs": obs_bench.run,
 }
 
 PAPER_SET = ["table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11"]
@@ -69,11 +71,19 @@ def _run_drift(args):
             f"{args.history}",
             file=sys.stderr,
         )
-    regressions, lines = drift_report(
+    regressions, lines, not_compared = drift_report(
         entries, window=args.window, tolerance=args.tolerance
     )
     for line in lines:
         print(line)
+    for skip in not_compared:
+        scope = skip["experiment"] or "history"
+        if skip.get("metric"):
+            scope = f"{scope}.{skip['metric']}"
+        print(
+            f"[drift] notice: {scope} not compared — {skip['reason']}",
+            file=sys.stderr,
+        )
     if regressions:
         print(
             f"[drift] {len(regressions)} metric(s) drifted beyond "
@@ -146,6 +156,12 @@ def main(argv=None):
              f"(default: {HISTORY_FILENAME})",
     )
     parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="write Prometheus-text + JSON telemetry snapshots of each "
+             "loadgen-driven experiment run into DIR (one .prom/.json "
+             "pair per run, named after the harness)",
+    )
+    parser.add_argument(
         "--window", type=int, default=5,
         help="rolling baseline window for 'drift': the latest run is "
              "compared against the mean of up to this many previous runs "
@@ -168,6 +184,8 @@ def main(argv=None):
     config = get_profile(args.profile)
     if args.seed is not None:
         config.seed = args.seed
+    if args.telemetry is not None:
+        config.telemetry = args.telemetry
     failures = 0
     for name in expanded:
         if name == "drift":

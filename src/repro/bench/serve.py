@@ -39,6 +39,7 @@ def run(config):
             m=m,
             churn=config.serve_churn,
             seed=config.seed,
+            telemetry=config.telemetry,
         )
         table.add_row(
             backend,

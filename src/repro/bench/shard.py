@@ -41,6 +41,7 @@ def _loadgen_kwargs(config, backend, kill):
         epsilon=config.shard_epsilon,
         seed=config.seed,
         kill=kill,
+        telemetry=config.telemetry,
     )
 
 

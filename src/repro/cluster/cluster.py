@@ -211,6 +211,13 @@ class SPCCluster:
         """A sticky :class:`ClusterSession` (read-your-writes)."""
         return ClusterSession(self)
 
+    def set_metrics(self, registry, tracer=None):
+        """Install (or clear, with ``None``) telemetry across the fleet:
+        the primary's serve instruments + writer spans, and the router's
+        lease/breaker accounting (see :meth:`ClusterRouter.set_metrics`)."""
+        self.primary.set_metrics(registry, tracer=tracer)
+        self.router.set_metrics(registry, tracer=tracer)
+
     # ------------------------------------------------------------------
     # Fleet operations
     # ------------------------------------------------------------------

@@ -237,14 +237,17 @@ def run_cluster_loadgen(backend="core", replicas=2, readers=4, duration=1.2,
                         staleness_delta=16, publish_every=8,
                         max_staleness=0.01, inject_fault=True,
                         source_picker=None, picker_kwargs=None,
-                        state_dir=None, strict=True):
+                        state_dir=None, telemetry=None, strict=True):
     """Run one replicated, fault-injected load; returns a report dict.
 
     With ``strict`` (the default) any observed inconsistency — staleness
     violation, per-target regression, divergence, a replay-oracle
     mismatch, or a crashed thread — raises
     :class:`~repro.exceptions.ClusterError` listing every problem.
-    Timing numbers are recorded, never judged.
+    Timing numbers are recorded, never judged.  With ``telemetry`` set
+    to a directory, the fleet is instrumented end to end
+    (:meth:`~repro.cluster.SPCCluster.set_metrics`) and its registry is
+    written there as a ``cluster-<backend>.prom``/``.json`` pair.
     """
     graph, cycle, pairs = make_workload(backend, n, m, seed=seed, churn=churn)
     vertices = sorted(graph.vertices())
@@ -273,6 +276,14 @@ def run_cluster_loadgen(backend="core", replicas=2, readers=4, duration=1.2,
         initial_payload = load_checkpoint(
             os.path.join(state_dir, SNAPSHOT_FILENAME)
         )
+        registry = tracer = None
+        if telemetry is not None:
+            from repro.obs import MetricsRegistry, Tracer
+
+            registry = MetricsRegistry()
+            tracer = Tracer()
+            cluster.set_metrics(registry, tracer=tracer)
+            engine.set_metrics(registry)
     except BaseException:
         # A half-booted fleet must not leak its writer/applier threads,
         # and a dir this function created must not leak onto disk.
@@ -324,6 +335,13 @@ def run_cluster_loadgen(backend="core", replicas=2, readers=4, duration=1.2,
         elapsed = time.time() - start
         stats = cluster.stats()
         cluster.check_invariants()
+        if registry is not None:
+            from repro.obs.export import write_files
+
+            telemetry_paths = write_files(
+                registry, telemetry, tracer=tracer,
+                stem=f"cluster-{backend}",
+            )
     except BaseException:
         try:
             cluster.close()
@@ -390,6 +408,7 @@ def run_cluster_loadgen(backend="core", replicas=2, readers=4, duration=1.2,
         "updates_submitted": submit_record.get("submitted", 0),
         "updates_applied": primary_stats["applied_updates"],
         "applied_batches": primary_stats["applied_batches"],
+        "telemetry": list(telemetry_paths) if registry is not None else None,
         "routed": stats["router"]["routed"],
         "primary_reads": stats["router"]["primary_reads"],
         "router_fallbacks": stats["router"]["fallbacks"],

@@ -122,6 +122,29 @@ class RoutedRead:
         return False
 
 
+class _RouterObs:
+    """Pre-created instruments for one router (see ``set_metrics``)."""
+
+    __slots__ = ("tracer", "leases", "wait", "refusals", "transitions")
+
+    def __init__(self, registry, tracer, layer):
+        self.tracer = tracer
+        self.leases = registry.counter(f"repro_{layer}_leases")
+        self.wait = registry.histogram(f"repro_{layer}_lease_wait_seconds")
+        self.refusals = registry.counter(f"repro_{layer}_refusals")
+        self.transitions = {
+            state: registry.counter(
+                f"repro_{layer}_breaker_transitions", to=state
+            )
+            for state in ("closed", "open", "half_open")
+        }
+
+    def on_breaker_transition(self, _old, new):
+        counter = self.transitions.get(new)
+        if counter is not None:
+            counter.inc()
+
+
 class ClusterRouter:
     """Route reads across one primary and its replicas under a policy."""
 
@@ -170,6 +193,7 @@ class ClusterRouter:
         self._breaker_skips = 0
         self._degraded_serves = 0
         self._answer_tap = None
+        self._obs = None
 
     def _new_breaker(self):
         return CircuitBreaker(
@@ -181,12 +205,43 @@ class ClusterRouter:
     # Fleet management
     # ------------------------------------------------------------------
 
+    def set_metrics(self, registry, tracer=None):
+        """Install (or clear, with ``None``) the telemetry seam.
+
+        Promotes ``stats()`` into ``registry`` as callback gauges, arms
+        lease counters and a lease-wait histogram on the acquire path,
+        counts every circuit-breaker state transition (via
+        :meth:`~repro.resilience.CircuitBreaker.set_listener`), and —
+        with a :class:`~repro.obs.Tracer` — retains span trees for
+        sampled routed reads.
+        """
+        if registry is None:
+            with self._lock:
+                targets = list(self._replicas)
+            for target in targets:
+                if target.breaker is not None:
+                    target.breaker.set_listener(None)
+            self._obs = None
+            return
+        from repro.obs.bind import bind_cluster_router
+
+        bind_cluster_router(registry, self)
+        obs = _RouterObs(registry, tracer, "cluster")
+        with self._lock:
+            targets = list(self._replicas)
+        for target in targets:
+            if target.breaker is not None:
+                target.breaker.set_listener(obs.on_breaker_transition)
+        self._obs = obs
+
     def add_replica(self, replica):
         """Register a new follower with the router."""
+        breaker = self._new_breaker()
+        obs = self._obs
+        if obs is not None:
+            breaker.set_listener(obs.on_breaker_transition)
         with self._lock:
-            self._replicas.append(
-                _Target(replica.name, replica, self._new_breaker())
-            )
+            self._replicas.append(_Target(replica.name, replica, breaker))
         self.notify_event()
 
     def set_replica(self, name, replica):
@@ -238,10 +293,15 @@ class ClusterRouter:
         freshest bounded-stale snapshot any target published, tagged
         ``degraded=True``.
         """
+        obs = self._obs
+        t0 = time.perf_counter() if obs is not None else 0.0
         deadline = time.monotonic() + self.wait_timeout
         while True:
             lease = self._try_acquire(min_seq)
             if lease is not None:
+                if obs is not None:
+                    obs.leases.inc()
+                    obs.wait.observe(time.perf_counter() - t0)
                 return lease
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -252,7 +312,12 @@ class ClusterRouter:
         if self.degraded == "stale" and min_seq == 0:
             lease = self._degraded_acquire()
             if lease is not None:
+                if obs is not None:
+                    obs.leases.inc()
+                    obs.wait.observe(time.perf_counter() - t0)
                 return lease
+        if obs is not None:
+            obs.refusals.inc()
         raise ClusterError(
             f"no routing target reached seq >= {min_seq} within "
             f"{self.wait_timeout} s (policy {self.policy!r}, "
@@ -282,9 +347,25 @@ class ClusterRouter:
 
     def query(self, s, t, min_seq=0):
         """Answer one pair through the policy; returns (sd, spc)."""
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else None
+        trace = tracer.maybe_begin("cluster_query") if tracer else None
+        if trace is None:
+            with self.acquire(min_seq) as lease:
+                answer = lease.snapshot.query(s, t)
+                self._tapped(lease, [((s, t), answer)])
+                return answer
+        t0 = time.perf_counter()
         with self.acquire(min_seq) as lease:
+            t1 = time.perf_counter()
             answer = lease.snapshot.query(s, t)
+            t2 = time.perf_counter()
             self._tapped(lease, [((s, t), answer)])
+            t3 = time.perf_counter()
+            trace.add("queue_wait", t1 - t0, meta={"target": lease.name})
+            trace.add("probe", t2 - t1)
+            trace.add("tap", t3 - t2)
+            trace.finish(t3 - t0)
             return answer
 
     def query_tagged(self, s, t, min_seq=0):
@@ -336,9 +417,25 @@ class ClusterRouter:
                             return answers
 
                     return gather_chunks(chunks, worker, parallel=True)
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else None
+        trace = tracer.maybe_begin("cluster_query_many") if tracer else None
+        if trace is None:
+            with self.acquire(min_seq) as lease:
+                answers = lease.snapshot.query_many(pairs)
+                self._tapped(lease, list(zip(pairs, answers)))
+                return answers
+        t0 = time.perf_counter()
         with self.acquire(min_seq) as lease:
+            t1 = time.perf_counter()
             answers = lease.snapshot.query_many(pairs)
+            t2 = time.perf_counter()
             self._tapped(lease, list(zip(pairs, answers)))
+            t3 = time.perf_counter()
+            trace.add("queue_wait", t1 - t0, meta={"target": lease.name})
+            trace.add("probe", t2 - t1, meta={"pairs": len(pairs)})
+            trace.add("tap", t3 - t2)
+            trace.finish(t3 - t0)
             return answers
 
     def query_many_tagged(self, pairs, min_seq=0):

@@ -126,6 +126,7 @@ class SPCEngine:
         self._epoch = 0
         self._updates_since_rebuild = 0
         self.history = StreamStats()
+        self._obs = None
 
     # ------------------------------------------------------------------
     # Read access
@@ -179,15 +180,43 @@ class SPCEngine:
     # Serving path
     # ------------------------------------------------------------------
 
+    def set_metrics(self, registry):
+        """Install (or clear, with ``None``) observability counters.
+
+        Promotes the cache/stream accessors into ``registry`` as callback
+        gauges (``repro_engine_cache_*``, ``repro_engine_*`` — see
+        :mod:`repro.obs.bind`) and arms hot-path counters for answered
+        queries, shared probe scans and singleton pair merges.  An
+        uninstrumented engine pays one attribute check per call.
+        """
+        if registry is None:
+            self._obs = None
+            return
+        from repro.obs.bind import bind_engine
+
+        bind_engine(registry, self)
+        self._obs = (
+            registry.counter("repro_engine_queries"),
+            registry.counter("repro_engine_probe_scans"),
+            registry.counter("repro_engine_pair_merges"),
+        )
+
     def query(self, s, t):
         """Return (sd(s, t), spc(s, t)), served from the cache when warm."""
+        obs = self._obs
+        if obs is not None:
+            obs[0].inc()
         if self._cache is None:
+            if obs is not None:
+                obs[2].inc()
             return self._backend.index.query(s, t)
         key = self._cache_key(s, t)
         answer = self._cache.get(key)
         if answer is None:
             answer = self._backend.index.query(s, t)
             self._cache.put(key, answer)
+            if obs is not None:
+                obs[2].inc()
         return answer
 
     def query_many(self, pairs):
@@ -225,6 +254,11 @@ class SPCEngine:
         for key, indices in key_indices.items():
             s, t = pairs[indices[0]]
             by_source.setdefault(s, []).append((t, key, indices))
+
+        obs = self._obs
+        if obs is not None:
+            obs[0].inc(len(pairs))
+            obs[1].inc(len(by_source))
 
         index = self._backend.index
         for s, group in by_source.items():

@@ -141,3 +141,9 @@ class ShardError(ClusterError):
     that cannot assemble a consistent cross-shard cut, or a query routed
     while a shard is down — the router *refuses* rather than serving a
     partial (hence silently wrong) merged answer."""
+
+
+class ObsError(ReproError):
+    """Raised on observability-layer misuse (:mod:`repro.obs`): an invalid
+    metric name, one name registered under two instrument kinds, setting a
+    callback-bound gauge, or decrementing a counter."""

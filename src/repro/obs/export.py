@@ -1,0 +1,130 @@
+"""Exposition: turn a :class:`~repro.obs.registry.MetricsRegistry` into
+Prometheus text format or a JSON-safe snapshot.
+
+Exposition walks every registered instrument (evaluating callback
+gauges at that moment), so it is the *cold* path by design — the hot
+path only bumps counters and files histogram observations.  Metric
+names follow the ``repro_<layer>_<name>`` scheme documented in
+DESIGN.md §16; the exporters render labels in sorted-key order so two
+runs of a seeded workload emit byte-identical text (modulo timing
+values).
+"""
+
+import json
+
+
+def _fmt_value(value):
+    """Render a float the way Prometheus expects (ints without .0)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels, extra=None):
+    """``{k="v",...}`` in sorted-key order, '' when empty.
+
+    ``labels`` is the registry's canonical sorted tuple of pairs.
+    """
+    items = list(labels)
+    if extra:
+        items = items + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def to_prometheus_text(registry):
+    """Render the registry in Prometheus text exposition format.
+
+    Counters become ``name_total``; gauges are bare samples (callback
+    gauges that fail to produce a finite number are silently skipped);
+    histograms expand to cumulative ``_bucket{le=...}`` samples plus
+    ``_sum`` and ``_count``, with the bucket edges taken from the
+    histogram's own log-bucket grid (only occupied buckets are
+    emitted — the grid is deterministic, so merged shards agree).
+    """
+    lines = []
+    seen_help = set()
+    for metric in registry.collect():
+        if metric.kind == "counter":
+            name = metric.name + "_total"
+            if name not in seen_help:
+                lines.append(f"# TYPE {name} counter")
+                seen_help.add(name)
+            lines.append(
+                f"{name}{_fmt_labels(metric.labels)} "
+                f"{_fmt_value(metric.value)}"
+            )
+        elif metric.kind == "gauge":
+            value = metric.snapshot()
+            if value is None:
+                continue
+            if metric.name not in seen_help:
+                lines.append(f"# TYPE {metric.name} gauge")
+                seen_help.add(metric.name)
+            lines.append(
+                f"{metric.name}{_fmt_labels(metric.labels)} "
+                f"{_fmt_value(value)}"
+            )
+        elif metric.kind == "histogram":
+            if metric.name not in seen_help:
+                lines.append(f"# TYPE {metric.name} histogram")
+                seen_help.add(metric.name)
+            for upper, cumulative in metric.bucket_table():
+                le = _fmt_value(upper)
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_fmt_labels(metric.labels, [('le', le)])} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{metric.name}_bucket"
+                f"{_fmt_labels(metric.labels, [('le', '+Inf')])} "
+                f"{metric.count}"
+            )
+            lines.append(
+                f"{metric.name}_sum{_fmt_labels(metric.labels)} "
+                f"{_fmt_value(metric.total)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_fmt_labels(metric.labels)} "
+                f"{metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry, tracer=None, indent=None):
+    """JSON document: full registry snapshot plus optional tracer stats
+    and its retained slow traces (span trees included — this is the
+    "why was it slow" artifact)."""
+    doc = {"metrics": registry.snapshot()}
+    if tracer is not None:
+        doc["tracer"] = tracer.stats()
+        doc["slow_traces"] = [t.to_dict() for t in tracer.slow()]
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def write_files(registry, directory, tracer=None, stem="telemetry"):
+    """Write ``<stem>.prom`` and ``<stem>.json`` under ``directory``.
+
+    The convenience exit used by ``--telemetry DIR`` on the loadgens.
+    Returns the two paths written.
+    """
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    prom_path = os.path.join(directory, stem + ".prom")
+    json_path = os.path.join(directory, stem + ".json")
+    with open(prom_path, "w") as fh:
+        fh.write(to_prometheus_text(registry))
+    with open(json_path, "w") as fh:
+        fh.write(to_json(registry, tracer=tracer, indent=2))
+        fh.write("\n")
+    return prom_path, json_path

@@ -1,0 +1,435 @@
+"""MetricsRegistry: the one measurement substrate of the serving stack.
+
+Every layer of the stack (engine -> serve -> cluster/shard -> audit ->
+resilience -> replay) reports health through the same three instrument
+kinds, registered in one place:
+
+* :class:`Counter` — a monotone float, ``inc()``-only;
+* :class:`Gauge` — a settable level, or a zero-storage *callback* gauge
+  that reads an existing stats accessor at exposition time (the
+  promotion seam for the per-subsystem ``stats()`` dicts — see
+  :mod:`repro.obs.bind`);
+* :class:`Histogram` — a deterministic log-bucketed distribution with
+  p50/p90/p99/max summaries, mergeable across shards and replicas.
+
+Design rules, all load-bearing:
+
+* **No wall-clock reads inside hot paths.**  ``Histogram.observe`` takes
+  a caller-supplied value (usually a duration the instrumented site
+  already measured); the registry itself never calls a clock, so the
+  cost of an observation is one deterministic bucket computation and two
+  adds.
+* **Deterministic bucketing.**  The bucket of a value is a pure function
+  of its binary representation (:func:`bucket_index` uses
+  ``math.frexp``), so two seeded runs that observe the same values
+  produce byte-identical bucket tables — the property the ``repro-bench
+  obs`` determinism check pins.
+* **Merge algebra.**  ``Histogram.merge`` adds bucket tables pointwise
+  and folds count/sum/min/max, so merging per-shard histograms equals
+  recording the union of their observations (associative and
+  commutative — property-tested in ``tests/property``).
+* **GIL-approximate counters.**  Like every monitoring counter in the
+  serving layer, increments are plain ``+=`` under the GIL: a lost
+  update under reader concurrency shifts a count by one, never breaks
+  an invariant.  The registry locks only metric *creation*.
+
+Metric names follow the ``repro_<layer>_<name>`` scheme (DESIGN.md §16),
+with label sets for per-target / per-backend / per-stage splits.
+"""
+
+import math
+import re
+import threading
+
+from repro.exceptions import ObsError
+
+#: metric-name grammar (a Prometheus-compatible subset).
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: log-bucketing resolution: sub-buckets per power of two.  Four gives a
+#: ~19% relative bucket width — plenty for p50/p90/p99 attribution while
+#: keeping even microsecond..minute spans under ~130 live buckets.
+SUBBUCKETS = 4
+
+#: mantissa cut points for frexp-based sub-bucketing: frexp yields
+#: m in [0.5, 1); sub-bucket k holds m in [2^(-1+k/S), 2^(-1+(k+1)/S)).
+_SUB_BOUNDS = tuple(2.0 ** (-1.0 + (k + 1) / SUBBUCKETS)
+                    for k in range(SUBBUCKETS))
+
+
+def bucket_index(value):
+    """The log-bucket index of a positive value (pure, deterministic).
+
+    Buckets are geometric with ratio ``2**(1/SUBBUCKETS)``; the index is
+    computed from ``math.frexp`` (exact binary mantissa/exponent), never
+    from ``log`` — float log is correctly rounded per-platform but the
+    comparison ladder below is exact, so the same value always lands in
+    the same bucket on every machine.
+
+    Non-positive values collapse into the reserved ``None`` bucket (a
+    duration of exactly 0.0 happens on sub-resolution clocks).
+    """
+    if value <= 0.0:
+        return None
+    m, e = math.frexp(value)
+    for k, bound in enumerate(_SUB_BOUNDS):
+        if m < bound:
+            return e * SUBBUCKETS + k
+    return e * SUBBUCKETS + SUBBUCKETS - 1
+
+
+def bucket_upper(index):
+    """The exclusive upper edge of bucket ``index`` (its ``le`` label)."""
+    e, k = divmod(index, SUBBUCKETS)
+    return 2.0 ** (e - 1.0 + (k + 1) / SUBBUCKETS)
+
+
+class Counter:
+    """A monotone counter; increments only."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name, labels=()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ObsError(
+                f"counter {self.name} cannot decrease (inc({amount!r}))"
+            )
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+    def merge(self, other):
+        """Fold another counter's total in (cross-shard aggregation)."""
+        self.value += other.value
+
+    def __repr__(self):
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A settable level, or a callback gauge reading live state lazily.
+
+    A callback gauge stores nothing: exposition calls ``fn()`` at
+    snapshot time, so the gauge can never disagree with the accessor it
+    was promoted from — that equality is the parity contract the bind
+    layer is tested on.  A callback that raises or returns a non-number
+    reads as ``None`` and is dropped from exposition (a dead component's
+    gauge must not kill a scrape).
+    """
+
+    __slots__ = ("name", "labels", "_value", "_fn")
+
+    kind = "gauge"
+
+    def __init__(self, name, labels=(), fn=None):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value):
+        """Set the gauge level (plain gauges only)."""
+        if self._fn is not None:
+            raise ObsError(
+                f"gauge {self.name} is bound to a callback; it cannot be set"
+            )
+        self._value = float(value)
+
+    def inc(self, amount=1.0):
+        """Adjust a plain gauge by ``amount`` (may be negative)."""
+        if self._fn is not None:
+            raise ObsError(
+                f"gauge {self.name} is bound to a callback; it cannot be set"
+            )
+        self._value += amount
+
+    def snapshot(self):
+        if self._fn is None:
+            return self._value
+        try:
+            value = self._fn()
+        except Exception:  # noqa: BLE001 — a torn-down component's
+            return None    # callback must not kill exposition
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        value = float(value)
+        return value if math.isfinite(value) else None
+
+    def merge(self, other):
+        """Gauges are levels, not totals: merge keeps the other's value
+        only when this gauge never reported (callback gauges never
+        merge — their truth is the live component)."""
+        if self._fn is None and other._fn is None:
+            self._value = other._value
+
+    def __repr__(self):
+        return f"Gauge({self.name!r}, value={self.snapshot()!r})"
+
+
+class Histogram:
+    """A deterministic log-bucketed distribution with quantile summaries.
+
+    ``observe`` files a caller-supplied value (no clock reads here) into
+    a sparse ``{bucket_index: count}`` table and folds count/sum/min/max.
+    Quantiles are read from the bucket table: the reported pXX is the
+    upper edge of the bucket holding that rank, clamped into the exact
+    observed ``[min, max]`` — a <=19% overestimate by construction,
+    deterministic, and stable under merge.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "zero_count", "count",
+                 "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name, labels=()):
+        self.name = name
+        self.labels = labels
+        self.buckets = {}
+        self.zero_count = 0   # observations <= 0 (sub-resolution clocks)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        """File one observation (a duration in seconds, a size, ...)."""
+        value = float(value)
+        index = bucket_index(value)
+        if index is None:
+            self.zero_count += 1
+        else:
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other):
+        """Fold another histogram in; the result is exactly what one
+        histogram observing both value streams would hold."""
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def copy(self):
+        """An independent deep copy (merge algebra tests build on this)."""
+        clone = Histogram(self.name, self.labels)
+        clone.buckets = dict(self.buckets)
+        clone.zero_count = self.zero_count
+        clone.count = self.count
+        clone.total = self.total
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
+    def percentile(self, q):
+        """The q-th percentile (0 < q <= 100) from the bucket table."""
+        if self.count == 0:
+            return None
+        rank = math.ceil(self.count * q / 100.0)
+        seen = self.zero_count
+        if rank <= seen:
+            return 0.0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if rank <= seen:
+                upper = bucket_upper(index)
+                # Clamp into the exact observed range: the true value in
+                # this bucket cannot exceed the histogram's max or fall
+                # below its min.
+                if self.max is not None:
+                    upper = min(upper, self.max)
+                if self.min is not None:
+                    upper = max(upper, self.min)
+                return upper
+        return self.max  # unreachable unless counts raced; stay sane
+
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+    def snapshot(self):
+        """JSON-safe summary: count/sum/min/max plus p50/p90/p99."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def bucket_table(self):
+        """``[(upper_edge, cumulative_count), ...]`` for exposition."""
+        rows = []
+        cumulative = self.zero_count
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            rows.append((bucket_upper(index), cumulative))
+        return rows
+
+    def __repr__(self):
+        return (
+            f"Histogram({self.name!r}, count={self.count}, "
+            f"p99={self.percentile(99)})"
+        )
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _label_key(labels):
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create registry of every metric the stack exposes.
+
+    One registry serves a whole fleet: every component registers its
+    instruments here (directly on hot paths, or via the
+    :mod:`repro.obs.bind` promotion helpers), and the exposition layer
+    (:mod:`repro.obs.export`) renders one consistent snapshot.  Metrics
+    are keyed by ``(name, sorted labels)``; asking for an existing key
+    with a different kind raises — one name, one meaning.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics = {}
+
+    # ------------------------------------------------------------------
+    # Registration (get-or-create)
+    # ------------------------------------------------------------------
+
+    def counter(self, name, **labels):
+        """Get or create the counter ``name{labels}``."""
+        return self._get_or_create("counter", name, labels)
+
+    def gauge(self, name, fn=None, **labels):
+        """Get or create the gauge ``name{labels}``.
+
+        Pass ``fn`` to register a callback gauge; re-binding an existing
+        callback gauge replaces its callback (a restarted component
+        re-binds over its predecessor's).
+        """
+        gauge = self._get_or_create("gauge", name, labels)
+        if fn is not None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(self, name, **labels):
+        """Get or create the histogram ``name{labels}``."""
+        return self._get_or_create("histogram", name, labels)
+
+    def _get_or_create(self, kind, name, labels):
+        if not _NAME_RE.match(name):
+            raise ObsError(
+                f"invalid metric name {name!r}; names match "
+                f"[a-zA-Z_][a-zA-Z0-9_]* (scheme: repro_<layer>_<name>)"
+            )
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = _KINDS[kind](name, key[1])
+                self._metrics[key] = metric
+            elif metric.kind != kind:
+                raise ObsError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {kind}"
+                )
+            return metric
+
+    # ------------------------------------------------------------------
+    # Introspection / exposition
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        with self._lock:
+            return len(self._metrics)
+
+    def collect(self):
+        """Every registered metric, sorted by (name, labels)."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return [m for _key, m in sorted(metrics, key=lambda kv: kv[0])]
+
+    def get(self, name, **labels):
+        """The registered metric at ``name{labels}``, or ``None``."""
+        with self._lock:
+            return self._metrics.get((name, _label_key(labels)))
+
+    def snapshot(self):
+        """One JSON-safe snapshot of every metric.
+
+        Keys are rendered ``name{label="value",...}``; callback gauges
+        evaluate *now*, so the snapshot agrees with the live accessors
+        it was promoted from.  Gauges whose callback fails are dropped.
+        """
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        for metric in self.collect():
+            rendered = render_key(metric.name, metric.labels)
+            value = metric.snapshot()
+            if metric.kind == "gauge" and value is None:
+                continue
+            out[metric.kind + "s"][rendered] = value
+        return out
+
+    def counter_values(self):
+        """``{rendered_name: value}`` of counters plus histogram counts.
+
+        The deterministic fingerprint surface: timings vary run to run,
+        but *counts* under a seeded workload must not — this is what the
+        ``repro-bench obs`` double-run check compares.
+        """
+        out = {}
+        for metric in self.collect():
+            rendered = render_key(metric.name, metric.labels)
+            if metric.kind == "counter":
+                out[rendered] = metric.value
+            elif metric.kind == "histogram":
+                out[rendered + ":count"] = metric.count
+        return out
+
+    def merge(self, other):
+        """Fold another registry in (cross-shard / cross-replica roll-up).
+
+        Counters and histograms add; plain gauges keep the freshest
+        non-default value; callback gauges never travel (their truth is
+        the component they read).
+        """
+        for metric in other.collect():
+            labels = dict(metric.labels)
+            mine = self._get_or_create(metric.kind, metric.name, labels)
+            mine.merge(metric)
+        return self
+
+    def __repr__(self):
+        return f"MetricsRegistry({len(self)} metrics)"
+
+
+def render_key(name, labels):
+    """Render ``name{label="value",...}`` (no braces when unlabeled)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"

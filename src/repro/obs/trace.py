@@ -1,0 +1,256 @@
+"""Request-scoped tracing: where did this query's latency go?
+
+A :class:`QueryTrace` is a span tree for one request: the root span
+covers the whole operation (a routed query, a writer batch), child spans
+name the stages it passed through (``queue_wait``, ``snapshot_pin``,
+``scatter``, ``shard_probe``, ``merge``, ``tap`` on the read path;
+``apply``, ``wal_append``, ``journal``, ``publish`` on the write path).
+Spans carry **caller-supplied durations** — the instrumented site stamps
+``time.perf_counter()`` around the work it already does and files the
+difference with :meth:`QueryTrace.add`; the trace layer itself never
+reads a clock, mirroring the registry's rule.
+
+Trace ids are allocated from a per-:class:`Tracer` monotone counter
+(``t-000001`` ...), so a seeded run issues the same ids in the same
+order every time.  The id is threaded through the call path explicitly:
+the component that begins the trace passes the ``QueryTrace`` down
+(router -> per-shard partial -> merge -> answer tap), and every span it
+grows belongs to that id — the propagation contract DESIGN.md §16
+documents.
+
+Retention is a bounded ring plus a *sampled always-keep-slow* policy:
+
+* ``sample_every`` gates which requests get a trace at all (1 = every
+  request; N = one in N, counter-based and therefore deterministic);
+* every finished trace enters the ``recent`` ring (bounded deque — new
+  traces evict the oldest);
+* a trace whose root duration reaches ``slow_threshold`` seconds is
+  *also* copied into the ``slow`` ring, which only slow traces can
+  evict — so the request you need to debug is still there after a
+  million fast ones have rolled the recent ring over.
+"""
+
+import itertools
+import threading
+from collections import deque
+
+
+class Span:
+    """One named, timed stage of a request (a node of the span tree)."""
+
+    __slots__ = ("name", "duration", "meta", "children")
+
+    def __init__(self, name, duration=0.0, meta=None):
+        self.name = name
+        self.duration = duration
+        self.meta = meta
+        self.children = []
+
+    def add(self, name, duration, meta=None):
+        """Attach a pre-timed child span; returns it."""
+        child = Span(name, duration, meta)
+        self.children.append(child)
+        return child
+
+    def child_total(self):
+        """Sum of direct children's durations (attributed time)."""
+        return sum(c.duration for c in self.children)
+
+    def unattributed(self):
+        """Root time no child claims (scheduling, bookkeeping, ...)."""
+        return self.duration - self.child_total()
+
+    def to_dict(self):
+        """JSON-safe span tree."""
+        out = {"name": self.name, "duration_s": self.duration}
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self):
+        return (
+            f"Span({self.name!r}, {self.duration * 1e3:.3f} ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class QueryTrace:
+    """The span tree of one request, tagged with a propagated trace id.
+
+    Built by the component that owns the request (service read path,
+    router, writer loop) and passed down the call chain; stages are
+    attached with :meth:`add` (pre-timed, no clock reads here).  The
+    trace is handed back to its :class:`Tracer` via :meth:`finish` with
+    the measured end-to-end duration.
+    """
+
+    __slots__ = ("trace_id", "root", "_tracer", "finished")
+
+    def __init__(self, trace_id, name, tracer=None, meta=None):
+        self.trace_id = trace_id
+        self.root = Span(name, 0.0, meta)
+        self._tracer = tracer
+        self.finished = False
+
+    def add(self, name, duration, meta=None):
+        """Attach one pre-timed stage span under the root; returns it."""
+        return self.root.add(name, duration, meta)
+
+    def finish(self, duration):
+        """Seal the trace with its end-to-end duration and file it."""
+        self.root.duration = duration
+        self.finished = True
+        if self._tracer is not None:
+            self._tracer.record(self)
+        return self
+
+    def stage_totals(self):
+        """``{stage_name: total_seconds}`` over the root's children."""
+        totals = {}
+        for child in self.root.children:
+            totals[child.name] = totals.get(child.name, 0.0) + child.duration
+        return totals
+
+    def to_dict(self):
+        """JSON-safe trace (id + span tree)."""
+        return {"trace_id": self.trace_id, "root": self.root.to_dict()}
+
+    def __repr__(self):
+        return (
+            f"QueryTrace({self.trace_id!r}, {self.root.name!r}, "
+            f"{self.root.duration * 1e3:.3f} ms)"
+        )
+
+
+class Tracer:
+    """Allocate, sample and retain :class:`QueryTrace` objects.
+
+    Parameters
+    ----------
+    capacity:
+        Bound of the ``recent`` ring (every finished trace enters it;
+        the oldest is evicted).
+    slow_capacity:
+        Bound of the ``slow`` ring (only slow traces enter — and only
+        slow traces evict, so fast traffic can never flush a slow one).
+    slow_threshold:
+        Root duration (seconds) at which a trace counts as slow.
+    sample_every:
+        Trace one request in this many (1 = all).  The gate is a plain
+        counter, so a seeded single-threaded run traces the same
+        requests every time; under reader concurrency it is GIL-
+        approximate like every other monitoring counter.
+    """
+
+    def __init__(self, capacity=256, slow_capacity=64, slow_threshold=0.010,
+                 sample_every=1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        if slow_capacity < 1:
+            raise ValueError(
+                f"slow_capacity must be >= 1, got {slow_capacity!r}"
+            )
+        if slow_threshold < 0:
+            raise ValueError(
+                f"slow_threshold must be >= 0, got {slow_threshold!r}"
+            )
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every!r}"
+            )
+        self.capacity = capacity
+        self.slow_capacity = slow_capacity
+        self.slow_threshold = slow_threshold
+        self.sample_every = sample_every
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._recent = deque(maxlen=capacity)
+        self._slow = deque(maxlen=slow_capacity)
+        self._seen = 0
+        self.started = 0
+        self.recorded = 0
+        self.slow_recorded = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def begin(self, name, meta=None):
+        """Start a trace unconditionally (ignores the sampling gate)."""
+        self.started += 1
+        trace_id = f"t-{next(self._ids):06d}"
+        return QueryTrace(trace_id, name, tracer=self, meta=meta)
+
+    def maybe_begin(self, name, meta=None):
+        """Start a trace if the sampling gate admits this request.
+
+        Returns ``None`` otherwise — instrumented sites skip all span
+        bookkeeping on ``None``, so an unsampled request pays one
+        increment and one modulo.
+        """
+        self._seen += 1
+        if self._seen % self.sample_every:
+            return None
+        return self.begin(name, meta)
+
+    def record(self, trace):
+        """File a finished trace into the retention rings."""
+        with self._lock:
+            self._recent.append(trace)
+            self.recorded += 1
+            if trace.root.duration >= self.slow_threshold:
+                self._slow.append(trace)
+                self.slow_recorded += 1
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def recent(self, limit=None):
+        """The newest retained traces, oldest first."""
+        with self._lock:
+            traces = list(self._recent)
+        return traces if limit is None else traces[-limit:]
+
+    def slow(self, limit=None):
+        """The retained slow traces, oldest first."""
+        with self._lock:
+            traces = list(self._slow)
+        return traces if limit is None else traces[-limit:]
+
+    def stage_totals(self, name=None):
+        """Aggregate ``{stage: total_seconds}`` over retained traces.
+
+        ``name`` filters to traces whose root span has that name (e.g.
+        only ``"shard_query"`` traces).  Aggregation reads the bounded
+        ring, so this is a debugging view; durable per-stage totals live
+        in the registry's stage histograms.
+        """
+        totals = {}
+        for trace in self.recent():
+            if name is not None and trace.root.name != name:
+                continue
+            for stage, duration in trace.stage_totals().items():
+                totals[stage] = totals.get(stage, 0.0) + duration
+        return totals
+
+    def stats(self):
+        """JSON-safe counters (monitoring only)."""
+        with self._lock:
+            return {
+                "sample_every": self.sample_every,
+                "slow_threshold_s": self.slow_threshold,
+                "started": self.started,
+                "recorded": self.recorded,
+                "slow_recorded": self.slow_recorded,
+                "recent_held": len(self._recent),
+                "slow_held": len(self._slow),
+            }
+
+    def __repr__(self):
+        return (
+            f"Tracer(recorded={self.recorded}, slow={self.slow_recorded}, "
+            f"sample_every={self.sample_every})"
+        )

@@ -93,6 +93,10 @@ class _Fleet:
         else:
             self.impl.set_answer_tap(tap)
 
+    def set_metrics(self, registry, tracer=None):
+        """Install (or clear) telemetry on whichever topology runs."""
+        self.impl.set_metrics(registry, tracer=tracer)
+
     def submit_many(self, updates):
         self.impl.submit_many(updates)
 
@@ -125,8 +129,14 @@ class _Fleet:
             pass
 
 
-def _writer_loop(fleet, plan, start, record):
-    """Submit every batch at its virtual deadline; account lateness."""
+def _writer_loop(fleet, plan, start, record, pacing_hist=None):
+    """Submit every batch at its virtual deadline; account lateness.
+
+    ``pacing_hist`` is the telemetry seam: a :class:`~repro.obs
+    .Histogram` that receives every batch's pacing lag (0 for a batch
+    submitted on time — the histogram's zero bucket keeps the count per
+    batch, so lag coverage is visible, not just lag magnitude).
+    """
     problems = []
     submitted = 0
     late = 0
@@ -135,6 +145,7 @@ def _writer_loop(fleet, plan, start, record):
         for virtual_ts, updates in plan.batches:
             due = start + plan.wall_offset(virtual_ts)
             now = time.time()
+            lag = 0.0
             if now < due:
                 time.sleep(due - now)
             else:
@@ -142,6 +153,8 @@ def _writer_loop(fleet, plan, start, record):
                 if lag > 0.001:
                     late += 1
                     max_lag = max(max_lag, lag)
+            if pacing_hist is not None:
+                pacing_hist.observe(lag)
             fleet.submit_many(updates)
             submitted += len(updates)
     except Exception as exc:  # noqa: BLE001 — a dead writer fails the run
@@ -208,7 +221,8 @@ def _fault_controller(fleet, faults, start, duration, record):
 
 
 def run_replay_scenario(scenario, seed=0, duration=None, corpus_kwargs=None,
-                        state_dir=None, strict=True, drain_timeout=30.0):
+                        state_dir=None, telemetry=None, strict=True,
+                        drain_timeout=30.0):
     """Replay one scenario end to end; returns a report dict.
 
     ``scenario`` is a name from the library or a
@@ -218,7 +232,11 @@ def run_replay_scenario(scenario, seed=0, duration=None, corpus_kwargs=None,
     ``events`` for smoke runs).  Strict mode raises
     :class:`~repro.exceptions.AuditDivergenceError` on any contract
     violation (see the module docstring); the report's ``deterministic``
-    block is identical across same-seed runs by construction.
+    block is identical across same-seed runs by construction.  With
+    ``telemetry`` set to a directory, the scenario's fleet + audit stack
+    are instrumented end to end (including the writer's pacing-lag
+    histogram ``repro_replay_pacing_lag_seconds``) and the registry is
+    written there as a ``replay-<scenario>.prom``/``.json`` pair.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -253,6 +271,18 @@ def run_replay_scenario(scenario, seed=0, duration=None, corpus_kwargs=None,
         auditor = ShadowAuditor(
             sampler, state_dir, report=DivergenceReport(), history=1024
         )
+        registry = tracer = pacing_hist = None
+        if telemetry is not None:
+            from repro.obs import MetricsRegistry, Tracer
+
+            registry = MetricsRegistry()
+            tracer = Tracer()
+            fleet.set_metrics(registry, tracer=tracer)
+            sampler.set_metrics(registry)
+            auditor.set_metrics(registry)
+            pacing_hist = registry.histogram(
+                "repro_replay_pacing_lag_seconds"
+            )
     except BaseException:
         if auditor is not None:
             try:
@@ -270,7 +300,8 @@ def run_replay_scenario(scenario, seed=0, duration=None, corpus_kwargs=None,
     reader_records = [{} for _ in range(scenario.readers)]
     fault_record = {"events": [], "problems": []}
     threads = [threading.Thread(
-        target=_writer_loop, args=(fleet, plan, start, writer_record),
+        target=_writer_loop,
+        args=(fleet, plan, start, writer_record, pacing_hist),
         name="replay-writer",
     )]
     for i, schedule in enumerate(plan.reader_slices(scenario.readers)):
@@ -318,6 +349,13 @@ def run_replay_scenario(scenario, seed=0, duration=None, corpus_kwargs=None,
         sampler_stats = sampler.stats()
         auditor_stats = auditor.stats()
         report = auditor.report
+        if registry is not None:
+            from repro.obs.export import write_files
+
+            telemetry_paths = write_files(
+                registry, telemetry, tracer=tracer,
+                stem=f"replay-{scenario.name}",
+            )
         try:
             auditor.close()
         except ServeError as exc:
@@ -402,6 +440,7 @@ def run_replay_scenario(scenario, seed=0, duration=None, corpus_kwargs=None,
         "divergences": report.total,
         "fault_injection": fault_record["events"],
         "recovered": recovered,
+        "telemetry": list(telemetry_paths) if registry is not None else None,
         "replay_problems": problems,
     }
     if strict and problems:

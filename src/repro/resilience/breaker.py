@@ -56,6 +56,23 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at = 0.0
         self._trips = 0
+        self._listener = None
+
+    def set_listener(self, listener):
+        """Install (or clear, with ``None``) a state-transition hook.
+
+        ``listener(old_state, new_state)`` fires after every transition
+        (closed → open, open → half_open, half_open → open/closed, a
+        reset back to closed), outside the breaker's lock.  The
+        observability layer counts transitions through this seam; like
+        every monitoring hook it must be cheap and must never raise.
+        """
+        self._listener = listener
+
+    def _notify(self, old, new):
+        listener = self._listener
+        if listener is not None and old != new:
+            listener(old, new)
 
     @property
     def state(self):
@@ -85,38 +102,50 @@ class CircuitBreaker:
             if self._state == "open":
                 if self._clock() - self._opened_at >= self.cooldown:
                     self._state = "half_open"
-                    return True  # this caller carries the probe
-                return False
-            return False  # half_open: a probe is already in flight
+                    probed = True
+                else:
+                    return False
+            else:
+                return False  # half_open: a probe is already in flight
+        if probed:
+            self._notify("open", "half_open")
+        return True  # this caller carries the probe
 
     def record_success(self):
         """A request to this target succeeded — close (and reset) it."""
         with self._lock:
+            old = self._state
             self._state = "closed"
             self._failures = 0
+        self._notify(old, "closed")
 
     def record_failure(self):
         """A request to this target failed; may trip the breaker open."""
         with self._lock:
+            old = self._state
             now = self._clock()
             if self._state == "half_open":
                 self._state = "open"
                 self._opened_at = now
                 self._trips += 1
-                return
-            self._failures += 1
-            if self._state == "closed" and (
-                self._failures >= self.failure_threshold
-            ):
-                self._state = "open"
-                self._opened_at = now
-                self._trips += 1
+            else:
+                self._failures += 1
+                if self._state == "closed" and (
+                    self._failures >= self.failure_threshold
+                ):
+                    self._state = "open"
+                    self._opened_at = now
+                    self._trips += 1
+            new = self._state
+        self._notify(old, new)
 
     def reset(self):
         """Force-close (a supervisor just replaced the target)."""
         with self._lock:
+            old = self._state
             self._state = "closed"
             self._failures = 0
+        self._notify(old, "closed")
 
     def stats(self):
         """JSON-safe counters (monitoring only)."""

@@ -418,6 +418,26 @@ class Supervisor:
             "monitor": self.monitor.stats(),
         }
 
+    def set_metrics(self, registry):
+        """Promote the supervisor's counters into a shared registry as
+        callback gauges (``repro_resilience_*`` — restarts, repairs,
+        incidents, failed members, per-member monitor states).
+
+        ``mttr_max_s`` is registered explicitly: it reads ``None`` until
+        the first incident recovers, so leaf discovery on a fresh
+        supervisor would otherwise miss it (the gauge is simply dropped
+        from exposition while it has nothing to report).
+        """
+        if registry is None:
+            return
+        from repro.obs.bind import bind_supervisor
+
+        bind_supervisor(registry, self)
+        registry.gauge(
+            "repro_resilience_mttr_max_s",
+            fn=lambda: self.stats()["mttr_max_s"],
+        )
+
     def close(self, timeout=10.0):
         """Stop the watchdog thread.  Idempotent."""
         self._stop.set()

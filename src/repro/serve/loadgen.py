@@ -211,12 +211,16 @@ def _submitter_loop(service, cycle, deadline, batch_size, pause, record):
 def run_loadgen(backend="core", readers=4, duration=1.0, n=300, m=900,
                 churn=40, batch_size=8, pause=0.001, seed=0,
                 publish_every=16, max_staleness=0.02, durability_dir=None,
-                source_picker=None, picker_kwargs=None, strict=True):
+                source_picker=None, picker_kwargs=None, telemetry=None,
+                strict=True):
     """Run one mixed read/update load against a fresh service.
 
     Returns a JSON-safe report dict; with ``strict`` (the default) any
     observed inconsistency raises :class:`~repro.exceptions.ServeError`
-    listing every problem — timing numbers never fail the run.
+    listing every problem — timing numbers never fail the run.  With
+    ``telemetry`` set to a directory, the run is instrumented end to end
+    (:meth:`~repro.serve.SPCService.set_metrics`) and its registry is
+    written there as a ``serve-<backend>.prom``/``.json`` pair.
     """
     graph, cycle, pairs = make_workload(backend, n, m, seed=seed, churn=churn)
     vertices = sorted(graph.vertices())
@@ -228,6 +232,14 @@ def run_loadgen(backend="core", readers=4, duration=1.0, n=300, m=900,
         durability_dir=durability_dir,
     )
     service = SPCService(engine, config=config, overwrite=True)
+    registry = tracer = None
+    if telemetry is not None:
+        from repro.obs import MetricsRegistry, Tracer
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        service.set_metrics(registry, tracer=tracer)
+        engine.set_metrics(registry)
 
     deadline = time.time() + duration
     reader_records = [{} for _ in range(readers)]
@@ -262,6 +274,13 @@ def run_loadgen(backend="core", readers=4, duration=1.0, n=300, m=900,
         service.flush()
         elapsed = time.time() - start
         stats = service.stats()
+        if registry is not None:
+            from repro.obs.export import write_files
+
+            telemetry_paths = write_files(
+                registry, telemetry, tracer=tracer,
+                stem=f"serve-{backend}",
+            )
     except BaseException:
         # Even when flush (or a sampler call) raises, the writer thread
         # and any WAL handle must not leak into the caller's process —
@@ -327,6 +346,8 @@ def run_loadgen(backend="core", readers=4, duration=1.0, n=300, m=900,
         "update_errors": len(service.errors),
         "consistency_problems": problems,
     }
+    if registry is not None:
+        report["telemetry"] = list(telemetry_paths)
     if service.errors:
         # The cyclic stream is valid by construction; a rejected update
         # means the service lost an edge somewhere — that is a failure.

@@ -179,6 +179,92 @@ class _Checkpoint:
 _STOP = object()
 
 
+class _ServeObs:
+    """Pre-created instruments for one service (install via
+    :meth:`SPCService.set_metrics`).
+
+    Everything hot-path is resolved to an attribute here at install
+    time, so an instrumented read costs attribute loads, perf_counter
+    stamps and histogram observations — no registry lookups.  Durations
+    are measured by the instrumented site and *passed in* (the
+    registry's no-clock-reads rule).
+    """
+
+    __slots__ = ("tracer", "reads", "read_pairs", "read_latency",
+                 "stage_pin", "stage_probe", "stage_tap",
+                 "writer_batches", "writer_updates", "wal_bytes",
+                 "stage_apply", "stage_wal", "stage_journal",
+                 "stage_publish", "publishes")
+
+    def __init__(self, registry, tracer):
+        self.tracer = tracer
+        self.reads = registry.counter("repro_serve_reads")
+        self.read_pairs = registry.counter("repro_serve_read_pairs")
+        self.read_latency = registry.histogram(
+            "repro_serve_read_latency_seconds")
+        stage = registry.histogram
+        self.stage_pin = stage("repro_serve_stage_seconds",
+                               stage="snapshot_pin")
+        self.stage_probe = stage("repro_serve_stage_seconds", stage="probe")
+        self.stage_tap = stage("repro_serve_stage_seconds", stage="tap")
+        self.writer_batches = registry.counter("repro_serve_writer_batches")
+        self.writer_updates = registry.counter("repro_serve_writer_updates")
+        self.wal_bytes = registry.counter("repro_serve_wal_appended_bytes")
+        self.stage_apply = stage("repro_serve_writer_stage_seconds",
+                                 stage="apply")
+        self.stage_wal = stage("repro_serve_writer_stage_seconds",
+                               stage="wal_append")
+        self.stage_journal = stage("repro_serve_writer_stage_seconds",
+                                   stage="journal")
+        self.stage_publish = stage("repro_serve_writer_stage_seconds",
+                                   stage="publish")
+        self.publishes = registry.counter("repro_serve_publishes")
+
+    def read(self, pairs, pin_s, probe_s, tap_s, total_s, trace):
+        """File one read's stage timings (and its trace, if sampled)."""
+        self.reads.inc()
+        self.read_pairs.inc(pairs)
+        self.read_latency.observe(total_s)
+        self.stage_pin.observe(pin_s)
+        self.stage_probe.observe(probe_s)
+        self.stage_tap.observe(tap_s)
+        if trace is not None:
+            trace.add("snapshot_pin", pin_s)
+            trace.add("probe", probe_s, meta={"pairs": pairs})
+            trace.add("tap", tap_s)
+            trace.finish(total_s)
+
+    def writer_batch(self, applied, apply_s, wal_s, journal_s, appended):
+        """File one applied batch's writer-side stage timings + spans."""
+        self.writer_batches.inc()
+        self.writer_updates.inc(applied)
+        self.stage_apply.observe(apply_s)
+        self.stage_wal.observe(wal_s)
+        self.stage_journal.observe(journal_s)
+        if appended:
+            self.wal_bytes.inc(appended)
+        tracer = self.tracer
+        if tracer is not None:
+            trace = tracer.maybe_begin("writer_batch",
+                                       meta={"applied": applied})
+            if trace is not None:
+                trace.add("apply", apply_s)
+                trace.add("wal_append", wal_s)
+                trace.add("journal", journal_s)
+                trace.finish(apply_s + wal_s + journal_s)
+
+    def publish(self, publish_s):
+        """File one snapshot publication (writer thread)."""
+        self.publishes.inc()
+        self.stage_publish.observe(publish_s)
+        tracer = self.tracer
+        if tracer is not None:
+            trace = tracer.maybe_begin("writer_publish")
+            if trace is not None:
+                trace.add("publish", publish_s)
+                trace.finish(publish_s)
+
+
 class SPCService:
     """A concurrent, durable serving layer over one :class:`SPCEngine`.
 
@@ -225,6 +311,7 @@ class SPCService:
         self._answer_tap = None
         self._publish_listener = None
         self._disk_fault = None
+        self._obs = None
         self._closed = False
         self._fatal = None
         self._inflight = None  # dequeued-but-unhandled control token
@@ -334,6 +421,28 @@ class SPCService:
         """
         self._publish_listener = listener
 
+    def set_metrics(self, registry, tracer=None):
+        """Install (or clear, with ``None``) the telemetry seam.
+
+        With a :class:`~repro.obs.MetricsRegistry` installed, every read
+        records its stage timings (``snapshot_pin`` / ``probe`` / ``tap``)
+        into shared histograms and every applied batch records its
+        writer-side stages (``apply`` / ``wal_append`` / ``journal`` /
+        ``publish``); with a :class:`~repro.obs.Tracer` too, sampled
+        requests additionally retain a :class:`~repro.obs.QueryTrace`
+        span tree.  The service's ``stats()`` dict is promoted into the
+        registry as callback gauges at the same time, so the old accessor
+        and the new exposition can never disagree.  Uninstrumented
+        services pay one attribute check per read.
+        """
+        if registry is None:
+            self._obs = None
+            return
+        self._obs = _ServeObs(registry, tracer)
+        from repro.obs.bind import bind_service
+
+        bind_service(registry, self)
+
     def set_disk_fault(self, fault):
         """Install (or clear, with ``None``) a disk-fault injection hook.
 
@@ -354,21 +463,53 @@ class SPCService:
 
     def query(self, s, t):
         """Answer (sd, spc) from the freshest published snapshot."""
+        obs = self._obs
+        if obs is None:
+            snap = self._snapshot
+            answer = snap.query(s, t)
+            tap = self._answer_tap
+            if tap is not None:
+                tap([((s, t), answer)], snap.seq, "service", snap.epoch)
+            return answer
+        tracer = obs.tracer
+        trace = tracer.maybe_begin("service_query") if tracer else None
+        t0 = time.perf_counter()
         snap = self._snapshot
+        t1 = time.perf_counter()
         answer = snap.query(s, t)
+        t2 = time.perf_counter()
         tap = self._answer_tap
         if tap is not None:
             tap([((s, t), answer)], snap.seq, "service", snap.epoch)
+        t3 = time.perf_counter()
+        obs.read(1, t1 - t0, t2 - t1, t3 - t2, t3 - t0, trace)
         return answer
 
     def query_many(self, pairs):
         """Answer a batch of pairs against one single snapshot."""
+        obs = self._obs
+        if obs is None:
+            snap = self._snapshot
+            pairs = list(pairs)
+            answers = snap.query_many(pairs)
+            tap = self._answer_tap
+            if tap is not None:
+                tap(list(zip(pairs, answers)), snap.seq, "service",
+                    snap.epoch)
+            return answers
+        tracer = obs.tracer
+        trace = tracer.maybe_begin("service_query_many") if tracer else None
+        t0 = time.perf_counter()
         snap = self._snapshot
         pairs = list(pairs)
+        t1 = time.perf_counter()
         answers = snap.query_many(pairs)
+        t2 = time.perf_counter()
         tap = self._answer_tap
         if tap is not None:
             tap(list(zip(pairs, answers)), snap.seq, "service", snap.epoch)
+        t3 = time.perf_counter()
+        obs.read(len(pairs), t1 - t0, t2 - t1, t3 - t2, t3 - t0, trace)
         return answers
 
     def distance(self, s, t):
@@ -661,6 +802,8 @@ class SPCService:
             effective, cancelled = batch, 0
         applied = []
         backend = engine.backend
+        obs = self._obs
+        t_start = time.perf_counter() if obs is not None else 0.0
         backend.begin_update_batch()
         try:
             for update in effective:
@@ -682,18 +825,32 @@ class SPCService:
                     applied.append(update)
         finally:
             backend.end_update_batch()
+        t_applied = time.perf_counter() if obs is not None else 0.0
 
         self._cancelled_updates += cancelled
         if applied:
             self._seq += 1
+            appended = 0
+            t_wal = t_applied
             if self._wal is not None:
+                before = self._wal.size if obs is not None else 0
                 self._wal.append(self._seq, applied)
+                if obs is not None:
+                    appended = self._wal.size - before
+                    t_wal = time.perf_counter()
+            t_journal = t_wal
             if self._journal is not None:
                 self._journal_append()
+                if obs is not None:
+                    t_journal = time.perf_counter()
             self._applied_updates += len(applied)
             self._dirty += len(applied)
             if self._dirty_since is None:
                 self._dirty_since = time.monotonic()
+            if obs is not None:
+                obs.writer_batch(len(applied), t_applied - t_start,
+                                 t_wal - t_applied, t_journal - t_wal,
+                                 appended)
         return control
 
     def _maybe_publish(self):
@@ -706,11 +863,15 @@ class SPCService:
             self._publish()
 
     def _publish(self):
+        obs = self._obs
+        t0 = time.perf_counter() if obs is not None else 0.0
         backend = self._engine.backend
         self._snapshot = self._make_snapshot(backend)
         self._published += 1
         self._dirty = 0
         self._dirty_since = None
+        if obs is not None:
+            obs.publish(time.perf_counter() - t0)
         listener = self._publish_listener
         if listener is not None:
             listener()

@@ -158,12 +158,16 @@ def run_shard_loadgen(backend="core", shards=4, partitioner="balanced",
                       batch_size=6, pause=0.001, seed=0,
                       sample_rate=0.2, reservoir=512, history=1024,
                       kill=False, restart=True, epsilon=0.35,
-                      drain_timeout=30.0, state_dir=None, strict=True):
+                      drain_timeout=30.0, state_dir=None, telemetry=None,
+                      strict=True):
     """Run one audited shard-fleet load; returns a report dict.
 
     ``kill`` hard-stops shard-0 mid-run (and ``restart`` recovers it);
     ``epsilon`` is the slack of the per-shard ``(1+ε)/K`` memory bound.
-    See the module docstring for the strict-mode contract.
+    See the module docstring for the strict-mode contract.  With
+    ``telemetry`` set to a directory, the fleet + audit stack are
+    instrumented end to end and the registry is written there as a
+    ``shard-<backend>[-kill].prom``/``.json`` pair.
     """
     graph, cycle, pairs = make_workload(backend, n, m, seed=seed, churn=churn)
     engine = SPCEngine(graph, config=EngineConfig(backend=backend))
@@ -188,6 +192,16 @@ def run_shard_loadgen(backend="core", shards=4, partitioner="balanced",
             report=DivergenceReport(),
             history=history,
         )
+        registry = tracer = None
+        if telemetry is not None:
+            from repro.obs import MetricsRegistry, Tracer
+
+            registry = MetricsRegistry()
+            tracer = Tracer()
+            cluster.set_metrics(registry, tracer=tracer)
+            engine.set_metrics(registry)
+            sampler.set_metrics(registry)
+            auditor.set_metrics(registry)
     except BaseException:
         if auditor is not None:
             try:
@@ -258,6 +272,13 @@ def run_shard_loadgen(backend="core", shards=4, partitioner="balanced",
         auditor_stats = auditor.stats()
         router_stats = cluster.router.stats()
         partitioner_desc = cluster.partitioner.describe()
+        if registry is not None:
+            from repro.obs.export import write_files
+
+            stem = f"shard-{backend}" + ("-kill" if kill else "")
+            telemetry_paths = write_files(
+                registry, telemetry, tracer=tracer, stem=stem,
+            )
         try:
             auditor.close()
         except ServeError as exc:
@@ -365,6 +386,7 @@ def run_shard_loadgen(backend="core", shards=4, partitioner="balanced",
         },
         "shards": router_stats["shards"],
         "memory": memory,
+        "telemetry": list(telemetry_paths) if registry is not None else None,
         "fault_injection": dict(
             fault_record["events"],
             post_restart_reads=sum(

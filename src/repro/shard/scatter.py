@@ -58,15 +58,22 @@ _WAIT_SLICE = 0.05
 
 
 class ShardCut:
-    """One consistent cross-shard read point: a seq + per-shard views."""
+    """One consistent cross-shard read point: a seq + per-shard views.
 
-    __slots__ = ("seq", "views", "shards", "degraded")
+    ``wait_s`` / ``pin_s`` carry the acquire's stage timings (time spent
+    waiting for a consistent seq vs. pinning the per-shard views) when
+    the router is instrumented; they stay 0.0 otherwise.
+    """
+
+    __slots__ = ("seq", "views", "shards", "degraded", "wait_s", "pin_s")
 
     def __init__(self, seq, shards, views, degraded=False):
         self.seq = seq
         self.shards = shards
         self.views = views
         self.degraded = degraded
+        self.wait_s = 0.0
+        self.pin_s = 0.0
 
     def partials(self, s, t):
         """Every shard's partial answer for (s, t) at this cut."""
@@ -74,6 +81,52 @@ class ShardCut:
             shard.partial(s, t, view)
             for shard, view in zip(self.shards, self.views)
         ]
+
+
+class _ShardObs:
+    """Pre-created instruments for one shard router (see ``set_metrics``).
+
+    The six acceptance stages — ``queue_wait``, ``snapshot_pin``,
+    ``scatter``, ``shard_probe``, ``merge``, ``tap`` — each get a
+    histogram under ``repro_shard_stage_seconds{stage=...}``, plus an
+    explicit ``unattributed`` stage holding whatever end-to-end time no
+    stage claimed, so the per-stage sums reconcile exactly with
+    ``repro_shard_read_latency_seconds``.
+    """
+
+    __slots__ = ("tracer", "reads", "fanout", "latency", "refusals",
+                 "s_wait", "s_pin", "s_scatter", "s_probe", "s_merge",
+                 "s_tap", "s_unattributed", "transitions")
+
+    def __init__(self, registry, tracer):
+        self.tracer = tracer
+        self.reads = registry.counter("repro_shard_reads")
+        self.fanout = registry.counter("repro_shard_fanout")
+        # "repro_shard_refusals" is the promoted stats() gauge (which
+        # also counts refusals converted to degraded serves); this
+        # counter counts only reads actually refused with an error.
+        self.refusals = registry.counter("repro_shard_read_refusals")
+        self.latency = registry.histogram("repro_shard_read_latency_seconds")
+        stage = registry.histogram
+        self.s_wait = stage("repro_shard_stage_seconds", stage="queue_wait")
+        self.s_pin = stage("repro_shard_stage_seconds", stage="snapshot_pin")
+        self.s_scatter = stage("repro_shard_stage_seconds", stage="scatter")
+        self.s_probe = stage("repro_shard_stage_seconds", stage="shard_probe")
+        self.s_merge = stage("repro_shard_stage_seconds", stage="merge")
+        self.s_tap = stage("repro_shard_stage_seconds", stage="tap")
+        self.s_unattributed = stage("repro_shard_stage_seconds",
+                                    stage="unattributed")
+        self.transitions = {
+            state: registry.counter(
+                "repro_shard_breaker_transitions", to=state
+            )
+            for state in ("closed", "open", "half_open")
+        }
+
+    def on_breaker_transition(self, _old, new):
+        counter = self.transitions.get(new)
+        if counter is not None:
+            counter.inc()
 
 
 class ShardRouter:
@@ -135,6 +188,7 @@ class ShardRouter:
             for s in shards
         }
         self._answer_tap = None
+        self._obs = None
         self._routed = 0
         self._refusals = 0
         self._fast_refusals = 0
@@ -195,7 +249,13 @@ class ShardRouter:
         still being healed.  Under ``degraded="stale"`` a floorless
         refusal is converted into a bounded-stale historical cut when
         one exists (see the module docstring).
+
+        When instrumented, the returned cut carries its stage timings
+        (``wait_s`` = time until a consistent seq existed, ``pin_s`` =
+        the final view-pinning pass).
         """
+        obs = self._obs
+        t0 = time.perf_counter() if obs is not None else 0.0
         # The breaker gate runs once per acquire: an open breaker means
         # recent acquires kept refusing on this shard, so refuse fast
         # instead of burning wait_timeout; an admitted probe makes this
@@ -209,10 +269,12 @@ class ShardRouter:
             with self._lock:
                 self._fast_refusals += 1
                 self._refusals += 1
-            return self._refuse_or_degrade(min_seq, ShardError(
-                f"circuit open for shard(s) {blocked}: recent reads kept "
-                f"refusing there; failing fast while the fleet heals"
-            ))
+            return self._stamped(t0, self._refuse_or_degrade(
+                min_seq, ShardError(
+                    f"circuit open for shard(s) {blocked}: recent reads "
+                    f"kept refusing there; failing fast while the fleet "
+                    f"heals"
+                )))
         deadline = time.monotonic() + self.wait_timeout
         while True:
             shards = self._shards
@@ -223,18 +285,25 @@ class ShardRouter:
                         self._breakers[s.shard_id].record_failure()
                 with self._lock:
                     self._refusals += 1
-                return self._refuse_or_degrade(min_seq, ShardError(
-                    f"shard(s) {down} are down; refusing cross-shard reads "
-                    f"(a missing hub slice cannot be merged around)"
-                ))
+                return self._stamped(t0, self._refuse_or_degrade(
+                    min_seq, ShardError(
+                        f"shard(s) {down} are down; refusing cross-shard "
+                        f"reads (a missing hub slice cannot be merged "
+                        f"around)"
+                    )))
             hi = min(s.latest_seq for s in shards)
             lo = max(s.min_seq for s in shards)
             if hi >= max(lo, min_seq):
+                t_pin = time.perf_counter() if obs is not None else 0.0
                 views = [s.view_at(hi) for s in shards]
                 if all(v is not None for v in views):
                     for breaker in self._breakers.values():
                         breaker.record_success()
-                    return ShardCut(hi, list(shards), views)
+                    cut = ShardCut(hi, list(shards), views)
+                    if obs is not None:
+                        cut.wait_s = t_pin - t0
+                        cut.pin_s = time.perf_counter() - t_pin
+                    return cut
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 # Blame the laggard(s): the shard(s) pinning `hi` down.
@@ -243,14 +312,21 @@ class ShardRouter:
                         self._breakers[s.shard_id].record_failure()
                 with self._lock:
                     self._refusals += 1
-                return self._refuse_or_degrade(min_seq, ShardError(
-                    f"no consistent cross-shard cut at seq >= {min_seq} "
-                    f"within {self.wait_timeout} s (shards at "
-                    f"{[s.applied_seq for s in shards]}); refusing"
-                ))
+                return self._stamped(t0, self._refuse_or_degrade(
+                    min_seq, ShardError(
+                        f"no consistent cross-shard cut at seq >= "
+                        f"{min_seq} within {self.wait_timeout} s (shards "
+                        f"at {[s.applied_seq for s in shards]}); refusing"
+                    )))
             with self._wakeup:
                 self._cut_waits += 1
                 self._wakeup.wait(min(_WAIT_SLICE, remaining))
+
+    def _stamped(self, t0, cut):
+        """Attribute a degraded cut's whole acquire time to queue_wait."""
+        if self._obs is not None:
+            cut.wait_s = time.perf_counter() - t0
+        return cut
 
     def _refuse_or_degrade(self, min_seq, error):
         """Raise ``error`` — or, under opt-in degraded mode, serve the
@@ -262,6 +338,9 @@ class ShardRouter:
                 with self._lock:
                     self._degraded_serves += 1
                 return cut
+        obs = self._obs
+        if obs is not None:
+            obs.refusals.inc()
         raise error
 
     def _degraded_cut(self):
@@ -295,6 +374,30 @@ class ShardRouter:
         """
         self._answer_tap = tap
 
+    def set_metrics(self, registry, tracer=None):
+        """Install (or clear, with ``None``) the telemetry seam.
+
+        Promotes ``stats()`` into ``registry`` as callback gauges, arms
+        the six-stage read breakdown (``queue_wait`` / ``snapshot_pin`` /
+        ``scatter`` / ``shard_probe`` / ``merge`` / ``tap``, plus an
+        explicit ``unattributed`` remainder so stage sums reconcile with
+        end-to-end latency), counts breaker transitions and refusals,
+        and — with a :class:`~repro.obs.Tracer` — retains span trees for
+        sampled scatter-gather reads.
+        """
+        if registry is None:
+            for breaker in self._breakers.values():
+                breaker.set_listener(None)
+            self._obs = None
+            return
+        from repro.obs.bind import bind_shard_router
+
+        bind_shard_router(registry, self)
+        obs = _ShardObs(registry, tracer)
+        for breaker in self._breakers.values():
+            breaker.set_listener(obs.on_breaker_transition)
+        self._obs = obs
+
     def _tapped(self, cut, answered):
         tap = self._answer_tap
         if tap is not None:
@@ -310,11 +413,63 @@ class ShardRouter:
 
     def query(self, s, t, min_seq=0):
         """Merged (dist, count) for one pair at one consistent cut."""
+        obs = self._obs
+        if obs is None:
+            cut = self.acquire(min_seq)
+            answer = self._merge(cut.partials(s, t))
+            with self._lock:
+                self._routed += 1
+            self._tapped(cut, [((s, t), answer)])
+            return answer
+        tracer = obs.tracer
+        trace = tracer.maybe_begin("shard_query") if tracer else None
+        t0 = time.perf_counter()
         cut = self.acquire(min_seq)
-        answer = self._merge(cut.partials(s, t))
+        # Scatter = the fan-out loop's own overhead; each shard's probe
+        # is timed individually so scatter never absorbs probe time.
+        t_sc = time.perf_counter()
+        partials = []
+        probe_s = 0.0
+        for shard, view in zip(cut.shards, cut.views):
+            p0 = time.perf_counter()
+            partials.append(shard.partial(s, t, view))
+            p1 = time.perf_counter()
+            probe_s += p1 - p0
+            if trace is not None:
+                trace.add("shard_probe", p1 - p0,
+                          meta={"shard": shard.name})
+        t_gathered = time.perf_counter()
+        scatter_s = (t_gathered - t_sc) - probe_s
+        answer = self._merge(partials)
+        t_merged = time.perf_counter()
         with self._lock:
             self._routed += 1
         self._tapped(cut, [((s, t), answer)])
+        t_end = time.perf_counter()
+        total_s = t_end - t0
+        merge_s = t_merged - t_gathered
+        tap_s = t_end - t_merged
+        unattributed_s = total_s - (
+            cut.wait_s + cut.pin_s + scatter_s + probe_s + merge_s + tap_s
+        )
+        obs.reads.inc()
+        obs.fanout.inc(len(cut.shards))
+        obs.latency.observe(total_s)
+        obs.s_wait.observe(cut.wait_s)
+        obs.s_pin.observe(cut.pin_s)
+        obs.s_scatter.observe(scatter_s)
+        obs.s_probe.observe(probe_s)
+        obs.s_merge.observe(merge_s)
+        obs.s_tap.observe(tap_s)
+        obs.s_unattributed.observe(unattributed_s)
+        if trace is not None:
+            trace.add("queue_wait", cut.wait_s, meta={"seq": cut.seq})
+            trace.add("snapshot_pin", cut.pin_s)
+            trace.add("scatter", scatter_s)
+            trace.add("merge", merge_s)
+            trace.add("tap", tap_s)
+            trace.add("unattributed", unattributed_s)
+            trace.finish(total_s)
         return answer
 
     def query_tagged(self, s, t, min_seq=0):
@@ -344,7 +499,10 @@ class ShardRouter:
         pairs = list(pairs)
         if not pairs:
             return []
+        obs = self._obs
+        t0 = time.perf_counter() if obs is not None else 0.0
         cut = self.acquire(min_seq)
+        t_sc = time.perf_counter() if obs is not None else 0.0
         chunks = split_batch(
             pairs, ways=len(self._shards),
             min_chunk=max(1, self.parallel_threshold // 2),
@@ -355,9 +513,40 @@ class ShardRouter:
             return [self._merge(cut.partials(s, t)) for s, t in chunk]
 
         answers = gather_chunks(chunks, worker, parallel=parallel)
+        t_gathered = time.perf_counter() if obs is not None else 0.0
         with self._lock:
             self._routed += len(pairs)
         self._tapped(cut, list(zip(pairs, answers)))
+        if obs is not None:
+            # Batch path: probe and merge run inside the gather workers
+            # (possibly concurrently), so their time is attributed to the
+            # scatter stage as a whole rather than split per shard.
+            t_end = time.perf_counter()
+            total_s = t_end - t0
+            scatter_s = t_gathered - t_sc
+            tap_s = t_end - t_gathered
+            unattributed_s = total_s - (
+                cut.wait_s + cut.pin_s + scatter_s + tap_s
+            )
+            obs.reads.inc()
+            obs.fanout.inc(len(cut.shards))
+            obs.latency.observe(total_s)
+            obs.s_wait.observe(cut.wait_s)
+            obs.s_pin.observe(cut.pin_s)
+            obs.s_scatter.observe(scatter_s)
+            obs.s_tap.observe(tap_s)
+            obs.s_unattributed.observe(unattributed_s)
+            tracer = obs.tracer
+            trace = (tracer.maybe_begin("shard_query_many",
+                                        meta={"pairs": len(pairs)})
+                     if tracer else None)
+            if trace is not None:
+                trace.add("queue_wait", cut.wait_s, meta={"seq": cut.seq})
+                trace.add("snapshot_pin", cut.pin_s)
+                trace.add("scatter", scatter_s)
+                trace.add("tap", tap_s)
+                trace.add("unattributed", unattributed_s)
+                trace.finish(total_s)
         return answers
 
     # ------------------------------------------------------------------

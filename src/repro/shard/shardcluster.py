@@ -216,6 +216,14 @@ class ShardedCluster:
         """Tap merged answers (shadow audit of the cross-shard merge)."""
         self.router.set_answer_tap(tap)
 
+    def set_metrics(self, registry, tracer=None):
+        """Install (or clear, with ``None``) telemetry across the fleet:
+        the primary's serve instruments + writer spans, and the router's
+        six-stage scatter-gather breakdown (see
+        :meth:`ShardRouter.set_metrics`)."""
+        self.primary.set_metrics(registry, tracer=tracer)
+        self.router.set_metrics(registry, tracer=tracer)
+
     # ------------------------------------------------------------------
     # Fleet operations
     # ------------------------------------------------------------------

@@ -76,26 +76,34 @@ class TestLoadHistory:
 
 
 class TestDriftReport:
-    def test_empty_history(self):
-        regressions, lines = drift_report([])
+    def test_empty_history_is_a_notice_not_a_pass(self):
+        regressions, lines, skipped = drift_report([])
         assert regressions == []
         assert any("history is empty" in line for line in lines)
+        assert skipped == [{
+            "experiment": None,
+            "metric": None,
+            "reason": "history is empty — nothing to compare",
+        }]
 
     def test_single_run_has_no_baseline_window(self, tmp_path):
         path = tmp_path / "hist.jsonl"
         record_micro(path, 10.0)
         entries, _ = load_history(path)
-        regressions, lines = drift_report(entries)
+        regressions, lines, skipped = drift_report(entries)
         assert regressions == []
         assert any("no baseline window yet" in line for line in lines)
+        assert [s["experiment"] for s in skipped] == ["micro"]
+        assert "no baseline window" in skipped[0]["reason"]
 
     def test_steady_metrics_pass(self, tmp_path):
         path = tmp_path / "hist.jsonl"
         for us in (10.0, 10.5, 9.8, 10.1):
             record_micro(path, us)
         entries, _ = load_history(path)
-        regressions, lines = drift_report(entries, tolerance=0.5)
+        regressions, lines, skipped = drift_report(entries, tolerance=0.5)
         assert regressions == []
+        assert skipped == []
         assert any("ok" in line or "improved" in line for line in lines)
 
     def test_lower_is_better_regression_flagged(self, tmp_path):
@@ -103,7 +111,7 @@ class TestDriftReport:
         for us in (10.0, 10.0, 30.0):  # latest tripled: +200% > 50%
             record_micro(path, us)
         entries, _ = load_history(path)
-        regressions, _ = drift_report(entries, tolerance=0.5)
+        regressions, _, _ = drift_report(entries, tolerance=0.5)
         assert [r["metric"] for r in regressions] == [METRIC]
         r = regressions[0]
         assert r["baseline"] == pytest.approx(10.0)
@@ -116,8 +124,9 @@ class TestDriftReport:
         for us in (30.0, 30.0, 10.0):
             record_micro(path, us)
         entries, _ = load_history(path)
-        regressions, lines = drift_report(entries, tolerance=0.5)
+        regressions, lines, skipped = drift_report(entries, tolerance=0.5)
         assert regressions == []
+        assert skipped == []
         assert any("improved" in line for line in lines)
 
     def test_rolling_window_forgets_ancient_runs(self, tmp_path):
@@ -127,10 +136,10 @@ class TestDriftReport:
         for us in (1.0, 1.0, 20.0, 20.0, 20.0, 20.0):
             record_micro(path, us)
         entries, _ = load_history(path)
-        regressions, _ = drift_report(entries, window=3, tolerance=0.5)
+        regressions, _, _ = drift_report(entries, window=3, tolerance=0.5)
         assert regressions == []
         # A wide-enough window still sees them.
-        regressions, _ = drift_report(entries, window=5, tolerance=0.5)
+        regressions, _, _ = drift_report(entries, window=5, tolerance=0.5)
         assert regressions != []
 
     def test_experiment_filter(self, tmp_path):
@@ -138,30 +147,52 @@ class TestDriftReport:
         for us in (10.0, 30.0):
             record_micro(path, us)
         entries, _ = load_history(path)
-        regressions, lines = drift_report(
+        regressions, lines, _ = drift_report(
             entries, tolerance=0.5, experiments=["other"]
         )
         assert regressions == []
         assert not any("micro." in line for line in lines)
 
-    def test_zero_baseline_skipped(self):
+    def test_zero_baseline_skipped_with_notice(self):
         entries = [
             {"experiment": "x",
              "metrics": {"m": {"value": 0.0, "direction": "lower"}}},
             {"experiment": "x",
              "metrics": {"m": {"value": 5.0, "direction": "lower"}}},
         ]
-        regressions, lines = drift_report(entries)
+        regressions, lines, skipped = drift_report(entries)
         assert regressions == []
         assert any("baseline mean is 0" in line for line in lines)
+        assert skipped == [{
+            "experiment": "x",
+            "metric": "m",
+            "reason": "baseline mean is 0",
+        }]
 
-    def test_new_metric_has_no_history_line(self):
+    def test_new_metric_has_no_history_notice(self):
         entries = [
             {"experiment": "x",
              "metrics": {"old": {"value": 1.0, "direction": "lower"}}},
             {"experiment": "x",
              "metrics": {"new": {"value": 1.0, "direction": "lower"}}},
         ]
-        regressions, lines = drift_report(entries)
+        regressions, lines, skipped = drift_report(entries)
         assert regressions == []
-        assert any("new metric, no history" in line for line in lines)
+        assert any("new metric" in line for line in lines)
+        assert skipped == [{
+            "experiment": "x",
+            "metric": "new",
+            "reason": "new metric — no baseline history",
+        }]
+
+    def test_healthy_multi_run_history_reports_no_skips(self, tmp_path):
+        # The inverse guarantee: once a real baseline window exists and
+        # every metric has history, the skipped channel must stay empty —
+        # a green drift report then really did compare something.
+        path = tmp_path / "hist.jsonl"
+        for us in (10.0, 10.2, 9.9):
+            record_micro(path, us)
+        entries, _ = load_history(path)
+        regressions, _, skipped = drift_report(entries, tolerance=0.5)
+        assert regressions == []
+        assert skipped == []

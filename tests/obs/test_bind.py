@@ -1,0 +1,161 @@
+"""The stats-promotion parity contract: every per-subsystem ``stats()``
+accessor promoted into the shared :class:`MetricsRegistry` must agree
+with the live accessor at exposition time — by construction (callback
+gauges re-read the accessor), and pinned here against real components.
+"""
+
+import pytest
+
+import repro
+from repro.audit import AuditSampler, ShadowAuditor
+from repro.obs import MetricsRegistry, bind_stats, render_key
+from repro.obs.bind import _leaf_paths, _numeric, _sanitize
+from repro.serve import ServeConfig, SPCService
+from repro.workloads import InsertEdge
+
+
+def flatten(prefix, sample, path=()):
+    """The same flattening the bind layer performs, independently."""
+    out = {}
+    if isinstance(sample, dict):
+        for key, value in sample.items():
+            out.update(flatten(prefix, value, path + (key,)))
+        return out
+    value = _numeric(sample)
+    if value is not None:
+        out["_".join([prefix] + [_sanitize(p) for p in path])] = value
+    return out
+
+
+def assert_parity(registry, prefix, stats_fn):
+    """Every promoted gauge equals the live accessor's leaf, right now."""
+    expected = flatten(prefix, stats_fn())
+    assert expected, "accessor exposed no numeric leaves"
+    gauges = {
+        m.name: m.snapshot()
+        for m in registry.collect()
+        if m.kind == "gauge" and m.name.startswith(prefix + "_")
+    }
+    for name, value in expected.items():
+        assert name in gauges, f"leaf {name} was not promoted"
+        assert gauges[name] == pytest.approx(value), name
+
+
+class TestBindStats:
+    def test_registers_one_gauge_per_numeric_leaf(self):
+        registry = MetricsRegistry()
+        names = bind_stats(
+            registry, "repro_test",
+            lambda: {"a": 1, "nested": {"b": 2.5}, "skip": "text"},
+        )
+        assert sorted(names) == ["repro_test_a", "repro_test_nested_b"]
+        assert registry.get("repro_test_a").snapshot() == 1.0
+        assert registry.get("repro_test_nested_b").snapshot() == 2.5
+
+    def test_gauges_track_the_live_accessor(self):
+        state = {"depth": 0}
+        registry = MetricsRegistry()
+        bind_stats(registry, "repro_test", lambda: state)
+        state["depth"] = 42
+        assert registry.get("repro_test_depth").snapshot() == 42.0
+
+    def test_bools_promote_as_zero_one(self):
+        registry = MetricsRegistry()
+        bind_stats(registry, "repro_test", lambda: {"healthy": True})
+        assert registry.get("repro_test_healthy").snapshot() == 1.0
+
+    def test_hostile_key_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        names = bind_stats(
+            registry, "repro_test",
+            lambda: {"per-target p99.9": 7},
+        )
+        assert names == ["repro_test_per_target_p99_9"]
+
+    def test_labels_ride_along(self):
+        registry = MetricsRegistry()
+        bind_stats(registry, "repro_test", lambda: {"x": 1},
+                   target="replica_0")
+        gauge = registry.get("repro_test_x", target="replica_0")
+        assert gauge.snapshot() == 1.0
+        assert render_key(gauge.name, gauge.labels) \
+            == 'repro_test_x{target="replica_0"}'
+
+    def test_leaf_discovery_matches_independent_flattening(self):
+        sample = {"a": 1, "b": {"c": True, "d": "s", "e": {"f": 0.5}}}
+        paths = set(_leaf_paths(sample))
+        assert paths == {("a",), ("b", "c"), ("b", "e", "f")}
+
+
+@pytest.fixture
+def service(paper_graph):
+    with SPCService(repro.open(paper_graph),
+                    config=ServeConfig(publish_every=1)) as svc:
+        svc.submit(InsertEdge(0, 5))
+        svc.flush()
+        yield svc
+
+
+class TestServiceParity:
+    def test_set_metrics_promotes_stats_with_parity(self, service):
+        registry = MetricsRegistry()
+        service.set_metrics(registry)
+        assert_parity(registry, "repro_serve", service.stats)
+
+    def test_parity_survives_further_writes(self, service):
+        registry = MetricsRegistry()
+        service.set_metrics(registry)
+        service.submit(InsertEdge(1, 7))
+        service.flush()
+        assert_parity(registry, "repro_serve", service.stats)
+
+
+class TestEngineParity:
+    def test_stream_stats_promote_with_parity(self, paper_graph):
+        registry = MetricsRegistry()
+        engine = repro.open(paper_graph)
+        engine.set_metrics(registry)
+        engine.insert_edge(0, 5)
+        engine.query(0, 11)
+        assert registry.get("repro_engine_updates").snapshot() \
+            == engine.history.updates
+        assert registry.get("repro_engine_epoch").snapshot() \
+            == engine.epoch
+
+
+class TestAuditParity:
+    def test_sampler_and_auditor_promote_with_parity(
+            self, tmp_path, paper_graph):
+        registry = MetricsRegistry()
+        engine = repro.open(paper_graph)
+        sampler = AuditSampler(rate=1.0, capacity=64, seed=0)
+        with SPCService(
+            engine,
+            config=ServeConfig(publish_every=1,
+                               durability_dir=str(tmp_path)),
+            overwrite=True,
+        ) as service:
+            service.set_answer_tap(sampler)
+            with ShadowAuditor(sampler, str(tmp_path)) as auditor:
+                sampler.set_metrics(registry)
+                auditor.set_metrics(registry)
+                service.submit(InsertEdge(0, 5))
+                service.flush()
+                service.query(0, 11)
+                auditor.drain()
+                assert_parity(registry, "repro_audit_sampler",
+                              sampler.stats)
+                assert_parity(registry, "repro_audit", auditor.stats)
+
+    def test_snapshot_agrees_with_accessor_at_the_same_instant(self):
+        # The whole point of callback gauges: exposition *is* the
+        # accessor, so the snapshot taken now equals stats() taken now.
+        registry = MetricsRegistry()
+        sampler = AuditSampler(rate=1.0, capacity=64, seed=0)
+        sampler.set_metrics(registry)
+        sampler([((0, k), (1, 1)) for k in range(5)], seq=0,
+                target="primary", epoch=0)
+        snap = registry.snapshot()["gauges"]
+        assert snap["repro_audit_sampler_seen"] == sampler.stats()["seen"]
+        assert snap["repro_audit_sampler_sampled"] \
+            == sampler.stats()["sampled"]

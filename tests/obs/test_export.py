@@ -1,0 +1,104 @@
+"""Exposition: Prometheus text format, JSON snapshots, --telemetry files."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    to_json,
+    to_prometheus_text,
+    write_files,
+)
+
+
+def make_registry():
+    r = MetricsRegistry()
+    r.counter("repro_test_ops", backend="core").inc(3)
+    r.gauge("repro_test_level").set(2.5)
+    h = r.histogram("repro_test_latency_seconds")
+    for v in (0.001, 0.001, 0.004):
+        h.observe(v)
+    return r
+
+
+class TestPrometheusText:
+    def test_counters_render_with_total_suffix(self):
+        text = to_prometheus_text(make_registry())
+        assert "# TYPE repro_test_ops_total counter" in text
+        assert 'repro_test_ops_total{backend="core"} 3' in text
+
+    def test_gauges_render_bare(self):
+        text = to_prometheus_text(make_registry())
+        assert "# TYPE repro_test_level gauge" in text
+        assert "repro_test_level 2.5" in text
+
+    def test_histograms_render_cumulative_buckets_sum_count(self):
+        text = to_prometheus_text(make_registry())
+        lines = text.splitlines()
+        buckets = [l for l in lines
+                   if l.startswith("repro_test_latency_seconds_bucket")]
+        # Occupied buckets plus the +Inf catch-all, cumulative.
+        assert buckets[-1].endswith(" 3")
+        assert 'le="+Inf"' in buckets[-1]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts)
+        assert "repro_test_latency_seconds_count 3" in text
+        assert any(l.startswith("repro_test_latency_seconds_sum ")
+                   for l in lines)
+
+    def test_dead_callback_gauges_are_skipped_not_fatal(self):
+        r = MetricsRegistry()
+
+        def boom():
+            raise RuntimeError("gone")
+
+        r.gauge("repro_test_dead", fn=boom)
+        r.counter("repro_test_ops").inc()
+        text = to_prometheus_text(r)
+        assert "repro_test_dead" not in text
+        assert "repro_test_ops_total 1" in text
+
+    def test_rendering_is_deterministic(self):
+        assert to_prometheus_text(make_registry()) \
+            == to_prometheus_text(make_registry())
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+class TestJson:
+    def test_document_shape(self):
+        doc = json.loads(to_json(make_registry()))
+        assert doc["metrics"]["counters"] == {
+            'repro_test_ops{backend="core"}': 3.0,
+        }
+        assert doc["metrics"]["gauges"]["repro_test_level"] == 2.5
+        hist = doc["metrics"]["histograms"]["repro_test_latency_seconds"]
+        assert hist["count"] == 3
+
+    def test_tracer_stats_and_slow_traces_included(self):
+        tracer = Tracer(slow_threshold=0.010)
+        trace = tracer.begin("shard_query")
+        trace.add("scatter", 0.015)
+        trace.finish(0.020)
+        doc = json.loads(to_json(make_registry(), tracer=tracer))
+        assert doc["tracer"]["slow_recorded"] == 1
+        assert doc["slow_traces"][0]["trace_id"] == "t-000001"
+        assert doc["slow_traces"][0]["root"]["children"][0]["name"] \
+            == "scatter"
+
+
+class TestWriteFiles:
+    def test_writes_prom_and_json_pair(self, tmp_path):
+        tracer = Tracer()
+        prom, js = write_files(make_registry(), tmp_path,
+                               tracer=tracer, stem="unit")
+        assert prom.endswith("unit.prom") and js.endswith("unit.json")
+        assert "repro_test_ops_total" in open(prom).read()
+        doc = json.loads(open(js).read())
+        assert "metrics" in doc and "tracer" in doc
+
+    def test_creates_the_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        prom, _ = write_files(make_registry(), str(target))
+        assert open(prom).read()

@@ -1,0 +1,68 @@
+"""The obs loadgen's two contracts, at test scale: per-stage totals
+reconcile exactly against end-to-end latency, and a seeded run
+reproduces identical counter values."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.loadgen import STAGES, run_obs_loadgen
+
+QUICK = dict(n=100, m=300, shards=2, churn=12, phases=2,
+             reads_per_phase=40, seed=0)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_obs_loadgen(**QUICK)
+
+
+class TestStageBreakdown:
+    def test_every_stage_histogram_is_populated(self, report):
+        registry = report["registry"]
+        for stage in STAGES:
+            hist = registry.get("repro_shard_stage_seconds", stage=stage)
+            assert hist is not None and hist.count > 0, stage
+
+    def test_stage_sum_reconciles_exactly_with_e2e(self, report):
+        # The explicit `unattributed` stage makes the identity exact:
+        # both sides add up the very same perf_counter differences.
+        registry = report["registry"]
+        stage_sum = sum(
+            registry.get("repro_shard_stage_seconds", stage=s).total
+            for s in STAGES
+        )
+        e2e = registry.get("repro_shard_read_latency_seconds")
+        assert stage_sum == pytest.approx(e2e.total, rel=1e-9)
+
+    def test_read_count_matches_the_workload(self, report):
+        registry = report["registry"]
+        e2e = registry.get("repro_shard_read_latency_seconds")
+        assert e2e.count == report["reads"]
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_every_counter(self, report):
+        again = run_obs_loadgen(**QUICK)
+        assert report["counter_values"] == again["counter_values"]
+        assert report["counter_values"], "fingerprint must be non-empty"
+
+    def test_different_seed_diverges(self, report):
+        other = run_obs_loadgen(**dict(QUICK, seed=1))
+        assert report["counter_values"] != other["counter_values"]
+
+
+class TestInstrumentationToggle:
+    def test_uninstrumented_run_registers_nothing(self):
+        registry = MetricsRegistry()
+        run_obs_loadgen(**QUICK, instrument=False, registry=registry)
+        assert len(registry) == 0
+
+    def test_trace_ids_propagate_to_retained_traces(self, report):
+        tracer = report["tracer"]
+        traces = tracer.recent()
+        assert traces, "tracer retained nothing"
+        ids = [t.trace_id for t in traces]
+        assert len(set(ids)) == len(ids)
+        assert all(t.finished for t in traces)
+        # Sampled scatter-gather traces carry per-stage child spans.
+        assert any(t.root.children for t in traces)

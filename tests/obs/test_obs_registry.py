@@ -1,0 +1,254 @@
+"""MetricsRegistry and its three instrument kinds (DESIGN.md §16)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ObsError
+from repro.obs import (
+    SUBBUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_upper,
+    render_key,
+)
+
+
+class TestBucketing:
+    def test_nonpositive_values_take_the_reserved_bucket(self):
+        assert bucket_index(0.0) is None
+        assert bucket_index(-1.0) is None
+
+    def test_buckets_are_geometric_with_subbucket_resolution(self):
+        # Doubling a value advances exactly SUBBUCKETS buckets.
+        for value in (1e-6, 3.7e-4, 0.01, 1.0, 17.3):
+            assert (bucket_index(value * 2.0)
+                    == bucket_index(value) + SUBBUCKETS)
+
+    def test_value_lies_inside_its_bucket(self):
+        # Buckets are lower-inclusive / upper-exclusive: a value sitting
+        # exactly on an edge (powers of two) belongs to the bucket above.
+        for value in (1e-7, 2.5e-4, 0.125, 0.9999, 1.0, 42.0):
+            index = bucket_index(value)
+            upper = bucket_upper(index)
+            lower = bucket_upper(index - 1)
+            assert lower <= value < upper or math.isclose(value, lower)
+
+    def test_bucket_width_is_under_twenty_percent(self):
+        for index in (-40, -1, 0, 7, 80):
+            ratio = bucket_upper(index) / bucket_upper(index - 1)
+            assert ratio == pytest.approx(2.0 ** (1.0 / SUBBUCKETS))
+            assert ratio < 1.20
+
+    def test_bucketing_is_deterministic(self):
+        values = [0.1 * k + 1e-9 for k in range(100)]
+        assert ([bucket_index(v) for v in values]
+                == [bucket_index(v) for v in values])
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        c = Counter("repro_test_ops")
+        c.inc()
+        c.inc(2.5)
+        assert c.snapshot() == 3.5
+
+    def test_decrease_raises(self):
+        c = Counter("repro_test_ops")
+        with pytest.raises(ObsError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter("n"), Counter("n")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("repro_test_level")
+        g.set(5)
+        g.inc(-2)
+        assert g.snapshot() == 3.0
+
+    def test_callback_gauge_reads_live_state(self):
+        state = {"v": 1}
+        g = Gauge("repro_test_live", fn=lambda: state["v"])
+        assert g.snapshot() == 1.0
+        state["v"] = 9
+        assert g.snapshot() == 9.0
+
+    def test_callback_gauge_cannot_be_set(self):
+        g = Gauge("repro_test_live", fn=lambda: 1)
+        with pytest.raises(ObsError, match="bound to a callback"):
+            g.set(2)
+        with pytest.raises(ObsError, match="bound to a callback"):
+            g.inc()
+
+    def test_dead_callback_reads_as_none(self):
+        def boom():
+            raise RuntimeError("component torn down")
+
+        assert Gauge("g", fn=boom).snapshot() is None
+
+    def test_non_numeric_callback_reads_as_none(self):
+        assert Gauge("g", fn=lambda: "primary").snapshot() is None
+        assert Gauge("g", fn=lambda: float("nan")).snapshot() is None
+
+    def test_raw_bool_callback_reads_as_none(self):
+        # A raw bool is not a level; the bind layer converts booleans to
+        # 0/1 inside its reader before the gauge ever sees them.
+        assert Gauge("g", fn=lambda: True).snapshot() is None
+
+
+class TestHistogram:
+    def test_observe_folds_count_sum_min_max(self):
+        h = Histogram("repro_test_latency_seconds")
+        for v in (0.5, 0.25, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(2.75)
+        assert h.min == 0.25
+        assert h.max == 2.0
+        assert h.mean() == pytest.approx(2.75 / 3)
+
+    def test_zero_observations_take_the_zero_bucket(self):
+        h = Histogram("h")
+        h.observe(0.0)
+        h.observe(1.0)
+        assert h.zero_count == 1
+        assert h.count == 2
+        assert h.percentile(50) == 0.0
+
+    def test_percentile_is_clamped_into_observed_range(self):
+        h = Histogram("h")
+        for _ in range(100):
+            h.observe(1.0)
+        # The bucket upper edge overestimates; the clamp pins it to max.
+        assert h.percentile(50) == 1.0
+        assert h.percentile(99) == 1.0
+
+    def test_percentile_overestimates_by_at_most_bucket_width(self):
+        h = Histogram("h")
+        values = [0.001 * (k + 1) for k in range(1000)]
+        for v in values:
+            h.observe(v)
+        exact_p50 = sorted(values)[499]
+        p50 = h.percentile(50)
+        assert exact_p50 <= p50 <= exact_p50 * 2.0 ** (1.0 / SUBBUCKETS)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram("h")
+        assert h.percentile(50) is None
+        assert h.mean() is None
+        assert h.snapshot()["count"] == 0
+
+    def test_merge_equals_union_recording(self):
+        a, b, union = Histogram("h"), Histogram("h"), Histogram("h")
+        for v in (0.1, 0.2, 0.0):
+            a.observe(v)
+            union.observe(v)
+        for v in (0.05, 3.0):
+            b.observe(v)
+            union.observe(v)
+        a.merge(b)
+        assert a.buckets == union.buckets
+        assert a.zero_count == union.zero_count
+        assert a.count == union.count
+        assert a.total == pytest.approx(union.total)
+        assert (a.min, a.max) == (union.min, union.max)
+
+    def test_copy_is_independent(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        clone = h.copy()
+        clone.observe(2.0)
+        assert h.count == 1 and clone.count == 2
+
+    def test_bucket_table_is_cumulative(self):
+        h = Histogram("h")
+        for v in (0.1, 0.1, 0.4, 1.6):
+            h.observe(v)
+        table = h.bucket_table()
+        counts = [c for _upper, c in table]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("repro_test_ops") is r.counter("repro_test_ops")
+
+    def test_labels_split_instruments(self):
+        r = MetricsRegistry()
+        a = r.counter("repro_test_ops", target="primary")
+        b = r.counter("repro_test_ops", target="replica_0")
+        assert a is not b
+        a.inc()
+        assert r.get("repro_test_ops", target="primary").value == 1
+        assert r.get("repro_test_ops", target="replica_0").value == 0
+
+    def test_label_order_does_not_matter(self):
+        r = MetricsRegistry()
+        a = r.counter("n", x="1", y="2")
+        b = r.counter("n", y="2", x="1")
+        assert a is b
+
+    def test_kind_clash_raises(self):
+        r = MetricsRegistry()
+        r.counter("repro_test_ops")
+        with pytest.raises(ObsError, match="already registered as counter"):
+            r.gauge("repro_test_ops")
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(ObsError, match="invalid metric name"):
+            MetricsRegistry().counter("repro test ops")
+
+    def test_rebinding_a_callback_gauge_replaces_the_callback(self):
+        # A restarted component re-binds over its predecessor's gauge.
+        r = MetricsRegistry()
+        r.gauge("g", fn=lambda: 1)
+        r.gauge("g", fn=lambda: 2)
+        assert r.get("g").snapshot() == 2.0
+
+    def test_snapshot_drops_dead_callback_gauges(self):
+        r = MetricsRegistry()
+
+        def boom():
+            raise RuntimeError("gone")
+
+        r.gauge("repro_test_dead", fn=boom)
+        r.gauge("repro_test_live", fn=lambda: 7)
+        snap = r.snapshot()
+        assert "repro_test_dead" not in snap["gauges"]
+        assert snap["gauges"]["repro_test_live"] == 7.0
+
+    def test_counter_values_fingerprint(self):
+        r = MetricsRegistry()
+        r.counter("repro_test_ops").inc(3)
+        r.histogram("repro_test_lat").observe(0.5)
+        r.gauge("repro_test_level").set(9)  # timings/levels excluded
+        assert r.counter_values() == {
+            "repro_test_ops": 3.0,
+            "repro_test_lat:count": 1,
+        }
+
+    def test_merge_rolls_up_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        b.histogram("h", shard="1").observe(0.5)
+        a.merge(b)
+        assert a.get("c").value == 3
+        assert a.get("h", shard="1").count == 1
+
+    def test_render_key(self):
+        assert render_key("n", ()) == "n"
+        assert (render_key("n", (("a", "1"), ("b", "2")))
+                == 'n{a="1",b="2"}')

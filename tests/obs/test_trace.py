@@ -1,0 +1,121 @@
+"""Query-path tracing: span trees, id propagation, bounded retention."""
+
+import pytest
+
+from repro.obs import QueryTrace, Span, Tracer
+
+
+class TestSpan:
+    def test_children_attribute_time(self):
+        root = Span("query", 0.010)
+        root.add("scatter", 0.006)
+        root.add("merge", 0.001)
+        assert root.child_total() == pytest.approx(0.007)
+        assert root.unattributed() == pytest.approx(0.003)
+
+    def test_to_dict_round_trip_shape(self):
+        root = Span("query", 0.010, meta={"target": "primary"})
+        root.add("scatter", 0.006)
+        d = root.to_dict()
+        assert d["name"] == "query"
+        assert d["meta"] == {"target": "primary"}
+        assert [c["name"] for c in d["children"]] == ["scatter"]
+
+
+class TestQueryTrace:
+    def test_finish_files_into_its_tracer(self):
+        tracer = Tracer()
+        trace = tracer.begin("shard_query")
+        trace.add("scatter", 0.002)
+        trace.finish(0.003)
+        assert trace.finished
+        assert tracer.recorded == 1
+        assert tracer.recent()[-1] is trace
+
+    def test_stage_totals_fold_repeated_stages(self):
+        trace = QueryTrace("t-000001", "shard_query")
+        trace.add("shard_probe", 0.001)
+        trace.add("shard_probe", 0.002)
+        trace.add("merge", 0.0005)
+        totals = trace.stage_totals()
+        assert totals["shard_probe"] == pytest.approx(0.003)
+        assert totals["merge"] == pytest.approx(0.0005)
+
+
+class TestTracer:
+    def test_trace_ids_are_deterministic(self):
+        ids = [Tracer().begin("q").trace_id for _ in range(3)]
+        assert ids == ["t-000001", "t-000001", "t-000001"]
+        tracer = Tracer()
+        assert [tracer.begin("q").trace_id for _ in range(3)] == [
+            "t-000001", "t-000002", "t-000003",
+        ]
+
+    def test_sampling_gate_is_counter_based(self):
+        tracer = Tracer(sample_every=3)
+        admitted = [tracer.maybe_begin("q") is not None for _ in range(9)]
+        assert admitted == [False, False, True] * 3
+
+    def test_recent_ring_is_bounded(self):
+        tracer = Tracer(capacity=4)
+        for _ in range(10):
+            tracer.begin("q").finish(0.001)
+        assert len(tracer.recent()) == 4
+        assert tracer.stats()["recorded"] == 10
+
+    def test_slow_traces_survive_fast_floods(self):
+        tracer = Tracer(capacity=2, slow_threshold=0.010)
+        slow = tracer.begin("q")
+        slow.finish(0.050)
+        for _ in range(100):  # fast traffic rolls the recent ring over
+            tracer.begin("q").finish(0.001)
+        assert slow not in tracer.recent()
+        assert tracer.slow() == [slow]
+
+    def test_only_slow_traces_evict_slow_traces(self):
+        tracer = Tracer(slow_capacity=2, slow_threshold=0.010)
+        first, second, third = (tracer.begin("q") for _ in range(3))
+        first.finish(0.011)
+        second.finish(0.012)
+        third.finish(0.013)
+        assert [t.trace_id for t in tracer.slow()] == [
+            second.trace_id, third.trace_id,
+        ]
+
+    def test_stage_totals_filter_by_root_name(self):
+        tracer = Tracer()
+        a = tracer.begin("shard_query")
+        a.add("scatter", 0.002)
+        a.finish(0.003)
+        b = tracer.begin("writer_batch")
+        b.add("wal_append", 0.004)
+        b.finish(0.005)
+        assert tracer.stage_totals("shard_query") == {
+            "scatter": pytest.approx(0.002),
+        }
+        assert set(tracer.stage_totals()) == {"scatter", "wal_append"}
+
+    def test_stats_shape(self):
+        tracer = Tracer(sample_every=2, slow_threshold=0.010)
+        tracer.maybe_begin("q")
+        trace = tracer.maybe_begin("q")
+        trace.finish(0.020)
+        assert tracer.stats() == {
+            "sample_every": 2,
+            "slow_threshold_s": 0.010,
+            "started": 1,
+            "recorded": 1,
+            "slow_recorded": 1,
+            "recent_held": 1,
+            "slow_held": 1,
+        }
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity": 0},
+        {"slow_capacity": 0},
+        {"slow_threshold": -1},
+        {"sample_every": 0},
+    ])
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            Tracer(**kwargs)

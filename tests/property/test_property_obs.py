@@ -1,0 +1,155 @@
+"""Property tests for the observability layer (DESIGN.md §16).
+
+The load-bearing algebra: ``Histogram.merge`` must behave exactly like
+recording the union of the value streams — associative, commutative,
+with an identity — so per-shard histograms can be rolled up in any
+grouping and order without changing a single bucket.  The same law is
+pinned one level up for whole registries, and the deterministic
+bucketing function is pinned as a pure function of the value.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    SUBBUCKETS,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_upper,
+)
+
+COMMON = dict(deadline=None)
+
+#: observation values: non-negative, finite, spanning sub-microsecond
+#: durations to large sizes (zero exercises the reserved bucket).
+values = st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                   allow_infinity=False)
+value_lists = st.lists(values, max_size=60)
+
+
+def record(stream):
+    h = Histogram("h")
+    for v in stream:
+        h.observe(v)
+    return h
+
+
+def assert_same(a, b):
+    assert a.buckets == b.buckets
+    assert a.zero_count == b.zero_count
+    assert a.count == b.count
+    assert a.total == pytest.approx(b.total)
+    assert a.min == b.min
+    assert a.max == b.max
+    # Derived summaries follow from the state above, but pin them too:
+    for q in (50, 90, 99):
+        assert a.percentile(q) == b.percentile(q)
+
+
+class TestMergeAlgebra:
+    @settings(**COMMON)
+    @given(value_lists, value_lists)
+    def test_sharded_recording_equals_unsharded(self, xs, ys):
+        # The shard roll-up contract: two shards each observing part of
+        # the traffic, merged, equal one histogram observing all of it.
+        merged = record(xs)
+        merged.merge(record(ys))
+        assert_same(merged, record(xs + ys))
+
+    @settings(**COMMON)
+    @given(value_lists, value_lists)
+    def test_merge_commutes(self, xs, ys):
+        ab = record(xs)
+        ab.merge(record(ys))
+        ba = record(ys)
+        ba.merge(record(xs))
+        assert_same(ab, ba)
+
+    @settings(**COMMON)
+    @given(value_lists, value_lists, value_lists)
+    def test_merge_associates(self, xs, ys, zs):
+        left = record(xs)
+        left.merge(record(ys))
+        left.merge(record(zs))
+        inner = record(ys)
+        inner.merge(record(zs))
+        right = record(xs)
+        right.merge(inner)
+        assert_same(left, right)
+
+    @settings(**COMMON)
+    @given(value_lists)
+    def test_empty_histogram_is_the_identity(self, xs):
+        h = record(xs)
+        h.merge(Histogram("h"))
+        assert_same(h, record(xs))
+        empty = Histogram("h")
+        empty.merge(record(xs))
+        assert_same(empty, record(xs))
+
+    @settings(**COMMON)
+    @given(value_lists)
+    def test_merge_does_not_mutate_the_argument(self, xs):
+        frozen = record(xs)
+        before = frozen.copy()
+        sink = Histogram("h")
+        sink.merge(frozen)
+        assert_same(frozen, before)
+
+
+class TestRegistryRollup:
+    @settings(**COMMON)
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b"]), values),
+                    max_size=40),
+           st.integers(min_value=2, max_value=4))
+    def test_per_shard_registries_roll_up_to_the_unsharded_registry(
+            self, stream, shards):
+        # Round-robin the (metric, value) stream over K shard-local
+        # registries; merging them all must equal one registry that saw
+        # the whole stream.
+        union = MetricsRegistry()
+        parts = [MetricsRegistry() for _ in range(shards)]
+        for k, (name, v) in enumerate(stream):
+            union.histogram(name).observe(v)
+            union.counter(name + "_ops").inc()
+            parts[k % shards].histogram(name).observe(v)
+            parts[k % shards].counter(name + "_ops").inc()
+        rollup = MetricsRegistry()
+        for part in parts:
+            rollup.merge(part)
+        assert rollup.counter_values() == union.counter_values()
+        for metric in union.collect():
+            if metric.kind == "histogram":
+                assert_same(rollup.get(metric.name), metric)
+
+
+class TestBucketing:
+    @settings(**COMMON)
+    @given(st.floats(min_value=1e-12, max_value=1e12,
+                     allow_nan=False, allow_infinity=False))
+    def test_value_lands_between_its_bucket_edges(self, v):
+        index = bucket_index(v)
+        assert bucket_upper(index - 1) <= v <= bucket_upper(index)
+
+    @settings(**COMMON)
+    @given(st.floats(min_value=1e-12, max_value=1e12,
+                     allow_nan=False, allow_infinity=False))
+    def test_doubling_advances_exactly_subbuckets(self, v):
+        assert bucket_index(2.0 * v) == bucket_index(v) + SUBBUCKETS
+
+    @settings(**COMMON)
+    @given(st.lists(st.floats(min_value=1e-9, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=60),
+           st.sampled_from([50, 90, 99]))
+    def test_quantiles_bound_the_exact_quantile(self, xs, q):
+        # The reported pXX never undershoots the exact rank value and
+        # overshoots by at most one bucket width (then clamped to max).
+        h = record(xs)
+        exact = sorted(xs)[max(0, -(-len(xs) * q // 100) - 1)]
+        reported = h.percentile(q)
+        assert reported >= exact or reported == pytest.approx(exact)
+        assert reported <= min(exact * 2.0 ** (1.0 / SUBBUCKETS), h.max) \
+            or reported == pytest.approx(exact)
